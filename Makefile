@@ -1,0 +1,46 @@
+# Convenience targets for the BNB reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench repro figures fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table, equation check, claim, and extension study.
+repro:
+	$(GO) run ./cmd/bnbtables -all
+
+# Regenerate the paper's figures as ASCII.
+figures:
+	$(GO) run ./cmd/netviz -fig 1
+	$(GO) run ./cmd/netviz -fig 3
+	$(GO) run ./cmd/netviz -fig 4
+	$(GO) run ./cmd/netviz -fig 5
+
+# Machine-readable report of the full evaluation.
+json:
+	$(GO) run ./cmd/bnbtables -json
+
+fuzz:
+	$(GO) test -fuzz FuzzAllNetworksAgree -fuzztime 30s .
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,597 @@
+// Package bnbnet is a reproduction of "BNB Self-Routing Permutation
+// Network" (Sungchang Lee and Mi Lu, ICDCS 1991): a self-routing network
+// that realizes all N! permutations of its N = 2^m inputs by running an
+// MSB-first binary radix sort over a generalized baseline network, using
+// tree-structured one-bit arbiters ("splitters") instead of the log N-bit
+// comparators of Batcher's sorting network.
+//
+// The package exposes:
+//
+//   - the BNB network itself (NewBNB, with stage tracing, parallel
+//     simulation and a circuit-switched Connect/Send mode) and the paper's
+//     comparison baselines — Batcher's odd-even sorting network
+//     (NewBatcher) and bitonic sorter (NewBitonic), a functional analogue
+//     of the Koppelman-Oruç self-routing network (NewKoppelman), the Beneš
+//     (NewBenes) and Waksman (NewWaksman) networks under global looping
+//     routing, and a crossbar (NewCrossbar) — all behind the common
+//     Network interface, with a reusable conformance battery
+//     (VerifyNetwork);
+//   - hardware/delay cost reports in the paper's C_SW/C_FN/D_SW/D_FN units,
+//     and the closed-form rows of the paper's Tables 1 and 2 (Table1,
+//     Table2, HeadlineRatios);
+//   - an input-queued switch-fabric simulator (NewFabricSwitch) with
+//     uniform, permutation and hotspot traffic for system-level workloads;
+//   - permutation workload generators (RandomPerm, GeneratePerm and the
+//     structured families), and the Beneš bit-controlled self-routing
+//     experiment behind the paper's introduction (BenesSelfRouting);
+//   - ASCII regenerations of the paper's structural figures (FigGBN,
+//     FigBSN, FigBNBProfile, FigSplitter, FigFunctionNode, FigBatcher) and
+//     dynamic instances (FigRouteInstance, FigSplitterInstance);
+//   - the extension studies: switch lower bound (LowerBoundComparison),
+//     pipelined operation (PipelineBNB and friends), gate-level compilation
+//     (GateLevelBSN), banyan blocking (OmegaStudy, BaselineStudy), and a
+//     machine-readable report of the whole evaluation (FullReport).
+package bnbnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/batcher"
+	"repro/internal/benes"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/crossbar"
+	"repro/internal/fabric"
+	"repro/internal/koppelman"
+	"repro/internal/perm"
+	"repro/internal/render"
+)
+
+// Word is one network input: an m-bit destination address plus a data
+// payload of up to 64 bits.
+type Word = core.Word
+
+// Perm is a permutation of {0,...,n-1}; p[i] is the destination of input i.
+type Perm = perm.Perm
+
+// Cost reports hardware complexity in the paper's Section 5 units. Fields
+// that do not apply to a network are zero.
+type Cost struct {
+	// Switches counts 2x2 switches (C_SW units).
+	Switches int
+	// FunctionSlices counts one-bit function-logic slices (C_FN units):
+	// arbiter nodes for BNB, comparator slices for Batcher, routing slices
+	// for Koppelman.
+	FunctionSlices int
+	// AdderSlices counts log N-bit adder bit-slices (Koppelman's ranking
+	// circuit only).
+	AdderSlices int
+	// Crosspoints counts crossbar crosspoints (crossbar only).
+	Crosspoints int
+}
+
+// Total returns the scalar cost under unit prices for every component kind.
+func (c Cost) Total() int {
+	return c.Switches + c.FunctionSlices + c.AdderSlices + c.Crosspoints
+}
+
+// Delay reports the propagation critical path in the paper's units.
+type Delay struct {
+	// SwitchUnits counts 2x2-switch traversals (D_SW units).
+	SwitchUnits int
+	// FunctionUnits counts function-node traversals (D_FN units).
+	FunctionUnits int
+}
+
+// Units returns the total delay with the given per-device delays.
+func (d Delay) Units(dsw, dfn float64) float64 {
+	return float64(d.SwitchUnits)*dsw + float64(d.FunctionUnits)*dfn
+}
+
+// Network is the common interface of every permutation network in this
+// repository. Implementations are immutable and safe for concurrent use.
+type Network interface {
+	// Name identifies the network family ("bnb", "batcher", ...).
+	Name() string
+	// Inputs returns the port count N.
+	Inputs() int
+	// Route self-routes the words; the destination addresses must form a
+	// permutation of {0,...,N-1}. Output j of the result carries the word
+	// addressed to j.
+	Route(words []Word) ([]Word, error)
+	// RoutePerm routes a bare permutation, carrying each source index as
+	// the payload.
+	RoutePerm(p Perm) ([]Word, error)
+	// Cost reports the hardware complexity of the constructed instance.
+	Cost() Cost
+	// Delay reports the critical-path delay of the constructed instance.
+	Delay() Delay
+}
+
+// ---------------------------------------------------------------------------
+// BNB
+// ---------------------------------------------------------------------------
+
+// BNB is the paper's self-routing permutation network with its full
+// extended API: besides the Network interface it offers stage tracing,
+// parallel simulation, and the circuit-switched compute-once/replay-many
+// mode. A *BNB is immutable and safe for concurrent use.
+type BNB struct{ n *core.Network }
+
+var _ Network = (*BNB)(nil)
+
+// NewBNB constructs the paper's BNB self-routing permutation network with
+// N = 2^m inputs and w data bits per word (0 <= w <= 64).
+func NewBNB(m, w int) (*BNB, error) {
+	n, err := core.New(m, w)
+	if err != nil {
+		return nil, err
+	}
+	return &BNB{n: n}, nil
+}
+
+// Name implements Network.
+func (b *BNB) Name() string { return "bnb" }
+
+// Inputs implements Network.
+func (b *BNB) Inputs() int { return b.n.Inputs() }
+
+// Route implements Network.
+func (b *BNB) Route(words []Word) ([]Word, error) { return b.n.Route(words) }
+
+// RoutePerm implements Network.
+func (b *BNB) RoutePerm(p Perm) ([]Word, error) { return b.n.RoutePerm(p) }
+
+// Cost implements Network.
+func (b *BNB) Cost() Cost {
+	h := b.n.CountHardware()
+	return Cost{Switches: h.Switches, FunctionSlices: h.FunctionNodes}
+}
+
+// Delay implements Network.
+func (b *BNB) Delay() Delay {
+	d := b.n.MeasureDelay()
+	return Delay{SwitchUnits: d.SwitchStages, FunctionUnits: d.FunctionNodeLevels}
+}
+
+// RouteTraced routes the words and additionally returns the word vector at
+// the input of every main stage plus the final output (m+1 snapshots) — the
+// MSB-first radix sort made visible.
+func (b *BNB) RouteTraced(words []Word) ([]Word, [][]Word, error) {
+	return b.n.RouteTraced(words)
+}
+
+// RouteParallel routes the words with the nested networks of each main
+// stage evaluated concurrently; workers <= 0 selects GOMAXPROCS. Results
+// are identical to Route.
+func (b *BNB) RouteParallel(words []Word, workers int) ([]Word, error) {
+	return b.n.RouteParallel(words, workers)
+}
+
+// Circuit is a recorded switch configuration realizing one permutation —
+// the network's circuit-switched mode. Obtain with BNB.Connect.
+type Circuit struct {
+	n *core.Network
+	s *core.Settings
+}
+
+// Connect runs the self-routing control plane once for the permutation and
+// returns the recorded circuit.
+func (b *BNB) Connect(p Perm) (*Circuit, error) {
+	s, err := b.n.ComputeSettings(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Circuit{n: b.n, s: s}, nil
+}
+
+// Send replays the circuit over a fresh batch of payloads: word i lands on
+// the output the circuit's permutation assigned to input i; addresses in
+// the words are ignored (the data path consults only the stored switch
+// states, exactly like the hardware's slaved slices).
+func (c *Circuit) Send(words []Word) ([]Word, error) {
+	return c.n.ApplySettings(c.s, words)
+}
+
+// Switches returns the number of stored switch states,
+// (N/2)·(1/2)logN(logN+1).
+func (c *Circuit) Switches() int { return c.s.SwitchCount() }
+
+// ---------------------------------------------------------------------------
+// Batcher
+// ---------------------------------------------------------------------------
+
+type batcherNetwork struct{ n *batcher.Network }
+
+// NewBatcher constructs Batcher's odd-even merge sorting network used as a
+// self-routing permutation network.
+func NewBatcher(m, w int) (Network, error) {
+	n, err := batcher.New(m, w)
+	if err != nil {
+		return nil, err
+	}
+	return batcherNetwork{n: n}, nil
+}
+
+func (b batcherNetwork) Name() string { return "batcher" }
+
+func (b batcherNetwork) Inputs() int { return b.n.Inputs() }
+
+func (b batcherNetwork) Route(words []Word) ([]Word, error) {
+	in := make([]batcher.Word, len(words))
+	for i, wd := range words {
+		in[i] = batcher.Word(wd)
+	}
+	out, err := b.n.Route(in)
+	if err != nil {
+		return nil, err
+	}
+	res := make([]Word, len(out))
+	for i, wd := range out {
+		res[i] = Word(wd)
+	}
+	return res, nil
+}
+
+func (b batcherNetwork) RoutePerm(p Perm) ([]Word, error) {
+	words := make([]Word, len(p))
+	for i, d := range p {
+		words[i] = Word{Addr: d, Data: uint64(i)}
+	}
+	return b.Route(words)
+}
+
+func (b batcherNetwork) Cost() Cost {
+	h := b.n.CountHardware()
+	return Cost{Switches: h.Switches, FunctionSlices: h.CompareSlices}
+}
+
+func (b batcherNetwork) Delay() Delay {
+	d := b.n.MeasureDelay()
+	return Delay{SwitchUnits: d.SwitchStages, FunctionUnits: d.FunctionNodeLevels}
+}
+
+// ---------------------------------------------------------------------------
+// Koppelman analogue
+// ---------------------------------------------------------------------------
+
+type koppelmanNetwork struct{ n *koppelman.Network }
+
+// NewKoppelman constructs the functional analogue of the Koppelman-Oruç
+// self-routing permutation network (see DESIGN.md §3 for the substitution).
+func NewKoppelman(m, w int) (Network, error) {
+	n, err := koppelman.New(m, w)
+	if err != nil {
+		return nil, err
+	}
+	return koppelmanNetwork{n: n}, nil
+}
+
+func (k koppelmanNetwork) Name() string { return "koppelman" }
+
+func (k koppelmanNetwork) Inputs() int { return k.n.Inputs() }
+
+func (k koppelmanNetwork) Route(words []Word) ([]Word, error) {
+	in := make([]koppelman.Word, len(words))
+	for i, wd := range words {
+		in[i] = koppelman.Word(wd)
+	}
+	out, err := k.n.Route(in)
+	if err != nil {
+		return nil, err
+	}
+	res := make([]Word, len(out))
+	for i, wd := range out {
+		res[i] = Word(wd)
+	}
+	return res, nil
+}
+
+func (k koppelmanNetwork) RoutePerm(p Perm) ([]Word, error) {
+	words := make([]Word, len(p))
+	for i, d := range p {
+		words[i] = Word{Addr: d, Data: uint64(i)}
+	}
+	return k.Route(words)
+}
+
+func (k koppelmanNetwork) Cost() Cost {
+	h := k.n.CountHardware()
+	return Cost{
+		Switches:       h.Switches,
+		FunctionSlices: h.FunctionSlices,
+		AdderSlices:    h.AdderSlices,
+	}
+}
+
+// Delay reports the data-path stages of the analogue; the full Table 2
+// formula (which includes the ranking-tree traversals) is available via
+// Table2.
+func (k koppelmanNetwork) Delay() Delay {
+	// The analogue's data path mirrors the naive-slice GBN: one switch
+	// column per nested stage, plus two tree traversals of the ranking
+	// circuit per block (up and down), analogous to the arbiter's 2l levels
+	// but with log N-bit adders.
+	m := 0
+	for n := k.n.Inputs(); n > 1; n >>= 1 {
+		m++
+	}
+	sw := m * (m + 1) / 2
+	fn := 0
+	for kk := 1; kk <= m; kk++ {
+		fn += 2 * kk * m // ranking tree of depth kk, each node a log N-bit adder
+	}
+	return Delay{SwitchUnits: sw, FunctionUnits: fn}
+}
+
+// ---------------------------------------------------------------------------
+// Beneš (global looping routing)
+// ---------------------------------------------------------------------------
+
+type benesNetwork struct{ n *benes.Network }
+
+// NewBenes constructs the Beneš rearrangeable network routed by the global
+// looping algorithm. Unlike the self-routing networks, every Route call
+// runs the centralized set-up computation; its cost report therefore counts
+// only the data path (switches), with the set-up overhead discussed in
+// EXPERIMENTS.md.
+func NewBenes(m int) (Network, error) {
+	n, err := benes.New(m)
+	if err != nil {
+		return nil, err
+	}
+	return benesNetwork{n: n}, nil
+}
+
+func (b benesNetwork) Name() string { return "benes" }
+
+func (b benesNetwork) Inputs() int { return b.n.Inputs() }
+
+func (b benesNetwork) Route(words []Word) ([]Word, error) {
+	p := make(Perm, len(words))
+	for i, wd := range words {
+		p[i] = wd.Addr
+	}
+	settings, err := b.n.RouteGlobal(p)
+	if err != nil {
+		return nil, err
+	}
+	arrangement, err := b.n.Apply(settings)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Word, len(words))
+	for j, src := range arrangement {
+		out[j] = words[src]
+	}
+	for j, wd := range out {
+		if wd.Addr != j {
+			return nil, fmt.Errorf("benes: looping misdelivered address %d to output %d", wd.Addr, j)
+		}
+	}
+	return out, nil
+}
+
+func (b benesNetwork) RoutePerm(p Perm) ([]Word, error) {
+	words := make([]Word, len(p))
+	for i, d := range p {
+		words[i] = Word{Addr: d, Data: uint64(i)}
+	}
+	return b.Route(words)
+}
+
+func (b benesNetwork) Cost() Cost { return Cost{Switches: b.n.Switches()} }
+
+func (b benesNetwork) Delay() Delay { return Delay{SwitchUnits: b.n.Stages()} }
+
+// ---------------------------------------------------------------------------
+// Crossbar
+// ---------------------------------------------------------------------------
+
+type crossbarNetwork struct{ n *crossbar.Network }
+
+// NewCrossbar constructs an N x N crossbar (N need not be a power of two).
+func NewCrossbar(n int) (Network, error) {
+	c, err := crossbar.New(n)
+	if err != nil {
+		return nil, err
+	}
+	return crossbarNetwork{n: c}, nil
+}
+
+func (c crossbarNetwork) Name() string { return "crossbar" }
+
+func (c crossbarNetwork) Inputs() int { return c.n.Inputs() }
+
+func (c crossbarNetwork) Route(words []Word) ([]Word, error) {
+	in := make([]crossbar.Word, len(words))
+	for i, wd := range words {
+		in[i] = crossbar.Word(wd)
+	}
+	out, err := c.n.Route(in)
+	if err != nil {
+		return nil, err
+	}
+	res := make([]Word, len(out))
+	for i, wd := range out {
+		res[i] = Word(wd)
+	}
+	return res, nil
+}
+
+func (c crossbarNetwork) RoutePerm(p Perm) ([]Word, error) {
+	words := make([]Word, len(p))
+	for i, d := range p {
+		words[i] = Word{Addr: d, Data: uint64(i)}
+	}
+	return c.Route(words)
+}
+
+func (c crossbarNetwork) Cost() Cost { return Cost{Crosspoints: c.n.Crosspoints()} }
+
+func (c crossbarNetwork) Delay() Delay { return Delay{SwitchUnits: c.n.Delay()} }
+
+// ---------------------------------------------------------------------------
+// Fabric, workloads, tables, figures
+// ---------------------------------------------------------------------------
+
+// Traffic aliases the fabric traffic-generator interface.
+type Traffic = fabric.Traffic
+
+// UniformTraffic is Bernoulli-uniform traffic at the given per-port load.
+type UniformTraffic = fabric.Uniform
+
+// PermutationTraffic delivers a fresh random full permutation per cycle at
+// the given batch probability.
+type PermutationTraffic = fabric.Permutation
+
+// HotspotTraffic overlays uniform traffic with a hot output.
+type HotspotTraffic = fabric.Hotspot
+
+// FabricStats aggregates a fabric simulation run.
+type FabricStats = fabric.Stats
+
+// FabricSwitch is a FIFO input-queued cell switch around a Network.
+type FabricSwitch = fabric.Switch
+
+// VOQFabricSwitch is a virtual-output-queued cell switch with an
+// iSLIP-style matcher around a Network; it removes head-of-line blocking.
+type VOQFabricSwitch = fabric.VOQSwitch
+
+// NewFabricSwitch wraps a Network as the routing core of a FIFO
+// input-queued cell switch.
+func NewFabricSwitch(n Network) (*FabricSwitch, error) {
+	r, err := fabricRouter(n)
+	if err != nil {
+		return nil, err
+	}
+	return fabric.NewSwitch(r)
+}
+
+// NewVOQFabricSwitch wraps a Network as the routing core of a virtual-
+// output-queued cell switch.
+func NewVOQFabricSwitch(n Network) (*VOQFabricSwitch, error) {
+	r, err := fabricRouter(n)
+	if err != nil {
+		return nil, err
+	}
+	return fabric.NewVOQSwitch(r)
+}
+
+func fabricRouter(n Network) (fabric.Router, error) {
+	if n == nil {
+		return nil, fmt.Errorf("bnbnet: nil network")
+	}
+	return fabric.RouterFunc{N: n.Inputs(), Fn: func(p Perm) (Perm, error) {
+		out, err := n.RoutePerm(p)
+		if err != nil {
+			return nil, err
+		}
+		arrangement := make(Perm, len(out))
+		for j, wd := range out {
+			arrangement[j] = int(wd.Data)
+		}
+		return arrangement, nil
+	}}, nil
+}
+
+// RandomPerm draws a uniform random permutation of n elements from rng.
+func RandomPerm(n int, rng *rand.Rand) Perm { return perm.Random(n, rng) }
+
+// PermFamily names a structured permutation family.
+type PermFamily = perm.Family
+
+// Structured permutation families for workload sweeps.
+const (
+	FamilyIdentity       = perm.FamilyIdentity
+	FamilyReversal       = perm.FamilyReversal
+	FamilyBitReversal    = perm.FamilyBitReversal
+	FamilyPerfectShuffle = perm.FamilyPerfectShuffle
+	FamilyBitComplement  = perm.FamilyBitComplement
+	FamilyTranspose      = perm.FamilyTranspose
+	FamilyButterfly      = perm.FamilyButterfly
+	FamilyRandom         = perm.FamilyRandom
+)
+
+// PermFamilies lists every built-in family.
+func PermFamilies() []PermFamily { return perm.Families() }
+
+// GeneratePerm produces a member of the family on 2^m elements; rng is used
+// only by FamilyRandom.
+func GeneratePerm(f PermFamily, m int, rng *rand.Rand) (Perm, error) {
+	return perm.Generate(f, m, rng)
+}
+
+// Table1Row is one row of the paper's Table 1 evaluated at a concrete order.
+type Table1Row = cost.Table1Row
+
+// Table2Row is one row of the paper's Table 2 evaluated at a concrete order.
+type Table2Row = cost.Table2Row
+
+// Table1 evaluates the hardware-complexity leading terms of the paper's
+// Table 1 at order m.
+func Table1(m int) ([]Table1Row, error) { return cost.Table1(m) }
+
+// Table2 evaluates the propagation-delay rows of the paper's Table 2 at
+// order m.
+func Table2(m int) ([]Table2Row, error) { return cost.Table2(m) }
+
+// HeadlineRatios returns BNB/Batcher hardware and delay ratios from the
+// exact formulas; they approach 1/3 and 2/3 as m grows (the abstract's
+// claims).
+func HeadlineRatios(m, w int) (hardware, delay float64, err error) {
+	return cost.HeadlineRatios(m, w)
+}
+
+// BenesSelfRouting measures the intro's dichotomy on a Beneš network of
+// order m: the success rate of bit-controlled destination-tag self-routing
+// over `trials` uniform random permutations (well below 1), alongside
+// confirmation that structured classes route (all shifts are tried; ok is
+// false if any fails).
+func BenesSelfRouting(m, trials int, rng *rand.Rand) (randomRate float64, shiftsOK bool, err error) {
+	n, err := benes.New(m)
+	if err != nil {
+		return 0, false, err
+	}
+	d := benes.DefaultSelfRouting(m)
+	rate, err := n.SelfRouteRate(d, trials, rng)
+	if err != nil {
+		return 0, false, err
+	}
+	shiftsOK = true
+	for a := 0; a < n.Inputs(); a++ {
+		ok, _, err := n.RouteSelf(perm.VectorShift(n.Inputs(), a), d)
+		if err != nil {
+			return 0, false, err
+		}
+		if !ok {
+			shiftsOK = false
+			break
+		}
+	}
+	return rate, shiftsOK, nil
+}
+
+// FigGBN renders the generalized baseline network of order m (Fig. 1 shape).
+func FigGBN(m int) (string, error) { return render.GBN(m) }
+
+// FigBSN renders the bit-sorter network of order k.
+func FigBSN(k int) (string, error) { return render.BSNFigure(k) }
+
+// FigBNBProfile renders the nested structure of a BNB network of order m
+// with w data bits (Figs. 2-3 shape).
+func FigBNBProfile(m, w int) (string, error) {
+	n, err := core.New(m, w)
+	if err != nil {
+		return "", err
+	}
+	return render.BNBProfile(n), nil
+}
+
+// FigSplitter renders splitter sp(p) with its arbiter tree (Fig. 4 shape).
+func FigSplitter(p int) (string, error) { return render.Splitter(p) }
+
+// FigFunctionNode renders the arbiter function node and its generated truth
+// table (Fig. 5 shape).
+func FigFunctionNode() string { return render.FunctionNode() }

@@ -1,0 +1,396 @@
+package bnbnet
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// allNetworks builds one instance of every Network implementation at order m
+// (the crossbar gets 2^m ports).
+func allNetworks(t testing.TB, m, w int) []Network {
+	t.Helper()
+	var nets []Network
+	for _, build := range []func() (Network, error){
+		func() (Network, error) { return NewBNB(m, w) },
+		func() (Network, error) { return NewBatcher(m, w) },
+		func() (Network, error) { return NewKoppelman(m, w) },
+		func() (Network, error) { return NewBenes(m) },
+		func() (Network, error) { return NewWaksman(m) },
+		func() (Network, error) { return NewBitonic(m) },
+		func() (Network, error) { return NewCrossbar(1 << uint(m)) },
+	} {
+		n, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets = append(nets, n)
+	}
+	return nets
+}
+
+// TestAllNetworksRouteRandomPermutations is the cross-network contract test:
+// every implementation delivers every workload.
+func TestAllNetworksRouteRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []int{2, 4, 6, 8} {
+		for _, n := range allNetworks(t, m, 8) {
+			for trial := 0; trial < 10; trial++ {
+				p := RandomPerm(n.Inputs(), rng)
+				out, err := n.RoutePerm(p)
+				if err != nil {
+					t.Fatalf("%s m=%d: %v", n.Name(), m, err)
+				}
+				for j, wd := range out {
+					if wd.Addr != j {
+						t.Fatalf("%s m=%d: output %d carries address %d", n.Name(), m, j, wd.Addr)
+					}
+				}
+				for i, d := range p {
+					if out[d].Data != uint64(i) {
+						t.Fatalf("%s m=%d: payload lost at output %d", n.Name(), m, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAllNetworksRouteStructuredFamilies sweeps the structured families.
+func TestAllNetworksRouteStructuredFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := 6
+	for _, n := range allNetworks(t, m, 0) {
+		for _, f := range PermFamilies() {
+			p, err := GeneratePerm(f, m, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := n.RoutePerm(p)
+			if err != nil {
+				t.Fatalf("%s family %v: %v", n.Name(), f, err)
+			}
+			for j, wd := range out {
+				if wd.Addr != j {
+					t.Fatalf("%s family %v: misrouted", n.Name(), f)
+				}
+			}
+		}
+	}
+}
+
+// TestAllNetworksRejectNonPermutations checks the shared input contract.
+func TestAllNetworksRejectNonPermutations(t *testing.T) {
+	for _, n := range allNetworks(t, 3, 0) {
+		words := make([]Word, n.Inputs())
+		for i := range words {
+			words[i] = Word{Addr: 0} // duplicate destinations
+		}
+		if _, err := n.Route(words); err == nil {
+			t.Errorf("%s accepted duplicate destinations", n.Name())
+		}
+		if _, err := n.Route(words[:3]); err == nil {
+			t.Errorf("%s accepted short input", n.Name())
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	want := []string{"bnb", "batcher", "koppelman", "benes", "waksman", "bitonic", "crossbar"}
+	nets := allNetworks(t, 3, 0)
+	for i, n := range nets {
+		if n.Name() != want[i] {
+			t.Errorf("network %d name %q, want %q", i, n.Name(), want[i])
+		}
+		if n.Inputs() != 8 {
+			t.Errorf("%s inputs = %d, want 8", n.Name(), n.Inputs())
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewBNB(0, 0); err == nil {
+		t.Error("NewBNB(0,0) accepted")
+	}
+	if _, err := NewBatcher(0, 0); err == nil {
+		t.Error("NewBatcher(0,0) accepted")
+	}
+	if _, err := NewKoppelman(0, 0); err == nil {
+		t.Error("NewKoppelman(0,0) accepted")
+	}
+	if _, err := NewBenes(0); err == nil {
+		t.Error("NewBenes(0) accepted")
+	}
+	if _, err := NewCrossbar(0); err == nil {
+		t.Error("NewCrossbar(0) accepted")
+	}
+}
+
+// TestCostOrdering verifies the Table 1 story end to end through the public
+// API, including where the orderings actually begin. With w = 8 data bits
+// the switch-only BNB/Batcher crossover sits at m = 9 (Batcher's comparator
+// deficit at small N outweighs its wider slices), the total-cost crossover
+// at m = 3, and BNB passes the crossbar's raw component count near m = 9;
+// asymptotically BNB wins every comparison, per the paper's leading terms.
+func TestCostOrdering(t *testing.T) {
+	for _, m := range []int{4, 6, 8, 9, 10, 12} {
+		nets := allNetworks(t, m, 8)
+		bnb, bat, kop, xbar := nets[0], nets[1], nets[2], nets[6]
+		if swWins := bnb.Cost().Switches < bat.Cost().Switches; swWins != (m >= 9) {
+			t.Errorf("m=%d w=8: BNB<Batcher switches = %v (%d vs %d); crossover should be m=9",
+				m, swWins, bnb.Cost().Switches, bat.Cost().Switches)
+		}
+		bnbTotal := bnb.Cost().Total()
+		if bnbTotal >= bat.Cost().Total() {
+			t.Errorf("m=%d: BNB total %d not below Batcher %d", m, bnbTotal, bat.Cost().Total())
+		}
+		if bnb.Cost().Switches >= kop.Cost().Switches {
+			t.Errorf("m=%d: BNB switches %d not below Koppelman %d",
+				m, bnb.Cost().Switches, kop.Cost().Switches)
+		}
+		if bnbTotal >= kop.Cost().Total() {
+			t.Errorf("m=%d: BNB total %d not below Koppelman %d", m, bnbTotal, kop.Cost().Total())
+		}
+		if m >= 10 && bnbTotal >= xbar.Cost().Total() {
+			t.Errorf("m=%d: BNB total %d not below crossbar %d", m, bnbTotal, xbar.Cost().Total())
+		}
+	}
+	// Switch-only ordering with w = 0 holds from small m (no wide slices to
+	// amortize).
+	for _, m := range []int{3, 6, 10} {
+		nets := allNetworks(t, m, 0)
+		if nets[0].Cost().Switches >= nets[1].Cost().Switches {
+			t.Errorf("m=%d w=0: BNB switches %d not below Batcher %d",
+				m, nets[0].Cost().Switches, nets[1].Cost().Switches)
+		}
+	}
+}
+
+// TestDelayOrdering verifies the Table 2 story through the public API for
+// orders past the crossover.
+func TestDelayOrdering(t *testing.T) {
+	for _, m := range []int{8, 10, 12} {
+		bnb, err := NewBNB(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bat, err := NewBatcher(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bnb.Delay().Units(1, 1) >= bat.Delay().Units(1, 1) {
+			t.Errorf("m=%d: BNB delay %v not below Batcher %v",
+				m, bnb.Delay().Units(1, 1), bat.Delay().Units(1, 1))
+		}
+	}
+}
+
+func TestCostHelpers(t *testing.T) {
+	c := Cost{Switches: 1, FunctionSlices: 2, AdderSlices: 3, Crosspoints: 4}
+	if c.Total() != 10 {
+		t.Errorf("Total = %d, want 10", c.Total())
+	}
+	d := Delay{SwitchUnits: 2, FunctionUnits: 3}
+	if got := d.Units(0.5, 2); got != 7 {
+		t.Errorf("Units = %v, want 7", got)
+	}
+}
+
+func TestTablesThroughFacade(t *testing.T) {
+	rows1, err := Table1(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows1) != 3 || rows1[2].Network != "BNB" {
+		t.Errorf("Table1 rows = %+v", rows1)
+	}
+	rows2, err := Table2(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows2) != 3 || rows2[0].Network != "Batcher" {
+		t.Errorf("Table2 rows = %+v", rows2)
+	}
+	hw, d, err := HeadlineRatios(20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw <= 1.0/3.0 || hw >= 0.5 {
+		t.Errorf("hardware ratio %v out of expected band", hw)
+	}
+	if d <= 2.0/3.0 || d >= 0.8 {
+		t.Errorf("delay ratio %v out of expected band", d)
+	}
+	if _, err := Table1(0); err == nil {
+		t.Error("Table1(0) accepted")
+	}
+	if _, err := Table2(0); err == nil {
+		t.Error("Table2(0) accepted")
+	}
+}
+
+func TestFabricThroughFacade(t *testing.T) {
+	n, err := NewBNB(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewFabricSwitch(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	stats, err := sw.Run(PermutationTraffic{Load: 1.0}, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Throughput(16); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("throughput = %v, want 1.0", got)
+	}
+	if _, err := NewFabricSwitch(nil); err == nil {
+		t.Error("NewFabricSwitch(nil) accepted")
+	}
+}
+
+func TestBenesSelfRoutingFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	rate, shiftsOK, err := BenesSelfRouting(5, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shiftsOK {
+		t.Error("cyclic shifts failed to self-route")
+	}
+	if rate > 0.2 {
+		t.Errorf("random self-route rate %v unexpectedly high", rate)
+	}
+	if _, _, err := BenesSelfRouting(0, 10, rng); err == nil {
+		t.Error("BenesSelfRouting(0) accepted")
+	}
+}
+
+func TestFiguresThroughFacade(t *testing.T) {
+	g, err := FigGBN(3)
+	if err != nil || !strings.Contains(g, "SB(3)") {
+		t.Errorf("FigGBN: %v / %q", err, g)
+	}
+	b, err := FigBSN(3)
+	if err != nil || !strings.Contains(b, "sp(3)") {
+		t.Errorf("FigBSN: %v", err)
+	}
+	p, err := FigBNBProfile(3, 0)
+	if err != nil || !strings.Contains(p, "NB(0,0)") {
+		t.Errorf("FigBNBProfile: %v", err)
+	}
+	s, err := FigSplitter(3)
+	if err != nil || !strings.Contains(s, "sp(3)") {
+		t.Errorf("FigSplitter: %v", err)
+	}
+	if fn := FigFunctionNode(); !strings.Contains(fn, "XOR") {
+		t.Error("FigFunctionNode missing gate description")
+	}
+	if _, err := FigGBN(0); err == nil {
+		t.Error("FigGBN(0) accepted")
+	}
+	if _, err := FigBNBProfile(0, 0); err == nil {
+		t.Error("FigBNBProfile(0,0) accepted")
+	}
+}
+
+// TestKoppelmanDelayReportConsistent sanity-checks the analogue's data-path
+// delay report grows like the Table 2 row.
+func TestKoppelmanDelayReportConsistent(t *testing.T) {
+	prev := 0.0
+	for _, m := range []int{4, 6, 8, 10} {
+		n, err := NewKoppelman(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := n.Delay().Units(1, 1)
+		if u <= prev {
+			t.Errorf("m=%d: delay %v did not grow", m, u)
+		}
+		prev = u
+	}
+}
+
+// TestAllNetworksCostDelayPositive exercises every implementation's Cost and
+// Delay reports: each network must report some hardware and some delay, in
+// the units that apply to it.
+func TestAllNetworksCostDelayPositive(t *testing.T) {
+	for _, n := range allNetworks(t, 4, 8) {
+		c, d := n.Cost(), n.Delay()
+		if c.Total() <= 0 {
+			t.Errorf("%s: cost total %d not positive", n.Name(), c.Total())
+		}
+		if d.Units(1, 1) <= 0 {
+			t.Errorf("%s: delay %v not positive", n.Name(), d.Units(1, 1))
+		}
+		switch n.Name() {
+		case "crossbar":
+			if c.Crosspoints == 0 || c.Switches != 0 {
+				t.Errorf("crossbar cost should be crosspoints only: %+v", c)
+			}
+		case "benes", "waksman":
+			if c.Switches == 0 || c.FunctionSlices != 0 {
+				t.Errorf("%s cost should be switches only: %+v", n.Name(), c)
+			}
+			if d.FunctionUnits != 0 {
+				t.Errorf("%s delay should have no function units: %+v", n.Name(), d)
+			}
+		case "koppelman":
+			if c.AdderSlices == 0 {
+				t.Errorf("koppelman should report adder slices: %+v", c)
+			}
+		case "bnb", "batcher", "bitonic":
+			if c.Switches == 0 || c.FunctionSlices == 0 {
+				t.Errorf("%s should report switches and function slices: %+v", n.Name(), c)
+			}
+		}
+	}
+	// Waksman has strictly fewer switches than Beneš at the same order.
+	nets := allNetworks(t, 6, 0)
+	benesC, waksmanC := nets[3].Cost().Switches, nets[4].Cost().Switches
+	if waksmanC >= benesC {
+		t.Errorf("waksman switches %d not below benes %d", waksmanC, benesC)
+	}
+	// Bitonic has more switches than the odd-even Batcher network (w=0).
+	if nets[5].Cost().Switches <= nets[1].Cost().Switches-6*64/4*6 {
+		// sanity guard only; exact gap checked in internal/bitonic
+		t.Log("bitonic/batcher switch counts:", nets[5].Cost().Switches, nets[1].Cost().Switches)
+	}
+}
+
+// TestBenesSelfRoutingTrialsValidation covers the error path.
+func TestBenesSelfRoutingTrialsValidation(t *testing.T) {
+	if _, _, err := BenesSelfRouting(3, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+// TestNewWaksmanNewBitonicValidation covers the constructor error paths.
+func TestNewWaksmanNewBitonicValidation(t *testing.T) {
+	if _, err := NewWaksman(0); err == nil {
+		t.Error("NewWaksman(0) accepted")
+	}
+	if _, err := NewBitonic(0); err == nil {
+		t.Error("NewBitonic(0) accepted")
+	}
+}
+
+// TestFigRouteInstanceFacade renders the dynamic figure through the facade.
+func TestFigRouteInstanceFacade(t *testing.T) {
+	out, err := FigRouteInstance(3, Perm{5, 2, 7, 0, 6, 1, 4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fully sorted") || !strings.Contains(out, "all words delivered") {
+		t.Errorf("route instance incomplete:\n%s", out)
+	}
+	if _, err := FigRouteInstance(0, Perm{0, 1}); err == nil {
+		t.Error("FigRouteInstance(0) accepted")
+	}
+	if _, err := FigRouteInstance(3, Perm{0, 0, 1, 2, 3, 4, 5, 6}); err == nil {
+		t.Error("FigRouteInstance accepted non-permutation")
+	}
+}

@@ -1,0 +1,115 @@
+// Command fabricsim runs the input-queued switch-fabric simulation around
+// any of the permutation networks, sweeping offered load and reporting
+// throughput and mean queueing delay — the system-level workload of the
+// paper's motivating "switching systems".
+//
+//	fabricsim -net bnb -m 5 -traffic uniform -cycles 5000
+//	fabricsim -net bnb -m 5 -traffic permutation
+//	fabricsim -net batcher -m 5 -traffic hotspot -hotfrac 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	bnbnet "repro"
+)
+
+func main() {
+	var (
+		netName = flag.String("net", "bnb", "network: bnb, batcher, koppelman, benes, waksman, crossbar")
+		m       = flag.Int("m", 5, "network order (N = 2^m ports)")
+		traffic = flag.String("traffic", "uniform", "traffic: uniform, permutation, hotspot")
+		cycles  = flag.Int("cycles", 3000, "cycles per load point")
+		seed    = flag.Int64("seed", 42, "random seed")
+		hotfrac = flag.Float64("hotfrac", 0.3, "hotspot fraction (hotspot traffic)")
+		voq     = flag.Bool("voq", false, "use virtual output queues instead of FIFO input queues")
+	)
+	flag.Parse()
+	if err := run(*netName, *m, *traffic, *cycles, *seed, *hotfrac, *voq); err != nil {
+		fmt.Fprintln(os.Stderr, "fabricsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(netName string, m int, traffic string, cycles int, seed int64, hotfrac float64, voq bool) error {
+	var (
+		net bnbnet.Network
+		err error
+	)
+	switch netName {
+	case "bnb":
+		net, err = bnbnet.NewBNB(m, 0)
+	case "batcher":
+		net, err = bnbnet.NewBatcher(m, 0)
+	case "koppelman":
+		net, err = bnbnet.NewKoppelman(m, 0)
+	case "benes":
+		net, err = bnbnet.NewBenes(m)
+	case "waksman":
+		net, err = bnbnet.NewWaksman(m)
+	case "crossbar":
+		net, err = bnbnet.NewCrossbar(1 << uint(m))
+	default:
+		return fmt.Errorf("unknown network %q", netName)
+	}
+	if err != nil {
+		return err
+	}
+	ports := net.Inputs()
+	queueing := "FIFO"
+	if voq {
+		queueing = "VOQ"
+	}
+	fmt.Printf("fabric: %s, %d ports, %s traffic, %s queueing, %d cycles per load point\n",
+		net.Name(), ports, traffic, queueing, cycles)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "offered load\tthroughput\tmean wait\tp50\tp99\tmax queue\tbacklog")
+	for _, load := range []float64{0.1, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		var gen bnbnet.Traffic
+		switch traffic {
+		case "uniform":
+			gen = bnbnet.UniformTraffic{Load: load}
+		case "permutation":
+			gen = bnbnet.PermutationTraffic{Load: load}
+		case "hotspot":
+			gen = bnbnet.HotspotTraffic{Load: load, Frac: hotfrac, Target: 0}
+		default:
+			return fmt.Errorf("unknown traffic %q", traffic)
+		}
+		var stats bnbnet.FabricStats
+		if voq {
+			sw, err := bnbnet.NewVOQFabricSwitch(net)
+			if err != nil {
+				return err
+			}
+			stats, err = sw.Run(gen, cycles, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				return err
+			}
+		} else {
+			sw, err := bnbnet.NewFabricSwitch(net)
+			if err != nil {
+				return err
+			}
+			stats, err = sw.Run(gen, cycles, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(tw, "%.2f\t%.4f\t%.2f\t%d\t%d\t%d\t%d\n",
+			load, stats.Throughput(ports), stats.MeanWait(),
+			stats.WaitPercentile(0.50), stats.WaitPercentile(0.99),
+			stats.MaxQueue, stats.Backlog)
+	}
+	tw.Flush()
+	if traffic == "uniform" && !voq {
+		fmt.Println("note: FIFO input queueing saturates near 2-sqrt(2) ~ 0.586 under uniform traffic;")
+		fmt.Println("      permutation traffic sustains 1.0 because the network routes any permutation;")
+		fmt.Println("      re-run with -voq to lift the head-of-line limit.")
+	}
+	return nil
+}

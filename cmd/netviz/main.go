@@ -1,0 +1,69 @@
+// Command netviz regenerates the paper's structural figures as ASCII
+// diagrams derived from the constructed network objects:
+//
+//	netviz -fig 1          # Fig. 1: 8-input generalized baseline network
+//	netviz -fig 3          # Figs. 2-3: BNB nested-network profile
+//	netviz -fig 4          # Fig. 4: 8-input splitter with arbiter tree
+//	netviz -fig 5          # Fig. 5: arbiter function node + truth table
+//	netviz -fig 0 -m 4     # bonus: the bit-sorter network of order m
+//	netviz -fig 6 -m 4     # bonus: Batcher comparator diagram (Knuth style)
+//	netviz -fig 7 -m 3     # bonus: a routed BNB instance, stage by stage
+//	netviz -fig 8 -m 3     # bonus: one splitter decision on a random vector
+//
+// -m and -w change the rendered order and data width where applicable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	bnbnet "repro"
+)
+
+func main() {
+	var (
+		fig  = flag.Int("fig", 1, "figure number: 1 (GBN), 3 (BNB profile), 4 (splitter), 5 (function node), 0 (BSN), 6 (Batcher), 7 (route instance), 8 (splitter instance)")
+		m    = flag.Int("m", 3, "network order (N = 2^m)")
+		w    = flag.Int("w", 0, "data width for the BNB profile")
+		seed = flag.Int64("seed", 1, "seed for the fig 7 route instance")
+	)
+	flag.Parse()
+	var (
+		out string
+		err error
+	)
+	switch *fig {
+	case 0:
+		out, err = bnbnet.FigBSN(*m)
+	case 1:
+		out, err = bnbnet.FigGBN(*m)
+	case 2, 3:
+		out, err = bnbnet.FigBNBProfile(*m, *w)
+	case 4:
+		out, err = bnbnet.FigSplitter(*m)
+	case 5:
+		out = bnbnet.FigFunctionNode()
+	case 6:
+		out, err = bnbnet.FigBatcher(*m)
+	case 7:
+		p := bnbnet.RandomPerm(1<<uint(*m), rand.New(rand.NewSource(*seed)))
+		out, err = bnbnet.FigRouteInstance(*m, p)
+	case 8:
+		rng := rand.New(rand.NewSource(*seed))
+		bits := make([]uint8, 1<<uint(*m))
+		for i := 0; i < len(bits); i += 2 {
+			bits[i] = uint8(rng.Intn(2))
+			bits[i+1] = bits[i] ^ 1
+		}
+		out, err = bnbnet.FigSplitterInstance(*m, bits)
+	default:
+		err = fmt.Errorf("unknown figure %d", *fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netviz:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,140 @@
+// Command permroute routes one permutation through a chosen network and
+// prints the delivery, optionally with the stage-by-stage trace of the BNB
+// radix sort.
+//
+//	permroute -net bnb -m 3 -perm 5,2,7,0,6,1,4,3 -trace
+//	permroute -net batcher -m 4 -family bit-reversal
+//	permroute -net benes -m 5 -family random -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	bnbnet "repro"
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+func main() {
+	var (
+		netName = flag.String("net", "bnb", "network: bnb, batcher, koppelman, benes, waksman, crossbar")
+		m       = flag.Int("m", 3, "network order (N = 2^m)")
+		permArg = flag.String("perm", "", "comma-separated destination list (overrides -family)")
+		family  = flag.String("family", "random", "permutation family when -perm is not given")
+		seed    = flag.Int64("seed", 1, "seed for random permutations")
+		w       = flag.Int("w", 0, "data width in bits")
+		trace   = flag.Bool("trace", false, "print the per-main-stage trace (bnb only)")
+	)
+	flag.Parse()
+	if err := run(*netName, *m, *permArg, *family, *seed, *w, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "permroute:", err)
+		os.Exit(1)
+	}
+}
+
+func run(netName string, m int, permArg, family string, seed int64, w int, trace bool) error {
+	n := 1 << uint(m)
+	p, err := buildPerm(permArg, family, m, seed)
+	if err != nil {
+		return err
+	}
+	if len(p) != n {
+		return fmt.Errorf("permutation has %d entries, network needs %d", len(p), n)
+	}
+	net, err := buildNet(netName, m, w)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network: %s, N=%d, w=%d\n", net.Name(), net.Inputs(), w)
+	fmt.Printf("permutation: %v\n", []int(p))
+	if trace {
+		if netName != "bnb" {
+			return fmt.Errorf("-trace is only available for -net bnb")
+		}
+		cn, err := core.New(m, w)
+		if err != nil {
+			return err
+		}
+		words := make([]bnbnet.Word, n)
+		for i, d := range p {
+			words[i] = bnbnet.Word{Addr: d, Data: uint64(i)}
+		}
+		out, snaps, err := cn.RouteTraced(words)
+		if err != nil {
+			return err
+		}
+		for s, snap := range snaps {
+			label := fmt.Sprintf("after stage %d", s-1)
+			if s == 0 {
+				label = "network input"
+			}
+			addrs := make([]int, len(snap))
+			for i, wd := range snap {
+				addrs[i] = wd.Addr
+			}
+			fmt.Printf("  %-16s addresses: %v\n", label, addrs)
+		}
+		printDelivery(out)
+		return nil
+	}
+	out, err := net.RoutePerm(p)
+	if err != nil {
+		return err
+	}
+	printDelivery(out)
+	return nil
+}
+
+func buildPerm(permArg, family string, m int, seed int64) (perm.Perm, error) {
+	if permArg != "" {
+		parts := strings.Split(permArg, ",")
+		p := make(perm.Perm, len(parts))
+		for i, s := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return nil, fmt.Errorf("bad permutation entry %q: %w", s, err)
+			}
+			p[i] = v
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	f, err := perm.ParseFamily(family)
+	if err != nil {
+		return nil, err
+	}
+	return perm.Generate(f, m, rand.New(rand.NewSource(seed)))
+}
+
+func buildNet(name string, m, w int) (bnbnet.Network, error) {
+	switch name {
+	case "bnb":
+		return bnbnet.NewBNB(m, w)
+	case "batcher":
+		return bnbnet.NewBatcher(m, w)
+	case "koppelman":
+		return bnbnet.NewKoppelman(m, w)
+	case "benes":
+		return bnbnet.NewBenes(m)
+	case "waksman":
+		return bnbnet.NewWaksman(m)
+	case "crossbar":
+		return bnbnet.NewCrossbar(1 << uint(m))
+	default:
+		return nil, fmt.Errorf("unknown network %q", name)
+	}
+}
+
+func printDelivery(out []bnbnet.Word) {
+	fmt.Println("delivery (output <- source):")
+	for j, wd := range out {
+		fmt.Printf("  output %2d <- input %2d (address %d)\n", j, wd.Data, wd.Addr)
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestBuildPermExplicit(t *testing.T) {
+	p, err := buildPerm("2, 0 ,1", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 || p[0] != 2 || p[1] != 0 || p[2] != 1 {
+		t.Errorf("buildPerm = %v", p)
+	}
+	if _, err := buildPerm("1,1,0", "", 0, 0); err == nil {
+		t.Error("duplicate destinations accepted")
+	}
+	if _, err := buildPerm("a,b", "", 0, 0); err == nil {
+		t.Error("non-numeric entries accepted")
+	}
+}
+
+func TestBuildPermFamily(t *testing.T) {
+	p, err := buildPerm("", "bit-reversal", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 8 || p[1] != 4 {
+		t.Errorf("bit-reversal = %v", p)
+	}
+	if _, err := buildPerm("", "nope", 3, 1); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestBuildNet(t *testing.T) {
+	for _, name := range []string{"bnb", "batcher", "koppelman", "benes", "waksman", "crossbar"} {
+		n, err := buildNet(name, 3, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if n.Name() != name {
+			t.Errorf("buildNet(%q).Name() = %q", name, n.Name())
+		}
+		if n.Inputs() != 8 {
+			t.Errorf("%s inputs = %d", name, n.Inputs())
+		}
+	}
+	if _, err := buildNet("nope", 3, 0); err == nil {
+		t.Error("unknown network accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if err := run("bnb", 3, "5,2,7,0,6,1,4,3", "", 1, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("bnb", 3, "", "random", 1, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("batcher", 3, "", "random", 1, 0, true); err == nil {
+		t.Error("trace on non-bnb accepted")
+	}
+	if err := run("bnb", 3, "0,1", "", 1, 0, false); err == nil {
+		t.Error("wrong-size permutation accepted")
+	}
+}

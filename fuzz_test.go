@@ -1,0 +1,171 @@
+package bnbnet
+
+import (
+	"testing"
+)
+
+// permFromBytes derives a permutation of n elements deterministically from
+// fuzz input: a Fisher-Yates shuffle driven by the data bytes (cycled). Any
+// byte string yields a valid permutation, so the fuzzer explores routing
+// behaviour, not input validation.
+func permFromBytes(n int, data []byte) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	if len(data) == 0 {
+		return p
+	}
+	k := 0
+	next := func() int {
+		b := int(data[k%len(data)])
+		k++
+		return b
+	}
+	for i := n - 1; i > 0; i-- {
+		j := (next()<<8 | next()) % (i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// FuzzAllNetworksAgree routes the fuzz-derived permutation through every
+// network and requires all of them to deliver — a differential fuzz harness
+// over seven independent implementations of the same contract.
+func FuzzAllNetworksAgree(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0x01, 0x7f})
+	f.Add([]byte("bnb-self-routing-permutation-network"))
+	const m = 4
+	nets := make([]Network, 0, 7)
+	for _, build := range []func() (Network, error){
+		func() (Network, error) { return NewBNB(m, 0) },
+		func() (Network, error) { return NewBatcher(m, 0) },
+		func() (Network, error) { return NewKoppelman(m, 0) },
+		func() (Network, error) { return NewBenes(m) },
+		func() (Network, error) { return NewWaksman(m) },
+		func() (Network, error) { return NewBitonic(m) },
+		func() (Network, error) { return NewCrossbar(1 << m) },
+	} {
+		n, err := build()
+		if err != nil {
+			f.Fatal(err)
+		}
+		nets = append(nets, n)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := permFromBytes(1<<m, data)
+		for _, n := range nets {
+			out, err := n.RoutePerm(p)
+			if err != nil {
+				t.Fatalf("%s: %v", n.Name(), err)
+			}
+			for j, wd := range out {
+				if wd.Addr != j {
+					t.Fatalf("%s misrouted output %d (perm %v)", n.Name(), j, p)
+				}
+				if int(out[j].Data) < 0 || int(out[j].Data) >= 1<<m {
+					t.Fatalf("%s corrupted payload at output %d", n.Name(), j)
+				}
+			}
+			// Payload integrity: output p[i] carries i.
+			for i, d := range p {
+				if out[d].Data != uint64(i) {
+					t.Fatalf("%s lost payload of input %d", n.Name(), i)
+				}
+			}
+		}
+	})
+}
+
+// FuzzCompletePerm checks the padding helper against arbitrary partial
+// assignments: whenever Complete accepts, the result must be a valid
+// permutation preserving the defined entries; whenever it rejects, the
+// input must genuinely contain a duplicate or out-of-range entry.
+func FuzzCompletePerm(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2})
+	f.Add([]byte{255, 255})
+	f.Add([]byte{7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		n := len(data)
+		partial := make([]int, n)
+		for i, b := range data {
+			if b >= 128 {
+				partial[i] = -1
+			} else {
+				partial[i] = int(b) % (n + 1) // occasionally out of range
+			}
+		}
+		p, err := CompletePerm(partial)
+		if err != nil {
+			// Must be a real violation.
+			seen := map[int]bool{}
+			violation := false
+			for _, d := range partial {
+				if d == -1 {
+					continue
+				}
+				if d < 0 || d >= n || seen[d] {
+					violation = true
+					break
+				}
+				seen[d] = true
+			}
+			if !violation {
+				t.Fatalf("Complete rejected a repairable input %v: %v", partial, err)
+			}
+			return
+		}
+		if len(p) != n {
+			t.Fatalf("Complete returned %d entries for %d inputs", len(p), n)
+		}
+		seen := make([]bool, n)
+		for i, d := range p {
+			if d < 0 || d >= n || seen[d] {
+				t.Fatalf("Complete produced invalid permutation %v", p)
+			}
+			seen[d] = true
+			if partial[i] != -1 && partial[i] != d {
+				t.Fatalf("Complete changed defined entry %d", i)
+			}
+		}
+	})
+}
+
+// FuzzBNBPayloads routes fixed permutations with fuzz-controlled payloads
+// and verifies bit-exact delivery, exercising the slaved-slice model.
+func FuzzBNBPayloads(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{})
+	n, err := NewBNB(3, 64)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := permFromBytes(8, data)
+		words := make([]Word, 8)
+		for i, d := range p {
+			var payload uint64
+			for b := 0; b < 8; b++ {
+				if len(data) > 0 {
+					payload = payload<<8 | uint64(data[(i*8+b)%len(data)])
+				}
+			}
+			words[i] = Word{Addr: d, Data: payload}
+		}
+		out, err := n.Route(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, d := range p {
+			if out[d].Data != words[i].Data {
+				t.Fatalf("payload of input %d corrupted: %#x -> %#x", i, words[i].Data, out[d].Data)
+			}
+		}
+	})
+}

@@ -1,0 +1,136 @@
+// Package adversary searches for worst-case permutations with respect to an
+// arbitrary score — conflicts in a blocking network, queueing delay in a
+// fabric, or any other figure of merit. Random traffic characterizes the
+// average case; interconnection-network papers (and attackers) care about
+// the tail, and a simple transposition-neighbourhood hill climb with random
+// restarts finds it effectively on the small, smooth landscapes these
+// scores induce.
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/perm"
+)
+
+// Options tunes the search. The zero value selects sensible defaults.
+type Options struct {
+	// Restarts is the number of independent hill climbs (default 8).
+	Restarts int
+	// MaxSteps bounds the improving moves accepted per climb (default 200).
+	MaxSteps int
+	// Patience is the number of consecutive non-improving full
+	// neighbourhood scans tolerated before a climb stops (default 1 —
+	// i.e. stop at the first local optimum).
+	Patience int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Restarts == 0 {
+		o.Restarts = 8
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 200
+	}
+	if o.Patience == 0 {
+		o.Patience = 1
+	}
+	return o
+}
+
+// Score evaluates a permutation; higher is worse-case. Implementations must
+// be deterministic for the search to make sense.
+type Score func(perm.Perm) (float64, error)
+
+// Maximize searches for a permutation of n elements maximizing score using
+// hill climbing over the transposition neighbourhood with random restarts.
+// It returns the best permutation found and its score.
+func Maximize(n int, score Score, opts Options, rng *rand.Rand) (perm.Perm, float64, error) {
+	if n < 2 {
+		return nil, 0, fmt.Errorf("adversary: need at least 2 elements, got %d", n)
+	}
+	if score == nil {
+		return nil, 0, fmt.Errorf("adversary: nil score")
+	}
+	if rng == nil {
+		return nil, 0, fmt.Errorf("adversary: nil rng")
+	}
+	opts = opts.withDefaults()
+
+	var best perm.Perm
+	bestScore := 0.0
+	haveBest := false
+	for restart := 0; restart < opts.Restarts; restart++ {
+		cur := perm.Random(n, rng)
+		curScore, err := score(cur)
+		if err != nil {
+			return nil, 0, fmt.Errorf("adversary: %w", err)
+		}
+		steps := 0
+		for steps < opts.MaxSteps {
+			improvedThisScan := false
+			// Full scan of the transposition neighbourhood in random order.
+			order := rng.Perm(n * n)
+			for _, idx := range order {
+				i, j := idx/n, idx%n
+				if i >= j {
+					continue
+				}
+				cur[i], cur[j] = cur[j], cur[i]
+				s, err := score(cur)
+				if err != nil {
+					return nil, 0, fmt.Errorf("adversary: %w", err)
+				}
+				if s > curScore {
+					curScore = s
+					improvedThisScan = true
+					steps++
+					break // greedy first-improvement
+				}
+				cur[i], cur[j] = cur[j], cur[i] // revert
+			}
+			if !improvedThisScan {
+				break
+			}
+		}
+		if !haveBest || curScore > bestScore {
+			best = cur.Clone()
+			bestScore = curScore
+			haveBest = true
+		}
+	}
+	return best, bestScore, nil
+}
+
+// ExhaustiveMax computes the true maximum of score over all n! permutations
+// — feasible for n <= 8 — as ground truth for validating the search.
+func ExhaustiveMax(n int, score Score) (perm.Perm, float64, error) {
+	if n < 1 || n > 8 {
+		return nil, 0, fmt.Errorf("adversary: exhaustive search limited to n <= 8, got %d", n)
+	}
+	if score == nil {
+		return nil, 0, fmt.Errorf("adversary: nil score")
+	}
+	var best perm.Perm
+	bestScore := 0.0
+	var firstErr error
+	haveBest := false
+	perm.ForEach(n, func(p perm.Perm) bool {
+		s, err := score(p)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		if !haveBest || s > bestScore {
+			best = p.Clone()
+			bestScore = s
+			haveBest = true
+		}
+		return true
+	})
+	if firstErr != nil {
+		return nil, 0, fmt.Errorf("adversary: %w", firstErr)
+	}
+	return best, bestScore, nil
+}

@@ -1,0 +1,148 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/benes"
+	"repro/internal/omega"
+	"repro/internal/perm"
+)
+
+func TestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	score := func(perm.Perm) (float64, error) { return 0, nil }
+	if _, _, err := Maximize(1, score, Options{}, rng); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, _, err := Maximize(4, nil, Options{}, rng); err == nil {
+		t.Error("nil score accepted")
+	}
+	if _, _, err := Maximize(4, score, Options{}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, _, err := ExhaustiveMax(9, score); err == nil {
+		t.Error("exhaustive n=9 accepted")
+	}
+	if _, _, err := ExhaustiveMax(4, nil); err == nil {
+		t.Error("exhaustive nil score accepted")
+	}
+}
+
+// omegaConflictScore counts blocked switches under destination-tag routing.
+func omegaConflictScore(t testing.TB, m int) Score {
+	t.Helper()
+	net, err := omega.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(p perm.Perm) (float64, error) {
+		_, conflicts, err := net.Route(p)
+		if err != nil {
+			return 0, err
+		}
+		return float64(conflicts), nil
+	}
+}
+
+// TestFindsTrueOmegaWorstCase validates the hill climb against exhaustive
+// ground truth at N = 8: the search must reach the global maximum conflict
+// count over all 40320 permutations.
+func TestFindsTrueOmegaWorstCase(t *testing.T) {
+	score := omegaConflictScore(t, 3)
+	_, trueMax, err := ExhaustiveMax(8, score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trueMax <= 0 {
+		t.Fatalf("exhaustive max %v not positive; omega should block", trueMax)
+	}
+	best, found, err := Maximize(8, score, Options{Restarts: 10}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found != trueMax {
+		t.Errorf("hill climb found %v, true worst case is %v (perm %v)", found, trueMax, best)
+	}
+	if err := best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdversarialBeatsRandom shows the point of the search: the adversarial
+// permutation blocks far more switches than typical random traffic.
+func TestAdversarialBeatsRandom(t *testing.T) {
+	m := 5
+	score := omegaConflictScore(t, m)
+	rng := rand.New(rand.NewSource(3))
+	_, worst, err := Maximize(1<<uint(m), score, Options{Restarts: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average conflicts over random permutations.
+	total := 0.0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		s, err := score(perm.Random(1<<uint(m), rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += s
+	}
+	avg := total / trials
+	if worst < avg*1.3 {
+		t.Errorf("adversarial conflicts %v not clearly above random average %v", worst, avg)
+	}
+}
+
+// TestBenesSelfRoutingWorstCase finds permutations maximizing conflicts for
+// the bit-controlled Beneš discipline, confirming the worst case grows with
+// the network while structured classes stay at zero.
+func TestBenesSelfRoutingWorstCase(t *testing.T) {
+	m := 4
+	net, err := benes.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := benes.DefaultSelfRouting(m)
+	score := func(p perm.Perm) (float64, error) {
+		_, conflicts, err := net.RouteSelf(p, d)
+		if err != nil {
+			return 0, err
+		}
+		return float64(conflicts), nil
+	}
+	_, worst, err := Maximize(16, score, Options{Restarts: 6}, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst < 2 {
+		t.Errorf("worst-case Beneš self-routing conflicts %v suspiciously low", worst)
+	}
+	// Structured classes remain conflict-free even under search pressure.
+	for a := 0; a < 16; a++ {
+		s, err := score(perm.VectorShift(16, a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != 0 {
+			t.Errorf("shift %d scored %v, want 0", a, s)
+		}
+	}
+}
+
+// TestMaximizeDeterministicWithSeed: same seed, same result.
+func TestMaximizeDeterministicWithSeed(t *testing.T) {
+	score := omegaConflictScore(t, 4)
+	p1, s1, err := Maximize(16, score, Options{Restarts: 3}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, s2, err := Maximize(16, score, Options{Restarts: 3}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 || !p1.Equal(p2) {
+		t.Error("same seed produced different results")
+	}
+}

@@ -1,0 +1,198 @@
+// Package arbiter implements the tree-structured arbiter A(p) of Lee & Lu's
+// Section 4 — the control logic of the splitter. The arbiter receives the
+// 2^p one-bit inputs of a splitter, propagates XOR state up the tree and
+// flags down the tree, and delivers one flag per input; XOR-ing each input
+// bit with its flag yields the switch settings that split the 1-bits evenly
+// between the even and odd outputs.
+//
+// The function node (the paper's Fig. 5) is modeled twice: behaviourally,
+// as the up/down rules of the routing algorithm, and at gate level, as the
+// four-gate circuit the paper sketches. Tests prove both agree on every
+// input combination.
+//
+// Up/down rules (the paper's Algorithm, steps 1-4):
+//
+//  1. each node sends up z_u = x1 XOR x2;
+//  2. if z_u == 0 the node generates flags itself: y1 = 0 to its upper
+//     child and y2 = 1 to its lower child, ignoring the parent flag;
+//  3. if z_u == 1 the node forwards the parent flag z_d to both children;
+//  4. at the root, z_u is echoed back as z_d.
+package arbiter
+
+import (
+	"fmt"
+
+	"repro/internal/wiring"
+)
+
+// NodeUp computes the state a function node sends to its parent.
+func NodeUp(x1, x2 uint8) uint8 {
+	return x1 ^ x2
+}
+
+// NodeDown computes the flags (y1 for the upper child, y2 for the lower
+// child) a function node sends down, given its children state bits and the
+// flag z_d received from its parent.
+func NodeDown(x1, x2, zd uint8) (y1, y2 uint8) {
+	if x1^x2 == 0 {
+		return 0, 1
+	}
+	return zd, zd
+}
+
+// NodeDownGates is the gate-level realization of NodeDown per Fig. 5:
+// with z_u = x1 XOR x2,
+//
+//	y1 = z_u AND z_d        (0 when the node self-generates, else z_d)
+//	y2 = (NOT z_u) OR z_d   (1 when the node self-generates, else z_d)
+//
+// It exists so tests can prove the published schematic computes the same
+// function as the behavioural rules.
+func NodeDownGates(x1, x2, zd uint8) (y1, y2 uint8) {
+	zu := x1 ^ x2
+	y1 = zu & zd
+	y2 = (zu ^ 1) | zd
+	return y1, y2
+}
+
+// GatesPerNode is the gate inventory of one function node in the Fig. 5
+// realization: one XOR (z_u), one AND (y1), one OR and one NOT (y2).
+const GatesPerNode = 4
+
+// Tree is an arbiter A(p): a complete binary tree of function nodes over
+// 2^p one-bit inputs. A(1) is pure wiring (zero nodes): the single switch of
+// a 2x2 splitter is set directly by its upper input bit.
+type Tree struct {
+	p int
+}
+
+// New constructs an arbiter A(p) for a 2^p-input splitter, 1 <= p <= MaxOrder.
+func New(p int) (*Tree, error) {
+	if p < 1 || p > wiring.MaxOrder {
+		return nil, fmt.Errorf("arbiter: p=%d out of range [1,%d]", p, wiring.MaxOrder)
+	}
+	return &Tree{p: p}, nil
+}
+
+// P returns the order of the arbiter (the splitter has 2^P inputs).
+func (t *Tree) P() int { return t.p }
+
+// Inputs returns the number of one-bit inputs, 2^p.
+func (t *Tree) Inputs() int { return 1 << uint(t.p) }
+
+// Nodes returns the number of function nodes: 2^p - 1 for p >= 2, and 0 for
+// the wiring-only A(1) (the paper's cost equation (4) charges A(1) nothing).
+func (t *Tree) Nodes() int {
+	if t.p < 2 {
+		return 0
+	}
+	return t.Inputs() - 1
+}
+
+// CriticalPath returns the arbiter's critical path in function-node delays
+// D_FN: the state travels up p node levels and the flag travels down p node
+// levels, giving 2p for p >= 2; A(1) is wiring and contributes 0. This is
+// the per-splitter term of the paper's delay equation (8).
+func (t *Tree) CriticalPath() int {
+	if t.p < 2 {
+		return 0
+	}
+	return 2 * t.p
+}
+
+// Flags runs the arbiter on the splitter's input bits and returns the flag
+// delivered to each input. bits must contain exactly 2^p values in {0,1}.
+//
+// For A(1) the returned flags are zero: the paper defines sp(1) switch
+// setting directly from the input bit, which corresponds to a constant-zero
+// flag in the XOR switch-setting rule of Algorithm step 5.
+func (t *Tree) Flags(bits []uint8) ([]uint8, error) {
+	n := t.Inputs()
+	if len(bits) != n {
+		return nil, fmt.Errorf("arbiter: got %d inputs, want %d", len(bits), n)
+	}
+	for i, b := range bits {
+		if b > 1 {
+			return nil, fmt.Errorf("arbiter: input %d has non-binary value %d", i, b)
+		}
+	}
+	flags := make([]uint8, n)
+	if t.p < 2 {
+		// A(1): wiring only; flags are identically zero.
+		return flags, nil
+	}
+
+	// Upward pass: up[v][t] is the state node t of level v sends up, with
+	// up[0] being the input bits themselves.
+	up := make([][]uint8, t.p+1)
+	up[0] = bits
+	for v := 1; v <= t.p; v++ {
+		prev := up[v-1]
+		cur := make([]uint8, len(prev)/2)
+		for i := range cur {
+			cur[i] = NodeUp(prev[2*i], prev[2*i+1])
+		}
+		up[v] = cur
+	}
+
+	// Downward pass: down[v][t] is the flag arriving at position t of level
+	// v. At the root, the node's own XOR state is echoed as the parent flag
+	// (Algorithm step 4).
+	down := make([][]uint8, t.p+1)
+	down[t.p] = []uint8{up[t.p][0]}
+	for v := t.p; v >= 1; v-- {
+		child := make([]uint8, len(up[v-1]))
+		for i := range up[v] {
+			y1, y2 := NodeDown(up[v-1][2*i], up[v-1][2*i+1], down[v][i])
+			child[2*i], child[2*i+1] = y1, y2
+		}
+		down[v-1] = child
+	}
+	copy(flags, down[0])
+	return flags, nil
+}
+
+// FlagsGateLevel computes the same flags as Flags but evaluates every node
+// with the gate-level realization NodeDownGates, and additionally returns
+// the number of gate evaluations performed (the dynamic gate count). It is
+// used by tests and by the hardware-reconciliation experiments to tie the
+// behavioural model to the published schematic.
+func (t *Tree) FlagsGateLevel(bits []uint8) (flags []uint8, gates int, err error) {
+	n := t.Inputs()
+	if len(bits) != n {
+		return nil, 0, fmt.Errorf("arbiter: got %d inputs, want %d", len(bits), n)
+	}
+	flags = make([]uint8, n)
+	if t.p < 2 {
+		return flags, 0, nil
+	}
+	up := make([][]uint8, t.p+1)
+	up[0] = bits
+	for v := 1; v <= t.p; v++ {
+		prev := up[v-1]
+		cur := make([]uint8, len(prev)/2)
+		for i := range cur {
+			cur[i] = prev[2*i] ^ prev[2*i+1] // the node's XOR gate
+		}
+		up[v] = cur
+	}
+	down := make([][]uint8, t.p+1)
+	down[t.p] = []uint8{up[t.p][0]}
+	for v := t.p; v >= 1; v-- {
+		child := make([]uint8, len(up[v-1]))
+		for i := range up[v] {
+			y1, y2 := NodeDownGates(up[v-1][2*i], up[v-1][2*i+1], down[v][i])
+			child[2*i], child[2*i+1] = y1, y2
+			gates += GatesPerNode
+		}
+		down[v-1] = child
+	}
+	copy(flags, down[0])
+	return flags, gates, nil
+}
+
+// TotalGates returns the static gate count of the arbiter in the Fig. 5
+// realization.
+func (t *Tree) TotalGates() int {
+	return t.Nodes() * GatesPerNode
+}

@@ -1,0 +1,208 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("New(0) accepted")
+	}
+	n, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.M() != 3 || n.Inputs() != 8 || n.Stages() != 3 || n.Switches() != 12 {
+		t.Errorf("geometry = (%d,%d,%d,%d)", n.M(), n.Inputs(), n.Stages(), n.Switches())
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	n, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.Route(perm.Identity(4)); err == nil {
+		t.Error("Route accepted wrong length")
+	}
+	if _, _, err := n.Route(perm.Perm{0, 0, 1, 2, 3, 4, 5, 6}); err == nil {
+		t.Error("Route accepted non-permutation")
+	}
+	if _, err := n.PassRate(0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("PassRate accepted zero trials")
+	}
+}
+
+func TestIdentityBlocksOrPasses(t *testing.T) {
+	// Identity on the baseline: stage 0 pairs (2k, 2k+1) whose destinations
+	// 2k, 2k+1 differ in bit m-1 (LSB) but stage 0 consumes bit 0 (MSB) —
+	// both want the same side for m >= 2, so identity BLOCKS (unlike omega).
+	// This is a real structural difference between the two banyans.
+	for m := 2; m <= 6; m++ {
+		n, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, conflicts, err := n.Route(perm.Identity(n.Inputs()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok || conflicts == 0 {
+			t.Errorf("m=%d: identity passed the baseline network; expected blocking", m)
+		}
+	}
+	// m = 1 is a single switch and passes everything.
+	n, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _, err := n.Route(perm.Identity(2))
+	if err != nil || !ok {
+		t.Errorf("m=1 identity: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestBitReversalPasses: the baseline's natural permutation. With all
+// switches straight the baseline wires input i to output reverse(i), so the
+// bit-reversal permutation routes with zero exchanges.
+func TestBitReversalPasses(t *testing.T) {
+	for m := 1; m <= 7; m++ {
+		n, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, conflicts, err := n.Route(perm.BitReversal(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("m=%d: bit reversal blocked (%d conflicts)", m, conflicts)
+		}
+	}
+}
+
+// TestExactPassableCount verifies the unique-path count 2^{(N/2)·log N}
+// exhaustively for N = 2, 4, 8 — the same closed form as the omega network,
+// over different wiring.
+func TestExactPassableCount(t *testing.T) {
+	for m := 1; m <= 3; m++ {
+		n, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		passed := 0
+		perm.ForEach(n.Inputs(), func(p perm.Perm) bool {
+			ok, _, err := n.Route(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				passed++
+			}
+			return true
+		})
+		if want := int(n.RoutablePermutations()); passed != want {
+			t.Errorf("m=%d: %d passed, want %d", m, passed, want)
+		}
+	}
+}
+
+// TestPassRateVanishes mirrors the omega measurement.
+func TestPassRateVanishes(t *testing.T) {
+	n, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := n.PassRate(5000, rand.New(rand.NewSource(19)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := 4096.0 / 40320.0
+	if math.Abs(rate-exact) > 0.02 {
+		t.Errorf("N=8 pass rate %v far from exact %v", rate, exact)
+	}
+	n5, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate5, err := n5.PassRate(2000, rand.New(rand.NewSource(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate5 > 0.005 {
+		t.Errorf("N=32 pass rate %v unexpectedly high", rate5)
+	}
+}
+
+// TestBNBRoutesWhatBaselineCannot is the capstone contrast: every
+// permutation the bare skeleton blocks is routed by the BNB network built
+// on the same skeleton.
+func TestBNBRoutesWhatBaselineCannot(t *testing.T) {
+	m := 4
+	base, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bnb, err := core.New(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	blocked := 0
+	for trial := 0; trial < 100; trial++ {
+		p := perm.Random(16, rng)
+		ok, _, err := base.Route(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			continue
+		}
+		blocked++
+		out, err := bnb.RoutePerm(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !core.Delivered(out) {
+			t.Fatalf("BNB failed on baseline-blocked permutation %v", p)
+		}
+	}
+	if blocked < 90 {
+		t.Errorf("only %d/100 random permutations blocked the bare baseline; expected nearly all", blocked)
+	}
+}
+
+func BenchmarkBaselineRoute1024(b *testing.B) {
+	n, err := New(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := perm.BitReversal(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := n.Route(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPassableHelper(t *testing.T) {
+	n, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := n.Passable(perm.BitReversal(3))
+	if err != nil || !ok {
+		t.Errorf("Passable(bit-reversal) = %v, %v", ok, err)
+	}
+	ok, err = n.Passable(perm.Identity(8))
+	if err != nil || ok {
+		t.Errorf("Passable(identity) = %v, %v; identity should block", ok, err)
+	}
+}

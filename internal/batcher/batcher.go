@@ -1,0 +1,191 @@
+// Package batcher implements Batcher's odd-even merge sorting network
+// (Batcher 1968), the primary comparison baseline of Lee & Lu's Section 5.
+// Used as a self-routing permutation network, the sorter routes words to
+// their destination addresses by sorting on the address field; every
+// comparison element compares full log N-bit addresses, which is precisely
+// the hardware the BNB network's one-bit splitters avoid.
+//
+// The network is materialized as an explicit comparator schedule grouped
+// into parallel stages, so component counts (equation 10) and stage counts
+// can be read off the constructed object and reconciled against the paper's
+// closed forms.
+package batcher
+
+import (
+	"fmt"
+
+	"repro/internal/perm"
+	"repro/internal/wiring"
+)
+
+// Comparator is one compare-exchange element between lines Low and High
+// (Low < High): after the element, the smaller key is on Low.
+type Comparator struct {
+	Low, High int
+}
+
+// Network is an N = 2^m input odd-even merge sorting network used as a
+// self-routing permutation network carrying w data bits per word.
+// Construct with New; a Network is immutable and safe for concurrent use.
+type Network struct {
+	m, w int
+	// stages holds the comparator schedule: stages[s] executes in parallel.
+	stages [][]Comparator
+}
+
+// New constructs the odd-even merge sorting network for 2^m inputs with w
+// data bits per word (w only affects the cost model, not the simulation).
+func New(m, w int) (*Network, error) {
+	if err := wiring.CheckOrder(m); err != nil {
+		return nil, fmt.Errorf("batcher: %w", err)
+	}
+	if w < 0 || w > 64 {
+		return nil, fmt.Errorf("batcher: data width w=%d out of range [0,64]", w)
+	}
+	return &Network{m: m, w: w, stages: schedule(1 << uint(m))}, nil
+}
+
+// schedule builds the classic iterative odd-even mergesort comparator
+// schedule for n = 2^m lines. Each (p, k) pass forms one parallel stage.
+func schedule(n int) [][]Comparator {
+	var stages [][]Comparator
+	for p := 1; p < n; p *= 2 {
+		for k := p; k >= 1; k /= 2 {
+			var stage []Comparator
+			for j := k % p; j <= n-1-k; j += 2 * k {
+				for i := 0; i <= k-1 && i <= n-j-k-1; i++ {
+					if (i+j)/(2*p) == (i+j+k)/(2*p) {
+						stage = append(stage, Comparator{Low: i + j, High: i + j + k})
+					}
+				}
+			}
+			stages = append(stages, stage)
+		}
+	}
+	return stages
+}
+
+// M returns the network order.
+func (n *Network) M() int { return n.m }
+
+// W returns the data width.
+func (n *Network) W() int { return n.w }
+
+// Inputs returns the number of inputs N = 2^m.
+func (n *Network) Inputs() int { return 1 << uint(n.m) }
+
+// Stages returns the number of parallel comparator stages,
+// (1/2) log N (log N + 1).
+func (n *Network) Stages() int { return len(n.stages) }
+
+// Comparators returns the total number of comparison elements — the count
+// of equation (10).
+func (n *Network) Comparators() int {
+	total := 0
+	for _, s := range n.stages {
+		total += len(s)
+	}
+	return total
+}
+
+// Schedule returns the comparator schedule; callers must not modify it.
+func (n *Network) Schedule() [][]Comparator { return n.stages }
+
+// Word is one network input: destination address plus data payload,
+// mirroring the BNB word format so benchmarks route identical workloads.
+type Word struct {
+	Addr int
+	Data uint64
+}
+
+// Route self-routes the words by sorting on the address field. The addresses
+// must form a permutation of {0,...,N-1}; output j receives the word
+// addressed to j. The input slice is not modified.
+func (n *Network) Route(words []Word) ([]Word, error) {
+	if len(words) != n.Inputs() {
+		return nil, fmt.Errorf("batcher: got %d words, want %d", len(words), n.Inputs())
+	}
+	addrs := make(perm.Perm, len(words))
+	for i, wd := range words {
+		addrs[i] = wd.Addr
+	}
+	if err := addrs.Validate(); err != nil {
+		return nil, fmt.Errorf("batcher: destination addresses are not a permutation: %w", err)
+	}
+	out := make([]Word, len(words))
+	copy(out, words)
+	for _, stage := range n.stages {
+		for _, c := range stage {
+			if out[c.Low].Addr > out[c.High].Addr {
+				out[c.Low], out[c.High] = out[c.High], out[c.Low]
+			}
+		}
+	}
+	return out, nil
+}
+
+// RoutePerm routes a bare permutation with the source index as payload.
+func (n *Network) RoutePerm(p perm.Perm) ([]Word, error) {
+	if len(p) != n.Inputs() {
+		return nil, fmt.Errorf("batcher: permutation length %d, want %d", len(p), n.Inputs())
+	}
+	words := make([]Word, len(p))
+	for i, d := range p {
+		words[i] = Word{Addr: d, Data: uint64(i)}
+	}
+	return n.Route(words)
+}
+
+// Sort sorts arbitrary integer keys (not necessarily a permutation) through
+// the comparator schedule; exposed for the parallel-sort example and for
+// validating the schedule against the 0-1 principle.
+func (n *Network) Sort(keys []int) ([]int, error) {
+	if len(keys) != n.Inputs() {
+		return nil, fmt.Errorf("batcher: got %d keys, want %d", len(keys), n.Inputs())
+	}
+	out := make([]int, len(keys))
+	copy(out, keys)
+	for _, stage := range n.stages {
+		for _, c := range stage {
+			if out[c.Low] > out[c.High] {
+				out[c.Low], out[c.High] = out[c.High], out[c.Low]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Hardware summarizes structural component counts in the units of
+// equation (11): each comparison element contributes (log N + w) 2x2-switch
+// slices and log N one-bit compare slices.
+type Hardware struct {
+	Comparators   int
+	Switches      int // C_SW units
+	CompareSlices int // C_FN units
+}
+
+// CountHardware tallies components over the constructed schedule.
+func (n *Network) CountHardware() Hardware {
+	c := n.Comparators()
+	return Hardware{
+		Comparators:   c,
+		Switches:      c * (n.m + n.w),
+		CompareSlices: c * n.m,
+	}
+}
+
+// Delay summarizes the critical path in the units of equation (12): each of
+// the (1/2)logN(logN+1) stages contributes one switch delay and log N
+// compare-slice delays (the element compares log N bits).
+type Delay struct {
+	SwitchStages       int // D_SW units
+	FunctionNodeLevels int // D_FN units
+}
+
+// MeasureDelay reads the critical path off the constructed schedule.
+func (n *Network) MeasureDelay() Delay {
+	return Delay{
+		SwitchStages:       n.Stages(),
+		FunctionNodeLevels: n.Stages() * n.m,
+	}
+}

@@ -1,0 +1,274 @@
+package batcher
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/perm"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0); err == nil {
+		t.Error("New(0,0) accepted")
+	}
+	if _, err := New(3, -1); err == nil {
+		t.Error("negative width accepted")
+	}
+	if _, err := New(3, 65); err == nil {
+		t.Error("oversized width accepted")
+	}
+}
+
+// TestComparatorCountMatchesEquation10 reconciles the constructed schedule
+// with the paper's equation (10) for every order up to N = 4096 — experiment
+// E10.
+func TestComparatorCountMatchesEquation10(t *testing.T) {
+	for m := 1; m <= 12; m++ {
+		n, err := New(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := n.Comparators(), cost.BatcherComparators(m); got != want {
+			t.Errorf("m=%d: constructed comparators %d != eq(10) %d", m, got, want)
+		}
+		if got, want := n.Stages(), cost.BatcherStages(m); got != want {
+			t.Errorf("m=%d: constructed stages %d != (1/2)m(m+1) = %d", m, got, want)
+		}
+	}
+}
+
+// TestHardwareMatchesEquation11 reconciles structural counts with equation
+// (11) — experiment E11.
+func TestHardwareMatchesEquation11(t *testing.T) {
+	for m := 1; m <= 12; m++ {
+		for _, w := range []int{0, 8, 16} {
+			n, err := New(m, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := n.CountHardware()
+			if got, want := h.Switches, cost.BatcherSwitches(m, w); got != want {
+				t.Errorf("m=%d w=%d: switches %d != eq(11) %d", m, w, got, want)
+			}
+			if got, want := h.CompareSlices, cost.BatcherCompareSlices(m); got != want {
+				t.Errorf("m=%d: compare slices %d != eq(11) %d", m, got, want)
+			}
+		}
+	}
+}
+
+// TestDelayMatchesEquation12 reconciles the measured critical path with
+// equation (12) — experiment E12.
+func TestDelayMatchesEquation12(t *testing.T) {
+	for m := 1; m <= 12; m++ {
+		n, err := New(m, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := n.MeasureDelay()
+		if got, want := d.SwitchStages, cost.BatcherDelaySW(m); got != want {
+			t.Errorf("m=%d: switch stages %d != eq(12) %d", m, got, want)
+		}
+		if got, want := d.FunctionNodeLevels, cost.BatcherDelayFN(m); got != want {
+			t.Errorf("m=%d: FN levels %d != eq(12) %d", m, got, want)
+		}
+	}
+}
+
+// TestSchedulesAreParallelStages verifies no line is touched twice within a
+// stage (the schedule is hardware-realizable) and comparators point upward.
+func TestSchedulesAreParallelStages(t *testing.T) {
+	for m := 1; m <= 8; m++ {
+		n, err := New(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s, stage := range n.Schedule() {
+			used := make([]bool, n.Inputs())
+			for _, c := range stage {
+				if c.Low >= c.High {
+					t.Fatalf("m=%d stage %d: comparator %v not ordered", m, s, c)
+				}
+				if c.High >= n.Inputs() || c.Low < 0 {
+					t.Fatalf("m=%d stage %d: comparator %v out of range", m, s, c)
+				}
+				if used[c.Low] || used[c.High] {
+					t.Fatalf("m=%d stage %d: line reused by comparator %v", m, s, c)
+				}
+				used[c.Low], used[c.High] = true, true
+			}
+		}
+	}
+}
+
+// TestZeroOnePrinciple validates the schedule with the 0-1 principle on all
+// 2^N binary vectors for N up to 16: a comparator network sorts every input
+// iff it sorts every 0-1 input.
+func TestZeroOnePrinciple(t *testing.T) {
+	for m := 1; m <= 4; m++ {
+		n, err := New(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := n.Inputs()
+		for mask := 0; mask < 1<<uint(size); mask++ {
+			keys := make([]int, size)
+			ones := 0
+			for i := range keys {
+				keys[i] = mask >> uint(i) & 1
+				ones += keys[i]
+			}
+			out, err := n.Sort(keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range out {
+				want := 0
+				if i >= size-ones {
+					want = 1
+				}
+				if v != want {
+					t.Fatalf("m=%d mask=%b: output %v not sorted", m, mask, out)
+				}
+			}
+		}
+	}
+}
+
+// TestRoutesAllPermutationsExhaustive checks the permutation-network
+// behaviour on all permutations for N = 2, 4, 8.
+func TestRoutesAllPermutationsExhaustive(t *testing.T) {
+	for m := 1; m <= 3; m++ {
+		n, err := New(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm.ForEach(n.Inputs(), func(p perm.Perm) bool {
+			out, err := n.RoutePerm(p)
+			if err != nil {
+				t.Fatalf("m=%d perm %v: %v", m, p, err)
+			}
+			for j, wd := range out {
+				if wd.Addr != j {
+					t.Fatalf("m=%d perm %v: misrouted", m, p)
+				}
+			}
+			for i, d := range p {
+				if out[d].Data != uint64(i) {
+					t.Fatalf("m=%d perm %v: payload lost", m, p)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// TestRoutesRandomPermutations covers larger sizes.
+func TestRoutesRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1991))
+	for m := 4; m <= 10; m++ {
+		n, err := New(m, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			p := perm.Random(n.Inputs(), rng)
+			out, err := n.RoutePerm(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, wd := range out {
+				if wd.Addr != j {
+					t.Fatalf("m=%d: misrouted", m)
+				}
+			}
+		}
+	}
+}
+
+func TestSortArbitraryKeys(t *testing.T) {
+	n, err := New(6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]int, n.Inputs())
+		for i := range keys {
+			keys[i] = rng.Intn(100) - 50 // duplicates and negatives
+		}
+		out, err := n.Sort(keys)
+		if err != nil {
+			return false
+		}
+		return sort.IntsAreSorted(out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	n, err := New(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Route(make([]Word, 3)); err == nil {
+		t.Error("Route accepted wrong length")
+	}
+	if _, err := n.Route([]Word{{Addr: 0}, {Addr: 0}, {Addr: 1}, {Addr: 2}}); err == nil {
+		t.Error("Route accepted duplicate addresses")
+	}
+	if _, err := n.RoutePerm(perm.Identity(3)); err == nil {
+		t.Error("RoutePerm accepted wrong length")
+	}
+	if _, err := n.Sort(make([]int, 3)); err == nil {
+		t.Error("Sort accepted wrong length")
+	}
+}
+
+func TestRouteInputUnmodified(t *testing.T) {
+	n, err := New(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := make([]Word, 8)
+	for i, d := range perm.Reversal(8) {
+		words[i] = Word{Addr: d}
+	}
+	orig := append([]Word(nil), words...)
+	if _, err := n.Route(words); err != nil {
+		t.Fatal(err)
+	}
+	for i := range words {
+		if words[i] != orig[i] {
+			t.Fatal("Route modified its input")
+		}
+	}
+}
+
+func BenchmarkRouteBatcher(b *testing.B) {
+	for _, m := range []int{6, 8, 10} {
+		n, err := New(m, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		p := perm.Random(n.Inputs(), rng)
+		words := make([]Word, n.Inputs())
+		for i, d := range p {
+			words[i] = Word{Addr: d, Data: uint64(i)}
+		}
+		b.Run(map[int]string{6: "N=64", 8: "N=256", 10: "N=1024"}[m], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := n.Route(words); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,357 @@
+// Package benes implements the Beneš rearrangeable permutation network and
+// the two routing regimes Lee & Lu's introduction contrasts:
+//
+//   - the global looping set-up algorithm (Waksman 1968), which routes every
+//     permutation but requires central computation over the whole
+//     permutation — the overhead the paper calls "rather costly than the
+//     network itself"; and
+//   - bit-controlled self-routing (Nassimi & Sahni 1981; Boppana &
+//     Raghavendra 1988), in which every switch decides locally from one
+//     destination-address bit. This routes rich permutation classes (e.g.
+//     bit-permute-complement) but provably not all permutations; the
+//     reproduction measures the success rate on random permutations.
+//
+// The network is an N = 2^m input, (2m-1)-stage structure built by the
+// classic recursion: an input column of N/2 switches, two N/2-input Beneš
+// subnetworks, and an output column of N/2 switches.
+package benes
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/perm"
+	"repro/internal/wiring"
+)
+
+// Network is an N = 2^m input Beneš network. Construct with New; the
+// Network is immutable and safe for concurrent use.
+type Network struct {
+	m int
+}
+
+// New constructs a Beneš network of order m (N = 2^m inputs).
+func New(m int) (*Network, error) {
+	if err := wiring.CheckOrder(m); err != nil {
+		return nil, fmt.Errorf("benes: %w", err)
+	}
+	return &Network{m: m}, nil
+}
+
+// M returns the network order.
+func (n *Network) M() int { return n.m }
+
+// Inputs returns the number of inputs N = 2^m.
+func (n *Network) Inputs() int { return 1 << uint(n.m) }
+
+// Stages returns the number of switching stages, 2m-1.
+func (n *Network) Stages() int { return 2*n.m - 1 }
+
+// Switches returns the total number of 2x2 switches, (N/2)(2 log N - 1).
+func (n *Network) Switches() int { return n.Inputs() / 2 * n.Stages() }
+
+// Settings holds one switch setting per stage per switch: true = cross.
+// Settings[s][k] controls switch k of stage s in the recursive layout
+// described below.
+type Settings [][]bool
+
+// NewSettings allocates an all-straight setting matrix for the network.
+func (n *Network) NewSettings() Settings {
+	s := make(Settings, n.Stages())
+	for i := range s {
+		s[i] = make([]bool, n.Inputs()/2)
+	}
+	return s
+}
+
+// Layout. The recursive construction is flattened into 2m-1 stages. For a
+// subnetwork of order r (2^r inputs) occupying lines [base, base+2^r) at
+// recursion depth d = m - r:
+//
+//   - its input column is global stage d;
+//   - its output column is global stage 2m-2-d;
+//   - switch k of the input column takes lines base+2k, base+2k+1; its upper
+//     output feeds port k of the upper half [base, base+2^{r-1}), its lower
+//     output port k of the lower half;
+//   - the output column mirrors this wiring.
+//
+// The base case r = 1 is a single switch at the middle stage m-1.
+
+// loopingRec computes switch settings for permutation p on the subnetwork of
+// order r at line offset base, recursion depth d.
+func (n *Network) loopingRec(s Settings, p perm.Perm, base, r, d int) {
+	if r == 1 {
+		// Single 2x2 switch at the middle stage.
+		s[n.m-1][base/2] = p[0] == 1
+		return
+	}
+	size := 1 << uint(r)
+	half := size / 2
+	inv := p.Inverse()
+
+	// Two-color the inputs: side[i] is the subnetwork (0 = upper, 1 = lower)
+	// input i travels through. Constraints: input partners (2k, 2k+1) take
+	// different sides, and the two inputs destined to the same output switch
+	// take different sides. The constraint graph is a disjoint union of even
+	// cycles, so the greedy loop below always 2-colors it.
+	side := make([]int, size)
+	for i := range side {
+		side[i] = -1
+	}
+	for start := 0; start < size; start++ {
+		if side[start] != -1 {
+			continue
+		}
+		cur, col := start, 0
+		for {
+			side[cur] = col
+			partner := cur ^ 1
+			if side[partner] != -1 {
+				break
+			}
+			side[partner] = col ^ 1
+			next := inv[p[partner]^1]
+			if side[next] != -1 {
+				break
+			}
+			cur, col = next, side[partner]^1
+		}
+	}
+
+	// Input column settings and sub-permutations.
+	subPerm := [2]perm.Perm{make(perm.Perm, half), make(perm.Perm, half)}
+	for i := 0; i < size; i++ {
+		subPerm[side[i]][i/2] = p[i] / 2
+	}
+	for k := 0; k < half; k++ {
+		// Straight sends line 2k (switch input 0) to the upper subnetwork.
+		s[d][(base+2*k)/2] = side[2*k] == 1
+	}
+	// Output column settings: the packet destined to output j arrives from
+	// subnetwork side[inv[j]] on switch input side[inv[j]] and must leave on
+	// output port j&1.
+	for j := 0; j < size; j++ {
+		if j%2 == 0 {
+			arriving := side[inv[j]]
+			s[2*n.m-2-d][(base+j)/2] = arriving != 0
+		}
+	}
+	n.loopingRec(s, subPerm[0], base, r-1, d+1)
+	n.loopingRec(s, subPerm[1], base+half, r-1, d+1)
+}
+
+// RouteGlobal computes switch settings for the permutation with the looping
+// algorithm and returns them. This is the global regime: the algorithm sees
+// the entire permutation.
+func (n *Network) RouteGlobal(p perm.Perm) (Settings, error) {
+	if len(p) != n.Inputs() {
+		return nil, fmt.Errorf("benes: permutation length %d, want %d", len(p), n.Inputs())
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("benes: %w", err)
+	}
+	s := n.NewSettings()
+	n.loopingRec(s, p.Clone(), 0, n.m, 0)
+	return s, nil
+}
+
+// Apply evaluates the network under the given settings: it returns out with
+// out[j] = the input index delivered to output j.
+func (n *Network) Apply(s Settings) (perm.Perm, error) {
+	if len(s) != n.Stages() {
+		return nil, fmt.Errorf("benes: settings have %d stages, want %d", len(s), n.Stages())
+	}
+	cur := perm.Identity(n.Inputs())
+	var eval func(lines perm.Perm, base, r, d int)
+	eval = func(lines perm.Perm, base, r, d int) {
+		if r == 1 {
+			if s[n.m-1][base/2] {
+				lines[0], lines[1] = lines[1], lines[0]
+			}
+			return
+		}
+		size := 1 << uint(r)
+		half := size / 2
+		// Input column plus wiring into halves.
+		next := make(perm.Perm, size)
+		for k := 0; k < half; k++ {
+			a, b := lines[2*k], lines[2*k+1]
+			if s[d][(base+2*k)/2] {
+				a, b = b, a
+			}
+			next[k] = a      // upper subnetwork port k
+			next[half+k] = b // lower subnetwork port k
+		}
+		copy(lines, next)
+		eval(lines[:half], base, r-1, d+1)
+		eval(lines[half:], base+half, r-1, d+1)
+		// Output column plus wiring out of halves.
+		for k := 0; k < half; k++ {
+			a, b := lines[k], lines[half+k] // switch inputs 0 and 1
+			if s[2*n.m-2-d][(base+2*k)/2] {
+				a, b = b, a
+			}
+			next[2*k], next[2*k+1] = a, b
+		}
+		copy(lines, next)
+	}
+	eval(cur, 0, n.m, 0)
+	return cur, nil
+}
+
+// Verify routes p with the looping algorithm, evaluates the settings, and
+// reports whether every input reached its destination.
+func (n *Network) Verify(p perm.Perm) (bool, error) {
+	s, err := n.RouteGlobal(p)
+	if err != nil {
+		return false, err
+	}
+	got, err := n.Apply(s)
+	if err != nil {
+		return false, err
+	}
+	for j, src := range got {
+		if p[src] != j {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// SelfRouting identifies a bit-controlled self-routing discipline for the
+// first m-1 stages; the last m stages always use the deterministic
+// destination-tag bits imposed by the topology (stage m-1+t consumes
+// destination bit m-1-t, MSB first through the output half).
+type SelfRouting struct {
+	// FirstHalfBit[s] names the destination-address bit (LSB-first) a
+	// packet presents as its desired switch output port in first-half stage
+	// s, 0 <= s <= m-2.
+	FirstHalfBit []int
+}
+
+// DefaultSelfRouting returns the canonical destination-tag discipline for
+// this package's baseline-recursive Beneš layout: first-half stage at depth
+// d consumes destination bit d (LSB upward). This is the unique
+// destination-bit discipline that can separate output partners at every
+// recursion level — two packets destined to outputs 2j and 2j+1 of a
+// depth-d subnetwork differ exactly in local destination bit 0, i.e. global
+// bit d, so any other bit choice sends some partner pair into the same
+// half-size subnetwork, which is always fatal. (An exhaustive search over
+// all m^(m-1) per-stage bit assignments for m = 3, 4 confirms no other
+// discipline routes more permutations.)
+//
+// The discipline self-routes rich structured classes — all N cyclic shifts
+// and all 2^m XOR-complement permutations, verified in the tests — but not
+// all permutations, reproducing the dichotomy of the paper's introduction.
+func DefaultSelfRouting(m int) SelfRouting {
+	bits := make([]int, m-1)
+	for s := range bits {
+		bits[s] = s
+	}
+	return SelfRouting{FirstHalfBit: bits}
+}
+
+// RouteSelf attempts to route p with the bit-controlled discipline. Every
+// packet presents one destination bit per stage; a switch whose two packets
+// request the same output port conflicts, and RouteSelf reports failure
+// (ok = false) without error, resolving the conflict arbitrarily so later
+// conflicts can still be counted. The second return is the number of
+// conflicted switches (0 when ok).
+//
+// The per-stage bits follow the recursive layout's invariant: a packet's
+// local destination inside a depth-d subnetwork is dest >> d, so the output
+// column at depth d (global stage 2m-2-d) consumes destination bit d, and
+// the middle stage (depth m-1) consumes bit m-1. First-half stages consume
+// the discipline's configured bits.
+func (n *Network) RouteSelf(p perm.Perm, sr SelfRouting) (ok bool, conflicts int, err error) {
+	if len(p) != n.Inputs() {
+		return false, 0, fmt.Errorf("benes: permutation length %d, want %d", len(p), n.Inputs())
+	}
+	if err := p.Validate(); err != nil {
+		return false, 0, fmt.Errorf("benes: %w", err)
+	}
+	if len(sr.FirstHalfBit) != n.m-1 {
+		return false, 0, fmt.Errorf("benes: discipline has %d first-half bits, want %d",
+			len(sr.FirstHalfBit), n.m-1)
+	}
+	for s, b := range sr.FirstHalfBit {
+		if b < 0 || b >= n.m {
+			return false, 0, fmt.Errorf("benes: stage %d uses bit %d out of range [0,%d)", s, b, n.m)
+		}
+	}
+
+	// resolve orders a switch's two packets by their desired ports, counting
+	// a conflict when both want the same port.
+	resolve := func(a, b, wantA, wantB int) (int, int) {
+		if wantA == wantB {
+			conflicts++
+			return a, b
+		}
+		if wantA == 1 {
+			return b, a
+		}
+		return a, b
+	}
+
+	// dests[k] is the destination of the packet currently on line k of the
+	// subnetwork being walked.
+	var walk func(dests perm.Perm, r, depth int)
+	walk = func(dests perm.Perm, r, depth int) {
+		if r == 1 {
+			a, b := dests[0], dests[1]
+			dests[0], dests[1] = resolve(a, b, wiring.Bit(a, depth), wiring.Bit(b, depth))
+			return
+		}
+		size := len(dests)
+		half := size / 2
+		next := make(perm.Perm, size)
+		// Input column: desired subnetwork from the discipline's bit.
+		bit := sr.FirstHalfBit[depth]
+		for k := 0; k < half; k++ {
+			a, b := resolve(dests[2*k], dests[2*k+1],
+				wiring.Bit(dests[2*k], bit), wiring.Bit(dests[2*k+1], bit))
+			next[k], next[half+k] = a, b
+		}
+		copy(dests, next)
+		walk(dests[:half], r-1, depth+1)
+		walk(dests[half:], r-1, depth+1)
+		// Output column: destination bit `depth` selects the port.
+		for k := 0; k < half; k++ {
+			a, b := resolve(dests[k], dests[half+k],
+				wiring.Bit(dests[k], depth), wiring.Bit(dests[half+k], depth))
+			next[2*k], next[2*k+1] = a, b
+		}
+		copy(dests, next)
+	}
+	dests := p.Clone()
+	walk(dests, n.m, 0)
+	if conflicts > 0 {
+		return false, conflicts, nil
+	}
+	for j, dst := range dests {
+		if dst != j {
+			return false, 0, fmt.Errorf("benes: internal error: conflict-free walk misdelivered %d to %d", dst, j)
+		}
+	}
+	return true, 0, nil
+}
+
+// SelfRouteRate estimates the fraction of uniformly random permutations the
+// bit-controlled discipline routes without conflict.
+func (n *Network) SelfRouteRate(d SelfRouting, trials int, rng *rand.Rand) (float64, error) {
+	if trials <= 0 {
+		return 0, fmt.Errorf("benes: trials must be positive, got %d", trials)
+	}
+	okCount := 0
+	for t := 0; t < trials; t++ {
+		p := perm.Random(n.Inputs(), rng)
+		ok, _, err := n.RouteSelf(p, d)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			okCount++
+		}
+	}
+	return float64(okCount) / float64(trials), nil
+}

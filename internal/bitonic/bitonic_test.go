@@ -1,0 +1,179 @@
+package bitonic
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/batcher"
+	"repro/internal/perm"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("New(0) accepted")
+	}
+}
+
+// TestComparatorCountClosedForm pins the bitonic count (N/4)·m·(m+1) and the
+// stage count (1/2)·m·(m+1).
+func TestComparatorCountClosedForm(t *testing.T) {
+	for m := 1; m <= 10; m++ {
+		n, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		N := n.Inputs()
+		if got, want := n.Comparators(), N*m*(m+1)/4; got != want {
+			t.Errorf("m=%d: comparators = %d, want %d", m, got, want)
+		}
+		if got, want := n.Stages(), m*(m+1)/2; got != want {
+			t.Errorf("m=%d: stages = %d, want %d", m, got, want)
+		}
+	}
+}
+
+// TestZeroOnePrinciple sorts all 2^N binary vectors for N <= 16.
+func TestZeroOnePrinciple(t *testing.T) {
+	for m := 1; m <= 4; m++ {
+		n, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := n.Inputs()
+		for mask := 0; mask < 1<<uint(size); mask++ {
+			keys := make([]int, size)
+			ones := 0
+			for i := range keys {
+				keys[i] = mask >> uint(i) & 1
+				ones += keys[i]
+			}
+			out, err := n.Sort(keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range out {
+				want := 0
+				if i >= size-ones {
+					want = 1
+				}
+				if v != want {
+					t.Fatalf("m=%d mask=%b: output %v not sorted", m, mask, out)
+				}
+			}
+		}
+	}
+}
+
+// TestRoutesAllPermutationsExhaustive covers N = 2, 4, 8 completely.
+func TestRoutesAllPermutationsExhaustive(t *testing.T) {
+	for m := 1; m <= 3; m++ {
+		n, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm.ForEach(n.Inputs(), func(p perm.Perm) bool {
+			out, err := n.RoutePerm(p)
+			if err != nil {
+				t.Fatalf("m=%d perm %v: %v", m, p, err)
+			}
+			for j, wd := range out {
+				if wd.Addr != j {
+					t.Fatalf("m=%d perm %v: misrouted", m, p)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestSortsRandomKeys(t *testing.T) {
+	n, err := New(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]int, n.Inputs())
+		for i := range keys {
+			keys[i] = rng.Intn(50) - 25
+		}
+		out, err := n.Sort(keys)
+		if err != nil {
+			return false
+		}
+		return sort.IntsAreSorted(out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	n, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Route(make([]Word, 3)); err == nil {
+		t.Error("Route accepted wrong length")
+	}
+	if _, err := n.Route(make([]Word, 8)); err == nil {
+		t.Error("Route accepted duplicate addresses")
+	}
+	if _, err := n.RoutePerm(perm.Identity(3)); err == nil {
+		t.Error("RoutePerm accepted wrong length")
+	}
+	if _, err := n.Sort(make([]int, 3)); err == nil {
+		t.Error("Sort accepted wrong length")
+	}
+}
+
+// TestCostlierThanOddEven quantifies why Table 1 uses the odd-even merge
+// network as the Batcher representative: same stage count and the same
+// N/4·log^2 N leading term, but the bitonic sorter pays N·logN/2 - N + 1
+// more comparators (ratio 1 + 2/logN), exactly the lower-order edge the
+// odd-even construction buys.
+func TestCostlierThanOddEven(t *testing.T) {
+	for m := 2; m <= 12; m++ {
+		bit, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oe, err := batcher.New(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bit.Stages() != oe.Stages() {
+			t.Errorf("m=%d: stage counts differ: bitonic %d, odd-even %d",
+				m, bit.Stages(), oe.Stages())
+		}
+		if bit.Comparators() <= oe.Comparators() {
+			t.Errorf("m=%d: bitonic %d not above odd-even %d",
+				m, bit.Comparators(), oe.Comparators())
+		}
+		if gap := bit.Comparators() - oe.Comparators(); gap != bit.Inputs()*m/2-bit.Inputs()+1 {
+			t.Errorf("m=%d: comparator gap %d, want N·m/2-N+1 = %d",
+				m, gap, bit.Inputs()*m/2-bit.Inputs()+1)
+		}
+	}
+}
+
+func BenchmarkBitonicRoute1024(b *testing.B) {
+	n, err := New(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := perm.Random(1024, rand.New(rand.NewSource(1)))
+	words := make([]Word, 1024)
+	for i, d := range p {
+		words[i] = Word{Addr: d, Data: uint64(i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Route(words); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

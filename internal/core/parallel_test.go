@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+// TestRouteParallelMatchesRoute verifies the concurrent evaluation is
+// observationally identical to the sequential one.
+func TestRouteParallelMatchesRoute(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for _, m := range []int{1, 3, 5, 8} {
+		n, err := New(m, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			p := perm.Random(n.Inputs(), rng)
+			words := make([]Word, n.Inputs())
+			for i, d := range p {
+				words[i] = Word{Addr: d, Data: rng.Uint64()}
+			}
+			want, err := n.Route(words)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{0, 1, 3, 16} {
+				got, err := n.RouteParallel(words, workers)
+				if err != nil {
+					t.Fatalf("m=%d workers=%d: %v", m, workers, err)
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("m=%d workers=%d: output %d differs", m, workers, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRouteParallelValidation(t *testing.T) {
+	n, err := New(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.RouteParallel(make([]Word, 3), 0); err == nil {
+		t.Error("RouteParallel accepted wrong word count")
+	}
+	dup := make([]Word, 8)
+	if _, err := n.RouteParallel(dup, 0); err == nil {
+		t.Error("RouteParallel accepted duplicate destinations")
+	}
+}
+
+// TestRouteParallelConcurrentUse exercises the documented concurrency
+// contract: one immutable Network serving many goroutines.
+func TestRouteParallelConcurrentUse(t *testing.T) {
+	n, err := New(6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			for trial := 0; trial < 20; trial++ {
+				p := perm.Random(n.Inputs(), rng)
+				out, err := n.RoutePerm(p)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !Delivered(out) {
+					errs <- errMisrouted
+					return
+				}
+			}
+			errs <- nil
+		}(int64(g))
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMisrouted = &misroutedError{}
+
+type misroutedError struct{}
+
+func (*misroutedError) Error() string { return "misrouted" }
+
+func BenchmarkRouteParallelBNB(b *testing.B) {
+	for _, m := range []int{10, 12} {
+		n, err := New(m, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		p := perm.Random(n.Inputs(), rng)
+		words := make([]Word, n.Inputs())
+		for i, d := range p {
+			words[i] = Word{Addr: d, Data: uint64(i)}
+		}
+		name := map[int]string{10: "N=1024", 12: "N=4096"}[m]
+		b.Run("sequential/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := n.Route(words); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("parallel/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := n.RouteParallel(words, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

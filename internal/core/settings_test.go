@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func TestComputeSettingsValidation(t *testing.T) {
+	n, err := New(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ComputeSettings(perm.Identity(4)); err == nil {
+		t.Error("ComputeSettings accepted wrong length")
+	}
+	if _, err := n.ComputeSettings(perm.Perm{0, 0, 1, 2, 3, 4, 5, 6}); err == nil {
+		t.Error("ComputeSettings accepted non-permutation")
+	}
+}
+
+func TestApplySettingsValidation(t *testing.T) {
+	n3, err := New(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n4, err := New(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := n3.ComputeSettings(perm.Identity(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n3.ApplySettings(nil, make([]Word, 8)); err == nil {
+		t.Error("ApplySettings accepted nil settings")
+	}
+	if _, err := n3.ApplySettings(s, make([]Word, 4)); err == nil {
+		t.Error("ApplySettings accepted wrong word count")
+	}
+	if _, err := n4.ApplySettings(s, make([]Word, 16)); err == nil {
+		t.Error("ApplySettings accepted settings of the wrong order")
+	}
+}
+
+// TestSettingsReplayMatchesRoute verifies the circuit-switched contract:
+// replaying recorded settings moves word i to the output the permutation
+// assigned to input i, bit-identically to the self-routing pass.
+func TestSettingsReplayMatchesRoute(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, m := range []int{1, 3, 6} {
+		n, err := New(m, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			p := perm.Random(n.Inputs(), rng)
+			s, err := n.ComputeSettings(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Replay several independent data batches over one circuit.
+			for batch := 0; batch < 3; batch++ {
+				words := make([]Word, n.Inputs())
+				for i := range words {
+					words[i] = Word{Addr: rng.Intn(n.Inputs()), Data: rng.Uint64()}
+				}
+				out, err := n.ApplySettings(s, words)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, d := range p {
+					if out[d] != words[i] {
+						t.Fatalf("m=%d: input %d did not reach output %d", m, i, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSettingsSwitchCount pins the recorded decision count to the one-bit
+// control-plane size: (N/2)·(1/2)m(m+1).
+func TestSettingsSwitchCount(t *testing.T) {
+	for m := 1; m <= 8; m++ {
+		n, err := New(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := n.ComputeSettings(perm.Identity(n.Inputs()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := n.Inputs() / 2 * m * (m + 1) / 2
+		if got := s.SwitchCount(); got != want {
+			t.Errorf("m=%d: SwitchCount = %d, want %d", m, got, want)
+		}
+		if s.M() != m {
+			t.Errorf("m=%d: Settings.M = %d", m, s.M())
+		}
+	}
+}
+
+// TestSettingsAgreeWithSelfRouting cross-checks: self-routing the same
+// permutation with payloads must land identically to the replay.
+func TestSettingsAgreeWithSelfRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n, err := New(5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := perm.Random(n.Inputs(), rng)
+	s, err := n.ComputeSettings(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := make([]Word, n.Inputs())
+	for i, d := range p {
+		words[i] = Word{Addr: d, Data: rng.Uint64()}
+	}
+	selfRouted, err := n.Route(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := n.ApplySettings(s, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range selfRouted {
+		if selfRouted[j] != replayed[j] {
+			t.Fatalf("self-routing and replay disagree at output %d", j)
+		}
+	}
+}
+
+func BenchmarkSettingsReplay1024(b *testing.B) {
+	n, err := New(10, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	p := perm.Random(n.Inputs(), rng)
+	s, err := n.ComputeSettings(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	words := make([]Word, n.Inputs())
+	for i := range words {
+		words[i] = Word{Data: uint64(i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.ApplySettings(s, words); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+// TestRouteSlicedMatchesRoute proves the atomic-word simulation is faithful
+// to the q-plane sliced hardware: both produce bit-identical outputs.
+func TestRouteSlicedMatchesRoute(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, cfg := range []struct{ m, w int }{{1, 0}, {3, 0}, {3, 8}, {5, 16}, {6, 1}} {
+		n, err := New(cfg.m, cfg.w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 15; trial++ {
+			p := perm.Random(n.Inputs(), rng)
+			words := make([]Word, n.Inputs())
+			mask := uint64(1)<<uint(cfg.w) - 1
+			if cfg.w == 64 {
+				mask = ^uint64(0)
+			}
+			for i, d := range p {
+				words[i] = Word{Addr: d, Data: rng.Uint64() & mask}
+			}
+			atomic, err := n.Route(words)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sliced, err := n.RouteSliced(words)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range atomic {
+				if atomic[j] != sliced[j] {
+					t.Fatalf("m=%d w=%d: output %d differs: atomic %+v, sliced %+v",
+						cfg.m, cfg.w, j, atomic[j], sliced[j])
+				}
+			}
+			if !Delivered(sliced) {
+				t.Fatalf("m=%d w=%d: sliced route misdelivered", cfg.m, cfg.w)
+			}
+		}
+	}
+}
+
+// TestRouteSlicedDataWidthBoundary checks w = 64 payloads survive the
+// bit-plane decomposition exactly.
+func TestRouteSlicedDataWidthBoundary(t *testing.T) {
+	n, err := New(3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	p := perm.Random(8, rng)
+	words := make([]Word, 8)
+	for i, d := range p {
+		words[i] = Word{Addr: d, Data: rng.Uint64()}
+	}
+	sliced, err := n.RouteSliced(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range p {
+		if sliced[d].Data != words[i].Data {
+			t.Fatalf("64-bit payload of input %d corrupted: %#x -> %#x",
+				i, words[i].Data, sliced[d].Data)
+		}
+	}
+}
+
+func TestRouteSlicedValidation(t *testing.T) {
+	n, err := New(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.RouteSliced(make([]Word, 3)); err == nil {
+		t.Error("RouteSliced accepted wrong count")
+	}
+	if _, err := n.RouteSliced(make([]Word, 8)); err == nil {
+		t.Error("RouteSliced accepted duplicate destinations")
+	}
+}
+
+func BenchmarkRouteSliced256(b *testing.B) {
+	n, err := New(8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	p := perm.Random(256, rng)
+	words := make([]Word, 256)
+	for i, d := range p {
+		words[i] = Word{Addr: d, Data: uint64(i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.RouteSliced(words); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestBNBSwitchesMatchesPublishedPolynomial checks the summed form against
+// the printed polynomial of equation (6):
+// N/6 m^3 + N/4 m^2 + N/12 m + (Nw/4)(m^2 + m).
+func TestBNBSwitchesMatchesPublishedPolynomial(t *testing.T) {
+	for m := 1; m <= 20; m++ {
+		n := 1 << uint(m)
+		for _, w := range []int{0, 1, 8, 16, 32} {
+			// Exact integer evaluation of the polynomial:
+			// N·m(m+1)(2m+1)/12 + N·w·m(m+1)/4.
+			want := n*m*(m+1)*(2*m+1)/12 + n*w*m*(m+1)/4
+			if got := BNBSwitches(m, w); got != want {
+				t.Errorf("m=%d w=%d: BNBSwitches = %d, polynomial = %d", m, w, got, want)
+			}
+		}
+	}
+}
+
+// TestBNBDelayFNClosedForm checks the double sum of equation (8) against its
+// printed closed form.
+func TestBNBDelayFNClosedForm(t *testing.T) {
+	for m := 1; m <= 25; m++ {
+		if got, want := BNBDelayFN(m), BNBDelayFNClosedForm(m); got != want {
+			t.Errorf("m=%d: sum = %d, closed form = %d", m, got, want)
+		}
+	}
+}
+
+// TestEquation6AgainstConstructedNetwork is experiment E6: the component
+// counts of the constructed BNB network equal equation (6) exactly for
+// every order up to N = 4096 and several data widths.
+func TestEquation6AgainstConstructedNetwork(t *testing.T) {
+	for m := 1; m <= 12; m++ {
+		for _, w := range []int{0, 8, 16} {
+			n, err := core.New(m, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := n.CountHardware()
+			if got, want := h.Switches, BNBSwitches(m, w); got != want {
+				t.Errorf("m=%d w=%d: counted switches %d != eq(6) %d", m, w, got, want)
+			}
+			if got, want := h.FunctionNodes, BNBFunctionNodes(m); got != want {
+				t.Errorf("m=%d w=%d: counted function nodes %d != eq(6) %d", m, w, got, want)
+			}
+		}
+	}
+}
+
+// TestEquations7to9AgainstConstructedNetwork is experiment E7-E9: the
+// measured critical path of the constructed network equals equations (7)
+// and (8) for every order up to N = 4096.
+func TestEquations7to9AgainstConstructedNetwork(t *testing.T) {
+	for m := 1; m <= 12; m++ {
+		n, err := core.New(m, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := n.MeasureDelay()
+		if got, want := d.SwitchStages, BNBDelaySW(m); got != want {
+			t.Errorf("m=%d: measured switch stages %d != eq(7) %d", m, got, want)
+		}
+		if got, want := d.FunctionNodeLevels, BNBDelayFN(m); got != want {
+			t.Errorf("m=%d: measured FN levels %d != eq(8) %d", m, got, want)
+		}
+		// Equation (9) is the weighted sum of (7) and (8).
+		if got, want := d.Total(1.5, 2.5), BNBDelay(m, 2.5, 1.5); got != want {
+			t.Errorf("m=%d: Total = %v, eq(9) = %v", m, got, want)
+		}
+	}
+}
+
+// TestBatcherKnownValues pins equation (10) to the classic comparator counts
+// of the odd-even merge sorting network.
+func TestBatcherKnownValues(t *testing.T) {
+	tests := []struct {
+		m, comparators int
+	}{
+		// Knuth's count (p^2 - p + 4)·2^{p-2} - 1 for N = 2^p.
+		{1, 1}, {2, 5}, {3, 19}, {4, 63}, {5, 191}, {6, 543}, {10, 24063},
+	}
+	for _, tt := range tests {
+		if got := BatcherComparators(tt.m); got != tt.comparators {
+			t.Errorf("m=%d: BatcherComparators = %d, want %d", tt.m, got, tt.comparators)
+		}
+	}
+}
+
+// TestBatcherSwitchesMatchesEquation11 verifies the factored computation
+// (comparators x slices) against the expanded polynomial printed as
+// equation (11).
+func TestBatcherSwitchesMatchesEquation11(t *testing.T) {
+	for m := 1; m <= 16; m++ {
+		n := 1 << uint(m)
+		for _, w := range []int{0, 1, 8, 16} {
+			// Expanded C_SW polynomial:
+			// N/4 m^3 + N(w-1)/4 m^2 - (Nw/4 - N + 1)m + (N-1)w.
+			// Individual terms are fractional at small m, so compare 4x the
+			// polynomial in exact integer arithmetic.
+			want4 := n*m*m*m + n*(w-1)*m*m - (n*w-4*n+4)*m + 4*(n-1)*w
+			if got := 4 * BatcherSwitches(m, w); got != want4 {
+				t.Errorf("m=%d w=%d: 4·BatcherSwitches = %d, 4·polynomial = %d", m, w, got, want4)
+			}
+			// C_FN polynomial: N/4 m^3 - N/4 m^2 + (N-1)m.
+			wantFN := n*m*m*m/4 - n*m*m/4 + (n-1)*m
+			if got := BatcherCompareSlices(m); got != wantFN {
+				t.Errorf("m=%d: BatcherCompareSlices = %d, polynomial = %d", m, got, wantFN)
+			}
+		}
+	}
+}
+
+// TestBatcherDelayEquation12 pins equation (12).
+func TestBatcherDelayEquation12(t *testing.T) {
+	for m := 1; m <= 16; m++ {
+		wantFN := (m*m*m + m*m) / 2
+		if got := BatcherDelayFN(m); got != wantFN {
+			t.Errorf("m=%d: BatcherDelayFN = %d, want %d", m, got, wantFN)
+		}
+		wantSW := (m*m + m) / 2
+		if got := BatcherDelaySW(m); got != wantSW {
+			t.Errorf("m=%d: BatcherDelaySW = %d, want %d", m, got, wantSW)
+		}
+		if got := BatcherDelay(m, 1, 1); got != float64(wantFN+wantSW) {
+			t.Errorf("m=%d: BatcherDelay = %v", m, got)
+		}
+		if got := Table2BatcherFull(m); got != float64(wantFN+wantSW) {
+			t.Errorf("m=%d: Table2BatcherFull = %v", m, got)
+		}
+	}
+}
+
+// TestTable1Rows checks the Table 1 leading terms at N = 1024 (m = 10).
+func TestTable1Rows(t *testing.T) {
+	rows, err := Table1(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("Table1 has %d rows, want 3", len(rows))
+	}
+	n, fm := 1024.0, 10.0
+	want := []Table1Row{
+		{"Batcher", n / 4 * 1000, n / 4 * 1000, 0},
+		{"Koppelman", n / 4 * 1000, n / 2 * 100, n * 100},
+		{"BNB", n / 6 * 1000, n / 2 * 100, 0},
+	}
+	for i, row := range rows {
+		if row.Network != want[i].Network {
+			t.Errorf("row %d network %q, want %q", i, row.Network, want[i].Network)
+		}
+		if math.Abs(row.Switches-want[i].Switches) > 1e-6 {
+			t.Errorf("%s switches = %v, want %v", row.Network, row.Switches, want[i].Switches)
+		}
+		if math.Abs(row.FunctionSlices-want[i].FunctionSlices) > 1e-6 {
+			t.Errorf("%s function slices = %v, want %v", row.Network, row.FunctionSlices, want[i].FunctionSlices)
+		}
+		if math.Abs(row.AdderSlices-want[i].AdderSlices) > 1e-6 {
+			t.Errorf("%s adder slices = %v, want %v", row.Network, row.AdderSlices, want[i].AdderSlices)
+		}
+	}
+	_ = fm
+}
+
+// TestTable1Ordering verifies the qualitative content of Table 1: BNB uses
+// the fewest switches, and BNB's function-slice count grows an order slower
+// than Batcher's.
+func TestTable1Ordering(t *testing.T) {
+	// At m = 2 Batcher's and BNB's function-slice leading terms coincide
+	// (N/4·8 = N/2·4), so the strict ordering starts at m = 3.
+	for m := 3; m <= 20; m++ {
+		rows, err := Table1(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bat, kop, bnb := rows[0], rows[1], rows[2]
+		if !(bnb.Switches < bat.Switches && bnb.Switches < kop.Switches) {
+			t.Errorf("m=%d: BNB switches %v not the smallest (bat %v, kop %v)",
+				m, bnb.Switches, bat.Switches, kop.Switches)
+		}
+		if !(bnb.FunctionSlices < bat.FunctionSlices) {
+			t.Errorf("m=%d: BNB function slices not below Batcher", m)
+		}
+		if bnb.AdderSlices != 0 || bat.AdderSlices != 0 {
+			t.Errorf("m=%d: only Koppelman uses adder slices", m)
+		}
+	}
+}
+
+// TestTable2Ordering verifies the qualitative content of Table 2 together
+// with its crossover points, which the leading-term comparison in the paper
+// glosses over: by the paper's own full formulas, BNB's delay beats
+// Batcher's only from m = 6 (N = 64) and Koppelman's only from m = 7
+// (N = 128); asymptotically BNB is smallest.
+func TestTable2Ordering(t *testing.T) {
+	for m := 2; m <= 20; m++ {
+		// Exact integer comparison of 6x the Table 2 rows:
+		//   6·BNB       = 2m^3 + 9m^2 - 5m
+		//   6·Batcher   = 3m^3 + 3m^2
+		//   6·Koppelman = 4m^3 - 6m^2 + 2m + 6
+		// BNB - Batcher = -(m^3 - 6m^2 + 5m)/6 = -m(m-1)(m-5)/6: exact tie
+		// at m = 5, BNB strictly smaller for m >= 6.
+		bnb6 := 2*m*m*m + 9*m*m - 5*m
+		bat6 := 3*m*m*m + 3*m*m
+		kop6 := 4*m*m*m - 6*m*m + 2*m + 6
+		if beatsBat := bnb6 < bat6; beatsBat != (m >= 6) {
+			t.Errorf("m=%d: BNB<Batcher = %v (6x: bnb %d, bat %d); crossover should be m=6",
+				m, beatsBat, bnb6, bat6)
+		}
+		if m == 5 && bnb6 != bat6 {
+			t.Errorf("m=5: expected exact BNB/Batcher tie, got %d vs %d", bnb6, bat6)
+		}
+		if beatsKop := bnb6 < kop6; beatsKop != (m >= 7) {
+			t.Errorf("m=%d: BNB<Koppelman = %v (6x: bnb %d, kop %d); crossover should be m=7",
+				m, beatsKop, bnb6, kop6)
+		}
+		// The float rows agree with the integer forms to rounding.
+		rows, err := Table2(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rows[2].Delay-float64(bnb6)/6) > 1e-9*float64(bnb6) {
+			t.Errorf("m=%d: BNB row %v != %v", m, rows[2].Delay, float64(bnb6)/6)
+		}
+		if math.Abs(rows[1].Delay-float64(kop6)/6) > 1e-9*float64(kop6) {
+			t.Errorf("m=%d: Koppelman row %v != %v", m, rows[1].Delay, float64(kop6)/6)
+		}
+	}
+}
+
+// TestHeadlineRatios is experiment C1. The abstract's claims are by highest-
+// order term: BNB hardware / Batcher hardware -> (1/6)/(1/4 + 1/4) = 1/3
+// and BNB delay / Batcher delay -> (1/3)/(1/2) = 2/3. The exact ratios
+// converge slowly from above (the second-order terms decay like 1/log N);
+// the test verifies monotone decrease, proximity at m = 30, and the exact
+// leading-term ratios via Table 1 / Table 2.
+func TestHeadlineRatios(t *testing.T) {
+	prevHW, prevD := math.Inf(1), math.Inf(1)
+	for m := 6; m <= 30; m += 2 {
+		hw, d, err := HeadlineRatios(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hw >= prevHW+1e-12 {
+			t.Errorf("m=%d: hardware ratio %v did not decrease (prev %v)", m, hw, prevHW)
+		}
+		if d >= prevD+1e-12 {
+			t.Errorf("m=%d: delay ratio %v did not decrease (prev %v)", m, d, prevD)
+		}
+		if hw < 1.0/3.0 {
+			t.Errorf("m=%d: hardware ratio %v fell below the 1/3 asymptote", m, hw)
+		}
+		if d < 2.0/3.0 {
+			t.Errorf("m=%d: delay ratio %v fell below the 2/3 asymptote", m, d)
+		}
+		prevHW, prevD = hw, d
+	}
+	hw, d, err := HeadlineRatios(30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw > 0.41 {
+		t.Errorf("hardware ratio at m=30 is %v, want < 0.41 en route to 1/3", hw)
+	}
+	if d > 0.72 {
+		t.Errorf("delay ratio at m=30 is %v, want < 0.72 en route to 2/3", d)
+	}
+	// The leading-term ratios are exact.
+	rows1, err := Table1(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := rows1[2].Switches / (rows1[0].Switches + rows1[0].FunctionSlices); math.Abs(r-1.0/3.0) > 1e-12 {
+		t.Errorf("Table 1 leading-term hardware ratio = %v, want exactly 1/3", r)
+	}
+}
+
+func TestKoppelmanRows(t *testing.T) {
+	m := 8
+	n, fm := 256.0, 8.0
+	if got := KoppelmanSwitchesLeading(m); got != n/4*fm*fm*fm {
+		t.Errorf("KoppelmanSwitchesLeading = %v", got)
+	}
+	if got := KoppelmanFunctionSlicesLeading(m); got != n/2*fm*fm {
+		t.Errorf("KoppelmanFunctionSlicesLeading = %v", got)
+	}
+	if got := KoppelmanAdderSlicesLeading(m); got != n*fm*fm {
+		t.Errorf("KoppelmanAdderSlicesLeading = %v", got)
+	}
+	want := 2.0/3.0*512 - 64 + 8.0/3 + 1
+	if math.Abs(KoppelmanDelay(m)-want) > 1e-9 {
+		t.Errorf("KoppelmanDelay = %v, want %v", KoppelmanDelay(m), want)
+	}
+}
+
+func TestOrderValidation(t *testing.T) {
+	if _, err := Table1(0); err == nil {
+		t.Error("Table1(0) accepted")
+	}
+	if _, err := Table2(31); err == nil {
+		t.Error("Table2(31) accepted")
+	}
+	if _, _, err := HeadlineRatios(0, 0); err == nil {
+		t.Error("HeadlineRatios(0) accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BNBSwitches(0, 0) did not panic")
+		}
+	}()
+	BNBSwitches(0, 0)
+}

@@ -1,0 +1,214 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file extends the paper's Section 5 analysis in two directions the
+// text gestures at but does not carry out: how far each design sits from
+// the information-theoretic switch lower bound, and what the combinational
+// networks cost when operated in pipelined mode (the natural deployment for
+// a switching system, where a new permutation enters every stage time).
+
+// Log2Factorial returns log2(N!) computed by direct summation — exact to
+// float64 precision for every N in this repository's range.
+func Log2Factorial(n int) float64 {
+	s := 0.0
+	for i := 2; i <= n; i++ {
+		s += math.Log2(float64(i))
+	}
+	return s
+}
+
+// SwitchLowerBound returns the minimum number of 2x2 binary switching
+// elements any network realizing all N! permutations must contain:
+// ceil(log2(N!)), since k two-state switches reach at most 2^k
+// configurations. (Beneš/Waksman networks approach this bound; sorting-based
+// self-routing networks pay a log N factor over it for their routing
+// autonomy.)
+func SwitchLowerBound(m int) (float64, error) {
+	if err := checkOrder(m); err != nil {
+		return 0, err
+	}
+	return math.Ceil(Log2Factorial(1 << uint(m))), nil
+}
+
+// LowerBoundRow reports how many times the lower bound each design spends
+// in 2x2 switches (data path only, w = 0).
+type LowerBoundRow struct {
+	Network  string
+	Switches float64
+	// Factor is Switches divided by the lower bound.
+	Factor float64
+}
+
+// LowerBoundComparison evaluates the switch counts of the three Table 1
+// networks plus the Beneš network against the log2(N!) bound at order m.
+func LowerBoundComparison(m int) ([]LowerBoundRow, error) {
+	bound, err := SwitchLowerBound(m)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(int64(1) << uint(m))
+	fm := float64(m)
+	rows := []LowerBoundRow{
+		{Network: "lower-bound", Switches: bound, Factor: 1},
+		{Network: "waksman", Switches: n*fm - n + 1},
+		{Network: "benes", Switches: n / 2 * (2*fm - 1)},
+		{Network: "bnb", Switches: float64(BNBSwitches(m, 0))},
+		{Network: "batcher", Switches: float64(BatcherSwitches(m, 0))},
+		{Network: "koppelman", Switches: KoppelmanSwitchesLeading(m)},
+		{Network: "crossbar", Switches: n * n},
+	}
+	for i := range rows {
+		rows[i].Factor = rows[i].Switches / bound
+	}
+	return rows, nil
+}
+
+// PipelineReport describes pipelined operation of a staged network: with
+// registers after every switching stage, a new permutation can be accepted
+// every beat, where a beat is the slowest single-stage delay.
+type PipelineReport struct {
+	// Stages is the number of pipeline stages (register columns).
+	Stages int
+	// Registers is the number of one-bit pipeline registers: one per line
+	// per stage per slice.
+	Registers int
+	// BeatFN and BeatSW give the pipeline beat (the critical path of the
+	// slowest stage) in D_FN and D_SW units.
+	BeatFN, BeatSW int
+	// LatencyBeats is the fill latency in beats (equal to Stages).
+	LatencyBeats int
+}
+
+// Throughput returns permutations accepted per unit time given device
+// delays.
+func (p PipelineReport) Throughput(dfn, dsw float64) float64 {
+	beat := float64(p.BeatFN)*dfn + float64(p.BeatSW)*dsw
+	if beat == 0 {
+		return 0
+	}
+	return 1 / beat
+}
+
+// BNBPipeline analyzes the BNB network pipelined at switch-column
+// granularity: the network has (1/2)m(m+1) switch columns; the slowest
+// column is the first (its splitter is sp(m), whose arbiter runs 2m
+// function-node levels before the switches flip), so the beat is
+// 2m·D_FN + 1·D_SW. Registers: one per line per column per slice
+// (log P + w slices at main stage of size P, matching the optimized
+// layout).
+func BNBPipeline(m, w int) (PipelineReport, error) {
+	if err := checkOrder(m); err != nil {
+		return PipelineReport{}, err
+	}
+	n := 1 << uint(m)
+	stages := m * (m + 1) / 2
+	registers := 0
+	for i := 0; i < m; i++ {
+		p := m - i // nested order at main stage i
+		slices := p + w
+		// p switch columns in this main stage, each latching N lines.
+		registers += p * n * slices
+	}
+	beatFN := 2 * m
+	if m == 1 {
+		beatFN = 0 // sp(1) is wiring
+	}
+	return PipelineReport{
+		Stages:       stages,
+		Registers:    registers,
+		BeatFN:       beatFN,
+		BeatSW:       1,
+		LatencyBeats: stages,
+	}, nil
+}
+
+// BatcherPipeline analyzes Batcher's network pipelined at comparator-stage
+// granularity: (1/2)m(m+1) stages; every stage's comparator resolves m
+// destination bits serially, so the beat is m·D_FN + 1·D_SW; registers are
+// one per line per stage per slice (m + w slices).
+func BatcherPipeline(m, w int) (PipelineReport, error) {
+	if err := checkOrder(m); err != nil {
+		return PipelineReport{}, err
+	}
+	n := 1 << uint(m)
+	stages := m * (m + 1) / 2
+	return PipelineReport{
+		Stages:       stages,
+		Registers:    stages * n * (m + w),
+		BeatFN:       m,
+		BeatSW:       1,
+		LatencyBeats: stages,
+	}, nil
+}
+
+// PipelineComparison summarizes the pipelined throughput ratio
+// BNB/Batcher at unit device delays: the BNB beat is dominated by the
+// deepest arbiter (2m levels of one-gate nodes) against Batcher's m levels
+// of comparator slices, so pipelined Batcher actually beats pipelined BNB
+// on beat time when D_FN is equal — the latency/area advantage of the BNB
+// design does not extend to stage-granular pipelining unless the arbiter is
+// itself pipelined. This nuance is recorded in EXPERIMENTS.md.
+func PipelineComparison(m, w int) (bnbThroughput, batcherThroughput float64, err error) {
+	b, err := BNBPipeline(m, w)
+	if err != nil {
+		return 0, 0, err
+	}
+	a, err := BatcherPipeline(m, w)
+	if err != nil {
+		return 0, 0, err
+	}
+	return b.Throughput(1, 1), a.Throughput(1, 1), nil
+}
+
+// String implements fmt.Stringer for quick CLI display.
+func (p PipelineReport) String() string {
+	return fmt.Sprintf("stages=%d registers=%d beat=%d·D_FN+%d·D_SW",
+		p.Stages, p.Registers, p.BeatFN, p.BeatSW)
+}
+
+// BNBPipelineFine analyzes the BNB network pipelined at function-node
+// granularity — registers after every arbiter tree level and every switch
+// column, the refinement the coarse analysis (BNBPipeline) shows is needed
+// for throughput parity. The beat drops to one device delay; the pipeline
+// depth equals the full critical path, eq. (7) + eq. (8).
+func BNBPipelineFine(m, w int) (PipelineReport, error) {
+	if err := checkOrder(m); err != nil {
+		return PipelineReport{}, err
+	}
+	n := 1 << uint(m)
+	stages := BNBDelaySW(m) + BNBDelayFN(m)
+	// Register estimate: every pipeline level latches all N lines of every
+	// live slice. Address slices retire as the radix sort consumes them
+	// (log P + w wide at main stage of size P); charge the conservative
+	// full width q = m + w per level.
+	registers := stages * n * (m + w)
+	return PipelineReport{
+		Stages:       stages,
+		Registers:    registers,
+		BeatFN:       1,
+		BeatSW:       0, // the switch column is one of the unit-delay levels
+		LatencyBeats: stages,
+	}, nil
+}
+
+// BatcherPipelineFine is the corresponding refinement for Batcher's
+// network: registers after every bit-compare level, beat one device delay,
+// depth eq. (12).
+func BatcherPipelineFine(m, w int) (PipelineReport, error) {
+	if err := checkOrder(m); err != nil {
+		return PipelineReport{}, err
+	}
+	n := 1 << uint(m)
+	stages := BatcherDelayFN(m) + BatcherDelaySW(m)
+	return PipelineReport{
+		Stages:       stages,
+		Registers:    stages * n * (m + w),
+		BeatFN:       1,
+		BeatSW:       0,
+		LatencyBeats: stages,
+	}, nil
+}

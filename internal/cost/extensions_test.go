@@ -1,0 +1,215 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLog2Factorial(t *testing.T) {
+	tests := []struct {
+		n    int
+		want float64
+	}{
+		{1, 0},
+		{2, 1},
+		{4, math.Log2(24)},
+		{8, math.Log2(40320)},
+	}
+	for _, tt := range tests {
+		if got := Log2Factorial(tt.n); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Log2Factorial(%d) = %v, want %v", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestSwitchLowerBound(t *testing.T) {
+	// N = 8: log2(40320) = 15.3 -> 16 switches minimum.
+	b, err := SwitchLowerBound(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 16 {
+		t.Errorf("SwitchLowerBound(3) = %v, want 16", b)
+	}
+	if _, err := SwitchLowerBound(0); err == nil {
+		t.Error("SwitchLowerBound(0) accepted")
+	}
+}
+
+// TestLowerBoundOrdering verifies the qualitative story: Beneš sits within a
+// small constant of the bound, BNB and Batcher pay a log-factor premium for
+// self-routing, BNB's premium is below Batcher's past the crossover, and the
+// crossbar is off the chart.
+func TestLowerBoundOrdering(t *testing.T) {
+	for _, m := range []int{6, 10, 14} {
+		rows, err := LowerBoundComparison(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName := map[string]LowerBoundRow{}
+		for _, r := range rows {
+			byName[r.Network] = r
+		}
+		if f := byName["benes"].Factor; f < 1 || f > 2.5 {
+			t.Errorf("m=%d: Beneš factor %v outside [1, 2.5]", m, f)
+		}
+		if f := byName["waksman"].Factor; f < 1 || f >= byName["benes"].Factor {
+			t.Errorf("m=%d: Waksman factor %v not in [1, benes)", m, f)
+		}
+		if byName["bnb"].Factor <= byName["benes"].Factor {
+			t.Errorf("m=%d: BNB below Beneš — self-routing premium missing", m)
+		}
+		if m >= 10 && byName["bnb"].Factor >= byName["batcher"].Factor {
+			t.Errorf("m=%d: BNB factor %v not below Batcher %v",
+				m, byName["bnb"].Factor, byName["batcher"].Factor)
+		}
+		if byName["crossbar"].Factor <= byName["batcher"].Factor {
+			t.Errorf("m=%d: crossbar not the most expensive", m)
+		}
+	}
+	if _, err := LowerBoundComparison(0); err == nil {
+		t.Error("LowerBoundComparison(0) accepted")
+	}
+}
+
+// TestLowerBoundNoNetworkBeatsIt: sanity — every realizable design spends at
+// least the bound.
+func TestLowerBoundNoNetworkBeatsIt(t *testing.T) {
+	for m := 2; m <= 16; m++ {
+		rows, err := LowerBoundComparison(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows[1:] {
+			if r.Factor < 1 {
+				t.Errorf("m=%d: %s claims fewer switches (%v) than the bound", m, r.Network, r.Switches)
+			}
+		}
+	}
+}
+
+func TestBNBPipeline(t *testing.T) {
+	p, err := BNBPipeline(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stages != 6 || p.LatencyBeats != 6 {
+		t.Errorf("stages = %d, want 6", p.Stages)
+	}
+	// Registers: stage 0: 3 columns x 8 lines x 3 slices = 72;
+	// stage 1: 2 x 8 x 2 = 32; stage 2: 1 x 8 x 1 = 8. Total 112.
+	if p.Registers != 112 {
+		t.Errorf("registers = %d, want 112", p.Registers)
+	}
+	if p.BeatFN != 6 || p.BeatSW != 1 {
+		t.Errorf("beat = %d FN + %d SW, want 6+1", p.BeatFN, p.BeatSW)
+	}
+	if got := p.Throughput(1, 1); math.Abs(got-1.0/7.0) > 1e-12 {
+		t.Errorf("throughput = %v, want 1/7", got)
+	}
+	if p.String() == "" {
+		t.Error("empty String()")
+	}
+	if _, err := BNBPipeline(0, 0); err == nil {
+		t.Error("BNBPipeline(0) accepted")
+	}
+}
+
+func TestBNBPipelineM1(t *testing.T) {
+	p, err := BNBPipeline(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BeatFN != 0 {
+		t.Errorf("m=1 beat FN = %d, want 0 (sp(1) is wiring)", p.BeatFN)
+	}
+}
+
+func TestBatcherPipeline(t *testing.T) {
+	p, err := BatcherPipeline(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stages != 6 {
+		t.Errorf("stages = %d, want 6", p.Stages)
+	}
+	if p.Registers != 6*8*3 {
+		t.Errorf("registers = %d, want 144", p.Registers)
+	}
+	if p.BeatFN != 3 || p.BeatSW != 1 {
+		t.Errorf("beat = %d FN + %d SW, want 3+1", p.BeatFN, p.BeatSW)
+	}
+	if _, err := BatcherPipeline(0, 0); err == nil {
+		t.Error("BatcherPipeline(0) accepted")
+	}
+}
+
+// TestPipelineComparison records the honest extension finding: at equal unit
+// device delays, stage-granular pipelining favours Batcher (beat m+1 vs
+// BNB's 2m+1) even though BNB wins combinational latency — BNB's advantage
+// needs arbiter-internal pipelining.
+func TestPipelineComparison(t *testing.T) {
+	for _, m := range []int{4, 8, 12} {
+		bnb, bat, err := PipelineComparison(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bnb >= bat {
+			t.Errorf("m=%d: pipelined BNB throughput %v not below Batcher %v (expected Batcher ahead)",
+				m, bnb, bat)
+		}
+		wantBNB := 1.0 / float64(2*m+1)
+		if math.Abs(bnb-wantBNB) > 1e-12 {
+			t.Errorf("m=%d: BNB pipelined throughput %v, want %v", m, bnb, wantBNB)
+		}
+	}
+	if _, _, err := PipelineComparison(0, 0); err == nil {
+		t.Error("PipelineComparison(0) accepted")
+	}
+}
+
+func TestZeroThroughputDegenerate(t *testing.T) {
+	var p PipelineReport
+	if p.Throughput(1, 1) != 0 {
+		t.Error("zero report should have zero throughput")
+	}
+}
+
+// TestFinePipeliningRestoresBNBAdvantage closes the X2 story: at node
+// granularity both networks reach a one-delay beat, so throughput ties and
+// the comparison reverts to pipeline depth (= fill latency), where BNB's
+// eq. (9) < Batcher's eq. (12) from m >= 6 — and BNB also needs fewer
+// pipeline registers.
+func TestFinePipeliningRestoresBNBAdvantage(t *testing.T) {
+	for _, m := range []int{6, 8, 12} {
+		bnb, err := BNBPipelineFine(m, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bat, err := BatcherPipelineFine(m, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bnb.Throughput(1, 1) != bat.Throughput(1, 1) {
+			t.Errorf("m=%d: fine-grained beats differ: %v vs %v",
+				m, bnb.Throughput(1, 1), bat.Throughput(1, 1))
+		}
+		if bnb.LatencyBeats >= bat.LatencyBeats {
+			t.Errorf("m=%d: BNB fine latency %d not below Batcher %d",
+				m, bnb.LatencyBeats, bat.LatencyBeats)
+		}
+		if bnb.Registers >= bat.Registers {
+			t.Errorf("m=%d: BNB fine registers %d not below Batcher %d",
+				m, bnb.Registers, bat.Registers)
+		}
+		if bnb.Stages != BNBDelaySW(m)+BNBDelayFN(m) {
+			t.Errorf("m=%d: BNB fine depth %d != eq(7)+eq(8)", m, bnb.Stages)
+		}
+	}
+	if _, err := BNBPipelineFine(0, 0); err == nil {
+		t.Error("BNBPipelineFine(0) accepted")
+	}
+	if _, err := BatcherPipelineFine(0, 0); err == nil {
+		t.Error("BatcherPipelineFine(0) accepted")
+	}
+}

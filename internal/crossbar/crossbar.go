@@ -1,0 +1,73 @@
+// Package crossbar implements the N x N crossbar switch, the brute-force
+// permutation network Lee & Lu's introduction uses to motivate multistage
+// designs: it routes every permutation trivially but costs O(N^2) crosspoint
+// switches, against the BNB network's O(N log^3 N).
+package crossbar
+
+import (
+	"fmt"
+
+	"repro/internal/perm"
+)
+
+// Word mirrors the BNB word format: destination address plus payload.
+type Word struct {
+	Addr int
+	Data uint64
+}
+
+// Network is an N x N crossbar. The zero value is unusable; construct with
+// New. N need not be a power of two.
+type Network struct {
+	n int
+}
+
+// New constructs an N x N crossbar for n >= 1.
+func New(n int) (*Network, error) {
+	if n < 1 || n > 1<<22 {
+		return nil, fmt.Errorf("crossbar: size %d out of range [1,2^22]", n)
+	}
+	return &Network{n: n}, nil
+}
+
+// Inputs returns the port count N.
+func (c *Network) Inputs() int { return c.n }
+
+// Crosspoints returns the hardware cost in crosspoint switches, N^2.
+func (c *Network) Crosspoints() int { return c.n * c.n }
+
+// Delay returns the propagation delay in crosspoint units: a word traverses
+// one row and one column, independent of the permutation.
+func (c *Network) Delay() int { return 1 }
+
+// Route routes the words; the destination addresses must form a permutation.
+// The input slice is not modified.
+func (c *Network) Route(words []Word) ([]Word, error) {
+	if len(words) != c.n {
+		return nil, fmt.Errorf("crossbar: got %d words, want %d", len(words), c.n)
+	}
+	addrs := make(perm.Perm, len(words))
+	for i, wd := range words {
+		addrs[i] = wd.Addr
+	}
+	if err := addrs.Validate(); err != nil {
+		return nil, fmt.Errorf("crossbar: destination addresses are not a permutation: %w", err)
+	}
+	out := make([]Word, c.n)
+	for _, wd := range words {
+		out[wd.Addr] = wd
+	}
+	return out, nil
+}
+
+// RoutePerm routes a bare permutation with the source index as payload.
+func (c *Network) RoutePerm(p perm.Perm) ([]Word, error) {
+	if len(p) != c.n {
+		return nil, fmt.Errorf("crossbar: permutation length %d, want %d", len(p), c.n)
+	}
+	words := make([]Word, len(p))
+	for i, d := range p {
+		words[i] = Word{Addr: d, Data: uint64(i)}
+	}
+	return c.Route(words)
+}

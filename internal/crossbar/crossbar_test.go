@@ -1,0 +1,115 @@
+package crossbar
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("New(0) accepted")
+	}
+	if _, err := New(1 << 23); err == nil {
+		t.Error("oversized crossbar accepted")
+	}
+	c, err := New(5) // non-power-of-two is fine for a crossbar
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Inputs() != 5 || c.Crosspoints() != 25 || c.Delay() != 1 {
+		t.Errorf("geometry = (%d,%d,%d)", c.Inputs(), c.Crosspoints(), c.Delay())
+	}
+}
+
+func TestRoutesEverything(t *testing.T) {
+	c, err := New(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm.ForEach(6, func(p perm.Perm) bool {
+		out, err := c.RoutePerm(p)
+		if err != nil {
+			t.Fatalf("perm %v: %v", p, err)
+		}
+		for j, wd := range out {
+			if wd.Addr != j {
+				t.Fatalf("perm %v: misrouted", p)
+			}
+		}
+		return true
+	})
+}
+
+func TestRoutesRandomLarge(t *testing.T) {
+	c, err := New(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		p := perm.Random(1024, rng)
+		out, err := c.RoutePerm(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, wd := range out {
+			if wd.Addr != j {
+				t.Fatal("misrouted")
+			}
+		}
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	c, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Route(make([]Word, 3)); err == nil {
+		t.Error("Route accepted wrong length")
+	}
+	if _, err := c.Route([]Word{{Addr: 0}, {Addr: 0}, {Addr: 1}, {Addr: 2}}); err == nil {
+		t.Error("Route accepted duplicates")
+	}
+	if _, err := c.RoutePerm(perm.Identity(3)); err == nil {
+		t.Error("RoutePerm accepted wrong length")
+	}
+}
+
+func TestRouteInputUnmodified(t *testing.T) {
+	c, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []Word{{Addr: 3}, {Addr: 2}, {Addr: 1}, {Addr: 0}}
+	orig := append([]Word(nil), words...)
+	if _, err := c.Route(words); err != nil {
+		t.Fatal(err)
+	}
+	for i := range words {
+		if words[i] != orig[i] {
+			t.Fatal("Route modified input")
+		}
+	}
+}
+
+func BenchmarkRouteCrossbar1024(b *testing.B) {
+	c, err := New(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := perm.Random(1024, rand.New(rand.NewSource(1)))
+	words := make([]Word, 1024)
+	for i, d := range p {
+		words[i] = Word{Addr: d, Data: uint64(i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Route(words); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

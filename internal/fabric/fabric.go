@@ -1,0 +1,331 @@
+// Package fabric provides a synchronous packet-switch simulation substrate
+// around the permutation networks: input-queued ports, cycle-based cell
+// switching, traffic generators, and throughput/latency accounting. It is
+// the workload layer for the example applications — Lee & Lu's introduction
+// positions the BNB network as the switching fabric of exactly this kind of
+// system ("switching systems and parallel processing systems").
+//
+// Every cycle the switch arbitrates head-of-line cells (at most one winner
+// per output), pads the winners to a full permutation with dummy cells —
+// sorting-based fabrics require full permutations, the standard trick in
+// Batcher-banyan switch designs — and pushes the permutation through the
+// attached Router. Delivery is verified on every cycle, so a fabric run is
+// also an end-to-end correctness test of the underlying network.
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/perm"
+)
+
+// Router abstracts a permutation network for the fabric: it routes a full
+// permutation and returns the delivery arrangement, where result[j] is the
+// input index whose cell arrived at output j.
+type Router interface {
+	// Inputs returns the port count.
+	Inputs() int
+	// Route routes the permutation p (input i carries destination p[i]) and
+	// returns the arrangement described above.
+	Route(p perm.Perm) (perm.Perm, error)
+}
+
+// RouterFunc adapts a function to the Router interface.
+type RouterFunc struct {
+	N  int
+	Fn func(p perm.Perm) (perm.Perm, error)
+}
+
+// Inputs implements Router.
+func (r RouterFunc) Inputs() int { return r.N }
+
+// Route implements Router.
+func (r RouterFunc) Route(p perm.Perm) (perm.Perm, error) { return r.Fn(p) }
+
+// Cell is one fixed-size unit of traffic.
+type Cell struct {
+	// Dest is the destination output port.
+	Dest int
+	// Arrived is the cycle the cell entered its input queue.
+	Arrived int
+}
+
+// Traffic generates per-cycle arrivals. Generate returns one destination per
+// input port, or -1 for ports with no arrival this cycle.
+type Traffic interface {
+	Generate(cycle int, n int, rng *rand.Rand) []int
+}
+
+// Uniform is Bernoulli-uniform traffic: each input receives a cell with
+// probability Load, destined to an independently uniform output. This is
+// the classic workload under which FIFO input queueing saturates at
+// 2 - sqrt(2) ≈ 0.586 throughput (Karol, Hluchyj & Morgan 1987).
+type Uniform struct {
+	// Load is the per-port arrival probability in [0, 1].
+	Load float64
+}
+
+// Generate implements Traffic.
+func (u Uniform) Generate(_ int, n int, rng *rand.Rand) []int {
+	dests := make([]int, n)
+	for i := range dests {
+		if rng.Float64() < u.Load {
+			dests[i] = rng.Intn(n)
+		} else {
+			dests[i] = -1
+		}
+	}
+	return dests
+}
+
+// Permutation is conflict-free traffic: with probability Load per cycle,
+// every input receives a cell and the destinations form a fresh random
+// permutation. A permutation network sustains this at full load — the
+// workload the BNB network is designed for.
+type Permutation struct {
+	// Load is the probability that a batch arrives in a given cycle.
+	Load float64
+}
+
+// Generate implements Traffic.
+func (p Permutation) Generate(_ int, n int, rng *rand.Rand) []int {
+	if rng.Float64() >= p.Load {
+		dests := make([]int, n)
+		for i := range dests {
+			dests[i] = -1
+		}
+		return dests
+	}
+	return perm.Random(n, rng)
+}
+
+// Hotspot overlays uniform traffic with a hot output: each generated cell
+// targets the hot port with probability Frac, otherwise a uniform output.
+type Hotspot struct {
+	// Load is the per-port arrival probability.
+	Load float64
+	// Frac is the fraction of cells aimed at the hot output.
+	Frac float64
+	// Target is the hot output port.
+	Target int
+}
+
+// Generate implements Traffic.
+func (h Hotspot) Generate(_ int, n int, rng *rand.Rand) []int {
+	dests := make([]int, n)
+	for i := range dests {
+		switch {
+		case rng.Float64() >= h.Load:
+			dests[i] = -1
+		case rng.Float64() < h.Frac:
+			dests[i] = h.Target % n
+		default:
+			dests[i] = rng.Intn(n)
+		}
+	}
+	return dests
+}
+
+// Stats aggregates one simulation run.
+type Stats struct {
+	// Cycles is the number of simulated cycles.
+	Cycles int
+	// Offered is the number of cells that entered input queues.
+	Offered int
+	// Delivered is the number of cells delivered to their outputs.
+	Delivered int
+	// TotalWait accumulates (departure - arrival) cycles over delivered
+	// cells; the cell switched in its arrival cycle contributes 0.
+	TotalWait int64
+	// MaxQueue is the largest input-queue depth observed.
+	MaxQueue int
+	// Backlog is the number of cells still queued when the run ended.
+	Backlog int
+	// WaitHistogram counts delivered cells by queueing delay:
+	// WaitHistogram[w] is the number of cells that waited exactly w cycles.
+	WaitHistogram []int
+}
+
+// WaitPercentile returns the smallest wait w such that at least fraction p
+// (0 < p <= 1) of delivered cells waited w cycles or fewer. With no
+// deliveries it returns 0.
+func (s Stats) WaitPercentile(p float64) int {
+	if s.Delivered == 0 || p <= 0 {
+		return 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	need := int(math.Ceil(p * float64(s.Delivered)))
+	acc := 0
+	for w, c := range s.WaitHistogram {
+		acc += c
+		if acc >= need {
+			return w
+		}
+	}
+	return len(s.WaitHistogram) - 1
+}
+
+// Throughput returns delivered cells per port per cycle.
+func (s Stats) Throughput(ports int) float64 {
+	if s.Cycles == 0 || ports == 0 {
+		return 0
+	}
+	return float64(s.Delivered) / float64(s.Cycles) / float64(ports)
+}
+
+// MeanWait returns the average queueing delay of delivered cells in cycles.
+func (s Stats) MeanWait() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.TotalWait) / float64(s.Delivered)
+}
+
+// Switch is a synchronous input-queued cell switch built around a Router.
+// Construct with NewSwitch. A Switch is stateful and not safe for
+// concurrent use.
+type Switch struct {
+	router Router
+	queues [][]Cell
+	// rr rotates grant priority across inputs for fairness.
+	rr int
+	// now is the persistent cycle clock: consecutive Run calls continue the
+	// same timeline, so cells left queued by one run age correctly into the
+	// next.
+	now int
+}
+
+// NewSwitch builds a switch around the router.
+func NewSwitch(r Router) (*Switch, error) {
+	if r == nil {
+		return nil, fmt.Errorf("fabric: nil router")
+	}
+	n := r.Inputs()
+	if n < 2 {
+		return nil, fmt.Errorf("fabric: router has %d ports, need at least 2", n)
+	}
+	return &Switch{router: r, queues: make([][]Cell, n)}, nil
+}
+
+// Ports returns the port count.
+func (s *Switch) Ports() int { return len(s.queues) }
+
+// QueueDepth returns the current depth of input queue i.
+func (s *Switch) QueueDepth(i int) int { return len(s.queues[i]) }
+
+// Run simulates the switch for the given number of cycles and returns the
+// aggregated statistics.
+func (s *Switch) Run(t Traffic, cycles int, rng *rand.Rand) (Stats, error) {
+	if t == nil {
+		return Stats{}, fmt.Errorf("fabric: nil traffic")
+	}
+	if cycles <= 0 {
+		return Stats{}, fmt.Errorf("fabric: cycles must be positive, got %d", cycles)
+	}
+	if rng == nil {
+		return Stats{}, fmt.Errorf("fabric: nil rng")
+	}
+	n := s.Ports()
+	var stats Stats
+	stats.Cycles = cycles
+	for c := 0; c < cycles; c++ {
+		cycle := s.now
+		s.now++
+		// Arrivals.
+		dests := t.Generate(cycle, n, rng)
+		if len(dests) != n {
+			return stats, fmt.Errorf("fabric: traffic generated %d arrivals for %d ports", len(dests), n)
+		}
+		for i, d := range dests {
+			if d < 0 {
+				continue
+			}
+			if d >= n {
+				return stats, fmt.Errorf("fabric: traffic destination %d out of range [0,%d)", d, n)
+			}
+			s.queues[i] = append(s.queues[i], Cell{Dest: d, Arrived: cycle})
+			stats.Offered++
+			if len(s.queues[i]) > stats.MaxQueue {
+				stats.MaxQueue = len(s.queues[i])
+			}
+		}
+		// Head-of-line arbitration with rotating priority: the first input
+		// (in rotation order) requesting an output wins it.
+		granted := make([]int, n) // granted[i] = output granted to input i, or -1
+		taken := make([]bool, n)
+		for i := range granted {
+			granted[i] = -1
+		}
+		winners := 0
+		for k := 0; k < n; k++ {
+			i := (s.rr + k) % n
+			if len(s.queues[i]) == 0 {
+				continue
+			}
+			d := s.queues[i][0].Dest
+			if !taken[d] {
+				taken[d] = true
+				granted[i] = d
+				winners++
+			}
+		}
+		s.rr = (s.rr + 1) % n
+		if winners == 0 {
+			continue
+		}
+		// Pad to a full permutation with dummy cells: idle inputs receive
+		// the unclaimed outputs in order.
+		p := make(perm.Perm, n)
+		free := make([]int, 0, n-winners)
+		for d := 0; d < n; d++ {
+			if !taken[d] {
+				free = append(free, d)
+			}
+		}
+		fi := 0
+		real := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if granted[i] >= 0 {
+				p[i] = granted[i]
+				real[i] = true
+			} else {
+				p[i] = free[fi]
+				fi++
+			}
+		}
+		// One physical pass through the network.
+		arrangement, err := s.router.Route(p)
+		if err != nil {
+			return stats, fmt.Errorf("fabric: cycle %d: %w", cycle, err)
+		}
+		for j, src := range arrangement {
+			if p[src] != j {
+				return stats, fmt.Errorf("fabric: cycle %d: router misdelivered input %d to output %d",
+					cycle, src, j)
+			}
+		}
+		// Dequeue winners and account delivery.
+		for i := 0; i < n; i++ {
+			if !real[i] {
+				continue
+			}
+			cell := s.queues[i][0]
+			s.queues[i] = s.queues[i][1:]
+			stats.Delivered++
+			wait := cycle - cell.Arrived
+			stats.TotalWait += int64(wait)
+			for len(stats.WaitHistogram) <= wait {
+				stats.WaitHistogram = append(stats.WaitHistogram, 0)
+			}
+			stats.WaitHistogram[wait]++
+		}
+	}
+	for i := range s.queues {
+		stats.Backlog += len(s.queues[i])
+	}
+	return stats, nil
+}

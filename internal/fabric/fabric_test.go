@@ -1,0 +1,397 @@
+package fabric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// idealRouter delivers any permutation (crossbar semantics).
+func idealRouter(n int) Router {
+	return RouterFunc{N: n, Fn: func(p perm.Perm) (perm.Perm, error) {
+		return p.Inverse(), nil
+	}}
+}
+
+// bnbRouter adapts the BNB network to the fabric Router interface.
+func bnbRouter(t testing.TB, m int) Router {
+	t.Helper()
+	n, err := core.New(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RouterFunc{N: n.Inputs(), Fn: func(p perm.Perm) (perm.Perm, error) {
+		out, err := n.RoutePerm(p)
+		if err != nil {
+			return nil, err
+		}
+		arrangement := make(perm.Perm, len(out))
+		for j, wd := range out {
+			arrangement[j] = int(wd.Data)
+		}
+		return arrangement, nil
+	}}
+}
+
+func TestNewSwitchValidation(t *testing.T) {
+	if _, err := NewSwitch(nil); err == nil {
+		t.Error("NewSwitch(nil) accepted")
+	}
+	if _, err := NewSwitch(idealRouter(1)); err == nil {
+		t.Error("single-port router accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s, err := NewSwitch(idealRouter(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := s.Run(nil, 10, rng); err == nil {
+		t.Error("nil traffic accepted")
+	}
+	if _, err := s.Run(Uniform{Load: 0.5}, 0, rng); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	if _, err := s.Run(Uniform{Load: 0.5}, 10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+type badTraffic struct{ dest int }
+
+func (b badTraffic) Generate(_ int, n int, _ *rand.Rand) []int {
+	dests := make([]int, n)
+	for i := range dests {
+		dests[i] = b.dest
+	}
+	return dests
+}
+
+type shortTraffic struct{}
+
+func (shortTraffic) Generate(_ int, n int, _ *rand.Rand) []int { return make([]int, n-1) }
+
+func TestRunRejectsBadTraffic(t *testing.T) {
+	s, err := NewSwitch(idealRouter(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := s.Run(badTraffic{dest: 9}, 5, rng); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	s2, err := NewSwitch(idealRouter(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Run(shortTraffic{}, 5, rng); err == nil {
+		t.Error("short arrival vector accepted")
+	}
+}
+
+// TestPermutationTrafficFullLoad: under conflict-free permutation traffic at
+// load 1.0, an ideal fabric sustains 100% throughput with zero waiting.
+func TestPermutationTrafficFullLoad(t *testing.T) {
+	s, err := NewSwitch(idealRouter(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	stats, err := s.Run(Permutation{Load: 1.0}, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Throughput(16); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("throughput = %v, want 1.0", got)
+	}
+	if stats.MeanWait() != 0 {
+		t.Errorf("mean wait = %v, want 0", stats.MeanWait())
+	}
+	if stats.Backlog != 0 {
+		t.Errorf("backlog = %d, want 0", stats.Backlog)
+	}
+	if stats.Offered != stats.Delivered {
+		t.Errorf("offered %d != delivered %d", stats.Offered, stats.Delivered)
+	}
+}
+
+// TestBNBFabricPermutationTraffic drives the real BNB network as the fabric
+// and sustains full load under permutation traffic — the system-level form
+// of Theorem 2.
+func TestBNBFabricPermutationTraffic(t *testing.T) {
+	s, err := NewSwitch(bnbRouter(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	stats, err := s.Run(Permutation{Load: 1.0}, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Throughput(32); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("throughput = %v, want 1.0", got)
+	}
+}
+
+// TestHOLSaturation reproduces the classic head-of-line blocking limit:
+// under saturating uniform traffic, FIFO input queueing delivers well below
+// full load, in the neighbourhood of 2 - sqrt(2) ≈ 0.586.
+func TestHOLSaturation(t *testing.T) {
+	s, err := NewSwitch(idealRouter(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	stats, err := s.Run(Uniform{Load: 1.0}, 3000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stats.Throughput(32)
+	if got < 0.52 || got > 0.65 {
+		t.Errorf("saturated uniform throughput = %v, want near 0.586", got)
+	}
+	if stats.Backlog == 0 {
+		t.Error("saturated switch drained its queues; expected persistent backlog")
+	}
+}
+
+// TestLowLoadDelivers: below saturation the switch delivers everything
+// offered (minus the final backlog) with small delay.
+func TestLowLoadDelivers(t *testing.T) {
+	s, err := NewSwitch(idealRouter(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	stats, err := s.Run(Uniform{Load: 0.3}, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered+stats.Backlog != stats.Offered {
+		t.Errorf("conservation violated: %d delivered + %d backlog != %d offered",
+			stats.Delivered, stats.Backlog, stats.Offered)
+	}
+	if frac := float64(stats.Delivered) / float64(stats.Offered); frac < 0.99 {
+		t.Errorf("delivered fraction %v below 0.99 at load 0.3", frac)
+	}
+	if stats.MeanWait() > 2.0 {
+		t.Errorf("mean wait %v too high at load 0.3", stats.MeanWait())
+	}
+}
+
+// TestHotspotCollapsesThroughput: a hot output saturates and drags total
+// throughput below the uniform case.
+func TestHotspotCollapsesThroughput(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	hot, err := NewSwitch(idealRouter(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := hot.Run(Hotspot{Load: 1.0, Frac: 0.5, Target: 0}, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := NewSwitch(idealRouter(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, err := uni.Run(Uniform{Load: 1.0}, 2000, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Throughput(16) >= us.Throughput(16) {
+		t.Errorf("hotspot throughput %v not below uniform %v",
+			hs.Throughput(16), us.Throughput(16))
+	}
+}
+
+// TestZeroLoad produces no cells and no deliveries.
+func TestZeroLoad(t *testing.T) {
+	s, err := NewSwitch(idealRouter(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.Run(Uniform{Load: 0}, 100, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Offered != 0 || stats.Delivered != 0 || stats.MaxQueue != 0 {
+		t.Errorf("zero-load stats = %+v", stats)
+	}
+	if stats.Throughput(8) != 0 || stats.MeanWait() != 0 {
+		t.Error("zero-load derived metrics nonzero")
+	}
+}
+
+// TestMisroutingRouterDetected: the fabric verifies delivery every cycle.
+func TestMisroutingRouterDetected(t *testing.T) {
+	bad := RouterFunc{N: 4, Fn: func(p perm.Perm) (perm.Perm, error) {
+		return perm.Identity(4), nil // claims input j landed at output j
+	}}
+	s, err := NewSwitch(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a deterministic non-identity routing demand.
+	_, err = s.Run(Permutation{Load: 1.0}, 50, rand.New(rand.NewSource(3)))
+	if err == nil {
+		t.Error("misrouting router not detected")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	var s Stats
+	if s.Throughput(4) != 0 || s.MeanWait() != 0 {
+		t.Error("zero-value stats not zero")
+	}
+	s = Stats{Cycles: 10, Delivered: 20, TotalWait: 40}
+	if got := s.Throughput(2); got != 1.0 {
+		t.Errorf("Throughput = %v, want 1.0", got)
+	}
+	if got := s.MeanWait(); got != 2.0 {
+		t.Errorf("MeanWait = %v, want 2.0", got)
+	}
+}
+
+func BenchmarkFabricUniformBNB(b *testing.B) {
+	n, err := core.New(6, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := RouterFunc{N: 64, Fn: func(p perm.Perm) (perm.Perm, error) {
+		out, err := n.RoutePerm(p)
+		if err != nil {
+			return nil, err
+		}
+		arrangement := make(perm.Perm, len(out))
+		for j, wd := range out {
+			arrangement[j] = int(wd.Data)
+		}
+		return arrangement, nil
+	}}
+	s, err := NewSwitch(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(Uniform{Load: 0.9}, 10, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWaitHistogram verifies the histogram is consistent with the scalar
+// wait statistics and that percentiles are monotone.
+func TestWaitHistogram(t *testing.T) {
+	s, err := NewSwitch(idealRouter(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	stats, err := s.Run(Uniform{Load: 0.6}, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, weighted := 0, int64(0)
+	for w, c := range stats.WaitHistogram {
+		if c < 0 {
+			t.Fatalf("negative histogram bin %d", w)
+		}
+		total += c
+		weighted += int64(w) * int64(c)
+	}
+	if total != stats.Delivered {
+		t.Errorf("histogram mass %d != delivered %d", total, stats.Delivered)
+	}
+	if weighted != stats.TotalWait {
+		t.Errorf("histogram weight %d != total wait %d", weighted, stats.TotalWait)
+	}
+	p50 := stats.WaitPercentile(0.50)
+	p99 := stats.WaitPercentile(0.99)
+	pMax := stats.WaitPercentile(1.0)
+	if !(p50 <= p99 && p99 <= pMax) {
+		t.Errorf("percentiles not monotone: p50=%d p99=%d max=%d", p50, p99, pMax)
+	}
+	if pMax != len(stats.WaitHistogram)-1 {
+		t.Errorf("p100 = %d, want last bin %d", pMax, len(stats.WaitHistogram)-1)
+	}
+	if float64(p99) < stats.MeanWait() {
+		t.Errorf("p99 %d below the mean %v", p99, stats.MeanWait())
+	}
+}
+
+func TestWaitPercentileDegenerate(t *testing.T) {
+	var s Stats
+	if s.WaitPercentile(0.5) != 0 {
+		t.Error("empty stats percentile nonzero")
+	}
+	s = Stats{Delivered: 4, WaitHistogram: []int{2, 1, 1}}
+	if got := s.WaitPercentile(0); got != 0 {
+		t.Errorf("p0 = %d, want 0", got)
+	}
+	if got := s.WaitPercentile(2.0); got != 2 {
+		t.Errorf("clamped p200 = %d, want 2", got)
+	}
+	if got := s.WaitPercentile(0.5); got != 0 {
+		t.Errorf("p50 = %d, want 0 (2 of 4 cells waited 0)", got)
+	}
+	if got := s.WaitPercentile(0.75); got != 1 {
+		t.Errorf("p75 = %d, want 1", got)
+	}
+}
+
+// TestConsecutiveRunsContinueTheClock is the regression test for the bug the
+// benchmark suite exposed: a switch reused across Run calls must age its
+// leftover backlog on a continuous timeline — previously the clock reset to
+// zero each Run while queued cells kept absolute arrival times, producing
+// negative waits (and a histogram index panic).
+func TestConsecutiveRunsContinueTheClock(t *testing.T) {
+	s, err := NewSwitch(idealRouter(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	// Saturate so the first run leaves a backlog.
+	first, err := s.Run(Uniform{Load: 1.0}, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Backlog == 0 {
+		t.Fatal("expected backlog after a saturated run")
+	}
+	second, err := s.Run(Uniform{Load: 0.1}, 200, rng)
+	if err != nil {
+		t.Fatalf("second run failed: %v", err)
+	}
+	for w, c := range second.WaitHistogram {
+		if c < 0 {
+			t.Fatalf("negative histogram count at wait %d", w)
+		}
+	}
+	if second.TotalWait < 0 {
+		t.Fatalf("negative total wait %d", second.TotalWait)
+	}
+	// VOQ variant of the same scenario.
+	v, err := NewVOQSwitch(idealRouter(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Run(Uniform{Load: 1.0}, 50, rng); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := v.Run(Uniform{Load: 0.1}, 200, rng)
+	if err != nil {
+		t.Fatalf("second VOQ run failed: %v", err)
+	}
+	if vs.TotalWait < 0 {
+		t.Fatalf("negative VOQ total wait %d", vs.TotalWait)
+	}
+}

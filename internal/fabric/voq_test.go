@@ -1,0 +1,176 @@
+package fabric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewVOQSwitchValidation(t *testing.T) {
+	if _, err := NewVOQSwitch(nil); err == nil {
+		t.Error("NewVOQSwitch(nil) accepted")
+	}
+	if _, err := NewVOQSwitch(idealRouter(1)); err == nil {
+		t.Error("single-port router accepted")
+	}
+}
+
+func TestVOQRunValidation(t *testing.T) {
+	s, err := NewVOQSwitch(idealRouter(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := s.Run(nil, 10, rng); err == nil {
+		t.Error("nil traffic accepted")
+	}
+	if _, err := s.Run(Uniform{Load: 0.5}, 0, rng); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	if _, err := s.Run(Uniform{Load: 0.5}, 10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := s.Run(badTraffic{dest: 9}, 5, rng); err == nil {
+		t.Error("bad destination accepted")
+	}
+}
+
+// TestVOQBeatsHOL is the headline of the extension: under saturating uniform
+// traffic, virtual output queues push throughput far above the FIFO
+// head-of-line limit of 2-sqrt(2).
+func TestVOQBeatsHOL(t *testing.T) {
+	voq, err := NewVOQSwitch(idealRouter(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := voq.Run(Uniform{Load: 1.0}, 3000, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo, err := NewSwitch(idealRouter(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := fifo.Run(Uniform{Load: 1.0}, 3000, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vThroughput := vs.Throughput(32)
+	fThroughput := fs.Throughput(32)
+	if vThroughput < 0.85 {
+		t.Errorf("VOQ saturated throughput %v below 0.85", vThroughput)
+	}
+	if vThroughput <= fThroughput+0.15 {
+		t.Errorf("VOQ %v does not clearly beat FIFO %v", vThroughput, fThroughput)
+	}
+}
+
+// TestVOQPermutationTraffic sustains full load with zero waiting, like the
+// FIFO switch.
+func TestVOQPermutationTraffic(t *testing.T) {
+	s, err := NewVOQSwitch(idealRouter(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.Run(Permutation{Load: 1.0}, 500, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Throughput(16); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("throughput = %v, want 1.0", got)
+	}
+	if stats.Backlog != 0 {
+		t.Errorf("backlog = %d, want 0", stats.Backlog)
+	}
+}
+
+// TestVOQConservation: delivered + backlog == offered.
+func TestVOQConservation(t *testing.T) {
+	s, err := NewVOQSwitch(idealRouter(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.Run(Uniform{Load: 0.7}, 2000, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered+stats.Backlog != stats.Offered {
+		t.Errorf("conservation violated: %d + %d != %d", stats.Delivered, stats.Backlog, stats.Offered)
+	}
+	total := 0
+	for _, c := range stats.WaitHistogram {
+		total += c
+	}
+	if total != stats.Delivered {
+		t.Errorf("histogram mass %d != delivered %d", total, stats.Delivered)
+	}
+}
+
+// TestVOQWithBNBFabric drives the real BNB network under the VOQ matcher.
+func TestVOQWithBNBFabric(t *testing.T) {
+	s, err := NewVOQSwitch(bnbRouter(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.Run(Uniform{Load: 0.95}, 1500, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Throughput(16); got < 0.85 {
+		t.Errorf("BNB-backed VOQ throughput %v below 0.85 at load 0.95", got)
+	}
+}
+
+// TestVOQMatchIsMatching verifies the matcher never assigns one output to
+// two inputs or vice versa.
+func TestVOQMatchIsMatching(t *testing.T) {
+	s, err := NewVOQSwitch(idealRouter(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	// Fill queues with random demand, then sample matchings.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 8; i++ {
+			for k := 0; k < 3; k++ {
+				d := rng.Intn(8)
+				s.queues[i][d] = append(s.queues[i][d], Cell{Dest: d})
+			}
+		}
+		matched := s.match()
+		usedOut := make(map[int]bool)
+		for i, d := range matched {
+			if d == -1 {
+				continue
+			}
+			if usedOut[d] {
+				t.Fatalf("output %d matched twice", d)
+			}
+			usedOut[d] = true
+			if len(s.queues[i][d]) == 0 {
+				t.Fatalf("input %d matched to empty VOQ %d", i, d)
+			}
+		}
+		// Drain to keep the test bounded.
+		for i := range s.queues {
+			for d := range s.queues[i] {
+				s.queues[i][d] = nil
+			}
+		}
+	}
+}
+
+func BenchmarkVOQUniform(b *testing.B) {
+	s, err := NewVOQSwitch(idealRouter(32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(Uniform{Load: 1.0}, 50, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package gatesim
+
+import (
+	"fmt"
+
+	"repro/internal/gbn"
+	"repro/internal/wiring"
+)
+
+// BuildArbiter appends the arbiter A(p) of a 2^p-input splitter to the
+// netlist, wired to the given input gates, and returns the flag gate per
+// input. Realization per Fig. 5: each node computes z_u = x1 XOR x2 upward
+// and y1 = z_u AND z_d, y2 = (NOT z_u) OR z_d downward; the root echoes its
+// own XOR as z_d. For p = 1 the arbiter is wiring and the flags are
+// constant 0.
+func BuildArbiter(nl *Netlist, inputs []int) ([]int, error) {
+	if !wiring.IsPow2(len(inputs)) || len(inputs) < 2 {
+		return nil, fmt.Errorf("gatesim: arbiter needs a power-of-two input count >= 2, got %d", len(inputs))
+	}
+	p := wiring.Log2(len(inputs))
+	if p == 1 {
+		zero := nl.Const(0)
+		return []int{zero, zero}, nil
+	}
+	// Upward XOR tree: up[v][t] is the state of node t at level v.
+	up := make([][]int, p+1)
+	up[0] = inputs
+	for v := 1; v <= p; v++ {
+		prev := up[v-1]
+		cur := make([]int, len(prev)/2)
+		for t := range cur {
+			cur[t] = nl.Xor(prev[2*t], prev[2*t+1])
+		}
+		up[v] = cur
+	}
+	// Downward flags: the root's parent flag is its own XOR (echo).
+	down := make([][]int, p+1)
+	down[p] = []int{up[p][0]}
+	for v := p; v >= 1; v-- {
+		child := make([]int, len(up[v-1]))
+		for t := range up[v] {
+			zu := up[v][t]
+			zd := down[v][t]
+			child[2*t] = nl.And(zu, zd)
+			child[2*t+1] = nl.Or(nl.Not(zu), zd)
+		}
+		down[v-1] = child
+	}
+	return down[0], nil
+}
+
+// BuildSplitterSlice appends a complete one-bit-slice splitter sp(p) to the
+// netlist: arbiter, switch-setting XORs, and the 2x2 switch column as mux
+// pairs. It returns the output gates in port order and the control gate per
+// switch (exported so slaved slices and fault studies can tap them).
+func BuildSplitterSlice(nl *Netlist, inputs []int) (outputs, controls []int, err error) {
+	if !wiring.IsPow2(len(inputs)) || len(inputs) < 2 {
+		return nil, nil, fmt.Errorf("gatesim: splitter needs a power-of-two input count >= 2, got %d", len(inputs))
+	}
+	p := wiring.Log2(len(inputs))
+	switches := len(inputs) / 2
+	controls = make([]int, switches)
+	if p == 1 {
+		// sp(1): the upper input bit is the control (A(1) is wiring).
+		controls[0] = inputs[0]
+	} else {
+		flags, err := BuildArbiter(nl, inputs)
+		if err != nil {
+			return nil, nil, err
+		}
+		for t := 0; t < switches; t++ {
+			// Algorithm step 5: exchange iff s(2t) XOR flag(2t) = 1.
+			controls[t] = nl.Xor(inputs[2*t], flags[2*t])
+		}
+	}
+	outputs = make([]int, len(inputs))
+	for t := 0; t < switches; t++ {
+		outputs[2*t] = nl.Mux(controls[t], inputs[2*t], inputs[2*t+1])
+		outputs[2*t+1] = nl.Mux(controls[t], inputs[2*t+1], inputs[2*t])
+	}
+	return outputs, controls, nil
+}
+
+// BSNCircuit is a compiled one-bit-slice bit-sorter network.
+type BSNCircuit struct {
+	// Netlist is the underlying circuit.
+	Netlist *Netlist
+	// Inputs are the primary-input gate ids in port order.
+	Inputs []int
+	// Outputs are the network-output gate ids in port order.
+	Outputs []int
+	// Controls holds the control gate of every switch: Controls[stage][i].
+	Controls [][]int
+}
+
+// BuildBSN compiles the full 2^k-input bit-sorter network (Definition 4) to
+// gates: each GBN stage is a row of splitter slices joined by the
+// 2^{k-stage}-unshuffle wiring (pure renaming — wires are free, as in the
+// paper's delay model).
+func BuildBSN(k int) (*BSNCircuit, error) {
+	top, err := gbn.New(k)
+	if err != nil {
+		return nil, fmt.Errorf("gatesim: %w", err)
+	}
+	nl := &Netlist{}
+	n := top.Inputs()
+	lines := make([]int, n)
+	for i := range lines {
+		lines[i] = nl.Input()
+	}
+	c := &BSNCircuit{Netlist: nl, Inputs: append([]int(nil), lines...)}
+	for s := 0; s < top.Stages(); s++ {
+		size := top.BoxSize(s)
+		var stageControls []int
+		next := make([]int, n)
+		for b := 0; b < top.BoxesInStage(s); b++ {
+			lo := b * size
+			out, ctl, err := BuildSplitterSlice(nl, lines[lo:lo+size])
+			if err != nil {
+				return nil, err
+			}
+			copy(next[lo:lo+size], out)
+			stageControls = append(stageControls, ctl...)
+		}
+		c.Controls = append(c.Controls, stageControls)
+		if s < top.Stages()-1 {
+			wired := make([]int, n)
+			for j := 0; j < n; j++ {
+				wired[top.InterStage(s, j)] = next[j]
+			}
+			next = wired
+		}
+		copy(lines, next)
+	}
+	c.Outputs = append([]int(nil), lines...)
+	return c, nil
+}
+
+// ExpectedBSNGateDepth returns the closed-form critical path of the
+// compiled BSN in unit gate delays. In splitter sp(l), the arbiter's upward
+// XOR chain contributes l levels and the downward chain contributes l+1 —
+// one AND/OR level per node plus one extra because the y2 path's NOT
+// serializes with its OR ((NOT z_u) OR z_d) — then the switch-setting XOR
+// and the mux add one level each:
+//
+//	sum_{l=2..k} (2l + 3) + 1 = k^2 + 4k - 4   (k >= 2; 1 for k = 1).
+//
+// This refines the paper's per-splitter model (2l function-node delays +
+// one switch delay) down to individual gates: the paper's D_FN unit absorbs
+// the extra NOT level, consistent with its remark that a function node
+// costs "the delay of one gate" per level.
+func ExpectedBSNGateDepth(k int) int {
+	if k <= 1 {
+		return 1
+	}
+	return k*k + 4*k - 4
+}

@@ -1,0 +1,302 @@
+// Package gatesim is a combinational gate-level netlist simulator used to
+// validate the reproduction's behavioural models against real logic: the
+// arbiter function nodes (Fig. 5), the splitter switch-setting plane, and
+// the full one-bit-slice bit-sorter network are compiled into explicit
+// XOR/AND/OR/NOT/MUX netlists, evaluated exhaustively or on random vectors,
+// and compared to the behavioural packages gate for gate.
+//
+// The simulator also measures critical paths at gate granularity (the paper
+// notes "the delay of the function node ... is only the delay of one gate")
+// and supports stuck-at fault injection for testability experiments: a
+// permutation network has the useful property that any control-plane fault
+// that corrupts a route is visible at the outputs as a misdelivered address.
+package gatesim
+
+import "fmt"
+
+// Kind identifies a gate type.
+type Kind int
+
+// Gate kinds. Input gates take their value from the stimulus vector; Const
+// gates produce a fixed value; the logic gates combine earlier gates.
+const (
+	KindInput Kind = iota + 1
+	KindConst
+	KindNot
+	KindAnd
+	KindOr
+	KindXor
+	KindMux // Mux(sel, a, b) = a when sel = 0, b when sel = 1
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindInput:
+		return "input"
+	case KindConst:
+		return "const"
+	case KindNot:
+		return "not"
+	case KindAnd:
+		return "and"
+	case KindOr:
+		return "or"
+	case KindXor:
+		return "xor"
+	case KindMux:
+		return "mux"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// gate is one netlist node. Operand indices always refer to earlier gates,
+// so the netlist is topologically ordered by construction.
+type gate struct {
+	kind    Kind
+	a, b, c int   // operand gate ids (c used by mux as the 0-selected input)
+	val     uint8 // constant value for KindConst
+}
+
+// Netlist is an append-only combinational circuit. The zero value is an
+// empty netlist ready for use.
+type Netlist struct {
+	gates  []gate
+	inputs []int // gate ids of the inputs, in declaration order
+}
+
+// NumGates returns the total number of gates including inputs and constants.
+func (n *Netlist) NumGates() int { return len(n.gates) }
+
+// NumInputs returns the number of declared inputs.
+func (n *Netlist) NumInputs() int { return len(n.inputs) }
+
+// CountKind returns the number of gates of the given kind.
+func (n *Netlist) CountKind(k Kind) int {
+	c := 0
+	for _, g := range n.gates {
+		if g.kind == k {
+			c++
+		}
+	}
+	return c
+}
+
+// LogicGates returns the number of logic gates (everything except inputs
+// and constants).
+func (n *Netlist) LogicGates() int {
+	return n.NumGates() - n.CountKind(KindInput) - n.CountKind(KindConst)
+}
+
+func (n *Netlist) push(g gate) int {
+	n.gates = append(n.gates, g)
+	return len(n.gates) - 1
+}
+
+func (n *Netlist) checkOperand(id int) {
+	if id < 0 || id >= len(n.gates) {
+		panic(fmt.Sprintf("gatesim: operand %d out of range (have %d gates)", id, len(n.gates)))
+	}
+}
+
+// Input declares a primary input and returns its gate id.
+func (n *Netlist) Input() int {
+	id := n.push(gate{kind: KindInput})
+	n.inputs = append(n.inputs, id)
+	return id
+}
+
+// Const declares a constant 0/1 signal.
+func (n *Netlist) Const(v uint8) int {
+	if v > 1 {
+		panic(fmt.Sprintf("gatesim: constant %d not a bit", v))
+	}
+	return n.push(gate{kind: KindConst, val: v})
+}
+
+// Not adds an inverter.
+func (n *Netlist) Not(a int) int {
+	n.checkOperand(a)
+	return n.push(gate{kind: KindNot, a: a})
+}
+
+// And adds an AND gate.
+func (n *Netlist) And(a, b int) int {
+	n.checkOperand(a)
+	n.checkOperand(b)
+	return n.push(gate{kind: KindAnd, a: a, b: b})
+}
+
+// Or adds an OR gate.
+func (n *Netlist) Or(a, b int) int {
+	n.checkOperand(a)
+	n.checkOperand(b)
+	return n.push(gate{kind: KindOr, a: a, b: b})
+}
+
+// Xor adds an XOR gate.
+func (n *Netlist) Xor(a, b int) int {
+	n.checkOperand(a)
+	n.checkOperand(b)
+	return n.push(gate{kind: KindXor, a: a, b: b})
+}
+
+// Mux adds a 2:1 multiplexer: output = a when sel = 0, b when sel = 1.
+// It is counted as one compound gate with unit delay, matching the paper's
+// one-switch-one-delay model for 2x2 switches.
+func (n *Netlist) Mux(sel, a, b int) int {
+	n.checkOperand(sel)
+	n.checkOperand(a)
+	n.checkOperand(b)
+	return n.push(gate{kind: KindMux, a: sel, b: b, c: a})
+}
+
+// Fault is a stuck-at fault on one gate output.
+type Fault struct {
+	// Gate is the gate id whose output is stuck.
+	Gate int
+	// StuckAt is the forced value (0 or 1).
+	StuckAt uint8
+}
+
+// Eval evaluates the netlist on the stimulus (one bit per declared input)
+// and returns the value of every gate.
+func (n *Netlist) Eval(stimulus []uint8) ([]uint8, error) {
+	return n.EvalFaulty(stimulus, nil)
+}
+
+// EvalFaulty evaluates the netlist with the given stuck-at faults applied.
+func (n *Netlist) EvalFaulty(stimulus []uint8, faults []Fault) ([]uint8, error) {
+	if len(stimulus) != len(n.inputs) {
+		return nil, fmt.Errorf("gatesim: got %d stimulus bits, want %d", len(stimulus), len(n.inputs))
+	}
+	for i, b := range stimulus {
+		if b > 1 {
+			return nil, fmt.Errorf("gatesim: stimulus bit %d is %d, not a bit", i, b)
+		}
+	}
+	stuck := map[int]uint8{}
+	for _, f := range faults {
+		if f.Gate < 0 || f.Gate >= len(n.gates) {
+			return nil, fmt.Errorf("gatesim: fault on gate %d out of range", f.Gate)
+		}
+		if f.StuckAt > 1 {
+			return nil, fmt.Errorf("gatesim: fault value %d not a bit", f.StuckAt)
+		}
+		stuck[f.Gate] = f.StuckAt
+	}
+	vals := make([]uint8, len(n.gates))
+	inputIdx := 0
+	for id, g := range n.gates {
+		var v uint8
+		switch g.kind {
+		case KindInput:
+			v = stimulus[inputIdx]
+			inputIdx++
+		case KindConst:
+			v = g.val
+		case KindNot:
+			v = vals[g.a] ^ 1
+		case KindAnd:
+			v = vals[g.a] & vals[g.b]
+		case KindOr:
+			v = vals[g.a] | vals[g.b]
+		case KindXor:
+			v = vals[g.a] ^ vals[g.b]
+		case KindMux:
+			if vals[g.a] == 0 {
+				v = vals[g.c]
+			} else {
+				v = vals[g.b]
+			}
+		default:
+			return nil, fmt.Errorf("gatesim: gate %d has unknown kind %v", id, g.kind)
+		}
+		if sv, ok := stuck[id]; ok {
+			v = sv
+		}
+		vals[id] = v
+	}
+	return vals, nil
+}
+
+// Depths returns the logic depth of every gate: inputs and constants have
+// depth 0, every logic gate is one more than its deepest operand.
+func (n *Netlist) Depths() []int {
+	depths := make([]int, len(n.gates))
+	for id, g := range n.gates {
+		switch g.kind {
+		case KindInput, KindConst:
+			depths[id] = 0
+		case KindNot:
+			depths[id] = depths[g.a] + 1
+		case KindAnd, KindOr, KindXor:
+			d := depths[g.a]
+			if depths[g.b] > d {
+				d = depths[g.b]
+			}
+			depths[id] = d + 1
+		case KindMux:
+			d := depths[g.a]
+			if depths[g.b] > d {
+				d = depths[g.b]
+			}
+			if depths[g.c] > d {
+				d = depths[g.c]
+			}
+			depths[id] = d + 1
+		}
+	}
+	return depths
+}
+
+// FanInCone marks every gate that can influence at least one of the given
+// output gates (the gates' transitive fan-in, outputs included). Gates
+// outside the cone are structurally unobservable at those outputs — e.g.
+// the arbiter's odd-child leaf flags, which the paper keeps as spare
+// signals "to deal with the conflicts if needed in some applications".
+func (n *Netlist) FanInCone(outputs []int) ([]bool, error) {
+	cone := make([]bool, len(n.gates))
+	for _, id := range outputs {
+		if id < 0 || id >= len(n.gates) {
+			return nil, fmt.Errorf("gatesim: output gate %d out of range", id)
+		}
+		cone[id] = true
+	}
+	// Operands always precede their gate, so one reverse sweep closes the
+	// cone transitively.
+	for id := len(n.gates) - 1; id >= 0; id-- {
+		if !cone[id] {
+			continue
+		}
+		g := n.gates[id]
+		switch g.kind {
+		case KindNot:
+			cone[g.a] = true
+		case KindAnd, KindOr, KindXor:
+			cone[g.a] = true
+			cone[g.b] = true
+		case KindMux:
+			cone[g.a] = true
+			cone[g.b] = true
+			cone[g.c] = true
+		}
+	}
+	return cone, nil
+}
+
+// CriticalPath returns the maximum logic depth over the given output gates.
+func (n *Netlist) CriticalPath(outputs []int) (int, error) {
+	depths := n.Depths()
+	max := 0
+	for _, id := range outputs {
+		if id < 0 || id >= len(n.gates) {
+			return 0, fmt.Errorf("gatesim: output gate %d out of range", id)
+		}
+		if depths[id] > max {
+			max = depths[id]
+		}
+	}
+	return max, nil
+}

@@ -1,0 +1,482 @@
+package gatesim
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arbiter"
+	"repro/internal/bsn"
+)
+
+func TestPrimitiveGates(t *testing.T) {
+	nl := &Netlist{}
+	a, b := nl.Input(), nl.Input()
+	gNot := nl.Not(a)
+	gAnd := nl.And(a, b)
+	gOr := nl.Or(a, b)
+	gXor := nl.Xor(a, b)
+	sel := nl.Input()
+	gMux := nl.Mux(sel, a, b)
+	for _, tc := range []struct {
+		a, b, sel              uint8
+		not, and, or, xor, mux uint8
+	}{
+		{0, 0, 0, 1, 0, 0, 0, 0},
+		{0, 1, 0, 1, 0, 1, 1, 0},
+		{1, 0, 0, 0, 0, 1, 1, 1},
+		{1, 1, 0, 0, 1, 1, 0, 1},
+		{0, 1, 1, 1, 0, 1, 1, 1},
+		{1, 0, 1, 0, 0, 1, 1, 0},
+	} {
+		vals, err := nl.Eval([]uint8{tc.a, tc.b, tc.sel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vals[gNot] != tc.not || vals[gAnd] != tc.and || vals[gOr] != tc.or ||
+			vals[gXor] != tc.xor || vals[gMux] != tc.mux {
+			t.Errorf("a=%d b=%d sel=%d: got not=%d and=%d or=%d xor=%d mux=%d",
+				tc.a, tc.b, tc.sel, vals[gNot], vals[gAnd], vals[gOr], vals[gXor], vals[gMux])
+		}
+	}
+}
+
+func TestEvalValidation(t *testing.T) {
+	nl := &Netlist{}
+	nl.Input()
+	if _, err := nl.Eval([]uint8{0, 1}); err == nil {
+		t.Error("Eval accepted wrong stimulus length")
+	}
+	if _, err := nl.Eval([]uint8{2}); err == nil {
+		t.Error("Eval accepted non-bit stimulus")
+	}
+	if _, err := nl.EvalFaulty([]uint8{0}, []Fault{{Gate: 9, StuckAt: 0}}); err == nil {
+		t.Error("EvalFaulty accepted out-of-range fault")
+	}
+	if _, err := nl.EvalFaulty([]uint8{0}, []Fault{{Gate: 0, StuckAt: 2}}); err == nil {
+		t.Error("EvalFaulty accepted non-bit fault value")
+	}
+}
+
+func TestConstValidation(t *testing.T) {
+	nl := &Netlist{}
+	defer func() {
+		if recover() == nil {
+			t.Error("Const(2) did not panic")
+		}
+	}()
+	nl.Const(2)
+}
+
+func TestOperandValidation(t *testing.T) {
+	nl := &Netlist{}
+	nl.Input()
+	defer func() {
+		if recover() == nil {
+			t.Error("And with bad operand did not panic")
+		}
+	}()
+	nl.And(0, 5)
+}
+
+func TestDepths(t *testing.T) {
+	nl := &Netlist{}
+	a, b := nl.Input(), nl.Input()
+	x := nl.Xor(a, b) // depth 1
+	y := nl.And(x, a) // depth 2
+	z := nl.Or(y, x)  // depth 3
+	depths := nl.Depths()
+	for id, want := range map[int]int{a: 0, b: 0, x: 1, y: 2, z: 3} {
+		if depths[id] != want {
+			t.Errorf("depth[%d] = %d, want %d", id, depths[id], want)
+		}
+	}
+	cp, err := nl.CriticalPath([]int{z, x})
+	if err != nil || cp != 3 {
+		t.Errorf("CriticalPath = %d (%v), want 3", cp, err)
+	}
+	if _, err := nl.CriticalPath([]int{99}); err == nil {
+		t.Error("CriticalPath accepted bad output id")
+	}
+}
+
+// TestArbiterCircuitMatchesBehavioural proves the compiled arbiter equals
+// the behavioural tree: exhaustively for p = 2, 3 and on random vectors for
+// p = 6.
+func TestArbiterCircuitMatchesBehavioural(t *testing.T) {
+	for _, p := range []int{2, 3} {
+		n := 1 << uint(p)
+		nl := &Netlist{}
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = nl.Input()
+		}
+		flags, err := BuildArbiter(nl, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := arbiter.New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			in := make([]uint8, n)
+			for i := range in {
+				in[i] = uint8(mask >> uint(i) & 1)
+			}
+			vals, err := nl.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := tree.Flags(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if vals[flags[i]] != want[i] {
+					t.Fatalf("p=%d mask=%b flag %d: circuit %d, behavioural %d",
+						p, mask, i, vals[flags[i]], want[i])
+				}
+			}
+		}
+	}
+	// Random check at p = 6.
+	p := 6
+	n := 1 << uint(p)
+	nl := &Netlist{}
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = nl.Input()
+	}
+	flags, err := BuildArbiter(nl, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := arbiter.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		in := make([]uint8, n)
+		for i := range in {
+			in[i] = uint8(rng.Intn(2))
+		}
+		vals, err := nl.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := tree.Flags(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if vals[flags[i]] != want[i] {
+				t.Fatalf("p=6 trial %d flag %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestBuildArbiterValidation(t *testing.T) {
+	nl := &Netlist{}
+	if _, err := BuildArbiter(nl, []int{nl.Input()}); err == nil {
+		t.Error("BuildArbiter accepted one input")
+	}
+	if _, err := BuildArbiter(nl, []int{nl.Input(), nl.Input(), nl.Input()}); err == nil {
+		t.Error("BuildArbiter accepted non-power-of-two inputs")
+	}
+}
+
+// TestBSNCircuitMatchesBehavioural proves the compiled bit-sorter network
+// equals the behavioural network on every balanced input for k <= 3 and on
+// random balanced vectors for k = 6.
+func TestBSNCircuitMatchesBehavioural(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		c, err := BuildBSN(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := bsn.New(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1 << uint(k)
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			if bits.OnesCount(uint(mask)) != n/2 {
+				continue
+			}
+			in := make([]uint8, n)
+			for i := range in {
+				in[i] = uint8(mask >> uint(i) & 1)
+			}
+			vals, err := c.Netlist.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := ref.Sort(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if vals[c.Outputs[i]] != want[i] {
+					t.Fatalf("k=%d mask=%b output %d: circuit %d, behavioural %d",
+						k, mask, i, vals[c.Outputs[i]], want[i])
+				}
+			}
+		}
+	}
+	// Random check at k = 6 (64 inputs).
+	c, err := BuildBSN(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := bsn.New(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		in := make([]uint8, 64)
+		pos := rng.Perm(64)
+		for _, p := range pos[:32] {
+			in[p] = 1
+		}
+		vals, err := c.Netlist.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := ref.Sort(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if vals[c.Outputs[i]] != want[i] {
+				t.Fatalf("k=6 trial %d output %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+// TestBSNGateDepthClosedForm verifies the gate-granularity critical path of
+// the compiled BSN matches the closed form k^2 + 3k - 3.
+func TestBSNGateDepthClosedForm(t *testing.T) {
+	for k := 1; k <= 8; k++ {
+		c, err := BuildBSN(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Netlist.CriticalPath(c.Outputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := ExpectedBSNGateDepth(k); got != want {
+			t.Errorf("k=%d: gate critical path %d, closed form %d", k, got, want)
+		}
+	}
+}
+
+// TestBSNGateCounts pins the gate inventory of the compiled BSN against the
+// paper's component counts: 4 gates per arbiter node (eq. 4 nodes), one
+// control XOR per switch of sp(p>=2), two muxes per switch.
+func TestBSNGateCounts(t *testing.T) {
+	for k := 1; k <= 8; k++ {
+		c, err := BuildBSN(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl := c.Netlist
+		n := 1 << uint(k)
+		arbNodes := n*(k-1) - n/2 + 1 // eq. (4)
+		switches := n / 2 * k
+		sp1Switches := n / 2 // final stage sp(1)s have no control XOR
+		if got, want := nl.CountKind(KindMux), 2*switches; got != want {
+			t.Errorf("k=%d: muxes %d, want %d", k, got, want)
+		}
+		if got, want := nl.CountKind(KindAnd), arbNodes; got != want {
+			t.Errorf("k=%d: AND gates %d, want %d", k, got, want)
+		}
+		if got, want := nl.CountKind(KindOr), arbNodes; got != want {
+			t.Errorf("k=%d: OR gates %d, want %d", k, got, want)
+		}
+		if got, want := nl.CountKind(KindNot), arbNodes; got != want {
+			t.Errorf("k=%d: NOT gates %d, want %d", k, got, want)
+		}
+		// XORs: one per arbiter node (z_u) plus one control per switch of
+		// every splitter with p >= 2.
+		if got, want := nl.CountKind(KindXor), arbNodes+switches-sp1Switches; got != want {
+			t.Errorf("k=%d: XOR gates %d, want %d", k, got, want)
+		}
+		if got, want := nl.NumInputs(), n; got != want {
+			t.Errorf("k=%d: inputs %d, want %d", k, got, want)
+		}
+	}
+}
+
+// TestSingleStuckAtFaultCoverage is the testability experiment: inject every
+// single stuck-at fault into the compiled BSN and check detection (output
+// differs from fault-free) under the exhaustive balanced test set. Two
+// structural facts are asserted:
+//
+//  1. faults on gates outside the outputs' fan-in cone are never detected —
+//     these are the paper's spare arbiter flags (the odd-child leaf flags
+//     it keeps "to deal with the conflicts if needed"), redundant by
+//     construction;
+//  2. faults inside the cone are detected at a substantial rate, with the
+//     remainder redundant under the operating assumption: balanced inputs
+//     force many arbiter signals constant (every splitter's root XOR is the
+//     parity of a balanced sub-vector, identically 0, so its stuck-at-0 —
+//     and the constants it propagates down the echo path — cannot be
+//     exposed by any in-specification vector).
+func TestSingleStuckAtFaultCoverage(t *testing.T) {
+	c, err := BuildBSN(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := c.Netlist
+	cone, err := nl.FanInCone(c.Outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Test set: all C(8,4) = 70 balanced vectors (exhaustive for k = 3).
+	var tests [][]uint8
+	for mask := 0; mask < 256; mask++ {
+		if bits.OnesCount(uint(mask)) != 4 {
+			continue
+		}
+		in := make([]uint8, 8)
+		for i := range in {
+			in[i] = uint8(mask >> uint(i) & 1)
+		}
+		tests = append(tests, in)
+	}
+	golden := make([][]uint8, len(tests))
+	for i, in := range tests {
+		vals, err := nl.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]uint8, len(c.Outputs))
+		for j, id := range c.Outputs {
+			out[j] = vals[id]
+		}
+		golden[i] = out
+	}
+	detects := func(g int, sv uint8) bool {
+		for i, in := range tests {
+			vals, err := nl.EvalFaulty(in, []Fault{{Gate: g, StuckAt: sv}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, id := range c.Outputs {
+				if vals[id] != golden[i][j] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	var inCone, inConeDetected, outCone, outConeDetected int
+	for g := 0; g < nl.NumGates(); g++ {
+		for _, sv := range []uint8{0, 1} {
+			hit := detects(g, sv)
+			if cone[g] {
+				inCone++
+				if hit {
+					inConeDetected++
+				}
+			} else {
+				outCone++
+				if hit {
+					outConeDetected++
+				}
+			}
+		}
+	}
+	if outConeDetected != 0 {
+		t.Errorf("%d faults outside the fan-in cone were detected; cone analysis is wrong", outConeDetected)
+	}
+	if outCone == 0 {
+		t.Error("expected spare (out-of-cone) arbiter gates; found none")
+	}
+	coverage := float64(inConeDetected) / float64(inCone)
+	if coverage < 0.65 || coverage > 0.95 {
+		t.Errorf("in-cone stuck-at coverage %.3f (%d/%d) outside the expected (0.65, 0.95) band",
+			coverage, inConeDetected, inCone)
+	}
+	t.Logf("stuck-at coverage: in-cone %d/%d = %.1f%%; %d spare-fault sites undetectable by construction",
+		inConeDetected, inCone, 100*coverage, outCone)
+
+	// Pin one provably redundant in-cone fault: the stage-0 splitter's root
+	// XOR is the parity of the whole balanced input — identically 0 — so
+	// stuck-at-0 there can never be exposed in specification. The root XOR
+	// of sp(3) is the last XOR of its upward tree: locate it as the deepest
+	// XOR among the stage-0 arbiter gates (depth 3 = log of the box size).
+	depths := nl.Depths()
+	rootXor := -1
+	for g := 0; g < nl.NumGates(); g++ {
+		if nl.gates[g].kind == KindXor && depths[g] == 3 {
+			rootXor = g
+			break
+		}
+	}
+	if rootXor == -1 {
+		t.Fatal("could not locate the stage-0 root XOR")
+	}
+	if detects(rootXor, 0) {
+		t.Error("root-XOR stuck-at-0 was detected; balanced inputs should make it redundant")
+	}
+	if !detects(rootXor, 1) {
+		t.Error("root-XOR stuck-at-1 undetected; forcing the echo path high must corrupt some route")
+	}
+}
+
+func BenchmarkEvalBSN64(b *testing.B) {
+	c, err := BuildBSN(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	in := make([]uint8, 64)
+	pos := rng.Perm(64)
+	for _, p := range pos[:32] {
+		in[p] = 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Netlist.Eval(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestKindStringAndInventoryHelpers(t *testing.T) {
+	wantNames := map[Kind]string{
+		KindInput: "input", KindConst: "const", KindNot: "not",
+		KindAnd: "and", KindOr: "or", KindXor: "xor", KindMux: "mux",
+	}
+	for k, want := range wantNames {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+	nl := &Netlist{}
+	a := nl.Input()
+	c := nl.Const(1)
+	x := nl.Xor(a, c)
+	_ = nl.Not(x)
+	if nl.LogicGates() != 2 {
+		t.Errorf("LogicGates = %d, want 2 (xor + not)", nl.LogicGates())
+	}
+	vals, err := nl.Eval([]uint8{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[c] != 1 || vals[x] != 1 {
+		t.Errorf("const/xor evaluation wrong: %v", vals)
+	}
+}

@@ -1,0 +1,94 @@
+package gbn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunParallel behaves exactly like Run but evaluates the switching boxes of
+// each stage concurrently: boxes within a stage are independent by
+// construction (they own disjoint line ranges), so each stage is a parallel
+// map followed by the sequential unshuffle rewiring barrier. workers <= 0
+// selects GOMAXPROCS. The router must be safe for concurrent use — every
+// router in this repository is, because the network objects are immutable.
+func RunParallel[T any](t Topology, in []T, r BoxRouter[T], workers int) ([]T, error) {
+	n := t.Inputs()
+	if len(in) != n {
+		return nil, fmt.Errorf("gbn: got %d inputs, want %d", len(in), n)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cur := make([]T, n)
+	copy(cur, in)
+	next := make([]T, n)
+	for i := 0; i < t.Stages(); i++ {
+		if err := runStageParallel(t, i, cur, r, workers); err != nil {
+			return nil, err
+		}
+		if i == t.Stages()-1 {
+			break
+		}
+		for j := 0; j < n; j++ {
+			next[t.InterStage(i, j)] = cur[j]
+		}
+		cur, next = next, cur
+	}
+	return cur, nil
+}
+
+// runStageParallel evaluates every box of stage i in place over cur.
+func runStageParallel[T any](t Topology, i int, cur []T, r BoxRouter[T], workers int) error {
+	boxes := t.BoxesInStage(i)
+	size := t.BoxSize(i)
+	if workers > boxes {
+		workers = boxes
+	}
+	if workers <= 1 {
+		// A stage with one box (or a one-worker budget) runs inline; no
+		// goroutine overhead for the big stage-0 box.
+		for l := 0; l < boxes; l++ {
+			if err := routeBoxInPlace(t, r, i, l, cur[l*size:(l+1)*size]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for l := range work {
+				if err := routeBoxInPlace(t, r, i, l, cur[l*size:(l+1)*size]); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	for l := 0; l < boxes; l++ {
+		work <- l
+	}
+	close(work)
+	wg.Wait()
+	return firstErr
+}
+
+func routeBoxInPlace[T any](t Topology, r BoxRouter[T], stage, box int, lines []T) error {
+	out, err := r.Route(Box{Stage: stage, Index: box}, lines)
+	if err != nil {
+		return fmt.Errorf("gbn: stage %d box %d: %w", stage, box, err)
+	}
+	if len(out) != len(lines) {
+		return fmt.Errorf("gbn: stage %d box %d returned %d outputs, want %d",
+			stage, box, len(out), len(lines))
+	}
+	copy(lines, out)
+	return nil
+}

@@ -1,0 +1,134 @@
+package gbn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// reverseRouter reverses the payload within every box — an order-sensitive
+// transformation that exposes any misalignment between parallel and
+// sequential evaluation.
+type reverseRouter struct{}
+
+func (reverseRouter) Route(_ Box, in []int) ([]int, error) {
+	out := make([]int, len(in))
+	for i, v := range in {
+		out[len(in)-1-i] = v
+	}
+	return out, nil
+}
+
+func TestRunParallelMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for m := 1; m <= 9; m++ {
+		top, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make([]int, top.Inputs())
+		for i := range in {
+			in[i] = rng.Intn(1000)
+		}
+		want, err := Run[int](top, in, reverseRouter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 7, 64} {
+			got, err := RunParallel[int](top, in, reverseRouter{}, workers)
+			if err != nil {
+				t.Fatalf("m=%d workers=%d: %v", m, workers, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("m=%d workers=%d: output %d = %d, want %d", m, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRunParallelValidation(t *testing.T) {
+	top, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunParallel[int](top, make([]int, 7), reverseRouter{}, 0); err == nil {
+		t.Error("RunParallel accepted wrong input length")
+	}
+}
+
+func TestRunParallelErrorPropagation(t *testing.T) {
+	top, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failing := RouterFunc[int](func(b Box, in []int) ([]int, error) {
+		if b.Stage == 2 && b.Index == 3 {
+			return nil, fmt.Errorf("injected failure")
+		}
+		return in, nil
+	})
+	if _, err := RunParallel[int](top, make([]int, 16), failing, 4); err == nil {
+		t.Error("RunParallel swallowed a box error")
+	}
+	short := RouterFunc[int](func(b Box, in []int) ([]int, error) {
+		if b.Stage == 1 {
+			return in[:len(in)-1], nil
+		}
+		return in, nil
+	})
+	if _, err := RunParallel[int](top, make([]int, 16), short, 4); err == nil {
+		t.Error("RunParallel accepted short box output")
+	}
+}
+
+func TestRunParallelDoesNotModifyInput(t *testing.T) {
+	top, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]int, 16)
+	for i := range in {
+		in[i] = i
+	}
+	orig := append([]int(nil), in...)
+	if _, err := RunParallel[int](top, in, reverseRouter{}, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != orig[i] {
+			t.Fatal("RunParallel modified its input")
+		}
+	}
+}
+
+func BenchmarkRunSequential4096(b *testing.B) {
+	benchmarkRunner(b, func(top Topology, in []int) ([]int, error) {
+		return Run[int](top, in, reverseRouter{})
+	})
+}
+
+func BenchmarkRunParallel4096(b *testing.B) {
+	benchmarkRunner(b, func(top Topology, in []int) ([]int, error) {
+		return RunParallel[int](top, in, reverseRouter{}, 0)
+	})
+}
+
+func benchmarkRunner(b *testing.B, run func(Topology, []int) ([]int, error)) {
+	top, err := New(12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := make([]int, top.Inputs())
+	for i := range in {
+		in[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(top, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package koppelman implements a functional analogue of the Koppelman-Oruç
+// self-routing permutation network (ICPP 1989), the second comparison
+// baseline in Lee & Lu's Section 5.
+//
+// The original network derives from the complementary Beneš network: each
+// recursive stage sorts the words by one destination-address bit using a
+// tree-structured ranking circuit (log N-bit adder nodes computing, for
+// every word, its stable rank among the 0-side or 1-side words) and then
+// moves every word to its rank through a cube-type network whose switches
+// are preset from the ranks via routing tables. Lee & Lu compare against it
+// purely through its published complexity rows (Tables 1 and 2).
+//
+// This analogue preserves exactly the behaviour those comparisons rely on:
+//
+//   - the same MSB-first recursive radix-split skeleton (so stage geometry
+//     matches the GBN recursion);
+//   - a ranking tree per splitting block, built from explicit adder nodes
+//     whose count reproduces the N log^2 N adder-slice row of Table 1;
+//   - full-width word slices (q = log N + w) through every block — unlike
+//     the BNB network, no dead-slice elimination is possible because the
+//     ranking circuit consumes whole addresses; this is precisely why its
+//     switch row is (N/4) log^3 N against BNB's (N/6) log^3 N;
+//   - stable-split routing applied from the computed ranks. Conflict-free
+//     realizability of the split inside the cube network is Koppelman &
+//     Oruç's published result, which the analogue assumes after validating
+//     its precondition (the ranks form a permutation of the block). The
+//     substitution is recorded in DESIGN.md §3.
+package koppelman
+
+import (
+	"fmt"
+
+	"repro/internal/gbn"
+	"repro/internal/perm"
+	"repro/internal/wiring"
+)
+
+// Word mirrors the BNB word format: destination address plus payload.
+type Word struct {
+	Addr int
+	Data uint64
+}
+
+// Network is an N = 2^m input rank-and-route self-routing permutation
+// network with w data bits per word. Construct with New; the Network is
+// immutable and safe for concurrent use.
+type Network struct {
+	m, w int
+	// nested[i] is the block topology at main stage i (order m-i), reusing
+	// the GBN geometry for the cube networks of the analogue.
+	nested []gbn.Topology
+}
+
+// New constructs the network for 2^m inputs with w data bits per word.
+func New(m, w int) (*Network, error) {
+	if err := wiring.CheckOrder(m); err != nil {
+		return nil, fmt.Errorf("koppelman: %w", err)
+	}
+	if w < 0 || w > 64 {
+		return nil, fmt.Errorf("koppelman: data width w=%d out of range [0,64]", w)
+	}
+	nested := make([]gbn.Topology, m)
+	for i := 0; i < m; i++ {
+		nt, err := gbn.New(m - i)
+		if err != nil {
+			return nil, fmt.Errorf("koppelman: %w", err)
+		}
+		nested[i] = nt
+	}
+	return &Network{m: m, w: w, nested: nested}, nil
+}
+
+// M returns the network order.
+func (n *Network) M() int { return n.m }
+
+// W returns the data width.
+func (n *Network) W() int { return n.w }
+
+// Inputs returns the number of inputs N = 2^m.
+func (n *Network) Inputs() int { return 1 << uint(n.m) }
+
+// Ranks computes the stable-split destinations of one block for address bit
+// `bit` (paper convention, 0 = MSB): words whose bit is 0 receive ranks
+// 0..z-1 in input order, words whose bit is 1 receive ranks z..P-1 in input
+// order, where z is the number of 0-side words. This is the function the
+// ranking circuit evaluates with its adder tree.
+func Ranks(words []Word, bit, m int) []int {
+	zeros := 0
+	for _, wd := range words {
+		if wiring.AddrBit(wd.Addr, bit, m) == 0 {
+			zeros++
+		}
+	}
+	ranks := make([]int, len(words))
+	z, o := 0, zeros
+	for i, wd := range words {
+		if wiring.AddrBit(wd.Addr, bit, m) == 0 {
+			ranks[i] = z
+			z++
+		} else {
+			ranks[i] = o
+			o++
+		}
+	}
+	return ranks
+}
+
+// Route self-routes the words: output j of the result holds the word whose
+// address is j. The addresses must form a permutation of {0,...,N-1}. The
+// input slice is not modified.
+func (n *Network) Route(words []Word) ([]Word, error) {
+	if len(words) != n.Inputs() {
+		return nil, fmt.Errorf("koppelman: got %d words, want %d", len(words), n.Inputs())
+	}
+	addrs := make(perm.Perm, len(words))
+	for i, wd := range words {
+		addrs[i] = wd.Addr
+	}
+	if err := addrs.Validate(); err != nil {
+		return nil, fmt.Errorf("koppelman: destination addresses are not a permutation: %w", err)
+	}
+	cur := make([]Word, len(words))
+	copy(cur, words)
+	next := make([]Word, len(words))
+	// MSB-first radix split, halving block size each stage (the recursive
+	// skeleton shared with the complementary Beneš derivation).
+	for bit := 0; bit < n.m; bit++ {
+		blockSize := 1 << uint(n.m-bit)
+		for base := 0; base < len(cur); base += blockSize {
+			block := cur[base : base+blockSize]
+			ranks := Ranks(block, bit, n.m)
+			if err := perm.Perm(ranks).Validate(); err != nil {
+				// The cube network can realize the split only when the ranks
+				// are a permutation of the block, which a valid permutation
+				// input guarantees (each block at stage `bit` holds exactly
+				// the addresses sharing the block's bit prefix).
+				return nil, fmt.Errorf("koppelman: stage %d block %d: rank precondition violated: %w",
+					bit, base/blockSize, err)
+			}
+			for off, r := range ranks {
+				next[base+r] = block[off]
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur, nil
+}
+
+// RoutePerm routes a bare permutation with the source index as payload.
+func (n *Network) RoutePerm(p perm.Perm) ([]Word, error) {
+	if len(p) != n.Inputs() {
+		return nil, fmt.Errorf("koppelman: permutation length %d, want %d", len(p), n.Inputs())
+	}
+	words := make([]Word, len(p))
+	for i, d := range p {
+		words[i] = Word{Addr: d, Data: uint64(i)}
+	}
+	return n.Route(words)
+}
+
+// Hardware summarizes the structural component counts of the analogue in
+// Table 1's units.
+type Hardware struct {
+	// Switches is the 2x2-switch count: every block's cube network carries
+	// the full q = log N + w word slices (no dead-slice elimination), each
+	// slice a banyan of (P/2) log P switches.
+	Switches int
+	// FunctionSlices is the routing-logic count: the preset routing tables
+	// charge two one-bit function slices per control-plane switch, matching
+	// Table 1's (N/2) log^2 N row at leading order.
+	FunctionSlices int
+	// AdderSlices is the ranking-circuit count: each block contributes a
+	// tree of P-1 adder nodes of log N bit-slices each, matching Table 1's
+	// N log^2 N row at leading order.
+	AdderSlices int
+}
+
+// CountHardware walks the constructed geometry and tallies components.
+func (n *Network) CountHardware() Hardware {
+	var h Hardware
+	q := n.m + n.w
+	for i := 0; i < n.m; i++ {
+		nt := n.nested[i]
+		blocks := 1 << uint(i)
+		perSliceSwitches := nt.SwitchCount() // (P/2)·log P
+		h.Switches += blocks * perSliceSwitches * q
+		h.FunctionSlices += blocks * perSliceSwitches * 2
+		h.AdderSlices += blocks * (nt.Inputs() - 1) * n.m
+	}
+	return h
+}
+
+// Delay returns the propagation delay of Table 2's Koppelman row at unit
+// device delays: (2/3) log^3 N - log^2 N + (1/3) log N + 1.
+func (n *Network) Delay() float64 {
+	fm := float64(n.m)
+	return 2.0/3.0*fm*fm*fm - fm*fm + fm/3 + 1
+}

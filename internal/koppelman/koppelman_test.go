@@ -1,0 +1,238 @@
+package koppelman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/perm"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0); err == nil {
+		t.Error("New(0,0) accepted")
+	}
+	if _, err := New(3, -1); err == nil {
+		t.Error("negative width accepted")
+	}
+	if _, err := New(3, 65); err == nil {
+		t.Error("oversized width accepted")
+	}
+}
+
+func TestRanksStableSplit(t *testing.T) {
+	words := []Word{{Addr: 5}, {Addr: 2}, {Addr: 7}, {Addr: 0}, {Addr: 6}, {Addr: 1}, {Addr: 4}, {Addr: 3}}
+	// Bit 0 (MSB) of 3-bit addresses: 5,7,6,4 have 1; 2,0,1,3 have 0.
+	ranks := Ranks(words, 0, 3)
+	// 0-side in input order: 2,0,1,3 -> ranks 0,1,2,3.
+	// 1-side in input order: 5,7,6,4 -> ranks 4,5,6,7.
+	want := []int{4, 0, 5, 1, 6, 2, 7, 3}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestRanksAllZerosOrOnes(t *testing.T) {
+	words := []Word{{Addr: 0}, {Addr: 1}}
+	// Bit 0 of 2-bit addresses 0 and 1 is 0 for both.
+	ranks := Ranks(words, 0, 2)
+	if ranks[0] != 0 || ranks[1] != 1 {
+		t.Errorf("all-zero ranks = %v", ranks)
+	}
+	words = []Word{{Addr: 2}, {Addr: 3}}
+	ranks = Ranks(words, 0, 2)
+	if ranks[0] != 0 || ranks[1] != 1 {
+		t.Errorf("all-one ranks = %v", ranks)
+	}
+}
+
+// TestRoutesAllPermutationsExhaustive checks all permutations for N = 2,4,8.
+func TestRoutesAllPermutationsExhaustive(t *testing.T) {
+	for m := 1; m <= 3; m++ {
+		n, err := New(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm.ForEach(n.Inputs(), func(p perm.Perm) bool {
+			out, err := n.RoutePerm(p)
+			if err != nil {
+				t.Fatalf("m=%d perm %v: %v", m, p, err)
+			}
+			for j, wd := range out {
+				if wd.Addr != j {
+					t.Fatalf("m=%d perm %v: misrouted", m, p)
+				}
+			}
+			for i, d := range p {
+				if out[d].Data != uint64(i) {
+					t.Fatalf("m=%d perm %v: payload lost", m, p)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestRoutesRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for m := 4; m <= 10; m++ {
+		n, err := New(m, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			p := perm.Random(n.Inputs(), rng)
+			out, err := n.RoutePerm(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, wd := range out {
+				if wd.Addr != j {
+					t.Fatalf("m=%d: misrouted", m)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteProperty(t *testing.T) {
+	n, err := New(7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		p := perm.Random(n.Inputs(), rand.New(rand.NewSource(seed)))
+		out, err := n.RoutePerm(p)
+		if err != nil {
+			return false
+		}
+		for j, wd := range out {
+			if wd.Addr != j {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	n, err := New(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Route(make([]Word, 3)); err == nil {
+		t.Error("Route accepted wrong length")
+	}
+	if _, err := n.Route([]Word{{Addr: 0}, {Addr: 0}, {Addr: 1}, {Addr: 2}}); err == nil {
+		t.Error("Route accepted duplicate addresses")
+	}
+	if _, err := n.RoutePerm(perm.Identity(3)); err == nil {
+		t.Error("RoutePerm accepted wrong length")
+	}
+}
+
+func TestRouteInputUnmodified(t *testing.T) {
+	n, err := New(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := make([]Word, 8)
+	for i, d := range perm.Reversal(8) {
+		words[i] = Word{Addr: d}
+	}
+	orig := append([]Word(nil), words...)
+	if _, err := n.Route(words); err != nil {
+		t.Fatal(err)
+	}
+	for i := range words {
+		if words[i] != orig[i] {
+			t.Fatal("Route modified its input")
+		}
+	}
+}
+
+// TestHardwareMatchesTable1Leading verifies the counted component totals
+// approach the Table 1 rows as N grows: switches / (N/4 log^3 N) -> 1,
+// adder slices / (N log^2 N) -> 1, function slices / (N/2 log^2 N) -> 1.
+func TestHardwareMatchesTable1Leading(t *testing.T) {
+	for _, m := range []int{8, 12, 16} {
+		n, err := New(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := n.CountHardware()
+		swRatio := float64(h.Switches) / cost.KoppelmanSwitchesLeading(m)
+		adRatio := float64(h.AdderSlices) / cost.KoppelmanAdderSlicesLeading(m)
+		fnRatio := float64(h.FunctionSlices) / cost.KoppelmanFunctionSlicesLeading(m)
+		tol := 3.0 / float64(m) // second-order terms decay like 1/log N
+		if math.Abs(swRatio-1) > tol {
+			t.Errorf("m=%d: switch ratio %v not near 1 (tol %v)", m, swRatio, tol)
+		}
+		if math.Abs(adRatio-1) > tol {
+			t.Errorf("m=%d: adder ratio %v not near 1 (tol %v)", m, adRatio, tol)
+		}
+		if math.Abs(fnRatio-1) > tol {
+			t.Errorf("m=%d: function ratio %v not near 1 (tol %v)", m, fnRatio, tol)
+		}
+	}
+}
+
+// TestSwitchCountExceedsBNB verifies the structural reason for Table 1's
+// ordering: with full-width slices the analogue uses strictly more switches
+// than the dead-slice-optimized BNB at every order and width.
+func TestSwitchCountExceedsBNB(t *testing.T) {
+	for m := 2; m <= 12; m++ {
+		for _, w := range []int{0, 8} {
+			n, err := New(m, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := n.CountHardware()
+			bnb := cost.BNBSwitches(m, w)
+			if h.Switches <= bnb {
+				t.Errorf("m=%d w=%d: analogue switches %d not above BNB %d", m, w, h.Switches, bnb)
+			}
+		}
+	}
+}
+
+func TestDelayMatchesTable2Row(t *testing.T) {
+	for m := 1; m <= 12; m++ {
+		n, err := New(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := n.Delay(), cost.KoppelmanDelay(m); math.Abs(got-want) > 1e-9 {
+			t.Errorf("m=%d: Delay = %v, Table 2 row = %v", m, got, want)
+		}
+	}
+}
+
+func BenchmarkRouteKoppelman(b *testing.B) {
+	for _, m := range []int{6, 8, 10} {
+		n, err := New(m, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := perm.Random(n.Inputs(), rand.New(rand.NewSource(1)))
+		words := make([]Word, n.Inputs())
+		for i, d := range p {
+			words[i] = Word{Addr: d, Data: uint64(i)}
+		}
+		b.Run(map[int]string{6: "N=64", 8: "N=256", 10: "N=1024"}[m], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := n.Route(words); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,195 @@
+package omega
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("New(0) accepted")
+	}
+	n, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.M() != 3 || n.Inputs() != 8 || n.Stages() != 3 || n.Switches() != 12 {
+		t.Errorf("geometry = (%d,%d,%d,%d)", n.M(), n.Inputs(), n.Stages(), n.Switches())
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	n, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.Route(perm.Identity(4)); err == nil {
+		t.Error("Route accepted wrong length")
+	}
+	if _, _, err := n.Route(perm.Perm{0, 0, 1, 2, 3, 4, 5, 6}); err == nil {
+		t.Error("Route accepted non-permutation")
+	}
+	if _, err := n.PassRate(0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("PassRate accepted zero trials")
+	}
+}
+
+func TestIdentityPasses(t *testing.T) {
+	for m := 1; m <= 8; m++ {
+		n, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, conflicts, err := n.Route(perm.Identity(n.Inputs()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || conflicts != 0 {
+			t.Errorf("m=%d: identity blocked (%d conflicts)", m, conflicts)
+		}
+	}
+}
+
+// TestShiftsPass verifies Lawrie's classic result: the omega network passes
+// every cyclic shift (the alignment patterns it was designed for).
+func TestShiftsPass(t *testing.T) {
+	for m := 2; m <= 7; m++ {
+		n, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < n.Inputs(); a++ {
+			ok, conflicts, err := n.Route(perm.VectorShift(n.Inputs(), a))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Errorf("m=%d: shift %d blocked (%d conflicts)", m, a, conflicts)
+			}
+		}
+	}
+}
+
+// TestExactPassableCount verifies the unique-path counting argument
+// exhaustively: the number of passable permutations equals 2^{(N/2) log N}
+// for N = 2 and 4 (2^1 = 2 of 2, and 2^4 = 16 of 24), and for N = 8 the
+// count is 2^12 = 4096 of 40320.
+func TestExactPassableCount(t *testing.T) {
+	for m := 1; m <= 3; m++ {
+		n, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		passed := 0
+		perm.ForEach(n.Inputs(), func(p perm.Perm) bool {
+			ok, _, err := n.Route(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				passed++
+			}
+			return true
+		})
+		want := int(n.RoutablePermutations())
+		if passed != want {
+			t.Errorf("m=%d: %d permutations passed, closed form 2^{(N/2)logN} = %d", m, passed, want)
+		}
+	}
+}
+
+// TestPassRateMatchesTheory compares the sampled pass rate at N = 8 with the
+// exact fraction 4096/40320 ≈ 0.1016.
+func TestPassRateMatchesTheory(t *testing.T) {
+	n, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := n.PassRate(5000, rand.New(rand.NewSource(17)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := 4096.0 / 40320.0
+	if math.Abs(rate-exact) > 0.02 {
+		t.Errorf("sampled pass rate %v deviates from exact %v", rate, exact)
+	}
+}
+
+// TestPassRateVanishes verifies the blocking fraction collapses with N —
+// the quantitative reason log N-stage banyans are not permutation networks.
+func TestPassRateVanishes(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n5, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate5, err := n5.PassRate(2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate5 > 0.005 {
+		t.Errorf("m=5 pass rate %v unexpectedly high", rate5)
+	}
+}
+
+// TestConflictsCounted verifies the conflict counter is consistent with the
+// pass/fail verdict on every permutation of N = 4 and 8: blocked
+// permutations report at least one conflicted switch, passable ones report
+// zero. (Note the N = 4 reversal i -> 3-i is the XOR-complement i^3 and
+// therefore passes — structured classes survive where random traffic
+// blocks.)
+func TestConflictsCounted(t *testing.T) {
+	for m := 2; m <= 3; m++ {
+		n, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocked := 0
+		perm.ForEach(n.Inputs(), func(p perm.Perm) bool {
+			ok, conflicts, err := n.Route(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != (conflicts == 0) {
+				t.Fatalf("m=%d perm %v: ok=%v but conflicts=%d", m, p, ok, conflicts)
+			}
+			if !ok {
+				blocked++
+			}
+			return true
+		})
+		if blocked == 0 {
+			t.Errorf("m=%d: no blocked permutations found", m)
+		}
+	}
+	// And the reversal-is-complement aside holds.
+	n, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _, err := n.Route(perm.Reversal(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("N=4 reversal (an XOR-complement) should pass the omega network")
+	}
+}
+
+func BenchmarkOmegaRoute1024(b *testing.B) {
+	n, err := New(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := perm.VectorShift(1024, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := n.Route(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,450 @@
+// Package perm provides the permutation workload substrate used throughout
+// the reproduction: a validated permutation type, composition algebra,
+// seeded random generation, exhaustive enumeration for small sizes, and the
+// structured permutation families (bit-permute-complement, shuffles,
+// bit-reversal, transposes) that the interconnection-network literature uses
+// as standard workloads.
+package perm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/wiring"
+)
+
+// Perm is a permutation of {0, ..., n-1}: p[i] is the destination of input i.
+type Perm []int
+
+// Identity returns the identity permutation on n elements.
+func Identity(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Reversal returns the order-reversing permutation i -> n-1-i.
+func Reversal(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = n - 1 - i
+	}
+	return p
+}
+
+// Random returns a uniformly random permutation of n elements drawn from rng
+// using the Fisher-Yates shuffle. The caller owns the generator, keeping all
+// randomness in this repository explicitly seeded.
+func Random(n int, rng *rand.Rand) Perm {
+	p := Identity(n)
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Validate reports an error unless p is a permutation of {0, ..., len(p)-1}.
+func (p Perm) Validate() error {
+	seen := make([]bool, len(p))
+	for i, v := range p {
+		if v < 0 || v >= len(p) {
+			return fmt.Errorf("perm: entry %d -> %d out of range [0,%d)", i, v, len(p))
+		}
+		if seen[v] {
+			return fmt.Errorf("perm: destination %d appears more than once", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Inverse returns q with q[p[i]] = i. p must be valid.
+func (p Perm) Inverse() Perm {
+	q := make(Perm, len(p))
+	for i, v := range p {
+		q[v] = i
+	}
+	return q
+}
+
+// Compose returns the permutation r = q after p, i.e. r[i] = q[p[i]].
+// Both permutations must have the same length; Compose panics otherwise
+// because a length mismatch is a programming error, not an input error.
+func (p Perm) Compose(q Perm) Perm {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("perm: compose length mismatch %d vs %d", len(p), len(q)))
+	}
+	r := make(Perm, len(p))
+	for i, v := range p {
+		r[i] = q[v]
+	}
+	return r
+}
+
+// Equal reports whether p and q are the same permutation.
+func (p Perm) Equal(q Perm) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of p.
+func (p Perm) Clone() Perm {
+	q := make(Perm, len(p))
+	copy(q, p)
+	return q
+}
+
+// IsIdentity reports whether p maps every element to itself.
+func (p Perm) IsIdentity() bool {
+	for i, v := range p {
+		if i != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Fixpoints returns the number of elements p maps to themselves.
+func (p Perm) Fixpoints() int {
+	n := 0
+	for i, v := range p {
+		if i == v {
+			n++
+		}
+	}
+	return n
+}
+
+// Cycles returns the cycle decomposition of p, each cycle listed starting
+// from its smallest element, cycles ordered by their smallest elements.
+func (p Perm) Cycles() [][]int {
+	var cycles [][]int
+	seen := make([]bool, len(p))
+	for i := range p {
+		if seen[i] {
+			continue
+		}
+		var c []int
+		for j := i; !seen[j]; j = p[j] {
+			seen[j] = true
+			c = append(c, j)
+		}
+		cycles = append(cycles, c)
+	}
+	return cycles
+}
+
+// ForEach enumerates every permutation of n elements using Heap's algorithm,
+// invoking fn with a reused buffer (fn must not retain it). Enumeration stops
+// early when fn returns false. ForEach returns the number of permutations
+// visited.
+func ForEach(n int, fn func(Perm) bool) int {
+	p := Identity(n)
+	count := 0
+	visit := func() bool {
+		count++
+		return fn(p)
+	}
+	if !visit() {
+		return count
+	}
+	// Iterative Heap's algorithm.
+	c := make([]int, n)
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				p[0], p[i] = p[i], p[0]
+			} else {
+				p[c[i]], p[i] = p[i], p[c[i]]
+			}
+			if !visit() {
+				return count
+			}
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+	return count
+}
+
+// BPC is a bit-permute-complement permutation on m-bit indices: destination
+// address bits are a fixed rearrangement of source address bits, XOR-ed with
+// a complement mask. BPC permutations are the classic "nice" class that
+// simple bit-controlled self-routing schemes handle (Nassimi & Sahni 1981);
+// they include bit reversal, perfect shuffle, matrix transpose and
+// dimension-complement among many others.
+type BPC struct {
+	// BitPerm maps destination bit position k (LSB-first) to the source bit
+	// position it copies: dest bit k = source bit BitPerm[k]. Must be a
+	// permutation of {0,...,m-1}.
+	BitPerm []int
+	// Complement is XOR-ed into the destination address after the bit
+	// rearrangement.
+	Complement int
+}
+
+// Perm materializes the BPC mapping as an explicit permutation on 2^m
+// elements, where m = len(b.BitPerm).
+func (b BPC) Perm() (Perm, error) {
+	m := len(b.BitPerm)
+	if err := wiring.CheckOrder(m); err != nil {
+		return nil, fmt.Errorf("perm: BPC: %w", err)
+	}
+	if err := Perm(b.BitPerm).Validate(); err != nil {
+		return nil, fmt.Errorf("perm: BPC bit permutation invalid: %w", err)
+	}
+	if b.Complement < 0 || b.Complement >= 1<<uint(m) {
+		return nil, fmt.Errorf("perm: BPC complement %#x out of range for m=%d", b.Complement, m)
+	}
+	n := 1 << uint(m)
+	p := make(Perm, n)
+	for i := 0; i < n; i++ {
+		d := 0
+		for k := 0; k < m; k++ {
+			d |= wiring.Bit(i, b.BitPerm[k]) << uint(k)
+		}
+		p[i] = d ^ b.Complement
+	}
+	return p, nil
+}
+
+// RandomBPC draws a uniformly random BPC permutation on m-bit indices.
+func RandomBPC(m int, rng *rand.Rand) BPC {
+	return BPC{
+		BitPerm:    Random(m, rng),
+		Complement: rng.Intn(1 << uint(m)),
+	}
+}
+
+// BitReversal returns the bit-reversal permutation on 2^m elements.
+func BitReversal(m int) Perm {
+	n := 1 << uint(m)
+	p := make(Perm, n)
+	for i := 0; i < n; i++ {
+		p[i] = wiring.ReverseBits(i, m)
+	}
+	return p
+}
+
+// PerfectShuffle returns the perfect-shuffle permutation on 2^m elements
+// (left rotation of the index bits), the canonical array-alignment pattern.
+func PerfectShuffle(m int) Perm {
+	n := 1 << uint(m)
+	p := make(Perm, n)
+	for i := 0; i < n; i++ {
+		p[i] = wiring.RotateLeft(i, m)
+	}
+	return p
+}
+
+// BitComplement returns the permutation i -> i XOR (2^m - 1), the
+// dimension-complement pattern of hypercube workloads.
+func BitComplement(m int) Perm {
+	n := 1 << uint(m)
+	p := make(Perm, n)
+	for i := 0; i < n; i++ {
+		p[i] = i ^ (n - 1)
+	}
+	return p
+}
+
+// Transpose returns the matrix-transpose permutation on 2^m elements for even
+// m: the high m/2 index bits are exchanged with the low m/2 bits, i.e. entry
+// (r, c) of a 2^{m/2} x 2^{m/2} matrix moves to (c, r).
+func Transpose(m int) (Perm, error) {
+	if m%2 != 0 {
+		return nil, fmt.Errorf("perm: transpose requires even m, got %d", m)
+	}
+	h := m / 2
+	n := 1 << uint(m)
+	p := make(Perm, n)
+	for i := 0; i < n; i++ {
+		hi := i >> uint(h)
+		lo := i & (1<<uint(h) - 1)
+		p[i] = lo<<uint(h) | hi
+	}
+	return p, nil
+}
+
+// VectorShift returns the cyclic shift permutation i -> (i + s) mod n.
+func VectorShift(n, s int) Perm {
+	p := make(Perm, n)
+	s = ((s % n) + n) % n
+	for i := 0; i < n; i++ {
+		p[i] = (i + s) % n
+	}
+	return p
+}
+
+// Exchange returns the permutation flipping index bit k: i -> i XOR 2^k.
+func Exchange(m, k int) (Perm, error) {
+	if k < 0 || k >= m {
+		return nil, fmt.Errorf("perm: exchange bit %d out of range for m=%d", k, m)
+	}
+	n := 1 << uint(m)
+	p := make(Perm, n)
+	for i := 0; i < n; i++ {
+		p[i] = i ^ (1 << uint(k))
+	}
+	return p, nil
+}
+
+// Butterfly returns the butterfly permutation: exchange the MSB and LSB of
+// the m-bit index.
+func Butterfly(m int) Perm {
+	n := 1 << uint(m)
+	p := make(Perm, n)
+	for i := 0; i < n; i++ {
+		msb := wiring.Bit(i, m-1)
+		lsb := wiring.Bit(i, 0)
+		v := i
+		v = v&^(1<<uint(m-1)) | lsb<<uint(m-1)
+		v = v&^1 | msb
+		p[i] = v
+	}
+	return p
+}
+
+// Family names a built-in permutation family for CLI tools and workload
+// sweeps.
+type Family int
+
+// Enumeration of built-in permutation families.
+const (
+	FamilyIdentity Family = iota + 1
+	FamilyReversal
+	FamilyBitReversal
+	FamilyPerfectShuffle
+	FamilyBitComplement
+	FamilyTranspose
+	FamilyButterfly
+	FamilyRandom
+)
+
+// String implements fmt.Stringer.
+func (f Family) String() string {
+	switch f {
+	case FamilyIdentity:
+		return "identity"
+	case FamilyReversal:
+		return "reversal"
+	case FamilyBitReversal:
+		return "bit-reversal"
+	case FamilyPerfectShuffle:
+		return "perfect-shuffle"
+	case FamilyBitComplement:
+		return "bit-complement"
+	case FamilyTranspose:
+		return "transpose"
+	case FamilyButterfly:
+		return "butterfly"
+	case FamilyRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// ParseFamily resolves a family name as printed by Family.String.
+func ParseFamily(s string) (Family, error) {
+	for f := FamilyIdentity; f <= FamilyRandom; f++ {
+		if f.String() == s {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("perm: unknown permutation family %q", s)
+}
+
+// Families lists every built-in family.
+func Families() []Family {
+	return []Family{
+		FamilyIdentity, FamilyReversal, FamilyBitReversal, FamilyPerfectShuffle,
+		FamilyBitComplement, FamilyTranspose, FamilyButterfly, FamilyRandom,
+	}
+}
+
+// Generate produces a member of the family on 2^m elements. rng is consulted
+// only for FamilyRandom and may be nil otherwise. Families undefined for the
+// given m (e.g. transpose with odd m) return an error.
+func Generate(f Family, m int, rng *rand.Rand) (Perm, error) {
+	if err := wiring.CheckOrder(m); err != nil {
+		return nil, fmt.Errorf("perm: %w", err)
+	}
+	n := 1 << uint(m)
+	switch f {
+	case FamilyIdentity:
+		return Identity(n), nil
+	case FamilyReversal:
+		return Reversal(n), nil
+	case FamilyBitReversal:
+		return BitReversal(m), nil
+	case FamilyPerfectShuffle:
+		return PerfectShuffle(m), nil
+	case FamilyBitComplement:
+		return BitComplement(m), nil
+	case FamilyTranspose:
+		return Transpose(m)
+	case FamilyButterfly:
+		return Butterfly(m), nil
+	case FamilyRandom:
+		if rng == nil {
+			return nil, fmt.Errorf("perm: random family requires a generator")
+		}
+		return Random(n, rng), nil
+	default:
+		return nil, fmt.Errorf("perm: unknown family %v", f)
+	}
+}
+
+// Complete extends a partial destination assignment to a full permutation:
+// entries of p equal to -1 (idle) are assigned the unused destinations in
+// increasing order. This is the standard dummy-cell padding of
+// sorting-network switch fabrics, where the data path requires a full
+// permutation every cycle. Defined entries must be distinct and in range.
+func Complete(partial []int) (Perm, error) {
+	n := len(partial)
+	used := make([]bool, n)
+	for i, d := range partial {
+		if d == -1 {
+			continue
+		}
+		if d < 0 || d >= n {
+			return nil, fmt.Errorf("perm: partial entry %d -> %d out of range [0,%d)", i, d, n)
+		}
+		if used[d] {
+			return nil, fmt.Errorf("perm: destination %d assigned twice", d)
+		}
+		used[d] = true
+	}
+	var free []int
+	for d := 0; d < n; d++ {
+		if !used[d] {
+			free = append(free, d)
+		}
+	}
+	out := make(Perm, n)
+	fi := 0
+	for i, d := range partial {
+		if d == -1 {
+			out[i] = free[fi]
+			fi++
+		} else {
+			out[i] = d
+		}
+	}
+	return out, nil
+}

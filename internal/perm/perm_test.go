@@ -1,0 +1,427 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	p := Identity(8)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsIdentity() {
+		t.Error("Identity(8) is not the identity")
+	}
+	if p.Fixpoints() != 8 {
+		t.Errorf("Fixpoints = %d, want 8", p.Fixpoints())
+	}
+}
+
+func TestReversal(t *testing.T) {
+	p := Reversal(6)
+	want := Perm{5, 4, 3, 2, 1, 0}
+	if !p.Equal(want) {
+		t.Errorf("Reversal(6) = %v, want %v", p, want)
+	}
+	if !p.Compose(p).IsIdentity() {
+		t.Error("reversal composed with itself is not identity")
+	}
+}
+
+func TestRandomIsValidAndSeeded(t *testing.T) {
+	r1 := Random(64, rand.New(rand.NewSource(7)))
+	r2 := Random(64, rand.New(rand.NewSource(7)))
+	r3 := Random(64, rand.New(rand.NewSource(8)))
+	if err := r1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Equal(r2) {
+		t.Error("same seed produced different permutations")
+	}
+	if r1.Equal(r3) {
+		t.Error("different seeds produced identical permutations (vanishingly unlikely)")
+	}
+}
+
+func TestRandomUniformSmall(t *testing.T) {
+	// All 6 permutations of 3 elements should appear with roughly equal
+	// frequency.
+	rng := rand.New(rand.NewSource(42))
+	counts := map[[3]int]int{}
+	const trials = 6000
+	for i := 0; i < trials; i++ {
+		p := Random(3, rng)
+		counts[[3]int{p[0], p[1], p[2]}]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d distinct permutations, want 6", len(counts))
+	}
+	for k, c := range counts {
+		if c < trials/6-200 || c > trials/6+200 {
+			t.Errorf("permutation %v count %d deviates from uniform %d", k, c, trials/6)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Perm
+		ok   bool
+	}{
+		{"empty", Perm{}, true},
+		{"identity", Perm{0, 1, 2}, true},
+		{"swap", Perm{1, 0}, true},
+		{"duplicate", Perm{0, 0, 2}, false},
+		{"out of range high", Perm{0, 3, 1}, false},
+		{"negative", Perm{0, -1, 1}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate()
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate(%v) error = %v, want ok=%v", tt.p, err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		p := Random(32, rand.New(rand.NewSource(seed)))
+		return p.Compose(p.Inverse()).IsIdentity() && p.Inverse().Compose(p).IsIdentity()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p, q, r := Random(16, rng), Random(16, rng), Random(16, rng)
+	left := p.Compose(q).Compose(r)
+	right := p.Compose(q.Compose(r))
+	if !left.Equal(right) {
+		t.Error("composition is not associative")
+	}
+}
+
+func TestComposePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compose with mismatched lengths did not panic")
+		}
+	}()
+	Identity(3).Compose(Identity(4))
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := Identity(4)
+	q := p.Clone()
+	q[0] = 3
+	if p[0] != 0 {
+		t.Error("Clone shares backing storage")
+	}
+}
+
+func TestCycles(t *testing.T) {
+	p := Perm{1, 2, 0, 4, 3, 5}
+	cycles := p.Cycles()
+	want := [][]int{{0, 1, 2}, {3, 4}, {5}}
+	if len(cycles) != len(want) {
+		t.Fatalf("Cycles = %v, want %v", cycles, want)
+	}
+	for i := range want {
+		if len(cycles[i]) != len(want[i]) {
+			t.Fatalf("cycle %d = %v, want %v", i, cycles[i], want[i])
+		}
+		for j := range want[i] {
+			if cycles[i][j] != want[i][j] {
+				t.Fatalf("cycle %d = %v, want %v", i, cycles[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachCountsFactorial(t *testing.T) {
+	want := []int{1, 1, 2, 6, 24, 120, 720}
+	for n := 0; n <= 6; n++ {
+		seen := map[string]bool{}
+		got := ForEach(n, func(p Perm) bool {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("ForEach produced invalid perm: %v", err)
+			}
+			key := ""
+			for _, v := range p {
+				key += string(rune('a' + v))
+			}
+			seen[key] = true
+			return true
+		})
+		if got != want[n] {
+			t.Errorf("ForEach(%d) visited %d, want %d", n, got, want[n])
+		}
+		if len(seen) != want[n] {
+			t.Errorf("ForEach(%d) produced %d distinct perms, want %d", n, len(seen), want[n])
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	calls := 0
+	got := ForEach(5, func(Perm) bool {
+		calls++
+		return calls < 10
+	})
+	if got != 10 || calls != 10 {
+		t.Errorf("early stop visited %d (calls %d), want 10", got, calls)
+	}
+}
+
+func TestBPCKnownFamilies(t *testing.T) {
+	m := 4
+	// Bit reversal is the BPC with BitPerm[k] = m-1-k and no complement.
+	rev := make([]int, m)
+	for k := range rev {
+		rev[k] = m - 1 - k
+	}
+	p, err := BPC{BitPerm: rev}.Perm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(BitReversal(m)) {
+		t.Error("BPC bit reversal disagrees with BitReversal")
+	}
+	// Identity bit permutation with full complement mask is bit complement.
+	id := []int{0, 1, 2, 3}
+	p, err = BPC{BitPerm: id, Complement: 15}.Perm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(BitComplement(m)) {
+		t.Error("BPC full complement disagrees with BitComplement")
+	}
+	// Perfect shuffle: dest bit k takes source bit k-1 mod m.
+	sh := make([]int, m)
+	for k := range sh {
+		sh[k] = ((k - 1) + m) % m
+	}
+	p, err = BPC{BitPerm: sh}.Perm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(PerfectShuffle(m)) {
+		t.Error("BPC shuffle disagrees with PerfectShuffle")
+	}
+}
+
+func TestBPCValidation(t *testing.T) {
+	if _, err := (BPC{BitPerm: []int{0, 0}}).Perm(); err == nil {
+		t.Error("BPC with invalid bit permutation accepted")
+	}
+	if _, err := (BPC{BitPerm: []int{0, 1}, Complement: 4}).Perm(); err == nil {
+		t.Error("BPC with out-of-range complement accepted")
+	}
+	if _, err := (BPC{BitPerm: nil}).Perm(); err == nil {
+		t.Error("BPC with empty bit permutation accepted")
+	}
+}
+
+func TestRandomBPCAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		b := RandomBPC(5, rng)
+		p, err := b.Perm()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStructuredFamiliesValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, f := range Families() {
+		for m := 2; m <= 8; m += 2 {
+			p, err := Generate(f, m, rng)
+			if err != nil {
+				t.Fatalf("Generate(%v, %d): %v", f, m, err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("Generate(%v, %d) invalid: %v", f, m, err)
+			}
+			if len(p) != 1<<uint(m) {
+				t.Fatalf("Generate(%v, %d) has %d entries", f, m, len(p))
+			}
+		}
+	}
+}
+
+func TestTransposeOddM(t *testing.T) {
+	if _, err := Transpose(3); err == nil {
+		t.Error("Transpose(3) accepted odd m")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	p, err := Transpose(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Compose(p).IsIdentity() {
+		t.Error("transpose is not an involution")
+	}
+}
+
+func TestExchange(t *testing.T) {
+	p, err := Exchange(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Perm{2, 3, 0, 1, 6, 7, 4, 5}
+	if !p.Equal(want) {
+		t.Errorf("Exchange(3,1) = %v, want %v", p, want)
+	}
+	if _, err := Exchange(3, 3); err == nil {
+		t.Error("Exchange with out-of-range bit accepted")
+	}
+}
+
+func TestVectorShift(t *testing.T) {
+	p := VectorShift(8, 3)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p[7] != 2 {
+		t.Errorf("VectorShift(8,3)[7] = %d, want 2", p[7])
+	}
+	neg := VectorShift(8, -3)
+	if !p.Compose(neg).IsIdentity() {
+		t.Error("shift and negative shift do not cancel")
+	}
+}
+
+func TestButterflyInvolution(t *testing.T) {
+	for m := 2; m <= 8; m++ {
+		p := Butterfly(m)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Butterfly(%d): %v", m, err)
+		}
+		if !p.Compose(p).IsIdentity() {
+			t.Errorf("Butterfly(%d) is not an involution", m)
+		}
+	}
+}
+
+func TestParseFamilyRoundTrip(t *testing.T) {
+	for _, f := range Families() {
+		got, err := ParseFamily(f.String())
+		if err != nil {
+			t.Fatalf("ParseFamily(%q): %v", f.String(), err)
+		}
+		if got != f {
+			t.Errorf("ParseFamily(%q) = %v, want %v", f.String(), got, f)
+		}
+	}
+	if _, err := ParseFamily("nope"); err == nil {
+		t.Error("ParseFamily accepted unknown name")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(FamilyRandom, 3, nil); err == nil {
+		t.Error("Generate random with nil rng accepted")
+	}
+	if _, err := Generate(Family(99), 3, nil); err == nil {
+		t.Error("Generate with unknown family accepted")
+	}
+	if _, err := Generate(FamilyIdentity, 0, nil); err == nil {
+		t.Error("Generate with m=0 accepted")
+	}
+}
+
+func BenchmarkRandomPerm1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Random(1024, rng)
+	}
+}
+
+func BenchmarkComposePerm1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := Random(1024, rng)
+	q := Random(1024, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Compose(q)
+	}
+}
+
+func TestComplete(t *testing.T) {
+	tests := []struct {
+		name    string
+		partial []int
+		want    Perm
+		ok      bool
+	}{
+		{"all idle", []int{-1, -1, -1}, Perm{0, 1, 2}, true},
+		{"none idle", []int{2, 1, 0}, Perm{2, 1, 0}, true},
+		{"mixed", []int{3, -1, 0, -1}, Perm{3, 1, 0, 2}, true},
+		{"duplicate", []int{1, 1, -1}, nil, false},
+		{"out of range", []int{3, -1, -1}, nil, false},
+		{"negative non-idle", []int{-2, -1, 0}, nil, false},
+		{"empty", []int{}, Perm{}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Complete(tt.partial)
+			if (err == nil) != tt.ok {
+				t.Fatalf("Complete(%v) error = %v, want ok=%v", tt.partial, err, tt.ok)
+			}
+			if err != nil {
+				return
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("Complete(%v) produced invalid perm: %v", tt.partial, err)
+			}
+			if !got.Equal(tt.want) {
+				t.Errorf("Complete(%v) = %v, want %v", tt.partial, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCompleteProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(60)
+		p := Random(n, rng)
+		partial := make([]int, n)
+		for i := range partial {
+			if rng.Float64() < 0.5 {
+				partial[i] = -1
+			} else {
+				partial[i] = p[i]
+			}
+		}
+		got, err := Complete(partial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Defined entries are preserved.
+		for i, d := range partial {
+			if d != -1 && got[i] != d {
+				t.Fatalf("Complete changed defined entry %d", i)
+			}
+		}
+	}
+}

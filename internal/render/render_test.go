@@ -1,0 +1,212 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/batcher"
+	"repro/internal/core"
+)
+
+func TestGBNFig1(t *testing.T) {
+	out, err := GBN(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Fig. 1 geometry: one SB(3), two SB(2), four SB(1).
+	if got := strings.Count(out, "SB(3)"); got != 1 {
+		t.Errorf("SB(3) appears %d times, want 1", got)
+	}
+	if got := strings.Count(out, "SB(2)"); got != 2 {
+		t.Errorf("SB(2) appears %d times, want 2", got)
+	}
+	if got := strings.Count(out, "SB(1)"); got != 4 {
+		t.Errorf("SB(1) appears %d times, want 4", got)
+	}
+	for _, want := range []string{"U_3^3", "U_2^3", "stage-0", "stage-2", "8 inputs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("GBN(3) output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "stage-3") {
+		t.Error("GBN(3) shows a nonexistent stage-3")
+	}
+}
+
+func TestGBNValidation(t *testing.T) {
+	if _, err := GBN(0); err == nil {
+		t.Error("GBN(0) accepted")
+	}
+}
+
+func TestBSNFigure(t *testing.T) {
+	out, err := BSNFigure(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out, "sp(3)"); got != 1 {
+		t.Errorf("sp(3) appears %d times, want 1", got)
+	}
+	if got := strings.Count(out, "sp(1)"); got != 4 {
+		t.Errorf("sp(1) appears %d times, want 4", got)
+	}
+	if _, err := BSNFigure(0); err == nil {
+		t.Error("BSNFigure(0) accepted")
+	}
+}
+
+func TestBNBProfile(t *testing.T) {
+	n, err := core.New(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := BNBProfile(n)
+	// Fig. 3 labels: NB(0,0), NB(1,0), NB(1,1), NB(2,0..3).
+	for _, want := range []string{"NB(0,0)", "NB(1,0)", "NB(1,1)", "NB(2,0)", "NB(2,3)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile missing %q", want)
+		}
+	}
+	if !strings.Contains(out, "N=8") {
+		t.Error("profile missing input count")
+	}
+	if !strings.Contains(out, "Definition 5") {
+		t.Error("profile missing composition legend")
+	}
+}
+
+func TestSplitterFig4(t *testing.T) {
+	out, err := Splitter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sp(3): 4 switches, 7 function nodes in 3 levels (4+2+1).
+	if !strings.Contains(out, "4 two-by-two switches") {
+		t.Error("missing switch count")
+	}
+	if !strings.Contains(out, "7 function nodes") {
+		t.Error("missing node count")
+	}
+	for _, want := range []string{"level 1:  4 node", "level 2:  2 node", "level 3:  1 node", "switch  3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("splitter figure missing %q", want)
+		}
+	}
+	if _, err := Splitter(0); err == nil {
+		t.Error("Splitter(0) accepted")
+	}
+}
+
+func TestSplitterSp1IsWiring(t *testing.T) {
+	out, err := Splitter(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "pure wiring") {
+		t.Error("sp(1) figure does not mention wiring")
+	}
+}
+
+func TestFunctionNodeFig5(t *testing.T) {
+	out := FunctionNode()
+	// 8 truth-table rows.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") && !strings.Contains(line, "z_u") && !strings.Contains(line, "--") {
+			rows++
+		}
+	}
+	if rows != 8 {
+		t.Errorf("truth table has %d rows, want 8", rows)
+	}
+	// Spot-check the type-1 self-generation row: x1=x2=1, zd=1 -> y1=0 y2=1.
+	if !strings.Contains(out, "1  1  1  |  0   0  1") {
+		t.Error("truth table missing type-1 row (1,1,1)")
+	}
+	// And a type-2 forwarding row: x1=0 x2=1 zd=1 -> y1=1 y2=1.
+	if !strings.Contains(out, "0  1  1  |  1   1  1") {
+		t.Error("truth table missing type-2 row (0,1,1)")
+	}
+}
+
+func TestBatcherDiagram(t *testing.T) {
+	n, err := batcher.New(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := BatcherDiagram(n)
+	if !strings.Contains(out, "N=8, 19 comparators in 6 stages") {
+		t.Errorf("header missing counts:\n%s", out)
+	}
+	// Every comparator contributes exactly two endpoint glyphs "o-".
+	if got := strings.Count(out, "o-"); got != 2*19 {
+		t.Errorf("endpoint count = %d, want %d", got, 2*19)
+	}
+	// All 8 lines are drawn.
+	for line := 0; line < 8; line++ {
+		if !strings.Contains(out, fmt.Sprintf("%2d ", line)) {
+			t.Errorf("line %d missing", line)
+		}
+	}
+	// Stage boundaries appear (6 stages -> at least 5 boundary markers per line).
+	if !strings.Contains(out, "|") {
+		t.Error("no stage boundaries drawn")
+	}
+}
+
+func TestRouteInstance(t *testing.T) {
+	n, err := core.New(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RouteInstance(n, []int{5, 2, 7, 0, 6, 1, 4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"network input",
+		"after stage 0",
+		"after stage 2",
+		"fully sorted",
+		"all words delivered",
+		"[0 1 2 3 4 5 6 7]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("route instance missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := RouteInstance(n, []int{0, 0, 1, 2, 3, 4, 5, 6}); err == nil {
+		t.Error("RouteInstance accepted non-permutation")
+	}
+}
+
+func TestSplitterInstance(t *testing.T) {
+	out, err := SplitterInstance(3, []uint8{1, 0, 1, 1, 0, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"upward XOR states",
+		"level 0: [1 0 1 1 0 1 0 0]",
+		"root echoes z_d = 0",
+		"switch 0",
+		"balance: 2 ones on even outputs, 2 on odd",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("splitter instance missing %q:\n%s", want, out)
+		}
+	}
+	// sp(1) wiring path.
+	out, err = SplitterInstance(1, []uint8{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wiring") {
+		t.Error("sp(1) instance missing wiring note")
+	}
+	// Invalid input (odd weight) rejected.
+	if _, err := SplitterInstance(2, []uint8{1, 0, 0, 0}); err == nil {
+		t.Error("odd-weight input accepted")
+	}
+}

@@ -1,0 +1,163 @@
+// Package waksman implements Waksman's permutation network (JACM 1968,
+// reference [5] of Lee & Lu): the Beneš construction with one switch of
+// each recursion level fixed, achieving the minimum known switch count
+// N·log N − N + 1 for a rearrangeable network — within a whisker of the
+// information-theoretic bound ⌈log2(N!)⌉. Like the Beneš network it needs
+// the global looping algorithm to set its switches, which is exactly the
+// overhead the BNB self-routing design exists to avoid; it anchors the
+// lower-bound comparison of the extension studies.
+//
+// Construction: a 2^r-input Waksman network is an input column of 2^{r-1}
+// switches, an upper and a lower half-size Waksman network, and an output
+// column of 2^{r-1} − 1 switches — the switch of the LAST output pair is
+// deleted and wired straight, which is legal because the routing algorithm
+// can always force the packet destined to the last output through the lower
+// subnetwork.
+package waksman
+
+import (
+	"fmt"
+
+	"repro/internal/perm"
+	"repro/internal/wiring"
+)
+
+// Network is an N = 2^m input Waksman network. Construct with New.
+type Network struct {
+	m int
+}
+
+// New constructs a Waksman network of order m (N = 2^m inputs).
+func New(m int) (*Network, error) {
+	if err := wiring.CheckOrder(m); err != nil {
+		return nil, fmt.Errorf("waksman: %w", err)
+	}
+	return &Network{m: m}, nil
+}
+
+// M returns the network order.
+func (n *Network) M() int { return n.m }
+
+// Inputs returns the number of inputs N = 2^m.
+func (n *Network) Inputs() int { return 1 << uint(n.m) }
+
+// Switches returns the total 2x2-switch count, N·log N − N + 1: the Beneš
+// count minus one deleted output switch per subnetwork instance.
+func (n *Network) Switches() int {
+	N := n.Inputs()
+	return N*n.m - N + 1
+}
+
+// Route computes and applies switch settings for p with the looping
+// algorithm and returns the delivery arrangement out, where out[j] is the
+// input index delivered to output j. It also returns the number of switches
+// it actually set (for reconciliation against Switches()).
+func (n *Network) Route(p perm.Perm) (perm.Perm, int, error) {
+	if len(p) != n.Inputs() {
+		return nil, 0, fmt.Errorf("waksman: permutation length %d, want %d", len(p), n.Inputs())
+	}
+	if err := p.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("waksman: %w", err)
+	}
+	switchCount := 0
+	lines := perm.Identity(n.Inputs())
+	var route func(lines perm.Perm, p perm.Perm)
+	route = func(lines perm.Perm, p perm.Perm) {
+		size := len(p)
+		if size == 1 {
+			return
+		}
+		if size == 2 {
+			// The base 2x2 network is a single switch.
+			switchCount++
+			if p[0] == 1 {
+				lines[0], lines[1] = lines[1], lines[0]
+			}
+			return
+		}
+		half := size / 2
+		inv := p.Inverse()
+
+		// Two-coloring with the Waksman constraint: the packet destined to
+		// the LAST output (size-1) must use the LOWER subnetwork, because
+		// the last output switch is deleted (wired straight: upper sub ->
+		// output size-2, lower sub -> output size-1).
+		side := make([]int, size)
+		for i := range side {
+			side[i] = -1
+		}
+		// Seed the forced constraint first, then color its whole cycle.
+		forced := inv[size-1]
+		for start := 0; start < size; start++ {
+			seed := start
+			col := 0
+			if start == 0 {
+				seed, col = forced, 1
+			}
+			if side[seed] != -1 {
+				continue
+			}
+			cur, c := seed, col
+			for {
+				side[cur] = c
+				partner := cur ^ 1
+				if side[partner] != -1 {
+					break
+				}
+				side[partner] = c ^ 1
+				next := inv[p[partner]^1]
+				if side[next] != -1 {
+					break
+				}
+				cur, c = next, side[partner]^1
+			}
+		}
+
+		// Input column: switch k pairs lines 2k, 2k+1.
+		next := make(perm.Perm, size)
+		subPerm := [2]perm.Perm{make(perm.Perm, half), make(perm.Perm, half)}
+		for k := 0; k < half; k++ {
+			switchCount++
+			a, b := lines[2*k], lines[2*k+1]
+			if side[2*k] == 1 {
+				a, b = b, a
+			}
+			next[k], next[half+k] = a, b
+			subPerm[side[2*k]][k] = p[2*k] / 2
+			subPerm[side[2*k+1]][k] = p[2*k+1] / 2
+		}
+		copy(lines, next)
+		route(lines[:half], subPerm[0])
+		route(lines[half:], subPerm[1])
+		// Output column: switches for pairs 0..half-2; the last pair is
+		// wired straight (the deleted switch).
+		for k := 0; k < half; k++ {
+			a, b := lines[k], lines[half+k]
+			if k < half-1 {
+				switchCount++
+				arriving := side[inv[2*k]]
+				if arriving != 0 {
+					a, b = b, a
+				}
+			}
+			next[2*k], next[2*k+1] = a, b
+		}
+		copy(lines, next)
+	}
+	route(lines, p.Clone())
+	return lines, switchCount, nil
+}
+
+// Verify routes p and reports whether every input reached its destination.
+func (n *Network) Verify(p perm.Perm) (bool, error) {
+	out, _, err := n.Route(p)
+	if err != nil {
+		return false, err
+	}
+	for j, src := range out {
+		if p[src] != j {
+			return false, nil
+		}
+	}
+	return true, nil
+}

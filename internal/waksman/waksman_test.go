@@ -1,0 +1,153 @@
+package waksman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/perm"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("New(0) accepted")
+	}
+	n, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.M() != 3 || n.Inputs() != 8 {
+		t.Errorf("geometry = (%d,%d)", n.M(), n.Inputs())
+	}
+}
+
+// TestSwitchCountClosedForm pins the Waksman count N·logN - N + 1 and
+// verifies the routing pass touches exactly that many switches.
+func TestSwitchCountClosedForm(t *testing.T) {
+	want := map[int]int{1: 1, 2: 5, 3: 17, 4: 49, 5: 129, 10: 9217}
+	for m, w := range want {
+		n, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := n.Switches(); got != w {
+			t.Errorf("m=%d: Switches = %d, want %d", m, got, w)
+		}
+		_, counted, err := n.Route(perm.Identity(n.Inputs()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if counted != w {
+			t.Errorf("m=%d: routing touched %d switches, want %d", m, counted, w)
+		}
+	}
+}
+
+// TestRoutesAllPermutationsExhaustive verifies rearrangeability for
+// N = 2, 4, 8 over every permutation.
+func TestRoutesAllPermutationsExhaustive(t *testing.T) {
+	for m := 1; m <= 3; m++ {
+		n, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm.ForEach(n.Inputs(), func(p perm.Perm) bool {
+			ok, err := n.Verify(p)
+			if err != nil {
+				t.Fatalf("m=%d perm %v: %v", m, p, err)
+			}
+			if !ok {
+				t.Fatalf("m=%d: misrouted %v", m, p)
+			}
+			return true
+		})
+	}
+}
+
+func TestRoutesRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(68))
+	for m := 4; m <= 9; m++ {
+		n, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 25; trial++ {
+			ok, err := n.Verify(perm.Random(n.Inputs(), rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("m=%d trial %d: misrouted", m, trial)
+			}
+		}
+	}
+}
+
+func TestRouteProperty(t *testing.T) {
+	n, err := New(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		ok, err := n.Verify(perm.Random(n.Inputs(), rand.New(rand.NewSource(seed))))
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	n, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.Route(perm.Identity(4)); err == nil {
+		t.Error("Route accepted wrong length")
+	}
+	if _, _, err := n.Route(perm.Perm{0, 0, 1, 2, 3, 4, 5, 6}); err == nil {
+		t.Error("Route accepted non-permutation")
+	}
+}
+
+// TestNearLowerBound verifies the anchor role: Waksman's switch count stays
+// within 25% of ceil(log2(N!)) and strictly below the Beneš count.
+func TestNearLowerBound(t *testing.T) {
+	for m := 2; m <= 16; m++ {
+		n, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := cost.SwitchLowerBound(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		factor := float64(n.Switches()) / bound
+		if factor < 1 {
+			t.Errorf("m=%d: below the information bound (%v) — impossible", m, factor)
+		}
+		if factor > 1.25 {
+			t.Errorf("m=%d: factor %v above 1.25 — not tracking the bound", m, factor)
+		}
+		benes := n.Inputs() / 2 * (2*m - 1)
+		if m >= 2 && n.Switches() >= benes {
+			t.Errorf("m=%d: Waksman %d not below Beneš %d", m, n.Switches(), benes)
+		}
+	}
+}
+
+func BenchmarkWaksmanRoute1024(b *testing.B) {
+	n, err := New(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := perm.Random(n.Inputs(), rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := n.Route(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

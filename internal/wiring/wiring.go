@@ -1,0 +1,203 @@
+// Package wiring implements the index algebra that underlies every
+// multistage interconnection network in this repository: power-of-two
+// arithmetic, bit addressing in the paper's MSB-first convention, and the
+// 2^k-unshuffle connection U_k^m of Lee & Lu's Definition 1, which wires
+// consecutive stages of the (generalized) baseline network.
+//
+// Throughout the package a "line index" is an integer in [0, 2^m) whose
+// binary representation (b_{m-1} b_{m-2} ... b_1 b_0) names one of the 2^m
+// lines between two switching stages.
+package wiring
+
+import "fmt"
+
+// MaxOrder bounds the network order m = log2(N) accepted by constructors in
+// this repository. 2^30 lines is far beyond anything simulable in memory and
+// keeps all intermediate products inside int64 range on 64-bit platforms.
+const MaxOrder = 30
+
+// CheckOrder validates a network order m (N = 2^m inputs).
+func CheckOrder(m int) error {
+	if m < 1 || m > MaxOrder {
+		return fmt.Errorf("wiring: order m=%d out of range [1,%d]", m, MaxOrder)
+	}
+	return nil
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// Log2 returns log2(n) for a positive power of two n.
+// It panics if n is not a positive power of two; callers validate sizes at
+// their API boundary with IsPow2/CheckOrder first.
+func Log2(n int) int {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("wiring: Log2 of non-power-of-two %d", n))
+	}
+	m := 0
+	for x := n; x > 1; x >>= 1 {
+		m++
+	}
+	return m
+}
+
+// Bit returns bit k (LSB-first: k=0 is the least significant bit) of i.
+func Bit(i, k int) int {
+	return (i >> uint(k)) & 1
+}
+
+// AddrBit returns bit l of an m-bit destination address in the paper's
+// convention, where bit-0 is the most significant bit (b^0 is the MSB) and
+// bit-(m-1) is the least significant bit.
+func AddrBit(addr, l, m int) int {
+	return (addr >> uint(m-1-l)) & 1
+}
+
+// SetAddrBit returns addr with paper-convention bit l (0 = MSB) set to v
+// (v must be 0 or 1).
+func SetAddrBit(addr, l, m, v int) int {
+	mask := 1 << uint(m-1-l)
+	if v == 0 {
+		return addr &^ mask
+	}
+	return addr | mask
+}
+
+// ReverseBits returns the m-bit reversal of i: output bit k equals input bit
+// (m-1-k).
+func ReverseBits(i, m int) int {
+	r := 0
+	for k := 0; k < m; k++ {
+		r = (r << 1) | (i >> uint(k) & 1)
+	}
+	return r
+}
+
+// RotateRight rotates the low m bits of i right by one position:
+// (b_{m-1} ... b_1 b_0) becomes (b_0 b_{m-1} ... b_1).
+func RotateRight(i, m int) int {
+	low := i & 1
+	return (i >> 1) | (low << uint(m-1))
+}
+
+// RotateLeft rotates the low m bits of i left by one position:
+// (b_{m-1} ... b_1 b_0) becomes (b_{m-2} ... b_0 b_{m-1}).
+func RotateLeft(i, m int) int {
+	high := (i >> uint(m-1)) & 1
+	return ((i << 1) | high) & (1<<uint(m) - 1)
+}
+
+// Unshuffle computes the 2^k-unshuffle U_k^m(i) of Definition 1: the low k
+// bits of the m-bit index i are rotated right by one position while the high
+// m-k bits are kept fixed:
+//
+//	U_k^m(b_{m-1} ... b_k b_{k-1} ... b_1 b_0) = (b_{m-1} ... b_k b_0 b_{k-1} ... b_1).
+//
+// It panics when k or m is out of range; stage constructors validate their
+// parameters before calling it.
+func Unshuffle(i, k, m int) int {
+	checkUnshuffleArgs(i, k, m)
+	lowMask := 1<<uint(k) - 1
+	high := i &^ lowMask
+	return high | RotateRight(i&lowMask, k)
+}
+
+// Shuffle computes the inverse of Unshuffle: the low k bits of i are rotated
+// left by one position while the high m-k bits are kept fixed.
+func Shuffle(i, k, m int) int {
+	checkUnshuffleArgs(i, k, m)
+	lowMask := 1<<uint(k) - 1
+	high := i &^ lowMask
+	return high | RotateLeft(i&lowMask, k)
+}
+
+func checkUnshuffleArgs(i, k, m int) {
+	if m < 1 || m > MaxOrder || k < 1 || k > m {
+		panic(fmt.Sprintf("wiring: unshuffle parameters k=%d m=%d out of range", k, m))
+	}
+	if i < 0 || i >= 1<<uint(m) {
+		panic(fmt.Sprintf("wiring: line index %d out of range [0,2^%d)", i, m))
+	}
+}
+
+// Pattern is an explicit inter-stage connection pattern: Map[j] gives the
+// stage-(i+1) input line that stage-i output line j drives. A Pattern is a
+// bijection on [0, len(Map)).
+type Pattern struct {
+	// Map holds the forward connection. It is never nil for a Pattern
+	// returned by this package.
+	Map []int
+}
+
+// UnshufflePattern materializes the 2^k-unshuffle connection of 2^m lines as
+// an explicit Pattern.
+func UnshufflePattern(k, m int) (Pattern, error) {
+	if err := CheckOrder(m); err != nil {
+		return Pattern{}, err
+	}
+	if k < 1 || k > m {
+		return Pattern{}, fmt.Errorf("wiring: unshuffle span k=%d out of range [1,%d]", k, m)
+	}
+	n := 1 << uint(m)
+	p := Pattern{Map: make([]int, n)}
+	for j := 0; j < n; j++ {
+		p.Map[j] = Unshuffle(j, k, m)
+	}
+	return p, nil
+}
+
+// Size returns the number of lines the pattern connects.
+func (p Pattern) Size() int { return len(p.Map) }
+
+// Apply routes src through the pattern: dst[p.Map[j]] = src[j]. It returns an
+// error when the sizes disagree.
+func (p Pattern) Apply(src, dst []int) error {
+	if len(src) != len(p.Map) || len(dst) != len(p.Map) {
+		return fmt.Errorf("wiring: pattern size %d does not match src=%d dst=%d",
+			len(p.Map), len(src), len(dst))
+	}
+	for j, v := range src {
+		dst[p.Map[j]] = v
+	}
+	return nil
+}
+
+// Inverse returns the reverse connection pattern.
+func (p Pattern) Inverse() Pattern {
+	inv := Pattern{Map: make([]int, len(p.Map))}
+	for j, v := range p.Map {
+		inv.Map[v] = j
+	}
+	return inv
+}
+
+// Validate checks that the pattern is a bijection on [0, Size()).
+func (p Pattern) Validate() error {
+	seen := make([]bool, len(p.Map))
+	for j, v := range p.Map {
+		if v < 0 || v >= len(p.Map) {
+			return fmt.Errorf("wiring: pattern entry %d -> %d out of range", j, v)
+		}
+		if seen[v] {
+			return fmt.Errorf("wiring: pattern target %d has two sources", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Permute applies the pattern to a slice of any element type, writing the
+// result into a freshly allocated slice: out[p.Map[j]] = in[j].
+func Permute[T any](p Pattern, in []T) ([]T, error) {
+	if len(in) != len(p.Map) {
+		return nil, fmt.Errorf("wiring: pattern size %d does not match input %d",
+			len(p.Map), len(in))
+	}
+	out := make([]T, len(in))
+	for j := range in {
+		out[p.Map[j]] = in[j]
+	}
+	return out, nil
+}

@@ -1,0 +1,240 @@
+package bnbnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/batcher"
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+// Report is a machine-readable summary of the full reproduction: the
+// paper's tables, the equation reconciliations, the headline ratios, and
+// the extension studies, evaluated over a sweep of network orders. It
+// marshals cleanly to JSON (see cmd/bnbtables -json), giving downstream
+// tooling the same numbers EXPERIMENTS.md records in prose.
+type Report struct {
+	// Paper identifies the reproduced publication.
+	Paper string `json:"paper"`
+	// Orders lists the network orders m (N = 2^m) the sweep covered.
+	Orders []int `json:"orders"`
+	// DataWidth is the word width w used where applicable.
+	DataWidth int `json:"data_width"`
+
+	// Table1 holds the paper's hardware-complexity rows per order.
+	Table1 []Table1Sweep `json:"table1"`
+	// Table2 holds the delay rows per order.
+	Table2 []Table2Sweep `json:"table2"`
+	// Equations records the exact reconciliation of eqs. (6)-(12).
+	Equations []EquationCheck `json:"equations"`
+	// Headline records the abstract's hardware and delay ratios per order.
+	Headline []HeadlineRatio `json:"headline"`
+	// LowerBound records the switch counts against ceil(log2(N!)).
+	LowerBound []LowerBoundSweep `json:"lower_bound"`
+	// Benes records the self-routing dichotomy measurements.
+	Benes []BenesStudy `json:"benes"`
+	// Banyan records omega and baseline blocking rates.
+	Banyan []BanyanStudy `json:"banyan"`
+	// Gates records the gate-level bit-sorter compilations.
+	Gates []GateReport `json:"gates"`
+	// Conformance records the verification-battery outcome per network at
+	// the smallest swept order.
+	Conformance []ConformanceResult `json:"conformance"`
+}
+
+// Table1Sweep is the Table 1 evaluation at one order.
+type Table1Sweep struct {
+	M    int         `json:"m"`
+	Rows []Table1Row `json:"rows"`
+}
+
+// Table2Sweep is the Table 2 evaluation at one order.
+type Table2Sweep struct {
+	M    int         `json:"m"`
+	Rows []Table2Row `json:"rows"`
+}
+
+// EquationCheck records one exact counted-vs-formula reconciliation.
+type EquationCheck struct {
+	Equation string `json:"equation"`
+	M        int    `json:"m"`
+	Counted  int    `json:"counted"`
+	Formula  int    `json:"formula"`
+	Match    bool   `json:"match"`
+}
+
+// HeadlineRatio is the C1 claim at one order.
+type HeadlineRatio struct {
+	M        int     `json:"m"`
+	Hardware float64 `json:"hardware_ratio"`
+	Delay    float64 `json:"delay_ratio"`
+}
+
+// LowerBoundSweep is the X1 study at one order.
+type LowerBoundSweep struct {
+	M    int             `json:"m"`
+	Rows []LowerBoundRow `json:"rows"`
+}
+
+// BenesStudy is the C2 measurement at one order.
+type BenesStudy struct {
+	M          int     `json:"m"`
+	RandomRate float64 `json:"random_rate"`
+	ShiftsOK   bool    `json:"shifts_ok"`
+}
+
+// BanyanStudy is the X4 measurement at one order.
+type BanyanStudy struct {
+	M            int     `json:"m"`
+	OmegaRate    float64 `json:"omega_rate"`
+	BaselineRate float64 `json:"baseline_rate"`
+	Routable     float64 `json:"routable_permutations"`
+}
+
+// ConformanceResult is one network's verification-battery outcome.
+type ConformanceResult struct {
+	Network    string `json:"network"`
+	Checked    int    `json:"checked"`
+	Exhaustive bool   `json:"exhaustive"`
+	OK         bool   `json:"ok"`
+	Failures   int    `json:"failures"`
+}
+
+// FullReport runs the reproduction sweep over minM..maxM (inclusive,
+// clamped to feasible ranges per study) and returns the structured report.
+// Sampled studies use `trials` permutations from the given seed and are
+// deterministic.
+func FullReport(minM, maxM, w, trials int, seed int64) (*Report, error) {
+	if minM < 1 || maxM < minM {
+		return nil, fmt.Errorf("bnbnet: need 1 <= minM <= maxM, got %d..%d", minM, maxM)
+	}
+	if maxM > 14 {
+		return nil, fmt.Errorf("bnbnet: report sweep capped at m = 14, got %d", maxM)
+	}
+	if trials <= 0 {
+		trials = 200
+	}
+	r := &Report{
+		Paper:     "Lee & Lu, BNB Self-Routing Permutation Network, ICDCS 1991",
+		DataWidth: w,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for m := minM; m <= maxM; m++ {
+		r.Orders = append(r.Orders, m)
+
+		t1, err := Table1(m)
+		if err != nil {
+			return nil, err
+		}
+		r.Table1 = append(r.Table1, Table1Sweep{M: m, Rows: t1})
+		t2, err := Table2(m)
+		if err != nil {
+			return nil, err
+		}
+		r.Table2 = append(r.Table2, Table2Sweep{M: m, Rows: t2})
+
+		// Equation reconciliations against constructed networks.
+		bnb, err := core.New(m, w)
+		if err != nil {
+			return nil, err
+		}
+		h := bnb.CountHardware()
+		d := bnb.MeasureDelay()
+		bat, err := batcher.New(m, w)
+		if err != nil {
+			return nil, err
+		}
+		bh := bat.CountHardware()
+		r.Equations = append(r.Equations,
+			EquationCheck{"eq6-switches", m, h.Switches, cost.BNBSwitches(m, w), h.Switches == cost.BNBSwitches(m, w)},
+			EquationCheck{"eq6-function-nodes", m, h.FunctionNodes, cost.BNBFunctionNodes(m), h.FunctionNodes == cost.BNBFunctionNodes(m)},
+			EquationCheck{"eq7-switch-delay", m, d.SwitchStages, cost.BNBDelaySW(m), d.SwitchStages == cost.BNBDelaySW(m)},
+			EquationCheck{"eq8-arbiter-delay", m, d.FunctionNodeLevels, cost.BNBDelayFN(m), d.FunctionNodeLevels == cost.BNBDelayFN(m)},
+			EquationCheck{"eq10-comparators", m, bh.Comparators, cost.BatcherComparators(m), bh.Comparators == cost.BatcherComparators(m)},
+			EquationCheck{"eq11-switch-slices", m, bh.Switches, cost.BatcherSwitches(m, w), bh.Switches == cost.BatcherSwitches(m, w)},
+		)
+
+		hw, dl, err := HeadlineRatios(m, w)
+		if err != nil {
+			return nil, err
+		}
+		r.Headline = append(r.Headline, HeadlineRatio{M: m, Hardware: hw, Delay: dl})
+
+		lb, err := LowerBoundComparison(m)
+		if err != nil {
+			return nil, err
+		}
+		r.LowerBound = append(r.LowerBound, LowerBoundSweep{M: m, Rows: lb})
+
+		if m <= 9 {
+			rate, shiftsOK, err := BenesSelfRouting(m, trials, rng)
+			if err != nil {
+				return nil, err
+			}
+			r.Benes = append(r.Benes, BenesStudy{M: m, RandomRate: rate, ShiftsOK: shiftsOK})
+
+			om, err := OmegaStudy(m, trials, rng)
+			if err != nil {
+				return nil, err
+			}
+			ba, err := BaselineStudy(m, trials, rng)
+			if err != nil {
+				return nil, err
+			}
+			r.Banyan = append(r.Banyan, BanyanStudy{
+				M: m, OmegaRate: om.SampledPassRate,
+				BaselineRate: ba.SampledPassRate,
+				Routable:     om.RoutablePermutations,
+			})
+		}
+		if m <= 8 {
+			g, err := GateLevelBSN(m)
+			if err != nil {
+				return nil, err
+			}
+			r.Gates = append(r.Gates, g)
+		}
+	}
+
+	// Conformance battery at the smallest order (exhaustive when N <= 8).
+	for _, n := range reportNetworks(minM, w) {
+		if n == nil {
+			continue
+		}
+		rep, err := VerifyNetwork(n, VerifyOptions{RandomTrials: 20, BPCTrials: 10, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		r.Conformance = append(r.Conformance, ConformanceResult{
+			Network:    n.Name(),
+			Checked:    rep.Checked,
+			Exhaustive: rep.ExhaustiveDone,
+			OK:         rep.OK(),
+			Failures:   len(rep.Failures),
+		})
+	}
+	return r, nil
+}
+
+// reportNetworks builds one instance of every network at order m, skipping
+// any whose constructor rejects the order.
+func reportNetworks(m, w int) []Network {
+	var nets []Network
+	for _, build := range []func() (Network, error){
+		func() (Network, error) { return NewBNB(m, w) },
+		func() (Network, error) { return NewBatcher(m, w) },
+		func() (Network, error) { return NewKoppelman(m, w) },
+		func() (Network, error) { return NewBenes(m) },
+		func() (Network, error) { return NewWaksman(m) },
+		func() (Network, error) { return NewBitonic(m) },
+		func() (Network, error) { return NewCrossbar(1 << uint(m)) },
+	} {
+		n, err := build()
+		if err != nil {
+			continue
+		}
+		nets = append(nets, n)
+	}
+	return nets
+}

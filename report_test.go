@@ -1,0 +1,124 @@
+package bnbnet
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestFullReportValidation(t *testing.T) {
+	if _, err := FullReport(0, 3, 0, 10, 1); err == nil {
+		t.Error("minM=0 accepted")
+	}
+	if _, err := FullReport(4, 3, 0, 10, 1); err == nil {
+		t.Error("maxM < minM accepted")
+	}
+	if _, err := FullReport(3, 15, 0, 10, 1); err == nil {
+		t.Error("maxM=15 accepted")
+	}
+}
+
+func TestFullReportContents(t *testing.T) {
+	r, err := FullReport(3, 5, 8, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Orders) != 3 {
+		t.Fatalf("orders = %v", r.Orders)
+	}
+	if len(r.Table1) != 3 || len(r.Table2) != 3 {
+		t.Errorf("table sweeps = %d/%d, want 3/3", len(r.Table1), len(r.Table2))
+	}
+	// Every equation reconciliation must be an exact match.
+	if len(r.Equations) != 3*6 {
+		t.Errorf("equation checks = %d, want 18", len(r.Equations))
+	}
+	for _, e := range r.Equations {
+		if !e.Match || e.Counted != e.Formula {
+			t.Errorf("equation %s at m=%d: counted %d vs formula %d", e.Equation, e.M, e.Counted, e.Formula)
+		}
+	}
+	// Headline ratios decrease with m.
+	for i := 1; i < len(r.Headline); i++ {
+		if r.Headline[i].Hardware >= r.Headline[i-1].Hardware {
+			t.Errorf("hardware ratio did not decrease at m=%d", r.Headline[i].M)
+		}
+	}
+	// Beneš: shifts always route; random rate bounded.
+	for _, b := range r.Benes {
+		if !b.ShiftsOK {
+			t.Errorf("m=%d: shifts failed", b.M)
+		}
+		if b.RandomRate < 0 || b.RandomRate > 0.5 {
+			t.Errorf("m=%d: random rate %v out of band", b.M, b.RandomRate)
+		}
+	}
+	// Banyan: routable counts are 2^{(N/2)m}.
+	for _, b := range r.Banyan {
+		want := 1.0
+		for i := 0; i < (1<<uint(b.M))/2*b.M; i++ {
+			want *= 2
+		}
+		if b.Routable != want {
+			t.Errorf("m=%d: routable %v, want %v", b.M, b.Routable, want)
+		}
+	}
+	// Gate reports match the closed-form depth.
+	for _, g := range r.Gates {
+		k := 0
+		for n := g.Inputs; n > 1; n >>= 1 {
+			k++
+		}
+		if g.CriticalPathGates != ExpectedBSNGateDepth(k) {
+			t.Errorf("gate depth %d != closed form %d", g.CriticalPathGates, ExpectedBSNGateDepth(k))
+		}
+	}
+	// All seven networks conform at m=3 with the exhaustive battery.
+	if len(r.Conformance) != 7 {
+		t.Fatalf("conformance entries = %d, want 7", len(r.Conformance))
+	}
+	for _, c := range r.Conformance {
+		if !c.OK || c.Failures != 0 {
+			t.Errorf("%s failed conformance", c.Network)
+		}
+		if !c.Exhaustive {
+			t.Errorf("%s: exhaustive battery should run at N=8", c.Network)
+		}
+	}
+}
+
+func TestFullReportJSONRoundTrip(t *testing.T) {
+	r, err := FullReport(3, 4, 0, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Paper != r.Paper || len(back.Equations) != len(r.Equations) {
+		t.Error("round trip lost content")
+	}
+	if len(data) < 1000 {
+		t.Errorf("report suspiciously small: %d bytes", len(data))
+	}
+}
+
+func TestFullReportDeterministic(t *testing.T) {
+	a, err := FullReport(3, 4, 0, 30, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FullReport(3, 4, 0, 30, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Error("same seed produced different reports")
+	}
+}

@@ -1,0 +1,119 @@
+package bnbnet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Soak tests exercise the large-N paths (allocation strategy, index
+// arithmetic at depth, recursion) that the fast suites never reach. They
+// are skipped under -short.
+
+func TestSoakBNBLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(4096))
+	net, err := NewBNB(12, 32) // N = 4096
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		p := RandomPerm(net.Inputs(), rng)
+		words := make([]Word, net.Inputs())
+		for i, d := range p {
+			words[i] = Word{Addr: d, Data: rng.Uint64() & (1<<32 - 1)}
+		}
+		out, err := net.Route(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, wd := range out {
+			if wd.Addr != j {
+				t.Fatalf("misrouted at N=4096, output %d", j)
+			}
+		}
+		// Parallel evaluation agrees at scale.
+		par, err := net.RouteParallel(words, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range out {
+			if out[j] != par[j] {
+				t.Fatalf("parallel disagreement at output %d", j)
+			}
+		}
+	}
+}
+
+func TestSoakAllNetworksN1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(1024))
+	for _, n := range allNetworks(t, 10, 8) {
+		p := RandomPerm(n.Inputs(), rng)
+		out, err := n.RoutePerm(p)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name(), err)
+		}
+		for j, wd := range out {
+			if wd.Addr != j {
+				t.Fatalf("%s misrouted at N=1024", n.Name())
+			}
+		}
+	}
+}
+
+func TestSoakCircuitLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(7))
+	net, err := NewBNB(11, 64) // N = 2048
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := RandomPerm(net.Inputs(), rng)
+	circuit, err := net.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := make([]Word, net.Inputs())
+	for i := range words {
+		words[i] = Word{Data: rng.Uint64()}
+	}
+	out, err := circuit.Send(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range p {
+		if out[d] != words[i] {
+			t.Fatalf("circuit replay failed at input %d", i)
+		}
+	}
+}
+
+func TestSoakFabricLongRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	net, err := NewBNB(6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewVOQFabricSwitch(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sw.Run(UniformTraffic{Load: 0.95}, 10000, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered+stats.Backlog != stats.Offered {
+		t.Error("conservation violated over a long run")
+	}
+	if tp := stats.Throughput(64); tp < 0.85 {
+		t.Errorf("long-run VOQ throughput %v below 0.85 at load 0.95", tp)
+	}
+}
