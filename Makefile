@@ -2,9 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench repro figures fuzz clean
+.PHONY: all build vet test test-short bench check repro figures fuzz clean
 
 all: build vet test
+
+# Full pre-merge gate: vet, the race-detector suite, and the
+# zero-allocation pin on the pooled routing hot path.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+	$(GO) test -run=TestRouteAllocs .
 
 build:
 	$(GO) build ./...

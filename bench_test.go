@@ -130,6 +130,78 @@ func BenchmarkRouteBNB(b *testing.B) {
 	benchmarkRoute(b, func(m int) (Network, error) { return NewBNB(m, 16) })
 }
 
+// BenchmarkRouteBNBPooled measures the pooled zero-allocation hot path:
+// RouteInto on a warm scratch pool. After warm-up it reports 0 allocs/op at
+// every size (the tentpole guarantee TestRouteAllocs pins at N=1024).
+func BenchmarkRouteBNBPooled(b *testing.B) {
+	for _, m := range benchSizes {
+		n, err := NewBNB(m, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		p := RandomPerm(n.Inputs(), rng)
+		words := make([]Word, n.Inputs())
+		for i, d := range p {
+			words[i] = Word{Addr: d, Data: uint64(i)}
+		}
+		dst := make([]Word, n.Inputs())
+		if err := n.RouteInto(dst, words); err != nil { // warm the pool
+			b.Fatal(err)
+		}
+		b.Run(benchName(m), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(n.Inputs()))
+			for i := 0; i < b.N; i++ {
+				if err := n.RouteInto(dst, words); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineThroughput measures served routing throughput through the
+// bounded worker pool at varying worker counts (requests per second emerges
+// from ns/op; each op is one complete request).
+func BenchmarkEngineThroughput(b *testing.B) {
+	const m = 8
+	n, err := NewBNB(m, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	words := make([]Word, n.Inputs())
+	for i, d := range RandomPerm(n.Inputs(), rng) {
+		words[i] = Word{Addr: d, Data: uint64(i)}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e, err := NewEngine(n, WithWorkers(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			b.ReportAllocs()
+			b.SetBytes(int64(n.Inputs()))
+			b.RunParallel(func(pb *testing.PB) {
+				dst := make([]Word, n.Inputs())
+				for pb.Next() {
+					tk, err := e.Submit(dst, words)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := tk.Wait(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkRouteBatcher measures the Batcher baseline.
 func BenchmarkRouteBatcher(b *testing.B) {
 	benchmarkRoute(b, func(m int) (Network, error) { return NewBatcher(m, 16) })

@@ -122,7 +122,10 @@ type BNB struct{ n *core.Network }
 var _ Network = (*BNB)(nil)
 
 // NewBNB constructs the paper's BNB self-routing permutation network with
-// N = 2^m inputs and w data bits per word (0 <= w <= 64).
+// N = 2^m inputs and w data bits per word (0 <= w <= 64). It is the concrete
+// constructor behind New("bnb", m, WithDataBits(w)); use it directly when
+// the extended *BNB API (tracing, parallel routing, Connect/Send, RouteInto)
+// is needed.
 func NewBNB(m, w int) (*BNB, error) {
 	n, err := core.New(m, w)
 	if err != nil {
@@ -169,6 +172,12 @@ func (b *BNB) RouteParallel(words []Word, workers int) ([]Word, error) {
 	return b.n.RouteParallel(words, workers)
 }
 
+// RouteInto routes src into dst over the pooled hot path: after the routing
+// scratch pool has warmed up, a RouteInto performs zero heap allocations.
+// dst and src must both have length N; dst may be src itself but must not
+// otherwise overlap it. Safe for concurrent use.
+func (b *BNB) RouteInto(dst, src []Word) error { return b.n.RouteInto(dst, src) }
+
 // Circuit is a recorded switch configuration realizing one permutation —
 // the network's circuit-switched mode. Obtain with BNB.Connect.
 type Circuit struct {
@@ -206,7 +215,11 @@ type batcherNetwork struct{ n *batcher.Network }
 
 // NewBatcher constructs Batcher's odd-even merge sorting network used as a
 // self-routing permutation network.
-func NewBatcher(m, w int) (Network, error) {
+//
+// Deprecated: Use New("batcher", m, WithDataBits(w)).
+func NewBatcher(m, w int) (Network, error) { return New("batcher", m, WithDataBits(w)) }
+
+func newBatcherNetwork(m, w int) (Network, error) {
 	n, err := batcher.New(m, w)
 	if err != nil {
 		return nil, err
@@ -260,7 +273,11 @@ type koppelmanNetwork struct{ n *koppelman.Network }
 
 // NewKoppelman constructs the functional analogue of the Koppelman-Oruç
 // self-routing permutation network (see DESIGN.md §3 for the substitution).
-func NewKoppelman(m, w int) (Network, error) {
+//
+// Deprecated: Use New("koppelman", m, WithDataBits(w)).
+func NewKoppelman(m, w int) (Network, error) { return New("koppelman", m, WithDataBits(w)) }
+
+func newKoppelmanNetwork(m, w int) (Network, error) {
 	n, err := koppelman.New(m, w)
 	if err != nil {
 		return nil, err
@@ -336,7 +353,11 @@ type benesNetwork struct{ n *benes.Network }
 // runs the centralized set-up computation; its cost report therefore counts
 // only the data path (switches), with the set-up overhead discussed in
 // EXPERIMENTS.md.
-func NewBenes(m int) (Network, error) {
+//
+// Deprecated: Use New("benes", m).
+func NewBenes(m int) (Network, error) { return New("benes", m) }
+
+func newBenesNetwork(m int) (Network, error) {
 	n, err := benes.New(m)
 	if err != nil {
 		return nil, err
@@ -391,13 +412,22 @@ func (b benesNetwork) Delay() Delay { return Delay{SwitchUnits: b.n.Stages()} }
 
 type crossbarNetwork struct{ n *crossbar.Network }
 
-// NewCrossbar constructs an N x N crossbar (N need not be a power of two).
+// NewCrossbar constructs an N x N crossbar. It remains the concrete
+// constructor because N need not be a power of two; New("crossbar", m)
+// covers the power-of-two case N = 2^m.
 func NewCrossbar(n int) (Network, error) {
 	c, err := crossbar.New(n)
 	if err != nil {
 		return nil, err
 	}
 	return crossbarNetwork{n: c}, nil
+}
+
+func newCrossbarNetwork(m int) (Network, error) {
+	if m < 1 || m > 20 {
+		return nil, fmt.Errorf("bnbnet: crossbar order m = %d out of range [1, 20]", m)
+	}
+	return NewCrossbar(1 << uint(m))
 }
 
 func (c crossbarNetwork) Name() string { return "crossbar" }

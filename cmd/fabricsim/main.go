@@ -1,10 +1,12 @@
 // Command fabricsim runs the input-queued switch-fabric simulation around
 // any of the permutation networks, sweeping offered load and reporting
 // throughput and mean queueing delay — the system-level workload of the
-// paper's motivating "switching systems".
+// paper's motivating "switching systems". With -metrics it also attaches the
+// observability sink to the switch and reports each load point's network
+// passes and their latency percentiles.
 //
 //	fabricsim -net bnb -m 5 -traffic uniform -cycles 5000
-//	fabricsim -net bnb -m 5 -traffic permutation
+//	fabricsim -net bnb -m 5 -traffic permutation -metrics
 //	fabricsim -net batcher -m 5 -traffic hotspot -hotfrac 0.3
 package main
 
@@ -13,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	bnbnet "repro"
@@ -20,42 +23,24 @@ import (
 
 func main() {
 	var (
-		netName = flag.String("net", "bnb", "network: bnb, batcher, koppelman, benes, waksman, crossbar")
+		netName = flag.String("net", "bnb", "network family: "+strings.Join(bnbnet.Families(), ", "))
 		m       = flag.Int("m", 5, "network order (N = 2^m ports)")
 		traffic = flag.String("traffic", "uniform", "traffic: uniform, permutation, hotspot")
 		cycles  = flag.Int("cycles", 3000, "cycles per load point")
 		seed    = flag.Int64("seed", 42, "random seed")
 		hotfrac = flag.Float64("hotfrac", 0.3, "hotspot fraction (hotspot traffic)")
 		voq     = flag.Bool("voq", false, "use virtual output queues instead of FIFO input queues")
+		metrics = flag.Bool("metrics", false, "attach the metrics sink and report network-pass latencies")
 	)
 	flag.Parse()
-	if err := run(*netName, *m, *traffic, *cycles, *seed, *hotfrac, *voq); err != nil {
+	if err := run(*netName, *m, *traffic, *cycles, *seed, *hotfrac, *voq, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "fabricsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(netName string, m int, traffic string, cycles int, seed int64, hotfrac float64, voq bool) error {
-	var (
-		net bnbnet.Network
-		err error
-	)
-	switch netName {
-	case "bnb":
-		net, err = bnbnet.NewBNB(m, 0)
-	case "batcher":
-		net, err = bnbnet.NewBatcher(m, 0)
-	case "koppelman":
-		net, err = bnbnet.NewKoppelman(m, 0)
-	case "benes":
-		net, err = bnbnet.NewBenes(m)
-	case "waksman":
-		net, err = bnbnet.NewWaksman(m)
-	case "crossbar":
-		net, err = bnbnet.NewCrossbar(1 << uint(m))
-	default:
-		return fmt.Errorf("unknown network %q", netName)
-	}
+func run(netName string, m int, traffic string, cycles int, seed int64, hotfrac float64, voq, showMetrics bool) error {
+	net, err := bnbnet.New(netName, m)
 	if err != nil {
 		return err
 	}
@@ -66,9 +51,11 @@ func run(netName string, m int, traffic string, cycles int, seed int64, hotfrac 
 	}
 	fmt.Printf("fabric: %s, %d ports, %s traffic, %s queueing, %d cycles per load point\n",
 		net.Name(), ports, traffic, queueing, cycles)
+	loads := []float64{0.1, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	snapshots := make([]bnbnet.MetricsSnapshot, 0, len(loads))
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "offered load\tthroughput\tmean wait\tp50\tp99\tmax queue\tbacklog")
-	for _, load := range []float64{0.1, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+	for _, load := range loads {
 		var gen bnbnet.Traffic
 		switch traffic {
 		case "uniform":
@@ -80,12 +67,14 @@ func run(netName string, m int, traffic string, cycles int, seed int64, hotfrac 
 		default:
 			return fmt.Errorf("unknown traffic %q", traffic)
 		}
+		sink := bnbnet.NewMetrics()
 		var stats bnbnet.FabricStats
 		if voq {
 			sw, err := bnbnet.NewVOQFabricSwitch(net)
 			if err != nil {
 				return err
 			}
+			sw.AttachMetrics(sink)
 			stats, err = sw.Run(gen, cycles, rand.New(rand.NewSource(seed)))
 			if err != nil {
 				return err
@@ -95,17 +84,30 @@ func run(netName string, m int, traffic string, cycles int, seed int64, hotfrac 
 			if err != nil {
 				return err
 			}
+			sw.AttachMetrics(sink)
 			stats, err = sw.Run(gen, cycles, rand.New(rand.NewSource(seed)))
 			if err != nil {
 				return err
 			}
 		}
+		snapshots = append(snapshots, sink.Snapshot())
 		fmt.Fprintf(tw, "%.2f\t%.4f\t%.2f\t%d\t%d\t%d\t%d\n",
 			load, stats.Throughput(ports), stats.MeanWait(),
 			stats.WaitPercentile(0.50), stats.WaitPercentile(0.99),
 			stats.MaxQueue, stats.Backlog)
 	}
 	tw.Flush()
+	if showMetrics {
+		fmt.Println("\nnetwork-pass metrics per load point:")
+		mw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(mw, "offered load\tpasses\terrors\tcells switched\tmean pass\tp99 pass\tmax pass")
+		for i, load := range loads {
+			s := snapshots[i]
+			fmt.Fprintf(mw, "%.2f\t%d\t%d\t%d\t%v\t%v\t%v\n",
+				load, s.Routes, s.Errors, s.WordsSwitched, s.MeanLatency, s.P99, s.MaxLatency)
+		}
+		mw.Flush()
+	}
 	if traffic == "uniform" && !voq {
 		fmt.Println("note: FIFO input queueing saturates near 2-sqrt(2) ~ 0.586 under uniform traffic;")
 		fmt.Println("      permutation traffic sustains 1.0 because the network routes any permutation;")

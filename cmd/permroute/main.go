@@ -16,13 +16,12 @@ import (
 	"strings"
 
 	bnbnet "repro"
-	"repro/internal/core"
 	"repro/internal/perm"
 )
 
 func main() {
 	var (
-		netName = flag.String("net", "bnb", "network: bnb, batcher, koppelman, benes, waksman, crossbar")
+		netName = flag.String("net", "bnb", "network family: "+strings.Join(bnbnet.Families(), ", "))
 		m       = flag.Int("m", 3, "network order (N = 2^m)")
 		permArg = flag.String("perm", "", "comma-separated destination list (overrides -family)")
 		family  = flag.String("family", "random", "permutation family when -perm is not given")
@@ -46,42 +45,28 @@ func run(netName string, m int, permArg, family string, seed int64, w int, trace
 	if len(p) != n {
 		return fmt.Errorf("permutation has %d entries, network needs %d", len(p), n)
 	}
-	net, err := buildNet(netName, m, w)
+	// One registry call covers every family; the options fail loudly when a
+	// family lacks the capability (-w on benes, -trace on batcher, ...).
+	var opts []bnbnet.Option
+	if trace {
+		opts = append(opts, bnbnet.WithTrace(func(stage int, snapshot []bnbnet.Word) {
+			label := fmt.Sprintf("after stage %d", stage-1)
+			if stage == 0 {
+				label = "network input"
+			}
+			addrs := make([]int, len(snapshot))
+			for i, wd := range snapshot {
+				addrs[i] = wd.Addr
+			}
+			fmt.Printf("  %-16s addresses: %v\n", label, addrs)
+		}))
+	}
+	net, err := buildNet(netName, m, w, opts...)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("network: %s, N=%d, w=%d\n", net.Name(), net.Inputs(), w)
 	fmt.Printf("permutation: %v\n", []int(p))
-	if trace {
-		if netName != "bnb" {
-			return fmt.Errorf("-trace is only available for -net bnb")
-		}
-		cn, err := core.New(m, w)
-		if err != nil {
-			return err
-		}
-		words := make([]bnbnet.Word, n)
-		for i, d := range p {
-			words[i] = bnbnet.Word{Addr: d, Data: uint64(i)}
-		}
-		out, snaps, err := cn.RouteTraced(words)
-		if err != nil {
-			return err
-		}
-		for s, snap := range snaps {
-			label := fmt.Sprintf("after stage %d", s-1)
-			if s == 0 {
-				label = "network input"
-			}
-			addrs := make([]int, len(snap))
-			for i, wd := range snap {
-				addrs[i] = wd.Addr
-			}
-			fmt.Printf("  %-16s addresses: %v\n", label, addrs)
-		}
-		printDelivery(out)
-		return nil
-	}
 	out, err := net.RoutePerm(p)
 	if err != nil {
 		return err
@@ -113,23 +98,16 @@ func buildPerm(permArg, family string, m int, seed int64) (perm.Perm, error) {
 	return perm.Generate(f, m, rand.New(rand.NewSource(seed)))
 }
 
-func buildNet(name string, m, w int) (bnbnet.Network, error) {
-	switch name {
-	case "bnb":
-		return bnbnet.NewBNB(m, w)
-	case "batcher":
-		return bnbnet.NewBatcher(m, w)
-	case "koppelman":
-		return bnbnet.NewKoppelman(m, w)
-	case "benes":
-		return bnbnet.NewBenes(m)
-	case "waksman":
-		return bnbnet.NewWaksman(m)
-	case "crossbar":
-		return bnbnet.NewCrossbar(1 << uint(m))
-	default:
-		return nil, fmt.Errorf("unknown network %q", name)
+// buildNet constructs any registered family through the registry, adding
+// WithDataBits only when a width was requested so width-less families stay
+// constructible with the default w = 0.
+func buildNet(name string, m, w int, extra ...bnbnet.Option) (bnbnet.Network, error) {
+	var opts []bnbnet.Option
+	if w != 0 {
+		opts = append(opts, bnbnet.WithDataBits(w))
 	}
+	opts = append(opts, extra...)
+	return bnbnet.New(name, m, opts...)
 }
 
 func printDelivery(out []bnbnet.Word) {

@@ -1,0 +1,155 @@
+package bnbnet
+
+// This file exposes the serving layer: a bounded worker-pool Engine that
+// turns any Network into a concurrent, instrumented routing service, plus
+// the Metrics sink that New, NewEngine and the fabric switches share.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+)
+
+// Metrics is a lock-free observability sink: atomic counters of routes,
+// errors and words switched, plus a latency histogram with percentile
+// snapshots. One sink may be shared by any number of networks, engines and
+// fabric switches; Snapshot may be called concurrently with observation.
+type Metrics = metrics.Metrics
+
+// MetricsSnapshot is one consistent-enough view of a Metrics sink.
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetrics returns a fresh metrics sink ready to attach with WithMetrics
+// or FabricSwitch.AttachMetrics.
+func NewMetrics() *Metrics { return new(Metrics) }
+
+// IntoRouter is implemented by networks with a pooled in-place routing path
+// (*BNB natively). NewEngine serves such networks with zero steady-state
+// allocation per request; everything else goes through a route-and-copy
+// adapter.
+type IntoRouter interface {
+	// RouteInto routes src into dst; both must have length Inputs().
+	RouteInto(dst, src []Word) error
+}
+
+// Ticket is the handle to one request submitted to an Engine; Wait blocks
+// for completion and returns the output buffer and the request's error.
+type Ticket = engine.Ticket
+
+// Engine is a bounded worker pool serving permutation routes over a Network:
+// Submit enqueues one request (blocking only when the queue is full),
+// RouteBatch fans a batch across the workers and reports per-request errors.
+// Construct with NewEngine; all methods are safe for concurrent use.
+type Engine struct {
+	e *engine.Engine
+}
+
+// NewEngine builds a serving engine around the network. Options: WithWorkers
+// sets the pool size (default 4), WithQueue the in-flight bound (default 4x
+// workers), WithMetrics the observability sink. Networks implementing
+// IntoRouter — *BNB, including behind New's decorator — are served over the
+// pooled zero-allocation hot path.
+func NewEngine(n Network, opts ...Option) (*Engine, error) {
+	if n == nil {
+		return nil, fmt.Errorf("bnbnet: nil network")
+	}
+	o := gatherOptions(opts)
+	if o.dataBits != 0 {
+		return nil, fmt.Errorf("bnbnet: WithDataBits applies to New, not NewEngine")
+	}
+	if o.trace != nil {
+		return nil, fmt.Errorf("bnbnet: WithTrace applies to New, not NewEngine")
+	}
+	e, err := engine.New(engineRouter(n), engine.Config{
+		Workers: o.workers,
+		Queue:   o.queue,
+		Metrics: o.metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{e: e}, nil
+}
+
+// engineRouter picks the fastest routing surface the network offers: its
+// own RouteInto if it (or anything under its decorators) implements
+// IntoRouter, else Route plus a copy.
+func engineRouter(n Network) engine.Router {
+	for base := n; ; {
+		if ir, ok := base.(IntoRouter); ok {
+			return intoRouter{n: n, ir: ir}
+		}
+		u, ok := base.(interface{ Unwrap() Network })
+		if !ok {
+			return copyRouter{n: n}
+		}
+		base = u.Unwrap()
+	}
+}
+
+type intoRouter struct {
+	n  Network
+	ir IntoRouter
+}
+
+func (r intoRouter) Inputs() int { return r.n.Inputs() }
+
+func (r intoRouter) RouteInto(dst, src []core.Word) error { return r.ir.RouteInto(dst, src) }
+
+type copyRouter struct{ n Network }
+
+func (r copyRouter) Inputs() int { return r.n.Inputs() }
+
+func (r copyRouter) RouteInto(dst, src []core.Word) error {
+	out, err := r.n.Route(src)
+	if err != nil {
+		return err
+	}
+	copy(dst, out)
+	return nil
+}
+
+// Submit enqueues one routing request and returns its Ticket; the route
+// lands in dst (engine-allocated when dst is nil). Submit blocks while the
+// queue is full — that is the backpressure — and fails with ErrClosed after
+// Close or ErrBadSize on a length mismatch. The caller must not touch src or
+// dst until Wait returns.
+func (e *Engine) Submit(dst, src []Word) (*Ticket, error) { return e.e.Submit(dst, src) }
+
+// RouteBatch routes the batch across the worker pool and reports per-request
+// results: outs[i] is the routed output of batch[i] (nil on failure) and
+// errs[i] its error. It blocks until the whole batch has been served.
+func (e *Engine) RouteBatch(batch [][]Word) (outs [][]Word, errs []error) {
+	return e.e.RouteBatch(batch)
+}
+
+// RoutePermBatch routes a batch of bare permutations, carrying each source
+// index as the payload (the RoutePerm convention), and reports per-request
+// results like RouteBatch.
+func (e *Engine) RoutePermBatch(ps []Perm) (outs [][]Word, errs []error) {
+	batch := make([][]Word, len(ps))
+	for i, p := range ps {
+		words := make([]Word, len(p))
+		for j, d := range p {
+			words[j] = Word{Addr: d, Data: uint64(j)}
+		}
+		batch[i] = words
+	}
+	return e.e.RouteBatch(batch)
+}
+
+// Workers returns the number of routing goroutines.
+func (e *Engine) Workers() int { return e.e.Workers() }
+
+// Inputs returns the port count of the served network.
+func (e *Engine) Inputs() int { return e.e.Inputs() }
+
+// Metrics returns the attached sink, or nil if none was configured.
+func (e *Engine) Metrics() *Metrics { return e.e.Metrics() }
+
+// Close stops accepting requests, drains queued work, and stops the workers;
+// every ticket submitted before Close still completes. A second Close
+// reports ErrClosed.
+func (e *Engine) Close() error { return e.e.Close() }

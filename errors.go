@@ -1,0 +1,22 @@
+package bnbnet
+
+import "repro/internal/neterr"
+
+// Sentinel errors of the public API. Every layer — core routing, the
+// permutation workloads, the fabric simulator, and the serving engine —
+// wraps these with %w, so callers classify failures with errors.Is instead
+// of string matching:
+//
+//	if errors.Is(err, bnbnet.ErrNotPermutation) { ... // bad request
+//	if errors.Is(err, bnbnet.ErrBadSize)        { ... // wrong word count
+//	if errors.Is(err, bnbnet.ErrClosed)         { ... // engine shut down
+var (
+	// ErrNotPermutation reports destination addresses that do not form a
+	// permutation of {0,...,N-1}.
+	ErrNotPermutation = neterr.ErrNotPermutation
+	// ErrBadSize reports a payload whose length does not match the network
+	// or engine port count.
+	ErrBadSize = neterr.ErrBadSize
+	// ErrClosed reports a request submitted to an engine after Close.
+	ErrClosed = neterr.ErrClosed
+)

@@ -184,7 +184,11 @@ type waksmanNetwork struct{ n *waksman.Network }
 // switches, routed per call by the global looping algorithm. It anchors the
 // lower-bound comparison: rearrangeability is cheap; it is *self-routing*
 // that the BNB network buys with its log^2 N switch premium.
-func NewWaksman(m int) (Network, error) {
+//
+// Deprecated: Use New("waksman", m).
+func NewWaksman(m int) (Network, error) { return New("waksman", m) }
+
+func newWaksmanNetwork(m int) (Network, error) {
 	n, err := waksman.New(m)
 	if err != nil {
 		return nil, err
@@ -245,7 +249,11 @@ type bitonicNetwork struct{ n *bitonic.Network }
 // sorter of reference [9], with the same N/4·log^2 N comparator leading
 // term as the odd-even merge network but N·logN/2 − N + 1 more comparators;
 // included to show why Table 1 uses the odd-even variant.
-func NewBitonic(m int) (Network, error) {
+//
+// Deprecated: Use New("bitonic", m).
+func NewBitonic(m int) (Network, error) { return New("bitonic", m) }
+
+func newBitonicNetwork(m int) (Network, error) {
 	n, err := bitonic.New(m)
 	if err != nil {
 		return nil, err

@@ -107,6 +107,25 @@ func (t *Tree) CriticalPath() int {
 // setting directly from the input bit, which corresponds to a constant-zero
 // flag in the XOR switch-setting rule of Algorithm step 5.
 func (t *Tree) Flags(bits []uint8) ([]uint8, error) {
+	flags, err := t.FlagsInto(bits, make([]uint8, WorkSize(t.p)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint8, len(flags))
+	copy(out, flags)
+	return out, nil
+}
+
+// WorkSize returns the scratch length FlagsInto requires for an arbiter of
+// order p: room for every tree level, 2^{p+1} - 1 values.
+func WorkSize(p int) int { return 2<<uint(p) - 1 }
+
+// FlagsInto computes the same flags as Flags without allocating: work
+// provides the storage for the tree levels (len >= WorkSize(p)) and the
+// returned slice aliases work[0:2^p]. bits is not modified and must not
+// alias work. This is the engine hot path: the caller recycles work across
+// routes, so steady-state routing performs no allocation.
+func (t *Tree) FlagsInto(bits, work []uint8) ([]uint8, error) {
 	n := t.Inputs()
 	if len(bits) != n {
 		return nil, fmt.Errorf("arbiter: got %d inputs, want %d", len(bits), n)
@@ -116,40 +135,52 @@ func (t *Tree) Flags(bits []uint8) ([]uint8, error) {
 			return nil, fmt.Errorf("arbiter: input %d has non-binary value %d", i, b)
 		}
 	}
-	flags := make([]uint8, n)
 	if t.p < 2 {
 		// A(1): wiring only; flags are identically zero.
+		if len(work) < n {
+			return nil, fmt.Errorf("arbiter: work length %d, need %d", len(work), n)
+		}
+		flags := work[:n]
+		for i := range flags {
+			flags[i] = 0
+		}
 		return flags, nil
 	}
+	if len(work) < WorkSize(t.p) {
+		return nil, fmt.Errorf("arbiter: work length %d, need %d", len(work), WorkSize(t.p))
+	}
 
-	// Upward pass: up[v][t] is the state node t of level v sends up, with
-	// up[0] being the input bits themselves.
-	up := make([][]uint8, t.p+1)
-	up[0] = bits
+	// Level v occupies work[off : off+2^{p-v}], with level 0 (the inputs)
+	// first; consecutive levels are adjacent, totalling 2^{p+1}-1 values.
+	copy(work[:n], bits)
+
+	// Upward pass: each node sends x1 XOR x2 to its parent.
+	off := 0
 	for v := 1; v <= t.p; v++ {
-		prev := up[v-1]
-		cur := make([]uint8, len(prev)/2)
+		prev := work[off : off+n>>uint(v-1)]
+		off += len(prev)
+		cur := work[off : off+n>>uint(v)]
 		for i := range cur {
 			cur[i] = NodeUp(prev[2*i], prev[2*i+1])
 		}
-		up[v] = cur
 	}
 
-	// Downward pass: down[v][t] is the flag arriving at position t of level
-	// v. At the root, the node's own XOR state is echoed as the parent flag
-	// (Algorithm step 4).
-	down := make([][]uint8, t.p+1)
-	down[t.p] = []uint8{up[t.p][0]}
+	// Downward pass, in place: the flags of level v-1 overwrite its up
+	// states (each node reads its two children's states before writing their
+	// flags, so the overwrite is safe). At the root the node's own XOR state
+	// is echoed as the parent flag (Algorithm step 4), which is exactly the
+	// value already stored there.
 	for v := t.p; v >= 1; v-- {
-		child := make([]uint8, len(up[v-1]))
-		for i := range up[v] {
-			y1, y2 := NodeDown(up[v-1][2*i], up[v-1][2*i+1], down[v][i])
+		childOff := off - n>>uint(v-1)
+		parent := work[off : off+n>>uint(v)]
+		child := work[childOff : childOff+n>>uint(v-1)]
+		for i, zd := range parent {
+			y1, y2 := NodeDown(child[2*i], child[2*i+1], zd)
 			child[2*i], child[2*i+1] = y1, y2
 		}
-		down[v-1] = child
+		off = childOff
 	}
-	copy(flags, down[0])
-	return flags, nil
+	return work[:n], nil
 }
 
 // FlagsGateLevel computes the same flags as Flags but evaluates every node

@@ -23,8 +23,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/gbn"
+	"repro/internal/neterr"
 	"repro/internal/perm"
 	"repro/internal/splitter"
 	"repro/internal/wiring"
@@ -53,6 +55,10 @@ type Network struct {
 	nested []gbn.Topology
 	// sps[p] is the shared splitter instance sp(p), 1 <= p <= m.
 	sps []*splitter.Splitter
+	// pool recycles per-route scratch (see scratch.go); it is the only
+	// mutable field and is internally synchronized, preserving the
+	// concurrent-use contract.
+	pool sync.Pool
 }
 
 // New constructs a BNB network with 2^m inputs and w data bits per word.
@@ -83,7 +89,9 @@ func New(m, w int) (*Network, error) {
 		}
 		sps[p] = sp
 	}
-	return &Network{m: m, w: w, main: main, nested: nested, sps: sps}, nil
+	net := &Network{m: m, w: w, main: main, nested: nested, sps: sps}
+	net.pool.New = func() any { return newScratch(net) }
+	return net, nil
 }
 
 // M returns the network order (log2 of the input count).
@@ -121,10 +129,15 @@ func (n *Network) routeNested(mainStage int, words []Word) ([]Word, error) {
 
 // Route self-routes the words to the network outputs. The destination
 // addresses must form a permutation of {0, ..., N-1}; output j of the result
-// holds the word whose address is j. The input slice is not modified.
+// holds the word whose address is j. The input slice is not modified. Route
+// runs on the pooled hot path, allocating only the result slice; callers who
+// also own the output buffer can use RouteInto and allocate nothing.
 func (n *Network) Route(words []Word) ([]Word, error) {
-	out, _, err := n.route(words, false)
-	return out, err
+	out := make([]Word, n.Inputs())
+	if err := n.RouteInto(out, words); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // RouteTraced behaves like Route and additionally returns the word vector as
@@ -136,7 +149,7 @@ func (n *Network) RouteTraced(words []Word) ([]Word, [][]Word, error) {
 
 func (n *Network) route(words []Word, traced bool) ([]Word, [][]Word, error) {
 	if len(words) != n.Inputs() {
-		return nil, nil, fmt.Errorf("bnb: got %d words, want %d", len(words), n.Inputs())
+		return nil, nil, fmt.Errorf("bnb: got %d words, want %d: %w", len(words), n.Inputs(), neterr.ErrBadSize)
 	}
 	addrs := make(perm.Perm, len(words))
 	for i, wd := range words {
@@ -169,7 +182,7 @@ func (n *Network) route(words []Word, traced bool) ([]Word, [][]Word, error) {
 // parallel either way.
 func (n *Network) RouteParallel(words []Word, workers int) ([]Word, error) {
 	if len(words) != n.Inputs() {
-		return nil, fmt.Errorf("bnb: got %d words, want %d", len(words), n.Inputs())
+		return nil, fmt.Errorf("bnb: got %d words, want %d: %w", len(words), n.Inputs(), neterr.ErrBadSize)
 	}
 	addrs := make(perm.Perm, len(words))
 	for i, wd := range words {
@@ -193,7 +206,7 @@ func (n *Network) RouteParallel(words []Word, workers int) ([]Word, error) {
 // receipt. It returns the inverse arrangement as words.
 func (n *Network) RoutePerm(p perm.Perm) ([]Word, error) {
 	if len(p) != n.Inputs() {
-		return nil, fmt.Errorf("bnb: permutation length %d, want %d", len(p), n.Inputs())
+		return nil, fmt.Errorf("bnb: permutation length %d, want %d: %w", len(p), n.Inputs(), neterr.ErrBadSize)
 	}
 	words := make([]Word, len(p))
 	for i, d := range p {

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arbiter"
+	"repro/internal/gbn"
+	"repro/internal/neterr"
+	"repro/internal/splitter"
+	"repro/internal/wiring"
+)
+
+// scratch bundles every per-route buffer of the pooled hot path: the main
+// network's rewire buffer, one shared rewire buffer for the nested networks
+// (boxes of a stage are routed serially within one call, so they can share),
+// the splitter bit/control vectors sized for the widest box, the arbiter's
+// level storage, and the destination-validation bitmap. A scratch belongs to
+// exactly one Network (the routers point back at it) and is recycled through
+// the Network's sync.Pool, so steady-state RouteInto calls allocate nothing.
+type scratch struct {
+	next     []Word  // main-network inter-stage rewire buffer
+	sub      []Word  // nested-network inter-stage rewire buffer
+	bits     []uint8 // BSN-slice input bits of the box being routed
+	controls []bool  // switch settings of the box being routed
+	work     []uint8 // arbiter tree-level storage
+	seen     []bool  // destination-validation bitmap
+	main     mainRouter
+}
+
+func newScratch(n *Network) *scratch {
+	N := n.Inputs()
+	sc := &scratch{
+		next:     make([]Word, N),
+		sub:      make([]Word, N),
+		bits:     make([]uint8, N),
+		controls: make([]bool, N/2),
+		work:     make([]uint8, arbiter.WorkSize(n.m)),
+		seen:     make([]bool, N),
+	}
+	sc.main = mainRouter{n: n, sc: sc, nested: nestedRouter{n: n, sc: sc}}
+	return sc
+}
+
+// mainRouter routes one main-GBN box — an entire nested network — in place.
+type mainRouter struct {
+	n      *Network
+	sc     *scratch
+	nested nestedRouter
+}
+
+// RouteBox implements gbn.InPlaceRouter.
+func (r *mainRouter) RouteBox(box gbn.Box, lines []Word) error {
+	r.nested.stage = box.Stage
+	return gbn.RunInPlace[Word](r.n.nested[box.Stage], lines, r.sc.sub, &r.nested)
+}
+
+// nestedRouter routes one splitter box of the nested network for the main
+// stage currently set in stage: the BSN slice decodes address bit `stage`
+// and the derived controls move the whole words, exactly like routeNested
+// but into recycled buffers.
+type nestedRouter struct {
+	n     *Network
+	sc    *scratch
+	stage int
+}
+
+// RouteBox implements gbn.InPlaceRouter.
+func (r *nestedRouter) RouteBox(box gbn.Box, lines []Word) error {
+	nt := r.n.nested[r.stage]
+	p := nt.BoxOrder(box.Stage)
+	bits := r.sc.bits[:len(lines)]
+	for j, wd := range lines {
+		bits[j] = uint8(wiring.AddrBit(wd.Addr, r.stage, r.n.m))
+	}
+	controls := r.sc.controls[:len(lines)/2]
+	if err := r.n.sps[p].ControlsInto(controls, bits, r.sc.work); err != nil {
+		return fmt.Errorf("splitter sp(%d) on address bit %d: %w", p, r.stage, err)
+	}
+	return splitter.ApplyInPlace(controls, lines)
+}
+
+// RouteInto self-routes src into dst — the pooled, allocation-free
+// counterpart of Route. dst and src must both have length N; dst may be the
+// same slice as src (the route then runs fully in place) but must not
+// partially overlap it. The destination addresses must form a permutation of
+// {0,...,N-1}; on return dst[j] holds the word addressed to output j. All
+// per-route scratch comes from the network's pool, so after warm-up the call
+// performs zero heap allocations. Safe for concurrent use.
+func (n *Network) RouteInto(dst, src []Word) error {
+	N := n.Inputs()
+	if len(src) != N {
+		return fmt.Errorf("bnb: got %d words, want %d: %w", len(src), N, neterr.ErrBadSize)
+	}
+	if len(dst) != N {
+		return fmt.Errorf("bnb: got %d output slots, want %d: %w", len(dst), N, neterr.ErrBadSize)
+	}
+	sc := n.pool.Get().(*scratch)
+	defer n.pool.Put(sc)
+	for i := range sc.seen {
+		sc.seen[i] = false
+	}
+	for i, wd := range src {
+		if wd.Addr < 0 || wd.Addr >= N {
+			return fmt.Errorf("bnb: destination addresses are not a permutation: entry %d -> %d out of range [0,%d): %w",
+				i, wd.Addr, N, neterr.ErrNotPermutation)
+		}
+		if sc.seen[wd.Addr] {
+			return fmt.Errorf("bnb: destination addresses are not a permutation: destination %d appears more than once: %w",
+				wd.Addr, neterr.ErrNotPermutation)
+		}
+		sc.seen[wd.Addr] = true
+	}
+	copy(dst, src)
+	if err := gbn.RunInPlace[Word](n.main, dst, sc.next, &sc.main); err != nil {
+		return fmt.Errorf("bnb: %w", err)
+	}
+	return nil
+}
+
+// RoutePermInto routes a bare permutation into dst without allocating:
+// input i carries destination p[i] and data equal to the source index.
+func (n *Network) RoutePermInto(dst []Word, p []int) error {
+	if len(p) != n.Inputs() {
+		return fmt.Errorf("bnb: permutation length %d, want %d: %w", len(p), n.Inputs(), neterr.ErrBadSize)
+	}
+	if len(dst) != n.Inputs() {
+		return fmt.Errorf("bnb: got %d output slots, want %d: %w", len(dst), n.Inputs(), neterr.ErrBadSize)
+	}
+	for i, d := range p {
+		dst[i] = Word{Addr: d, Data: uint64(i)}
+	}
+	return n.RouteInto(dst, dst)
+}

@@ -1,0 +1,216 @@
+// Package engine turns a one-shot permutation router into a high-throughput
+// serving path: a bounded worker pool fans concurrent routing requests across
+// goroutines, each request is routed into a caller- or engine-owned output
+// buffer over the network's pooled zero-allocation hot path, and every
+// request reports its own error. Backpressure is the queue itself — Submit
+// blocks once Queue requests are in flight, so a fast producer cannot
+// outrun the workers without bound.
+//
+// The engine is the system-level answer to the paper's positioning: Lee & Lu
+// sell the BNB network as the switching fabric of "switching systems and
+// parallel processing systems", and a fabric is only as useful as the rate
+// at which its control path accepts work. The engine makes that rate a
+// first-class, instrumented quantity.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/neterr"
+)
+
+// Router is the routing surface the engine serves. core.Network implements
+// it natively; any other network can be adapted by routing into a fresh
+// slice and copying (see the bnbnet package's adapter).
+type Router interface {
+	// Inputs returns the port count N.
+	Inputs() int
+	// RouteInto routes src into dst; both must have length N.
+	RouteInto(dst, src []core.Word) error
+}
+
+// Config tunes an Engine. The zero value selects sensible defaults.
+type Config struct {
+	// Workers is the number of routing goroutines; <= 0 selects 4.
+	Workers int
+	// Queue is the number of requests that may be in flight (queued or
+	// being routed) before Submit blocks; <= 0 selects 4 * Workers.
+	Queue int
+	// Metrics, when non-nil, receives one observation per completed
+	// request (latency measured from Submit to completion).
+	Metrics *metrics.Metrics
+}
+
+// request is one unit of work. Requests are pooled: the worker publishes the
+// result through the ticket, not the request, so a request can be recycled
+// the moment its route completes.
+type request struct {
+	src, dst []core.Word
+	start    time.Time
+	t        *Ticket
+}
+
+// Ticket is the handle to one submitted request. Wait blocks until the
+// route completes and returns the output buffer and the request's error.
+// Wait may be called at most once per ticket and from one goroutine.
+type Ticket struct {
+	done chan error
+	dst  []core.Word
+}
+
+// Wait blocks until the request completes.
+func (t *Ticket) Wait() ([]core.Word, error) {
+	if err := <-t.done; err != nil {
+		return nil, err
+	}
+	return t.dst, nil
+}
+
+// Engine is a bounded worker pool serving permutation routes. Construct
+// with New; all methods are safe for concurrent use.
+type Engine struct {
+	r    Router
+	m    *metrics.Metrics
+	reqs chan *request
+	pool sync.Pool // *request
+
+	wg sync.WaitGroup
+
+	// mu guards closed and makes Submit-vs-Close safe: submitters hold the
+	// read side while enqueueing, Close takes the write side to flip closed
+	// before closing the channel.
+	mu     sync.RWMutex
+	closed bool
+
+	workers int
+}
+
+// New builds an engine around the router and starts its workers.
+func New(r Router, cfg Config) (*Engine, error) {
+	if r == nil {
+		return nil, fmt.Errorf("engine: nil router")
+	}
+	if r.Inputs() < 2 {
+		return nil, fmt.Errorf("engine: router has %d ports, need at least 2: %w", r.Inputs(), neterr.ErrBadSize)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	queue := cfg.Queue
+	if queue <= 0 {
+		queue = 4 * workers
+	}
+	e := &Engine{
+		r:       r,
+		m:       cfg.Metrics,
+		reqs:    make(chan *request, queue),
+		workers: workers,
+	}
+	e.pool.New = func() any { return new(request) }
+	e.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go e.worker()
+	}
+	return e, nil
+}
+
+// Workers returns the number of routing goroutines.
+func (e *Engine) Workers() int { return e.workers }
+
+// Inputs returns the port count of the served network.
+func (e *Engine) Inputs() int { return e.r.Inputs() }
+
+// Metrics returns the metrics sink, or nil if none was configured.
+func (e *Engine) Metrics() *metrics.Metrics { return e.m }
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for req := range e.reqs {
+		err := e.r.RouteInto(req.dst, req.src)
+		e.m.ObserveRoute(len(req.src), time.Since(req.start), err)
+		t := req.t
+		*req = request{}
+		e.pool.Put(req)
+		t.done <- err
+	}
+}
+
+// Submit enqueues one routing request and returns immediately with a
+// Ticket; the route lands in dst. If dst is nil the engine allocates the
+// output buffer. Submit blocks while the queue is full (backpressure) and
+// fails fast with ErrClosed after Close or ErrBadSize on a length mismatch.
+// The caller must not touch src or dst until Wait returns.
+func (e *Engine) Submit(dst, src []core.Word) (*Ticket, error) {
+	n := e.r.Inputs()
+	if len(src) != n {
+		return nil, fmt.Errorf("engine: got %d words, want %d: %w", len(src), n, neterr.ErrBadSize)
+	}
+	if dst == nil {
+		dst = make([]core.Word, n)
+	} else if len(dst) != n {
+		return nil, fmt.Errorf("engine: got %d output slots, want %d: %w", len(dst), n, neterr.ErrBadSize)
+	}
+	req := e.pool.Get().(*request)
+	*req = request{
+		src:   src,
+		dst:   dst,
+		start: time.Now(),
+		t:     &Ticket{done: make(chan error, 1), dst: dst},
+	}
+	t := req.t
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		e.pool.Put(req)
+		return nil, fmt.Errorf("engine: %w", neterr.ErrClosed)
+	}
+	e.reqs <- req
+	e.mu.RUnlock()
+	return t, nil
+}
+
+// RouteBatch routes every request of the batch across the worker pool and
+// reports per-request results: outs[i] is the routed output of batch[i] (nil
+// on failure) and errs[i] its error. It blocks until the whole batch has
+// been served.
+func (e *Engine) RouteBatch(batch [][]core.Word) (outs [][]core.Word, errs []error) {
+	outs = make([][]core.Word, len(batch))
+	errs = make([]error, len(batch))
+	tickets := make([]*Ticket, len(batch))
+	for i, src := range batch {
+		t, err := e.Submit(nil, src)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		tickets[i] = t
+	}
+	for i, t := range tickets {
+		if t == nil {
+			continue
+		}
+		outs[i], errs[i] = t.Wait()
+	}
+	return outs, errs
+}
+
+// Close stops accepting requests, waits for queued work to drain, and stops
+// the workers. Submitted tickets all complete. A second Close reports
+// ErrClosed.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: %w", neterr.ErrClosed)
+	}
+	e.closed = true
+	close(e.reqs)
+	e.mu.Unlock()
+	e.wg.Wait()
+	return nil
+}

@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/neterr"
+	"repro/internal/perm"
+)
+
+func newBNB(t testing.TB, m, w int) *core.Network {
+	t.Helper()
+	n, err := core.New(m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func permWords(p perm.Perm) []core.Word {
+	words := make([]core.Word, len(p))
+	for i, d := range p {
+		words[i] = core.Word{Addr: d, Data: uint64(i)}
+	}
+	return words
+}
+
+func TestSubmitMatchesSerialRoute(t *testing.T) {
+	n := newBNB(t, 5, 8)
+	e, err := New(n, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		src := permWords(perm.Random(n.Inputs(), rng))
+		want, err := n.Route(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ticket, err := e.Submit(nil, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ticket.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("trial %d output %d: engine %v, serial %v", trial, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestSubmitIntoCallerBuffer(t *testing.T) {
+	n := newBNB(t, 4, 0)
+	e, err := New(n, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	src := permWords(perm.Reversal(n.Inputs()))
+	dst := make([]core.Word, n.Inputs())
+	ticket, err := e.Submit(dst, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ticket.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &dst[0] {
+		t.Fatal("engine did not route into the caller's buffer")
+	}
+	if !core.Delivered(dst) {
+		t.Fatalf("misdelivered: %v", dst)
+	}
+}
+
+func TestRouteBatchPerRequestErrors(t *testing.T) {
+	n := newBNB(t, 3, 0)
+	e, err := New(n, Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	good := permWords(perm.Identity(n.Inputs()))
+	short := permWords(perm.Identity(n.Inputs() - 1))
+	dup := permWords(perm.Identity(n.Inputs()))
+	dup[0].Addr = dup[1].Addr // not a permutation
+	outs, errs := e.RouteBatch([][]core.Word{good, short, dup, good})
+	if errs[0] != nil || errs[3] != nil {
+		t.Fatalf("good requests failed: %v, %v", errs[0], errs[3])
+	}
+	if !core.Delivered(outs[0]) || !core.Delivered(outs[3]) {
+		t.Fatal("good requests misdelivered")
+	}
+	if !errors.Is(errs[1], neterr.ErrBadSize) {
+		t.Errorf("short request error = %v, want ErrBadSize", errs[1])
+	}
+	if !errors.Is(errs[2], neterr.ErrNotPermutation) {
+		t.Errorf("duplicate request error = %v, want ErrNotPermutation", errs[2])
+	}
+	if outs[1] != nil || outs[2] != nil {
+		t.Error("failed requests returned outputs")
+	}
+}
+
+func TestCloseRejectsAndDrains(t *testing.T) {
+	n := newBNB(t, 4, 0)
+	e, err := New(n, Config{Workers: 2, Queue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var tickets []*Ticket
+	for i := 0; i < 20; i++ {
+		tk, err := e.Submit(nil, permWords(perm.Random(n.Inputs(), rng)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	// Every pre-close ticket still completes.
+	for i, tk := range tickets {
+		out, err := tk.Wait()
+		if err != nil {
+			t.Fatalf("ticket %d: %v", i, err)
+		}
+		if !core.Delivered(out) {
+			t.Fatalf("ticket %d misdelivered", i)
+		}
+	}
+	if _, err := e.Submit(nil, permWords(perm.Identity(n.Inputs()))); !errors.Is(err, neterr.ErrClosed) {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if err := e.Close(); !errors.Is(err, neterr.ErrClosed) {
+		t.Errorf("second Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	n := newBNB(t, 5, 4)
+	var m metrics.Metrics
+	e, err := New(n, Config{Workers: 4, Metrics: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers, per = 8, 25
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				src := permWords(perm.Random(n.Inputs(), rng))
+				tk, err := e.Submit(nil, src)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				out, err := tk.Wait()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j, wd := range out {
+					if wd.Addr != j {
+						t.Errorf("output %d carries address %d", j, wd.Addr)
+						return
+					}
+				}
+			}
+		}(int64(pr))
+	}
+	wg.Wait()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.Routes != producers*per {
+		t.Errorf("metrics routes = %d, want %d", s.Routes, producers*per)
+	}
+	if s.WordsSwitched != int64(producers*per*n.Inputs()) {
+		t.Errorf("words switched = %d, want %d", s.WordsSwitched, producers*per*n.Inputs())
+	}
+}

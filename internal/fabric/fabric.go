@@ -17,7 +17,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
+	"repro/internal/metrics"
+	"repro/internal/neterr"
 	"repro/internal/perm"
 )
 
@@ -149,24 +152,33 @@ type Stats struct {
 }
 
 // WaitPercentile returns the smallest wait w such that at least fraction p
-// (0 < p <= 1) of delivered cells waited w cycles or fewer. With no
-// deliveries it returns 0.
+// of delivered cells waited w cycles or fewer. p is clamped to [0, 1]:
+// p <= 0 returns the smallest observed wait and p >= 1 the largest, so the
+// full clamped range — including exactly 0 and exactly 1 — answers with a
+// wait that actually occurred. With no deliveries it returns 0.
 func (s Stats) WaitPercentile(p float64) int {
-	if s.Delivered == 0 || p <= 0 {
+	if s.Delivered == 0 || len(s.WaitHistogram) == 0 {
 		return 0
 	}
 	if p > 1 {
 		p = 1
 	}
 	need := int(math.Ceil(p * float64(s.Delivered)))
-	acc := 0
+	if need < 1 {
+		need = 1 // p <= 0: the minimum observed wait
+	}
+	acc, last := 0, 0
 	for w, c := range s.WaitHistogram {
+		if c == 0 {
+			continue
+		}
+		last = w
 		acc += c
 		if acc >= need {
 			return w
 		}
 	}
-	return len(s.WaitHistogram) - 1
+	return last // the maximum observed wait
 }
 
 // Throughput returns delivered cells per port per cycle.
@@ -197,6 +209,8 @@ type Switch struct {
 	// same timeline, so cells left queued by one run age correctly into the
 	// next.
 	now int
+	// m, when attached, observes every network pass for live monitoring.
+	m *metrics.Metrics
 }
 
 // NewSwitch builds a switch around the router.
@@ -206,10 +220,16 @@ func NewSwitch(r Router) (*Switch, error) {
 	}
 	n := r.Inputs()
 	if n < 2 {
-		return nil, fmt.Errorf("fabric: router has %d ports, need at least 2", n)
+		return nil, fmt.Errorf("fabric: router has %d ports, need at least 2: %w", n, neterr.ErrBadSize)
 	}
 	return &Switch{router: r, queues: make([][]Cell, n)}, nil
 }
+
+// AttachMetrics routes live observability to m: every cycle's network pass
+// is observed with the number of real (non-dummy) cells it switched, so a
+// long Run can be watched through snapshots from another goroutine. Attach
+// before Run; a nil m detaches.
+func (s *Switch) AttachMetrics(m *metrics.Metrics) { s.m = m }
 
 // Ports returns the port count.
 func (s *Switch) Ports() int { return len(s.queues) }
@@ -238,7 +258,7 @@ func (s *Switch) Run(t Traffic, cycles int, rng *rand.Rand) (Stats, error) {
 		// Arrivals.
 		dests := t.Generate(cycle, n, rng)
 		if len(dests) != n {
-			return stats, fmt.Errorf("fabric: traffic generated %d arrivals for %d ports", len(dests), n)
+			return stats, fmt.Errorf("fabric: traffic generated %d arrivals for %d ports: %w", len(dests), n, neterr.ErrBadSize)
 		}
 		for i, d := range dests {
 			if d < 0 {
@@ -298,7 +318,9 @@ func (s *Switch) Run(t Traffic, cycles int, rng *rand.Rand) (Stats, error) {
 			}
 		}
 		// One physical pass through the network.
+		start := time.Now()
 		arrangement, err := s.router.Route(p)
+		s.m.ObserveRoute(winners, time.Since(start), err)
 		if err != nil {
 			return stats, fmt.Errorf("fabric: cycle %d: %w", cycle, err)
 		}

@@ -1,0 +1,107 @@
+package fabric
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWaitPercentileTable pins the edge behavior of WaitPercentile: empty
+// stats, the clamped extremes p <= 0 and p >= 1, fractional percentiles over
+// a known histogram, and histograms with leading/interior zero buckets.
+func TestWaitPercentileTable(t *testing.T) {
+	tests := []struct {
+		name      string
+		delivered int
+		hist      []int
+		p         float64
+		want      int
+	}{
+		{"empty stats p=0.5", 0, nil, 0.5, 0},
+		{"empty stats p=0", 0, nil, 0, 0},
+		{"empty stats p=1", 0, nil, 1, 0},
+		{"empty histogram", 0, []int{}, 0.99, 0},
+		{"p=0 returns min wait", 10, []int{0, 0, 4, 6}, 0, 2},
+		{"p negative clamps to min wait", 10, []int{0, 0, 4, 6}, -3, 2},
+		{"p=1 returns max wait", 10, []int{4, 6, 0, 0}, 1, 1},
+		{"p above 1 clamps to max wait", 10, []int{4, 6}, 100, 1},
+		{"median of uniform split", 10, []int{5, 5}, 0.5, 0},
+		{"just past median", 10, []int{5, 5}, 0.51, 1},
+		{"p99 covered without tail", 100, []int{90, 9, 1}, 0.99, 1},
+		{"p90 avoids tail", 100, []int{90, 9, 1}, 0.90, 0},
+		{"p995 needs the tail", 100, []int{90, 9, 1}, 0.995, 2},
+		{"interior zero bucket skipped", 10, []int{5, 0, 5}, 0.8, 2},
+		{"single wait value", 7, []int{0, 0, 0, 7}, 0.5, 3},
+		{"all cells waited zero", 42, []int{42}, 1, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Stats{Delivered: tc.delivered, WaitHistogram: tc.hist}
+			if got := s.WaitPercentile(tc.p); got != tc.want {
+				t.Errorf("WaitPercentile(%v) = %d, want %d", tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestWaitPercentileMonotone: percentiles never decrease as p grows.
+func TestWaitPercentileMonotone(t *testing.T) {
+	s := Stats{Delivered: 37, WaitHistogram: []int{10, 0, 7, 12, 0, 8}}
+	prev := -1
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		w := s.WaitPercentile(p)
+		if w < prev {
+			t.Fatalf("WaitPercentile(%v) = %d < previous %d", p, w, prev)
+		}
+		prev = w
+	}
+}
+
+// TestThroughputTable pins Throughput including its division-by-zero guards.
+func TestThroughputTable(t *testing.T) {
+	tests := []struct {
+		name      string
+		delivered int
+		cycles    int
+		ports     int
+		want      float64
+	}{
+		{"zero cycles", 100, 0, 16, 0},
+		{"zero ports", 100, 10, 0, 0},
+		{"zero delivered", 0, 10, 16, 0},
+		{"full load", 160, 10, 16, 1.0},
+		{"half load", 80, 10, 16, 0.5},
+		{"fractional", 1, 4, 2, 0.125},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Stats{Delivered: tc.delivered, Cycles: tc.cycles}
+			if got := s.Throughput(tc.ports); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Throughput(%d) = %v, want %v", tc.ports, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestMeanWaitTable pins MeanWait including the no-deliveries guard.
+func TestMeanWaitTable(t *testing.T) {
+	tests := []struct {
+		name      string
+		delivered int
+		totalWait int64
+		want      float64
+	}{
+		{"no deliveries", 0, 0, 0},
+		{"no deliveries with stale wait", 0, 99, 0},
+		{"zero wait", 10, 0, 0},
+		{"integer mean", 10, 30, 3},
+		{"fractional mean", 4, 6, 1.5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Stats{Delivered: tc.delivered, TotalWait: tc.totalWait}
+			if got := s.MeanWait(); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("MeanWait() = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

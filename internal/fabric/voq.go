@@ -3,7 +3,10 @@ package fabric
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
+	"repro/internal/metrics"
+	"repro/internal/neterr"
 	"repro/internal/perm"
 )
 
@@ -29,6 +32,8 @@ type VOQSwitch struct {
 	iterations int
 	// now is the persistent cycle clock (see Switch.now).
 	now int
+	// m, when attached, observes every network pass (see Switch.AttachMetrics).
+	m *metrics.Metrics
 }
 
 // NewVOQSwitch builds a VOQ switch around the router.
@@ -38,7 +43,7 @@ func NewVOQSwitch(r Router) (*VOQSwitch, error) {
 	}
 	n := r.Inputs()
 	if n < 2 {
-		return nil, fmt.Errorf("fabric: router has %d ports, need at least 2", n)
+		return nil, fmt.Errorf("fabric: router has %d ports, need at least 2: %w", n, neterr.ErrBadSize)
 	}
 	queues := make([][][]Cell, n)
 	for i := range queues {
@@ -55,6 +60,9 @@ func NewVOQSwitch(r Router) (*VOQSwitch, error) {
 
 // Ports returns the port count.
 func (s *VOQSwitch) Ports() int { return len(s.queues) }
+
+// AttachMetrics routes live observability to m (see Switch.AttachMetrics).
+func (s *VOQSwitch) AttachMetrics(m *metrics.Metrics) { s.m = m }
 
 // QueueDepth returns the total number of cells queued at input i.
 func (s *VOQSwitch) QueueDepth(i int) int {
@@ -142,7 +150,7 @@ func (s *VOQSwitch) Run(t Traffic, cycles int, rng *rand.Rand) (Stats, error) {
 		s.now++
 		dests := t.Generate(cycle, n, rng)
 		if len(dests) != n {
-			return stats, fmt.Errorf("fabric: traffic generated %d arrivals for %d ports", len(dests), n)
+			return stats, fmt.Errorf("fabric: traffic generated %d arrivals for %d ports: %w", len(dests), n, neterr.ErrBadSize)
 		}
 		for i, d := range dests {
 			if d < 0 {
@@ -187,7 +195,9 @@ func (s *VOQSwitch) Run(t Traffic, cycles int, rng *rand.Rand) (Stats, error) {
 				fi++
 			}
 		}
+		start := time.Now()
 		arrangement, err := s.router.Route(p)
+		s.m.ObserveRoute(winners, time.Since(start), err)
 		if err != nil {
 			return stats, fmt.Errorf("fabric: cycle %d: %w", cycle, err)
 		}

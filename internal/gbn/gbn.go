@@ -185,6 +185,50 @@ func Run[T any](t Topology, in []T, r BoxRouter[T]) ([]T, error) {
 	return cur, nil
 }
 
+// InPlaceRouter is the allocation-free counterpart of BoxRouter: RouteBox
+// permutes the lines of one switching box in place. Implementations must not
+// grow or shrink the slice.
+type InPlaceRouter[T any] interface {
+	RouteBox(box Box, lines []T) error
+}
+
+// RunInPlace is the allocation-free counterpart of Run: it pushes cur through
+// every stage with the in-place router, using tmp (same length) as the
+// rewiring buffer for the inter-stage unshuffle. The final network output is
+// left in cur; tmp's contents are unspecified afterwards. Neither slice is
+// allocated or retained, so callers can recycle both across routes — this is
+// the engine hot path.
+func RunInPlace[T any](t Topology, cur, tmp []T, r InPlaceRouter[T]) error {
+	n := t.Inputs()
+	if len(cur) != n {
+		return fmt.Errorf("gbn: got %d inputs, want %d", len(cur), n)
+	}
+	if len(tmp) < n {
+		return fmt.Errorf("gbn: rewire buffer length %d, want %d", len(tmp), n)
+	}
+	a, b := cur, tmp[:n]
+	for i := 0; i < t.Stages(); i++ {
+		size := t.BoxSize(i)
+		for l := 0; l < t.BoxesInStage(i); l++ {
+			lo := l * size
+			if err := r.RouteBox(Box{Stage: i, Index: l}, a[lo:lo+size]); err != nil {
+				return fmt.Errorf("gbn: stage %d box %d: %w", i, l, err)
+			}
+		}
+		if i == t.Stages()-1 {
+			break
+		}
+		for j := 0; j < n; j++ {
+			b[t.InterStage(i, j)] = a[j]
+		}
+		a, b = b, a
+	}
+	if &a[0] != &cur[0] {
+		copy(cur, a)
+	}
+	return nil
+}
+
 // RunTraced behaves like Run but additionally records the payload vector as
 // it appears at the input of every stage plus the final output, enabling
 // stage-by-stage inspection (used by the diagram and trace tools). The

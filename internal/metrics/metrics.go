@@ -1,0 +1,157 @@
+// Package metrics is the observability surface of the serving layer: cheap
+// atomic counters and a lock-free latency histogram that routing paths can
+// update from many goroutines without coordination, plus percentile
+// snapshots and optional expvar publication for live inspection of long
+// runs. One Metrics instance is shared by everything that serves a given
+// network — the engine's workers, the fabric switch's cycle loop — so a
+// snapshot is a whole-system view.
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of latency buckets: bucket 0 holds observations
+// under 1µs and bucket b holds [2^{b-1}, 2^b) µs, so the top bucket covers
+// everything from ~9 hours up.
+const histBuckets = 46
+
+// Metrics aggregates routing activity. The zero value is ready to use; all
+// methods are safe for concurrent use. Use one instance per serving surface
+// (engine, fabric switch) or share one across several to aggregate them.
+type Metrics struct {
+	routes  atomic.Int64
+	errors  atomic.Int64
+	words   atomic.Int64
+	latSum  atomic.Int64 // nanoseconds
+	latMax  atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps a latency to its histogram bucket.
+func bucketOf(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	b := bits.Len64(us) // 0 for <1µs, k for [2^{k-1}, 2^k) µs
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketCeil returns the inclusive upper bound of bucket b.
+func bucketCeil(b int) time.Duration {
+	if b == 0 {
+		return time.Microsecond
+	}
+	return time.Duration(uint64(1)<<uint(b)) * time.Microsecond
+}
+
+// ObserveRoute records one routing request: the number of words it moved,
+// its latency, and whether it failed. Failed requests count toward Errors
+// but not toward Routes or WordsSwitched, mirroring the delivery contract:
+// a failed route switched nothing.
+func (m *Metrics) ObserveRoute(words int, d time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.errors.Add(1)
+		return
+	}
+	m.routes.Add(1)
+	m.words.Add(int64(words))
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	m.latSum.Add(ns)
+	for {
+		old := m.latMax.Load()
+		if ns <= old || m.latMax.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	m.buckets[bucketOf(d)].Add(1)
+}
+
+// Snapshot is a point-in-time copy of the counters with derived percentile
+// estimates. Percentiles are upper bounds of power-of-two-microsecond
+// buckets, so they are conservative to within 2x — the right resolution for
+// spotting saturation, not for microbenchmarking.
+type Snapshot struct {
+	// Routes is the number of successfully routed requests.
+	Routes int64
+	// Errors is the number of failed requests.
+	Errors int64
+	// WordsSwitched is the total number of words moved by successful routes.
+	WordsSwitched int64
+	// MeanLatency is the average latency of successful routes.
+	MeanLatency time.Duration
+	// P50, P90, P99 are conservative latency percentile estimates.
+	P50, P90, P99 time.Duration
+	// MaxLatency is the slowest successful route observed.
+	MaxLatency time.Duration
+}
+
+// Snapshot returns a consistent-enough copy of the counters: each value is
+// read atomically, though concurrent updates may land between reads.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Routes:        m.routes.Load(),
+		Errors:        m.errors.Load(),
+		WordsSwitched: m.words.Load(),
+		MaxLatency:    time.Duration(m.latMax.Load()),
+	}
+	if s.Routes > 0 {
+		s.MeanLatency = time.Duration(m.latSum.Load() / s.Routes)
+	}
+	var counts [histBuckets]int64
+	total := int64(0)
+	for b := range counts {
+		counts[b] = m.buckets[b].Load()
+		total += counts[b]
+	}
+	s.P50 = percentile(counts[:], total, 0.50)
+	s.P90 = percentile(counts[:], total, 0.90)
+	s.P99 = percentile(counts[:], total, 0.99)
+	return s
+}
+
+func percentile(counts []int64, total int64, p float64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	need := int64(p * float64(total))
+	if need < 1 {
+		need = 1
+	}
+	acc := int64(0)
+	for b, c := range counts {
+		acc += c
+		if acc >= need {
+			return bucketCeil(b)
+		}
+	}
+	return bucketCeil(len(counts) - 1)
+}
+
+// String formats the snapshot as a single human-readable line.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("routes=%d errors=%d words=%d mean=%v p50=%v p99=%v max=%v",
+		s.Routes, s.Errors, s.WordsSwitched, s.MeanLatency, s.P50, s.P99, s.MaxLatency)
+}
+
+// Publish registers the metrics under the given expvar name, exposing live
+// snapshots on the standard /debug/vars surface. It returns an error if the
+// name is already taken (expvar itself would panic).
+func (m *Metrics) Publish(name string) error {
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("metrics: expvar name %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+	return nil
+}

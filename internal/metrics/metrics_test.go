@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersAndPercentiles(t *testing.T) {
+	var m Metrics
+	// 90 fast routes at ~2µs, 9 at ~100µs, 1 at ~10ms.
+	for i := 0; i < 90; i++ {
+		m.ObserveRoute(32, 2*time.Microsecond, nil)
+	}
+	for i := 0; i < 9; i++ {
+		m.ObserveRoute(32, 100*time.Microsecond, nil)
+	}
+	m.ObserveRoute(32, 10*time.Millisecond, nil)
+	m.ObserveRoute(32, time.Second, errors.New("boom"))
+
+	s := m.Snapshot()
+	if s.Routes != 100 {
+		t.Errorf("Routes = %d, want 100", s.Routes)
+	}
+	if s.Errors != 1 {
+		t.Errorf("Errors = %d, want 1", s.Errors)
+	}
+	if s.WordsSwitched != 100*32 {
+		t.Errorf("WordsSwitched = %d, want %d", s.WordsSwitched, 100*32)
+	}
+	if s.P50 > 8*time.Microsecond {
+		t.Errorf("P50 = %v, want <= 8µs", s.P50)
+	}
+	if s.P99 < 100*time.Microsecond {
+		t.Errorf("P99 = %v, want >= 100µs", s.P99)
+	}
+	if s.MaxLatency != 10*time.Millisecond {
+		t.Errorf("MaxLatency = %v, want 10ms", s.MaxLatency)
+	}
+	if s.MeanLatency <= 0 {
+		t.Errorf("MeanLatency = %v, want > 0", s.MeanLatency)
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	var m Metrics
+	s := m.Snapshot()
+	if s.Routes != 0 || s.Errors != 0 || s.WordsSwitched != 0 {
+		t.Errorf("zero metrics snapshot not zero: %+v", s)
+	}
+	if s.P50 != 0 || s.P99 != 0 || s.MeanLatency != 0 || s.MaxLatency != 0 {
+		t.Errorf("zero metrics latency not zero: %+v", s)
+	}
+}
+
+func TestNilMetricsIsSafe(t *testing.T) {
+	var m *Metrics
+	m.ObserveRoute(1, time.Microsecond, nil) // must not panic
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	var m Metrics
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.ObserveRoute(4, time.Duration(i)*time.Microsecond, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Routes != workers*per {
+		t.Errorf("Routes = %d, want %d", s.Routes, workers*per)
+	}
+	if s.WordsSwitched != workers*per*4 {
+		t.Errorf("WordsSwitched = %d, want %d", s.WordsSwitched, workers*per*4)
+	}
+}
+
+func TestPublishRejectsDuplicates(t *testing.T) {
+	var m Metrics
+	if err := m.Publish("metrics_test_unique"); err != nil {
+		t.Fatalf("first Publish: %v", err)
+	}
+	if err := m.Publish("metrics_test_unique"); err == nil {
+		t.Fatal("second Publish with same name succeeded, want error")
+	}
+}
+
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for _, d := range []time.Duration{
+		0, 500 * time.Nanosecond, time.Microsecond, 3 * time.Microsecond,
+		time.Millisecond, time.Second, time.Hour, 1000 * time.Hour,
+	} {
+		b := bucketOf(d)
+		if b < prev {
+			t.Errorf("bucketOf(%v) = %d, below previous %d", d, b, prev)
+		}
+		if b >= histBuckets {
+			t.Errorf("bucketOf(%v) = %d out of range", d, b)
+		}
+		prev = b
+	}
+}

@@ -1,0 +1,22 @@
+// Package neterr defines the sentinel errors shared by every layer of the
+// repository. Packages wrap them with %w so callers can classify failures
+// with errors.Is through the public API (bnbnet re-exports the sentinels)
+// without parsing error strings: a routing request either carried addresses
+// that are not a permutation, carried the wrong number of words for the
+// network, or hit an engine that has been shut down.
+package neterr
+
+import "errors"
+
+var (
+	// ErrNotPermutation reports destination addresses that do not form a
+	// permutation of {0,...,N-1} (out-of-range or duplicate destinations).
+	ErrNotPermutation = errors.New("not a permutation")
+
+	// ErrBadSize reports a payload whose length does not match the port
+	// count of the network or engine it was offered to.
+	ErrBadSize = errors.New("size mismatch")
+
+	// ErrClosed reports a request submitted to an engine after Close.
+	ErrClosed = errors.New("engine closed")
+)

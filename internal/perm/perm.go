@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/neterr"
 	"repro/internal/wiring"
 )
 
@@ -47,14 +48,15 @@ func Random(n int, rng *rand.Rand) Perm {
 }
 
 // Validate reports an error unless p is a permutation of {0, ..., len(p)-1}.
+// Failures wrap neterr.ErrNotPermutation.
 func (p Perm) Validate() error {
 	seen := make([]bool, len(p))
 	for i, v := range p {
 		if v < 0 || v >= len(p) {
-			return fmt.Errorf("perm: entry %d -> %d out of range [0,%d)", i, v, len(p))
+			return fmt.Errorf("perm: entry %d -> %d out of range [0,%d): %w", i, v, len(p), neterr.ErrNotPermutation)
 		}
 		if seen[v] {
-			return fmt.Errorf("perm: destination %d appears more than once", v)
+			return fmt.Errorf("perm: destination %d appears more than once: %w", v, neterr.ErrNotPermutation)
 		}
 		seen[v] = true
 	}
@@ -423,10 +425,10 @@ func Complete(partial []int) (Perm, error) {
 			continue
 		}
 		if d < 0 || d >= n {
-			return nil, fmt.Errorf("perm: partial entry %d -> %d out of range [0,%d)", i, d, n)
+			return nil, fmt.Errorf("perm: partial entry %d -> %d out of range [0,%d): %w", i, d, n, neterr.ErrNotPermutation)
 		}
 		if used[d] {
-			return nil, fmt.Errorf("perm: destination %d assigned twice", d)
+			return nil, fmt.Errorf("perm: destination %d assigned twice: %w", d, neterr.ErrNotPermutation)
 		}
 		used[d] = true
 	}

@@ -62,8 +62,27 @@ func (s *Splitter) CriticalPath() int { return s.tree.CriticalPath() }
 // enclosing network carries a permutation); Controls enforces it so that
 // contract violations surface at the point of failure.
 func (s *Splitter) Controls(bits []uint8) ([]bool, error) {
+	controls := make([]bool, s.Switches())
+	if err := s.ControlsInto(controls, bits, make([]uint8, arbiter.WorkSize(s.p))); err != nil {
+		return nil, err
+	}
+	return controls, nil
+}
+
+// WorkSize returns the scratch length ControlsInto requires for sp(p).
+func WorkSize(p int) int { return arbiter.WorkSize(p) }
+
+// ControlsInto computes the same switch settings as Controls without
+// allocating: controls receives one setting per 2x2 switch (len 2^{p-1}) and
+// work supplies the arbiter's level storage (len >= WorkSize(p)). bits must
+// not alias work. This is the routing hot path; callers recycle controls and
+// work across routes.
+func (s *Splitter) ControlsInto(controls []bool, bits, work []uint8) error {
 	if len(bits) != s.Inputs() {
-		return nil, fmt.Errorf("splitter: got %d inputs, want %d", len(bits), s.Inputs())
+		return fmt.Errorf("splitter: got %d inputs, want %d", len(bits), s.Inputs())
+	}
+	if len(controls) != s.Switches() {
+		return fmt.Errorf("splitter: got %d control slots, want %d", len(controls), s.Switches())
 	}
 	if s.p >= 2 {
 		ones := 0
@@ -71,23 +90,22 @@ func (s *Splitter) Controls(bits []uint8) ([]bool, error) {
 			ones += int(b)
 		}
 		if ones%2 != 0 {
-			return nil, fmt.Errorf("splitter: sp(%d) requires an even number of 1-bits, got %d", s.p, ones)
+			return fmt.Errorf("splitter: sp(%d) requires an even number of 1-bits, got %d", s.p, ones)
 		}
 	} else {
 		// Definition 3 for p = 1: one input 0 and the other 1.
 		if bits[0]^bits[1] != 1 {
-			return nil, fmt.Errorf("splitter: sp(1) requires one 0 and one 1 input, got %d,%d", bits[0], bits[1])
+			return fmt.Errorf("splitter: sp(1) requires one 0 and one 1 input, got %d,%d", bits[0], bits[1])
 		}
 	}
-	flags, err := s.tree.Flags(bits)
+	flags, err := s.tree.FlagsInto(bits, work)
 	if err != nil {
-		return nil, fmt.Errorf("splitter: %w", err)
+		return fmt.Errorf("splitter: %w", err)
 	}
-	controls := make([]bool, s.Switches())
 	for t := range controls {
 		controls[t] = bits[2*t]^flags[2*t] == 1
 	}
-	return controls, nil
+	return nil
 }
 
 // RouteBits routes the input bit vector through the splitter and returns the
@@ -115,6 +133,23 @@ func Apply[T any](controls []bool, in []T) ([]T, error) {
 	out := make([]T, len(in))
 	applySwitches(controls, in, out)
 	return out, nil
+}
+
+// ApplyInPlace routes the payload through the switch column in place,
+// exchanging lines 2t and 2t+1 where controls[t] is set. It is the
+// allocation-free counterpart of Apply: a 2x2 switch only ever swaps its
+// pair, so no second buffer is needed.
+func ApplyInPlace[T any](controls []bool, lines []T) error {
+	if len(lines) != 2*len(controls) {
+		return fmt.Errorf("splitter: payload length %d does not match %d switches",
+			len(lines), len(controls))
+	}
+	for t, exchange := range controls {
+		if exchange {
+			lines[2*t], lines[2*t+1] = lines[2*t+1], lines[2*t]
+		}
+	}
+	return nil
 }
 
 func applySwitches[T any](controls []bool, in, out []T) {

@@ -1,0 +1,7 @@
+//go:build race
+
+package bnbnet
+
+// raceEnabled reports whether this binary was built with the race detector,
+// whose instrumentation allocates and would fail the zero-allocation pins.
+const raceEnabled = true

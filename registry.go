@@ -1,0 +1,246 @@
+package bnbnet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Builder constructs a network of one family with N = 2^m inputs and
+// dataBits payload bits per word. Families whose cost model has no data-path
+// width reject a non-zero dataBits.
+type Builder func(m, dataBits int) (Network, error)
+
+// builders is the constructor registry behind New. The built-in families are
+// pre-registered; Register adds more.
+var builders = struct {
+	sync.RWMutex
+	m map[string]Builder
+}{m: map[string]Builder{
+	"bnb": func(m, dataBits int) (Network, error) {
+		return NewBNB(m, dataBits)
+	},
+	"batcher":   newBatcherNetwork,
+	"bitonic":   noDataBits("bitonic", newBitonicNetwork),
+	"koppelman": newKoppelmanNetwork,
+	"benes":     noDataBits("benes", newBenesNetwork),
+	"waksman":   noDataBits("waksman", newWaksmanNetwork),
+	"crossbar":  noDataBits("crossbar", newCrossbarNetwork),
+}}
+
+// noDataBits adapts an order-only constructor into a Builder that rejects a
+// data-path width, since these families' cost models do not account for one.
+func noDataBits(family string, build func(m int) (Network, error)) Builder {
+	return func(m, dataBits int) (Network, error) {
+		if dataBits != 0 {
+			return nil, fmt.Errorf("bnbnet: family %q does not model data bits; drop WithDataBits", family)
+		}
+		return build(m)
+	}
+}
+
+// Register adds a network family to the New registry. It fails on an empty
+// name, a nil builder, or a name already taken.
+func Register(family string, b Builder) error {
+	if family == "" {
+		return fmt.Errorf("bnbnet: empty family name")
+	}
+	if b == nil {
+		return fmt.Errorf("bnbnet: nil builder for family %q", family)
+	}
+	builders.Lock()
+	defer builders.Unlock()
+	if _, dup := builders.m[family]; dup {
+		return fmt.Errorf("bnbnet: family %q already registered", family)
+	}
+	builders.m[family] = b
+	return nil
+}
+
+// Families lists every registered network family in sorted order.
+func Families() []string {
+	builders.RLock()
+	defer builders.RUnlock()
+	names := make([]string, 0, len(builders.m))
+	for name := range builders.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// options collects the functional options shared by New and NewEngine.
+type options struct {
+	dataBits int
+	workers  int
+	queue    int
+	trace    func(stage int, snapshot []Word)
+	metrics  *metrics.Metrics
+}
+
+func gatherOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return o
+}
+
+// Option configures New or NewEngine. Each option documents which of the two
+// it applies to; passing it to the other constructor is an error, so a typo
+// fails loudly instead of silently doing nothing.
+type Option func(*options)
+
+// WithDataBits sets the payload width w (0 <= w <= 64) of each word for
+// families that model it ("bnb", "batcher", "koppelman"). New only.
+func WithDataBits(w int) Option {
+	return func(o *options) { o.dataBits = w }
+}
+
+// WithWorkers requests concurrent evaluation. For New it wraps a network
+// whose simulation supports parallel routing (currently "bnb") so that Route
+// evaluates independent boxes on n goroutines; for NewEngine it sets the
+// worker-pool size. n <= 0 keeps the default (serial Route; 4 engine
+// workers).
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// WithQueue bounds the number of in-flight engine requests before Submit
+// blocks; n <= 0 keeps the default of 4x the worker count. NewEngine only.
+func WithQueue(n int) Option {
+	return func(o *options) { o.queue = n }
+}
+
+// WithTrace installs a stage observer on a network that supports traced
+// routing (currently "bnb"): every Route additionally calls fn once per
+// snapshot — snapshot 0 is the network input and snapshot i the word vector
+// entering main stage i, with the final snapshot the output. Tracing forces
+// serial evaluation, so it overrides WithWorkers for Route. New only.
+func WithTrace(fn func(stage int, snapshot []Word)) Option {
+	return func(o *options) { o.trace = fn }
+}
+
+// WithMetrics attaches an observability sink: every Route (New) or every
+// served request (NewEngine) is counted into m with its latency. The sink is
+// lock-free and may be snapshotted concurrently from other goroutines.
+func WithMetrics(m *Metrics) Option {
+	return func(o *options) { o.metrics = m }
+}
+
+// New constructs a registered network family at order m (N = 2^m inputs),
+// applying the given options. It is the single entry point replacing the
+// per-family constructors:
+//
+//	n, err := bnbnet.New("bnb", 10, bnbnet.WithDataBits(16), bnbnet.WithMetrics(m))
+//
+// Options requesting a capability the family lacks (WithWorkers, WithTrace on
+// non-BNB families; WithDataBits where no width is modeled) fail here rather
+// than degrading silently. If any of WithWorkers, WithTrace or WithMetrics is
+// set the returned Network is a decorator; Unwrap (via the
+// interface{ Unwrap() Network } assertion) recovers the bare network.
+func New(family string, m int, opts ...Option) (Network, error) {
+	builders.RLock()
+	b := builders.m[family]
+	builders.RUnlock()
+	if b == nil {
+		return nil, fmt.Errorf("bnbnet: unknown network family %q (have %v)", family, Families())
+	}
+	o := gatherOptions(opts)
+	if o.queue != 0 {
+		return nil, fmt.Errorf("bnbnet: WithQueue applies to NewEngine, not New")
+	}
+	n, err := b(m, o.dataBits)
+	if err != nil {
+		return nil, err
+	}
+	if o.workers > 0 {
+		if _, ok := n.(parallelNetwork); !ok {
+			return nil, fmt.Errorf("bnbnet: family %q does not support WithWorkers", family)
+		}
+	}
+	if o.trace != nil {
+		if _, ok := n.(tracedNetwork); !ok {
+			return nil, fmt.Errorf("bnbnet: family %q does not support WithTrace", family)
+		}
+	}
+	if o.workers > 0 || o.trace != nil || o.metrics != nil {
+		return &instrumented{base: n, workers: o.workers, trace: o.trace, m: o.metrics}, nil
+	}
+	return n, nil
+}
+
+// parallelNetwork is the capability WithWorkers requires of a network.
+type parallelNetwork interface {
+	RouteParallel(words []Word, workers int) ([]Word, error)
+}
+
+// tracedNetwork is the capability WithTrace requires of a network.
+type tracedNetwork interface {
+	RouteTraced(words []Word) ([]Word, [][]Word, error)
+}
+
+// instrumented decorates a Network with the behaviors New's options request:
+// parallel evaluation, stage tracing, and metrics observation. It forwards
+// the structural queries untouched.
+type instrumented struct {
+	base    Network
+	workers int
+	trace   func(stage int, snapshot []Word)
+	m       *metrics.Metrics
+}
+
+// Unwrap returns the undecorated network.
+func (x *instrumented) Unwrap() Network { return x.base }
+
+// Name implements Network.
+func (x *instrumented) Name() string { return x.base.Name() }
+
+// Inputs implements Network.
+func (x *instrumented) Inputs() int { return x.base.Inputs() }
+
+// Cost implements Network.
+func (x *instrumented) Cost() Cost { return x.base.Cost() }
+
+// Delay implements Network.
+func (x *instrumented) Delay() Delay { return x.base.Delay() }
+
+// Route implements Network, applying the requested tracing or parallelism
+// and observing the call into the metrics sink.
+func (x *instrumented) Route(words []Word) ([]Word, error) {
+	start := time.Now()
+	out, err := x.route(words)
+	x.m.ObserveRoute(len(words), time.Since(start), err)
+	return out, err
+}
+
+func (x *instrumented) route(words []Word) ([]Word, error) {
+	if x.trace != nil {
+		out, snaps, err := x.base.(tracedNetwork).RouteTraced(words)
+		if err != nil {
+			return nil, err
+		}
+		for i, snap := range snaps {
+			x.trace(i, snap)
+		}
+		return out, nil
+	}
+	if x.workers > 0 {
+		return x.base.(parallelNetwork).RouteParallel(words, x.workers)
+	}
+	return x.base.Route(words)
+}
+
+// RoutePerm implements Network.
+func (x *instrumented) RoutePerm(p Perm) ([]Word, error) {
+	words := make([]Word, len(p))
+	for i, d := range p {
+		words[i] = Word{Addr: d, Data: uint64(i)}
+	}
+	return x.Route(words)
+}

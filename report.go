@@ -41,6 +41,10 @@ type Report struct {
 	// Conformance records the verification-battery outcome per network at
 	// the smallest swept order.
 	Conformance []ConformanceResult `json:"conformance"`
+	// Serving records the engine serving study per order: a batch of random
+	// permutations fanned across the worker pool, with delivery verified and
+	// the request counts cross-checked against the metrics sink.
+	Serving []ServingStudy `json:"serving"`
 }
 
 // Table1Sweep is the Table 1 evaluation at one order.
@@ -90,6 +94,23 @@ type BanyanStudy struct {
 	OmegaRate    float64 `json:"omega_rate"`
 	BaselineRate float64 `json:"baseline_rate"`
 	Routable     float64 `json:"routable_permutations"`
+}
+
+// ServingStudy is the engine serving measurement at one order. Only
+// deterministic quantities are reported — request counts, error counts and
+// the metrics sink's counters — so the report stays reproducible; latency
+// percentiles are host-dependent and live in the benchmarks instead.
+type ServingStudy struct {
+	M             int   `json:"m"`
+	Workers       int   `json:"workers"`
+	Requests      int   `json:"requests"`
+	Errors        int   `json:"errors"`
+	Routes        int64 `json:"routes"`
+	WordsSwitched int64 `json:"words_switched"`
+	// Delivered is true when every routed output j carried address j.
+	Delivered bool `json:"delivered"`
+	// MetricsConsistent is true when the sink's counters match the batch.
+	MetricsConsistent bool `json:"metrics_consistent"`
 }
 
 // ConformanceResult is one network's verification-battery outcome.
@@ -194,6 +215,12 @@ func FullReport(minM, maxM, w, trials int, seed int64) (*Report, error) {
 				return nil, err
 			}
 			r.Gates = append(r.Gates, g)
+
+			sv, err := servingStudy(m, w, trials, seed)
+			if err != nil {
+				return nil, err
+			}
+			r.Serving = append(r.Serving, sv)
 		}
 	}
 
@@ -217,18 +244,62 @@ func FullReport(minM, maxM, w, trials int, seed int64) (*Report, error) {
 	return r, nil
 }
 
-// reportNetworks builds one instance of every network at order m, skipping
-// any whose constructor rejects the order.
+// servingStudy runs the serving engine over a deterministic batch of random
+// permutations at order m and cross-checks delivery and the metrics sink.
+func servingStudy(m, w, requests int, seed int64) (ServingStudy, error) {
+	const workers = 4
+	b, err := NewBNB(m, w)
+	if err != nil {
+		return ServingStudy{}, err
+	}
+	sink := NewMetrics()
+	e, err := NewEngine(b, WithWorkers(workers), WithMetrics(sink))
+	if err != nil {
+		return ServingStudy{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]Perm, requests)
+	for i := range ps {
+		ps[i] = RandomPerm(b.Inputs(), rng)
+	}
+	outs, errs := e.RoutePermBatch(ps)
+	if err := e.Close(); err != nil {
+		return ServingStudy{}, err
+	}
+	sv := ServingStudy{M: m, Workers: e.Workers(), Requests: requests, Delivered: true}
+	for i := range ps {
+		if errs[i] != nil {
+			sv.Errors++
+			sv.Delivered = false
+			continue
+		}
+		for j, wd := range outs[i] {
+			if wd.Addr != j {
+				sv.Delivered = false
+			}
+		}
+	}
+	s := sink.Snapshot()
+	sv.Routes = s.Routes
+	sv.WordsSwitched = s.WordsSwitched
+	sv.MetricsConsistent = s.Routes == int64(requests-sv.Errors) &&
+		s.Errors == int64(sv.Errors) &&
+		s.WordsSwitched == int64(requests-sv.Errors)*int64(b.Inputs())
+	return sv, nil
+}
+
+// reportNetworks builds one instance of every network at order m via the
+// constructor registry, skipping any family that rejects the order.
 func reportNetworks(m, w int) []Network {
 	var nets []Network
 	for _, build := range []func() (Network, error){
-		func() (Network, error) { return NewBNB(m, w) },
-		func() (Network, error) { return NewBatcher(m, w) },
-		func() (Network, error) { return NewKoppelman(m, w) },
-		func() (Network, error) { return NewBenes(m) },
-		func() (Network, error) { return NewWaksman(m) },
-		func() (Network, error) { return NewBitonic(m) },
-		func() (Network, error) { return NewCrossbar(1 << uint(m)) },
+		func() (Network, error) { return New("bnb", m, WithDataBits(w)) },
+		func() (Network, error) { return New("batcher", m, WithDataBits(w)) },
+		func() (Network, error) { return New("koppelman", m, WithDataBits(w)) },
+		func() (Network, error) { return New("benes", m) },
+		func() (Network, error) { return New("waksman", m) },
+		func() (Network, error) { return New("bitonic", m) },
+		func() (Network, error) { return New("crossbar", m) },
 	} {
 		n, err := build()
 		if err != nil {
