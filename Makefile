@@ -2,16 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench check repro figures fuzz clean
+.PHONY: all build vet test test-short bench check repro figures fuzz chaos clean
 
 all: build vet test
 
-# Full pre-merge gate: vet, the race-detector suite, and the
-# zero-allocation pin on the pooled routing hot path.
+# Full pre-merge gate: vet, the race-detector suite, the zero-allocation
+# pin on the pooled routing hot path, and a short fuzz smoke of the
+# fault-injected pooled path.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run=TestRouteAllocs .
+	$(GO) test -run='^$$' -fuzz FuzzPooledPathUnderFault -fuzztime 10s .
 
 build:
 	$(GO) build ./...
@@ -48,6 +50,13 @@ json:
 
 fuzz:
 	$(GO) test -fuzz FuzzAllNetworksAgree -fuzztime 30s .
+
+# Fault-injected soak under the race detector: the chaos, degradation,
+# and resilience suites, then a fabricsim run with 1% transient faults
+# that must report 100% eventual delivery.
+chaos:
+	$(GO) test -race -run 'Chaos|Degraded|Fault|Breaker|Retry|Fallback|Diagnos' ./...
+	$(GO) run -race ./cmd/fabricsim -net bnb -m 5 -traffic permutation -cycles 1000 -chaos 0.01
 
 clean:
 	$(GO) clean ./...

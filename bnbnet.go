@@ -520,6 +520,12 @@ func fabricRouter(n Network) (fabric.Router, error) {
 		}
 		arrangement := make(Perm, len(out))
 		for j, wd := range out {
+			if wd.Addr < 0 {
+				// A faulty network's dead link reads Addr = -1; report the
+				// output as empty so a degraded switch requeues the cell.
+				arrangement[j] = -1
+				continue
+			}
 			arrangement[j] = int(wd.Data)
 		}
 		return arrangement, nil

@@ -5,9 +5,15 @@
 // observability sink to the switch and reports each load point's network
 // passes and their latency percentiles.
 //
+// With -chaos the network is wrapped in a fault injector striking whole
+// passes with seeded transient faults, the switch runs in degraded mode —
+// requeueing every failed or misdelivered cell instead of aborting — and the
+// run reports eventual delivery after draining the backlog.
+//
 //	fabricsim -net bnb -m 5 -traffic uniform -cycles 5000
 //	fabricsim -net bnb -m 5 -traffic permutation -metrics
 //	fabricsim -net batcher -m 5 -traffic hotspot -hotfrac 0.3
+//	fabricsim -net bnb -m 5 -traffic permutation -cycles 1000 -chaos 0.01
 package main
 
 import (
@@ -23,24 +29,38 @@ import (
 
 func main() {
 	var (
-		netName = flag.String("net", "bnb", "network family: "+strings.Join(bnbnet.Families(), ", "))
-		m       = flag.Int("m", 5, "network order (N = 2^m ports)")
-		traffic = flag.String("traffic", "uniform", "traffic: uniform, permutation, hotspot")
-		cycles  = flag.Int("cycles", 3000, "cycles per load point")
-		seed    = flag.Int64("seed", 42, "random seed")
-		hotfrac = flag.Float64("hotfrac", 0.3, "hotspot fraction (hotspot traffic)")
-		voq     = flag.Bool("voq", false, "use virtual output queues instead of FIFO input queues")
-		metrics = flag.Bool("metrics", false, "attach the metrics sink and report network-pass latencies")
+		netName   = flag.String("net", "bnb", "network family: "+strings.Join(bnbnet.Families(), ", "))
+		m         = flag.Int("m", 5, "network order (N = 2^m ports)")
+		traffic   = flag.String("traffic", "uniform", "traffic: uniform, permutation, hotspot")
+		cycles    = flag.Int("cycles", 3000, "cycles per load point")
+		seed      = flag.Int64("seed", 42, "random seed")
+		hotfrac   = flag.Float64("hotfrac", 0.3, "hotspot fraction (hotspot traffic)")
+		voq       = flag.Bool("voq", false, "use virtual output queues instead of FIFO input queues")
+		metrics   = flag.Bool("metrics", false, "attach the metrics sink and report network-pass latencies")
+		chaos     = flag.Float64("chaos", 0, "per-cycle transient fault rate; > 0 enables fault injection and degraded mode")
+		chaosHeal = flag.Int("chaos-heal", 1, "cycles a chaos fault lives before healing")
+		chaosSeed = flag.Int64("chaos-seed", 2026, "seed of the deterministic chaos schedule")
 	)
 	flag.Parse()
-	if err := run(*netName, *m, *traffic, *cycles, *seed, *hotfrac, *voq, *metrics); err != nil {
+	if err := run(*netName, *m, *traffic, *cycles, *seed, *hotfrac, *voq, *metrics, *chaos, *chaosHeal, *chaosSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "fabricsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(netName string, m int, traffic string, cycles int, seed int64, hotfrac float64, voq, showMetrics bool) error {
-	net, err := bnbnet.New(netName, m)
+func run(netName string, m int, traffic string, cycles int, seed int64, hotfrac float64, voq, showMetrics bool, chaos float64, chaosHeal int, chaosSeed int64) error {
+	var opts []bnbnet.Option
+	if chaos > 0 {
+		if voq {
+			return fmt.Errorf("-chaos requires the FIFO switch; drop -voq (degraded mode requeues at the input queues)")
+		}
+		opts = append(opts, bnbnet.WithFaults(&bnbnet.FaultPlan{
+			ChaosRate: chaos,
+			ChaosHeal: chaosHeal,
+			Seed:      chaosSeed,
+		}))
+	}
+	net, err := bnbnet.New(netName, m, opts...)
 	if err != nil {
 		return err
 	}
@@ -51,21 +71,25 @@ func run(netName string, m int, traffic string, cycles int, seed int64, hotfrac 
 	}
 	fmt.Printf("fabric: %s, %d ports, %s traffic, %s queueing, %d cycles per load point\n",
 		net.Name(), ports, traffic, queueing, cycles)
+	if chaos > 0 {
+		fmt.Printf("chaos: transient fault rate %v per cycle, heal %d, seed %d; degraded mode on\n",
+			chaos, chaosHeal, chaosSeed)
+	}
 	loads := []float64{0.1, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 	snapshots := make([]bnbnet.MetricsSnapshot, 0, len(loads))
+	type chaosRow struct {
+		load                                float64
+		offered, delivered, requeued, fails int
+		drain                               int
+		eventual                            float64
+	}
+	var chaosRows []chaosRow
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "offered load\tthroughput\tmean wait\tp50\tp99\tmax queue\tbacklog")
 	for _, load := range loads {
-		var gen bnbnet.Traffic
-		switch traffic {
-		case "uniform":
-			gen = bnbnet.UniformTraffic{Load: load}
-		case "permutation":
-			gen = bnbnet.PermutationTraffic{Load: load}
-		case "hotspot":
-			gen = bnbnet.HotspotTraffic{Load: load, Frac: hotfrac, Target: 0}
-		default:
-			return fmt.Errorf("unknown traffic %q", traffic)
+		gen, err := makeTraffic(traffic, load, hotfrac)
+		if err != nil {
+			return err
 		}
 		sink := bnbnet.NewMetrics()
 		var stats bnbnet.FabricStats
@@ -85,9 +109,43 @@ func run(netName string, m int, traffic string, cycles int, seed int64, hotfrac 
 				return err
 			}
 			sw.AttachMetrics(sink)
-			stats, err = sw.Run(gen, cycles, rand.New(rand.NewSource(seed)))
+			if chaos > 0 {
+				sw.SetDegraded(true)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			stats, err = sw.Run(gen, cycles, rng)
 			if err != nil {
 				return err
+			}
+			if chaos > 0 {
+				// Drain with idle arrivals until every requeued cell lands.
+				row := chaosRow{
+					load: load, offered: stats.Offered, delivered: stats.Delivered,
+					requeued: stats.Requeued, fails: stats.FailedPasses,
+				}
+				idle, err := makeTraffic(traffic, 0, hotfrac)
+				if err != nil {
+					return err
+				}
+				for chunk := 0; chunk < 20; chunk++ {
+					d, err := sw.Run(idle, cycles, rng)
+					if err != nil {
+						return err
+					}
+					row.delivered += d.Delivered
+					row.requeued += d.Requeued
+					row.fails += d.FailedPasses
+					row.drain += cycles
+					if d.Backlog == 0 {
+						break
+					}
+				}
+				if row.offered > 0 {
+					row.eventual = float64(row.delivered) / float64(row.offered)
+				} else {
+					row.eventual = 1
+				}
+				chaosRows = append(chaosRows, row)
 			}
 		}
 		snapshots = append(snapshots, sink.Snapshot())
@@ -97,6 +155,28 @@ func run(netName string, m int, traffic string, cycles int, seed int64, hotfrac 
 			stats.MaxQueue, stats.Backlog)
 	}
 	tw.Flush()
+	if chaos > 0 {
+		fmt.Println("\neventual delivery under chaos (after backlog drain):")
+		cw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(cw, "offered load\toffered\tdelivered\trequeued\tfailed passes\tdrain cycles\teventual delivery")
+		allDelivered := true
+		for _, row := range chaosRows {
+			fmt.Fprintf(cw, "%.2f\t%d\t%d\t%d\t%d\t%d\t%.4f\n",
+				row.load, row.offered, row.delivered, row.requeued, row.fails, row.drain, row.eventual)
+			if row.delivered != row.offered {
+				allDelivered = false
+			}
+		}
+		cw.Flush()
+		if fn, ok := net.(*bnbnet.FaultyNetwork); ok {
+			fmt.Printf("injected faulty passes: %d\n", fn.InjectedPasses())
+		}
+		if allDelivered {
+			fmt.Println("every offered cell was eventually delivered to its addressed output.")
+		} else {
+			fmt.Println("WARNING: some cells were never delivered; see the table above.")
+		}
+	}
 	if showMetrics {
 		fmt.Println("\nnetwork-pass metrics per load point:")
 		mw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -114,4 +194,18 @@ func run(netName string, m int, traffic string, cycles int, seed int64, hotfrac 
 		fmt.Println("      re-run with -voq to lift the head-of-line limit.")
 	}
 	return nil
+}
+
+// makeTraffic builds the named traffic generator at the given offered load.
+func makeTraffic(traffic string, load, hotfrac float64) (bnbnet.Traffic, error) {
+	switch traffic {
+	case "uniform":
+		return bnbnet.UniformTraffic{Load: load}, nil
+	case "permutation":
+		return bnbnet.PermutationTraffic{Load: load}, nil
+	case "hotspot":
+		return bnbnet.HotspotTraffic{Load: load, Frac: hotfrac, Target: 0}, nil
+	default:
+		return nil, fmt.Errorf("unknown traffic %q", traffic)
+	}
 }

@@ -5,6 +5,7 @@ package bnbnet
 // the Metrics sink that New, NewEngine and the fabric switches share.
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -48,24 +49,44 @@ type Engine struct {
 
 // NewEngine builds a serving engine around the network. Options: WithWorkers
 // sets the pool size (default 4), WithQueue the in-flight bound (default 4x
-// workers), WithMetrics the observability sink. Networks implementing
+// workers), WithMetrics the observability sink. The resilience options —
+// WithTimeout, WithRetry, WithBreaker, WithFallback — bound each request's
+// life, retry transient faults, and fail over to a standby network after
+// consecutive hard failures (see DESIGN.md §8). Networks implementing
 // IntoRouter — *BNB, including behind New's decorator — are served over the
 // pooled zero-allocation hot path.
 func NewEngine(n Network, opts ...Option) (*Engine, error) {
 	if n == nil {
 		return nil, fmt.Errorf("bnbnet: nil network")
 	}
-	o := gatherOptions(opts)
-	if o.dataBits != 0 {
+	o, err := gatherOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if o.anySet(optDataBits) {
 		return nil, fmt.Errorf("bnbnet: WithDataBits applies to New, not NewEngine")
 	}
-	if o.trace != nil {
+	if o.anySet(optTrace) {
 		return nil, fmt.Errorf("bnbnet: WithTrace applies to New, not NewEngine")
 	}
+	if o.anySet(optFaults) {
+		return nil, fmt.Errorf("bnbnet: WithFaults applies to New; pass the faulty network to NewEngine instead")
+	}
+	if o.anySet(optFallback) && !o.anySet(optBreaker) {
+		return nil, fmt.Errorf("bnbnet: WithFallback requires WithBreaker; without a breaker the fallback would never serve")
+	}
+	var fb engine.Router
+	if o.fallback != nil {
+		fb = engineRouter(o.fallback)
+	}
 	e, err := engine.New(engineRouter(n), engine.Config{
-		Workers: o.workers,
-		Queue:   o.queue,
-		Metrics: o.metrics,
+		Workers:          o.workers,
+		Queue:            o.queue,
+		Metrics:          o.metrics,
+		Timeout:          o.timeout,
+		Retry:            engine.RetryPolicy{MaxAttempts: o.retryAttempts, Backoff: o.retryBackoff},
+		FailureThreshold: o.breaker,
+		Fallback:         fb,
 	})
 	if err != nil {
 		return nil, err
@@ -118,11 +139,25 @@ func (r copyRouter) RouteInto(dst, src []core.Word) error {
 // dst until Wait returns.
 func (e *Engine) Submit(dst, src []Word) (*Ticket, error) { return e.e.Submit(dst, src) }
 
+// SubmitCtx is Submit with a context: a request whose context is cancelled
+// or past its deadline before (or between) routing attempts completes with
+// the context's error instead of being routed. WithTimeout, when set,
+// applies on top of ctx.
+func (e *Engine) SubmitCtx(ctx context.Context, dst, src []Word) (*Ticket, error) {
+	return e.e.SubmitCtx(ctx, dst, src)
+}
+
 // RouteBatch routes the batch across the worker pool and reports per-request
 // results: outs[i] is the routed output of batch[i] (nil on failure) and
 // errs[i] its error. It blocks until the whole batch has been served.
 func (e *Engine) RouteBatch(batch [][]Word) (outs [][]Word, errs []error) {
 	return e.e.RouteBatch(batch)
+}
+
+// RouteBatchCtx is RouteBatch with a context shared by every request of the
+// batch; cancelling it abandons the requests not yet routed.
+func (e *Engine) RouteBatchCtx(ctx context.Context, batch [][]Word) (outs [][]Word, errs []error) {
+	return e.e.RouteBatchCtx(ctx, batch)
 }
 
 // RoutePermBatch routes a batch of bare permutations, carrying each source
@@ -148,6 +183,9 @@ func (e *Engine) Inputs() int { return e.e.Inputs() }
 
 // Metrics returns the attached sink, or nil if none was configured.
 func (e *Engine) Metrics() *Metrics { return e.e.Metrics() }
+
+// BreakerOpen reports whether the circuit breaker (WithBreaker) is open.
+func (e *Engine) BreakerOpen() bool { return e.e.BreakerOpen() }
 
 // Close stops accepting requests, drains queued work, and stops the workers;
 // every ticket submitted before Close still completes. A second Close

@@ -19,4 +19,15 @@ var (
 	ErrBadSize = neterr.ErrBadSize
 	// ErrClosed reports a request submitted to an engine after Close.
 	ErrClosed = neterr.ErrClosed
+	// ErrTransient marks a failure expected to heal — injected chaos faults
+	// within their window. Engines retry these under WithRetry.
+	ErrTransient = neterr.ErrTransient
+	// ErrMisrouted reports a verified pass that delivered at least one word
+	// to the wrong output (or lost it to a dead link).
+	ErrMisrouted = neterr.ErrMisrouted
+	// ErrBreakerOpen reports a request refused because the engine's circuit
+	// breaker is open and no fallback network is registered.
+	ErrBreakerOpen = neterr.ErrBreakerOpen
+	// ErrTimeout reports a request abandoned by its WithTimeout deadline.
+	ErrTimeout = neterr.ErrTimeout
 )

@@ -1,0 +1,275 @@
+package bnbnet
+
+// Tests for the fault-injection public surface and the registry's option
+// validation: WithFaults/WithRetry/WithBreaker/WithFallback wiring,
+// rejection of invalid and conflicting options, fault-aware engines
+// recovering via retry and fallback, the degraded fabric path, and the
+// probe-based diagnoser localizing planted faults.
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestOptionValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		err  func() error
+	}{
+		{"negative workers (New)", func() error { _, err := New("bnb", 3, WithWorkers(-1)); return err }},
+		{"negative workers (NewEngine)", func() error {
+			n, _ := New("bnb", 3)
+			_, err := NewEngine(n, WithWorkers(-2))
+			return err
+		}},
+		{"negative queue", func() error {
+			n, _ := New("bnb", 3)
+			_, err := NewEngine(n, WithQueue(-1))
+			return err
+		}},
+		{"queue on New", func() error { _, err := New("bnb", 3, WithQueue(8)); return err }},
+		{"timeout on New", func() error { _, err := New("bnb", 3, WithTimeout(time.Second)); return err }},
+		{"retry on New", func() error { _, err := New("bnb", 3, WithRetry(3, 0)); return err }},
+		{"negative timeout", func() error {
+			n, _ := New("bnb", 3)
+			_, err := NewEngine(n, WithTimeout(-time.Second))
+			return err
+		}},
+		{"zero retry attempts", func() error {
+			n, _ := New("bnb", 3)
+			_, err := NewEngine(n, WithRetry(0, 0))
+			return err
+		}},
+		{"negative retry backoff", func() error {
+			n, _ := New("bnb", 3)
+			_, err := NewEngine(n, WithRetry(3, -time.Millisecond))
+			return err
+		}},
+		{"zero breaker threshold", func() error {
+			n, _ := New("bnb", 3)
+			_, err := NewEngine(n, WithBreaker(0))
+			return err
+		}},
+		{"nil fallback", func() error {
+			n, _ := New("bnb", 3)
+			_, err := NewEngine(n, WithBreaker(2), WithFallback(nil))
+			return err
+		}},
+		{"fallback without breaker", func() error {
+			n, _ := New("bnb", 3)
+			fb, _ := New("bnb", 3)
+			_, err := NewEngine(n, WithFallback(fb))
+			return err
+		}},
+		{"fallback port mismatch", func() error {
+			n, _ := New("bnb", 3)
+			fb, _ := New("bnb", 4)
+			_, err := NewEngine(n, WithBreaker(2), WithFallback(fb))
+			return err
+		}},
+		{"nil fault plan", func() error { _, err := New("bnb", 3, WithFaults(nil)); return err }},
+		{"faults on NewEngine", func() error {
+			n, _ := New("bnb", 3)
+			_, err := NewEngine(n, WithFaults(&FaultPlan{ChaosRate: 0.1}))
+			return err
+		}},
+		{"faults with trace", func() error {
+			_, err := New("bnb", 3, WithFaults(&FaultPlan{ChaosRate: 0.1}), WithTrace(func(int, []Word) {}))
+			return err
+		}},
+		{"faults with workers", func() error {
+			_, err := New("bnb", 3, WithFaults(&FaultPlan{ChaosRate: 0.1}), WithWorkers(2))
+			return err
+		}},
+		{"stuck-at on non-bnb family", func() error {
+			_, err := New("benes", 3, WithFaults(StuckAt(FaultElement{}, true)))
+			return err
+		}},
+		{"invalid plan", func() error {
+			_, err := New("bnb", 3, WithFaults(&FaultPlan{ChaosRate: 2}))
+			return err
+		}},
+	}
+	for _, tc := range bad {
+		if err := tc.err(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestFaultyNetworkChaosRecovery(t *testing.T) {
+	var m Metrics
+	n, err := New("bnb", 4, WithFaults(&FaultPlan{ChaosRate: 0.2, ChaosHeal: 1, Seed: 11}), WithMetrics(&m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, ok := n.(*FaultyNetwork)
+	if !ok {
+		t.Fatalf("WithFaults returned %T, want *FaultyNetwork", n)
+	}
+	if fn.Unwrap().Name() != "bnb" {
+		t.Errorf("Unwrap().Name() = %q", fn.Unwrap().Name())
+	}
+	e, err := NewEngine(n, WithWorkers(2), WithRetry(20, 0), WithMetrics(&m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		p := RandomPerm(n.Inputs(), rng)
+		tk, err := e.Submit(nil, permWordsAPI(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := tk.Wait()
+		if err != nil {
+			t.Fatalf("trial %d not delivered despite retries: %v", trial, err)
+		}
+		for j, wd := range out {
+			if wd.Addr != j {
+				t.Fatalf("trial %d: output %d holds address %d", trial, j, wd.Addr)
+			}
+		}
+	}
+	if fn.InjectedPasses() == 0 {
+		t.Fatal("chaos at rate 0.2 perturbed nothing; the test proves nothing")
+	}
+	s := m.Snapshot()
+	if s.Retries == 0 {
+		t.Error("faults were injected but no retries counted")
+	}
+	if s.FaultsInjected == 0 {
+		t.Error("no injected faults counted")
+	}
+}
+
+func TestEngineFallbackServesThroughOutage(t *testing.T) {
+	// A permanently dead output link on the primary trips the breaker; the
+	// healthy standby keeps serving.
+	n, err := New("bnb", 3, WithFaults(&FaultPlan{
+		Faults: []Fault{{Kind: FaultDeadLink, Port: 3}},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := New("bnb", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics
+	e, err := NewEngine(n, WithWorkers(1), WithBreaker(2), WithFallback(fb), WithMetrics(&m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	rng := rand.New(rand.NewSource(9))
+	failures, served := 0, 0
+	for trial := 0; trial < 10; trial++ {
+		tk, err := e.Submit(nil, permWordsAPI(RandomPerm(n.Inputs(), rng)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tk.Wait(); err != nil {
+			if !errors.Is(err, ErrMisrouted) {
+				t.Fatalf("trial %d: %v, want ErrMisrouted from the dead link", trial, err)
+			}
+			failures++
+			continue
+		}
+		served++
+	}
+	if failures != 2 {
+		t.Errorf("%d failures before failover, want exactly the breaker threshold 2", failures)
+	}
+	if served != 8 {
+		t.Errorf("%d requests served by the fallback, want 8", served)
+	}
+	if !e.BreakerOpen() {
+		t.Error("breaker closed despite a permanently dead primary")
+	}
+	s := m.Snapshot()
+	if s.BreakerTrips != 1 || s.FallbackRoutes != 8 {
+		t.Errorf("trips=%d fallbacks=%d, want 1 and 8", s.BreakerTrips, s.FallbackRoutes)
+	}
+}
+
+func TestDegradedFabricWithFaultyNetwork(t *testing.T) {
+	n, err := New("bnb", 4, WithFaults(&FaultPlan{ChaosRate: 0.01, ChaosHeal: 1, Seed: 2026}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewFabricSwitch(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetDegraded(true)
+	rng := rand.New(rand.NewSource(1))
+	stats, err := s.Run(PermutationTraffic{Load: 0.5}, 1000, rng)
+	if err != nil {
+		t.Fatalf("degraded fabric aborted: %v", err)
+	}
+	drain, err := s.Run(PermutationTraffic{Load: 0}, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.(*FaultyNetwork).InjectedPasses() == 0 {
+		t.Fatal("chaos injected nothing")
+	}
+	if got := stats.Delivered + drain.Delivered; got != stats.Offered {
+		t.Errorf("delivered %d of %d offered cells", got, stats.Offered)
+	}
+}
+
+func TestDiagnoserLocalizesPlantedFault(t *testing.T) {
+	const m = 4
+	d, err := NewFaultDiagnoser(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.M() != m || d.Probes() == 0 {
+		t.Fatalf("diagnoser: M=%d probes=%d", d.M(), d.Probes())
+	}
+	if g := d.AmbiguousGroups(); g != 0 {
+		t.Fatalf("%d ambiguous fault groups at m=%d, want 0", g, m)
+	}
+
+	healthy, err := New("bnb", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := d.Diagnose(healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diag.Healthy {
+		t.Fatalf("healthy network diagnosed as faulty: %+v", diag)
+	}
+
+	elems := FaultElements(m)
+	want := elems[len(elems)/2]
+	faulty, err := New("bnb", m, WithFaults(StuckAt(want, true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err = d.Diagnose(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.Healthy || !diag.Found {
+		t.Fatalf("planted fault not found: %+v", diag)
+	}
+	if diag.Fault.Elem != want || diag.Fault.Kind != FaultStuckCross {
+		t.Errorf("diagnosed %v at %v, want stuck-cross at %v", diag.Fault.Kind, diag.Fault.Elem, want)
+	}
+}
+
+func permWordsAPI(p Perm) []Word {
+	words := make([]Word, len(p))
+	for i, d := range p {
+		words[i] = Word{Addr: d, Data: uint64(i)}
+	}
+	return words
+}

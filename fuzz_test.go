@@ -4,6 +4,88 @@ import (
 	"testing"
 )
 
+// FuzzPooledPathUnderFault drives the pooled zero-allocation path at a
+// fuzz-chosen order with a fuzz-derived permutation, healthy and under a
+// single injected fault. Healthy passes must deliver bit-exactly; faulty
+// passes must either surface an error or deliver exactly (a stuck-at that
+// matches the natural switch orientation never fires) — and the
+// always-corrupting fault kinds (dead link, tag flip) must be detected.
+func FuzzPooledPathUnderFault(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 2, 9})
+	f.Add([]byte{0xff, 0x00, 0x80, 0x7f, 0x01})
+	f.Add([]byte("chaos engineering"))
+	nets := make(map[int]*BNB)
+	for m := 1; m <= 5; m++ {
+		b, err := NewBNB(m, 0)
+		if err != nil {
+			f.Fatal(err)
+		}
+		nets[m] = b
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := 1
+		if len(data) > 0 {
+			m = 1 + int(data[0])%5
+			data = data[1:]
+		}
+		b := nets[m]
+		n := 1 << m
+		p := permFromBytes(n, data)
+		src := make([]Word, n)
+		for i, d := range p {
+			src[i] = Word{Addr: d, Data: uint64(i)}
+		}
+		dst := make([]Word, n)
+		if err := b.RouteInto(dst, src); err != nil {
+			t.Fatalf("healthy pooled route rejected valid permutation %v: %v", p, err)
+		}
+		for i, d := range p {
+			if dst[d].Addr != d || dst[d].Data != uint64(i) {
+				t.Fatalf("healthy pooled route misdelivered input %d of %v", i, p)
+			}
+		}
+
+		// One injected fault, selected by the tail of the fuzz input.
+		pick := 0
+		for _, c := range data {
+			pick = pick*31 + int(c)
+		}
+		if pick < 0 {
+			pick = -pick
+		}
+		elems := FaultElements(m)
+		var ft Fault
+		switch pick % 4 {
+		case 0:
+			ft = Fault{Kind: FaultStuckStraight, Elem: elems[pick%len(elems)]}
+		case 1:
+			ft = Fault{Kind: FaultStuckCross, Elem: elems[pick%len(elems)]}
+		case 2:
+			ft = Fault{Kind: FaultDeadLink, Port: pick % n}
+		default:
+			ft = Fault{Kind: FaultTagFlip, Port: pick % n, Bit: pick % m}
+		}
+		fn, err := NewFaultyNetwork(b, &FaultPlan{Faults: []Fault{ft}})
+		if err != nil {
+			t.Fatalf("fault %v rejected: %v", ft, err)
+		}
+		fdst := make([]Word, n)
+		err = fn.RouteInto(fdst, src)
+		if err == nil {
+			for j := range fdst {
+				if fdst[j].Addr != j {
+					t.Fatalf("silent misrouting under %v: output %d holds address %d (perm %v)",
+						ft, j, fdst[j].Addr, p)
+				}
+			}
+			if ft.Kind == FaultDeadLink || ft.Kind == FaultTagFlip {
+				t.Fatalf("corrupting fault %v went undetected (perm %v)", ft, p)
+			}
+		}
+	})
+}
+
 // permFromBytes derives a permutation of n elements deterministically from
 // fuzz input: a Fisher-Yates shuffle driven by the data bytes (cycled). Any
 // byte string yields a valid permutation, so the fuzzer explores routing

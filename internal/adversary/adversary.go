@@ -20,11 +20,19 @@ type Options struct {
 	Restarts int
 	// MaxSteps bounds the improving moves accepted per climb (default 200).
 	MaxSteps int
-	// Patience is the number of consecutive non-improving full
-	// neighbourhood scans tolerated before a climb stops (default 1 —
-	// i.e. stop at the first local optimum).
+	// Patience is the number of local optima a climb tolerates: each time a
+	// full neighbourhood scan finds no improvement, the climb applies one
+	// random transposition kick and continues, up to Patience kicks. Zero
+	// means "unset" and selects the default of 1; to request zero tolerance
+	// explicitly — stop at the first local optimum, the classic hill climb —
+	// pass NoPatience. Other negative values are rejected.
 	Patience int
 }
+
+// NoPatience requests zero-tolerance climbing explicitly: the climb stops at
+// the first local optimum. It exists because the zero value of
+// Options.Patience means "use the default", not "no patience".
+const NoPatience = -1
 
 func (o Options) withDefaults() Options {
 	if o.Restarts == 0 {
@@ -33,8 +41,11 @@ func (o Options) withDefaults() Options {
 	if o.MaxSteps == 0 {
 		o.MaxSteps = 200
 	}
-	if o.Patience == 0 {
+	switch {
+	case o.Patience == 0:
 		o.Patience = 1
+	case o.Patience == NoPatience:
+		o.Patience = 0
 	}
 	return o
 }
@@ -44,8 +55,13 @@ func (o Options) withDefaults() Options {
 type Score func(perm.Perm) (float64, error)
 
 // Maximize searches for a permutation of n elements maximizing score using
-// hill climbing over the transposition neighbourhood with random restarts.
-// It returns the best permutation found and its score.
+// hill climbing over the transposition neighbourhood with random restarts
+// and, with Patience, random-kick escapes from local optima. It returns the
+// best permutation found and its score.
+//
+// Maximize owns rng for the duration of the call: *rand.Rand is not safe for
+// concurrent use, so concurrent searches need one rng each (the score
+// function, called from the same goroutine, may use it between moves).
 func Maximize(n int, score Score, opts Options, rng *rand.Rand) (perm.Perm, float64, error) {
 	if n < 2 {
 		return nil, 0, fmt.Errorf("adversary: need at least 2 elements, got %d", n)
@@ -56,18 +72,28 @@ func Maximize(n int, score Score, opts Options, rng *rand.Rand) (perm.Perm, floa
 	if rng == nil {
 		return nil, 0, fmt.Errorf("adversary: nil rng")
 	}
+	if opts.Patience < NoPatience {
+		return nil, 0, fmt.Errorf("adversary: patience %d invalid: want >= 0 or NoPatience", opts.Patience)
+	}
 	opts = opts.withDefaults()
 
 	var best perm.Perm
 	bestScore := 0.0
 	haveBest := false
+	record := func(p perm.Perm, s float64) {
+		if !haveBest || s > bestScore {
+			best = p.Clone()
+			bestScore = s
+			haveBest = true
+		}
+	}
 	for restart := 0; restart < opts.Restarts; restart++ {
 		cur := perm.Random(n, rng)
 		curScore, err := score(cur)
 		if err != nil {
 			return nil, 0, fmt.Errorf("adversary: %w", err)
 		}
-		steps := 0
+		steps, kicks := 0, 0
 		for steps < opts.MaxSteps {
 			improvedThisScan := false
 			// Full scan of the transposition neighbourhood in random order.
@@ -90,15 +116,27 @@ func Maximize(n int, score Score, opts Options, rng *rand.Rand) (perm.Perm, floa
 				}
 				cur[i], cur[j] = cur[j], cur[i] // revert
 			}
-			if !improvedThisScan {
+			if improvedThisScan {
+				continue
+			}
+			// Local optimum. A kick may only lower the score, so bank the
+			// optimum before perturbing.
+			record(cur, curScore)
+			if kicks >= opts.Patience {
 				break
 			}
+			kicks++
+			i := rng.Intn(n)
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			cur[i], cur[j] = cur[j], cur[i]
+			if curScore, err = score(cur); err != nil {
+				return nil, 0, fmt.Errorf("adversary: %w", err)
+			}
 		}
-		if !haveBest || curScore > bestScore {
-			best = cur.Clone()
-			bestScore = curScore
-			haveBest = true
-		}
+		record(cur, curScore)
 	}
 	return best, bestScore, nil
 }

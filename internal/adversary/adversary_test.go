@@ -146,3 +146,42 @@ func TestMaximizeDeterministicWithSeed(t *testing.T) {
 		t.Error("same seed produced different results")
 	}
 }
+
+// TestPatienceSemantics pins the unset / explicit-zero / invalid split of
+// Options.Patience: the zero value selects the default, NoPatience requests
+// stopping at the first local optimum, and other negatives are rejected.
+func TestPatienceSemantics(t *testing.T) {
+	score := omegaConflictScore(t, 3)
+	if _, _, err := Maximize(8, score, Options{Patience: -2}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("patience -2 accepted")
+	}
+	for _, p := range []int{NoPatience, 0, 3} {
+		best, s, err := Maximize(8, score, Options{Restarts: 2, Patience: p}, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatalf("patience %d: %v", p, err)
+		}
+		if err := best.Validate(); err != nil {
+			t.Fatalf("patience %d: %v", p, err)
+		}
+		if s <= 0 {
+			t.Errorf("patience %d: found score %v, want positive", p, s)
+		}
+	}
+}
+
+// TestPatienceKicksEscape shows patience doing its job on a deceptive score:
+// with kicks the climb must still reach the exhaustive ground truth.
+func TestPatienceKicksEscape(t *testing.T) {
+	score := omegaConflictScore(t, 3)
+	_, trueMax, err := ExhaustiveMax(8, score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, found, err := Maximize(8, score, Options{Restarts: 10, Patience: 4}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found != trueMax {
+		t.Errorf("patient climb found %v, true worst case is %v", found, trueMax)
+	}
+}

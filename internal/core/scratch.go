@@ -24,6 +24,7 @@ type scratch struct {
 	controls []bool  // switch settings of the box being routed
 	work     []uint8 // arbiter tree-level storage
 	seen     []bool  // destination-validation bitmap
+	ov       Override
 	main     mainRouter
 }
 
@@ -51,6 +52,7 @@ type mainRouter struct {
 // RouteBox implements gbn.InPlaceRouter.
 func (r *mainRouter) RouteBox(box gbn.Box, lines []Word) error {
 	r.nested.stage = box.Stage
+	r.nested.mainIndex = box.Index
 	return gbn.RunInPlace[Word](r.n.nested[box.Stage], lines, r.sc.sub, &r.nested)
 }
 
@@ -59,9 +61,10 @@ func (r *mainRouter) RouteBox(box gbn.Box, lines []Word) error {
 // and the derived controls move the whole words, exactly like routeNested
 // but into recycled buffers.
 type nestedRouter struct {
-	n     *Network
-	sc    *scratch
-	stage int
+	n         *Network
+	sc        *scratch
+	stage     int
+	mainIndex int
 }
 
 // RouteBox implements gbn.InPlaceRouter.
@@ -76,7 +79,32 @@ func (r *nestedRouter) RouteBox(box gbn.Box, lines []Word) error {
 	if err := r.n.sps[p].ControlsInto(controls, bits, r.sc.work); err != nil {
 		return fmt.Errorf("splitter sp(%d) on address bit %d: %w", p, r.stage, err)
 	}
+	if r.sc.ov != nil {
+		lineBase := r.mainIndex*nt.Inputs() + box.Index*nt.BoxSize(box.Stage)
+		r.sc.ov(r.stage, box.Stage, lineBase/2, controls)
+	}
 	return splitter.ApplyInPlace(controls, lines)
+}
+
+// Override perturbs the control bits of one switching column after the
+// splitter computes them and before the words move — the per-element
+// fault-injection hook. It is called once per splitter box with the
+// element's address in the Settings coordinate system: mainStage is the
+// main-GBN stage i, column the nested-stage index j within it, and
+// controls[x] is the exchange bit of global switch switchBase+x of that
+// column (0 <= switchBase+x < N/2). Mutating controls in place changes how
+// the data words move; the self-routing control plane is not re-run, exactly
+// like a hardware fault that corrupts a switch state after arbitration.
+type Override func(mainStage, column, switchBase int, controls []bool)
+
+// RouteIntoOverride behaves like RouteInto with the override hook installed
+// for the duration of the route. Input validation is unchanged — the offered
+// addresses must still form a permutation — but the override may corrupt
+// switch states, so the output can violate the delivery contract without an
+// error being returned; callers that need detection must check Delivered on
+// the result. A nil override is exactly RouteInto. Safe for concurrent use.
+func (n *Network) RouteIntoOverride(dst, src []Word, ov Override) error {
+	return n.routeInto(dst, src, ov)
 }
 
 // RouteInto self-routes src into dst — the pooled, allocation-free
@@ -87,6 +115,10 @@ func (r *nestedRouter) RouteBox(box gbn.Box, lines []Word) error {
 // per-route scratch comes from the network's pool, so after warm-up the call
 // performs zero heap allocations. Safe for concurrent use.
 func (n *Network) RouteInto(dst, src []Word) error {
+	return n.routeInto(dst, src, nil)
+}
+
+func (n *Network) routeInto(dst, src []Word, ov Override) error {
 	N := n.Inputs()
 	if len(src) != N {
 		return fmt.Errorf("bnb: got %d words, want %d: %w", len(src), N, neterr.ErrBadSize)
@@ -95,7 +127,11 @@ func (n *Network) RouteInto(dst, src []Word) error {
 		return fmt.Errorf("bnb: got %d output slots, want %d: %w", len(dst), N, neterr.ErrBadSize)
 	}
 	sc := n.pool.Get().(*scratch)
-	defer n.pool.Put(sc)
+	sc.ov = ov
+	defer func() {
+		sc.ov = nil
+		n.pool.Put(sc)
+	}()
 	for i := range sc.seen {
 		sc.seen[i] = false
 	}

@@ -14,6 +14,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -43,6 +45,39 @@ type Config struct {
 	// Metrics, when non-nil, receives one observation per completed
 	// request (latency measured from Submit to completion).
 	Metrics *metrics.Metrics
+
+	// Timeout bounds each request from Submit to completion; zero means no
+	// deadline. An expired request fails with ErrTimeout — the engine checks
+	// the deadline before each attempt and while backing off, so a single
+	// route never blocks past it by more than one pass through the network.
+	Timeout time.Duration
+	// Retry governs re-attempts of transient failures (errors marked
+	// ErrTransient, the injector's classification of faults that heal).
+	// The zero value disables retries.
+	Retry RetryPolicy
+	// FailureThreshold arms the circuit breaker: after this many consecutive
+	// requests fail hard on the primary router (non-transient errors, or
+	// transient ones that exhausted their retries), the breaker opens and
+	// requests are served by Fallback — or fail fast with ErrBreakerOpen when
+	// no fallback is registered — until a probe permutation routes cleanly
+	// through the primary again. Zero disables the breaker.
+	FailureThreshold int
+	// BreakerProbe is the minimum interval between identity-permutation
+	// probes of an open breaker; <= 0 selects 100ms.
+	BreakerProbe time.Duration
+	// Fallback, when non-nil, serves requests while the breaker is open.
+	// It must have the same port count as the primary router.
+	Fallback Router
+}
+
+// RetryPolicy bounds the retry loop for transient failures.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per request, including the
+	// first; <= 1 means no retries.
+	MaxAttempts int
+	// Backoff is the wait before the first retry; it doubles on every
+	// further retry. Zero retries immediately.
+	Backoff time.Duration
 }
 
 // request is one unit of work. Requests are pooled: the worker publishes the
@@ -51,6 +86,8 @@ type Config struct {
 type request struct {
 	src, dst []core.Word
 	start    time.Time
+	deadline time.Time // zero when Config.Timeout is zero
+	ctx      context.Context
 	t        *Ticket
 }
 
@@ -70,13 +107,88 @@ func (t *Ticket) Wait() ([]core.Word, error) {
 	return t.dst, nil
 }
 
+// breaker is the engine's circuit breaker. All workers share it; its own
+// mutex keeps the hot path short (two counter updates per request).
+type breaker struct {
+	mu          sync.Mutex
+	threshold   int // 0 = disabled
+	probeEvery  time.Duration
+	consecutive int
+	open        bool
+	lastProbe   time.Time
+}
+
+// fail records one hard failure and reports whether it tripped the breaker.
+func (b *breaker) fail() (tripped bool) {
+	if b == nil || b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if !b.open && b.consecutive >= b.threshold {
+		b.open = true
+		return true
+	}
+	return false
+}
+
+// ok records one clean primary route.
+func (b *breaker) ok() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.consecutive = 0
+	b.mu.Unlock()
+}
+
+// isOpen reports the breaker state.
+func (b *breaker) isOpen() bool {
+	if b == nil || b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}
+
+// tryClaimProbe reports whether the caller should probe the primary now; at
+// most one worker claims a probe per probeEvery interval.
+func (b *breaker) tryClaimProbe() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return false
+	}
+	now := time.Now()
+	if !b.lastProbe.IsZero() && now.Sub(b.lastProbe) < b.probeEvery {
+		return false
+	}
+	b.lastProbe = now
+	return true
+}
+
+// reset closes the breaker after a successful probe.
+func (b *breaker) reset() {
+	b.mu.Lock()
+	b.open = false
+	b.consecutive = 0
+	b.mu.Unlock()
+}
+
 // Engine is a bounded worker pool serving permutation routes. Construct
 // with New; all methods are safe for concurrent use.
 type Engine struct {
 	r    Router
+	fb   Router // nil unless Config.Fallback was set
 	m    *metrics.Metrics
 	reqs chan *request
 	pool sync.Pool // *request
+
+	timeout time.Duration
+	retry   RetryPolicy
+	brk     *breaker
 
 	wg sync.WaitGroup
 
@@ -97,6 +209,13 @@ func New(r Router, cfg Config) (*Engine, error) {
 	if r.Inputs() < 2 {
 		return nil, fmt.Errorf("engine: router has %d ports, need at least 2: %w", r.Inputs(), neterr.ErrBadSize)
 	}
+	if cfg.Fallback != nil && cfg.Fallback.Inputs() != r.Inputs() {
+		return nil, fmt.Errorf("engine: fallback has %d ports, primary has %d: %w",
+			cfg.Fallback.Inputs(), r.Inputs(), neterr.ErrBadSize)
+	}
+	if cfg.Fallback != nil && cfg.FailureThreshold <= 0 {
+		return nil, fmt.Errorf("engine: fallback configured but FailureThreshold is %d; the fallback would never serve", cfg.FailureThreshold)
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = 4
@@ -105,10 +224,18 @@ func New(r Router, cfg Config) (*Engine, error) {
 	if queue <= 0 {
 		queue = 4 * workers
 	}
+	probeEvery := cfg.BreakerProbe
+	if probeEvery <= 0 {
+		probeEvery = 100 * time.Millisecond
+	}
 	e := &Engine{
 		r:       r,
+		fb:      cfg.Fallback,
 		m:       cfg.Metrics,
 		reqs:    make(chan *request, queue),
+		timeout: cfg.Timeout,
+		retry:   cfg.Retry,
+		brk:     &breaker{threshold: cfg.FailureThreshold, probeEvery: probeEvery},
 		workers: workers,
 	}
 	e.pool.New = func() any { return new(request) }
@@ -128,10 +255,13 @@ func (e *Engine) Inputs() int { return e.r.Inputs() }
 // Metrics returns the metrics sink, or nil if none was configured.
 func (e *Engine) Metrics() *metrics.Metrics { return e.m }
 
+// BreakerOpen reports whether the circuit breaker is currently open.
+func (e *Engine) BreakerOpen() bool { return e.brk.isOpen() }
+
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for req := range e.reqs {
-		err := e.r.RouteInto(req.dst, req.src)
+		err := e.serve(req)
 		e.m.ObserveRoute(len(req.src), time.Since(req.start), err)
 		t := req.t
 		*req = request{}
@@ -140,12 +270,129 @@ func (e *Engine) worker() {
 	}
 }
 
+// expired reports the request's deadline or cancellation error, or nil while
+// the request may still run.
+func (e *Engine) expired(req *request) error {
+	if req.ctx != nil {
+		if err := req.ctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				e.m.AddTimeout()
+				return fmt.Errorf("engine: %w: %w", neterr.ErrTimeout, err)
+			}
+			return fmt.Errorf("engine: %w", err)
+		}
+	}
+	if !req.deadline.IsZero() && !time.Now().Before(req.deadline) {
+		e.m.AddTimeout()
+		return fmt.Errorf("engine: request exceeded the %v deadline: %w", e.timeout, neterr.ErrTimeout)
+	}
+	return nil
+}
+
+// backoff waits d (clamped to the request's deadline) or until the request's
+// context is done, then re-checks expiry.
+func (e *Engine) backoff(req *request, d time.Duration) error {
+	if d > 0 {
+		if !req.deadline.IsZero() {
+			if left := time.Until(req.deadline); left < d {
+				d = left
+			}
+		}
+		var done <-chan struct{}
+		if req.ctx != nil {
+			done = req.ctx.Done()
+		}
+		if d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-done:
+			}
+			timer.Stop()
+		}
+	}
+	return e.expired(req)
+}
+
+// probe routes the identity permutation through the primary router and
+// verifies delivery itself, so it stays meaningful even when the primary
+// does not self-verify.
+func (e *Engine) probe() bool {
+	n := e.r.Inputs()
+	src := make([]core.Word, n)
+	dst := make([]core.Word, n)
+	for i := range src {
+		src[i] = core.Word{Addr: i, Data: uint64(i)}
+	}
+	if err := e.r.RouteInto(dst, src); err != nil {
+		return false
+	}
+	for j := range dst {
+		if dst[j].Addr != j {
+			return false
+		}
+	}
+	return true
+}
+
+// serve runs one request through the resilience pipeline: deadline check,
+// breaker/fallback, then the primary router under the retry policy.
+func (e *Engine) serve(req *request) error {
+	if err := e.expired(req); err != nil {
+		return err
+	}
+	if e.brk.isOpen() {
+		if e.brk.tryClaimProbe() && e.probe() {
+			e.brk.reset()
+			e.m.AddBreakerReset()
+		} else if e.fb != nil {
+			e.m.AddFallback()
+			return e.fb.RouteInto(req.dst, req.src)
+		} else {
+			return fmt.Errorf("engine: %w", neterr.ErrBreakerOpen)
+		}
+	}
+	attempts := e.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	wait := e.retry.Backoff
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = e.r.RouteInto(req.dst, req.src)
+		if err == nil {
+			e.brk.ok()
+			return nil
+		}
+		if attempt >= attempts || !errors.Is(err, neterr.ErrTransient) {
+			break
+		}
+		e.m.AddRetry()
+		if werr := e.backoff(req, wait); werr != nil {
+			return werr
+		}
+		wait *= 2
+	}
+	if e.brk.fail() {
+		e.m.AddBreakerTrip()
+	}
+	return err
+}
+
 // Submit enqueues one routing request and returns immediately with a
 // Ticket; the route lands in dst. If dst is nil the engine allocates the
 // output buffer. Submit blocks while the queue is full (backpressure) and
 // fails fast with ErrClosed after Close or ErrBadSize on a length mismatch.
 // The caller must not touch src or dst until Wait returns.
 func (e *Engine) Submit(dst, src []core.Word) (*Ticket, error) {
+	return e.SubmitCtx(context.Background(), dst, src)
+}
+
+// SubmitCtx is Submit with a context: a request whose context is cancelled
+// or past its deadline before a worker picks it up (or between retry
+// attempts) completes with the context's error instead of being routed.
+// Config.Timeout, when set, applies on top of ctx.
+func (e *Engine) SubmitCtx(ctx context.Context, dst, src []core.Word) (*Ticket, error) {
 	n := e.r.Inputs()
 	if len(src) != n {
 		return nil, fmt.Errorf("engine: got %d words, want %d: %w", len(src), n, neterr.ErrBadSize)
@@ -156,11 +403,18 @@ func (e *Engine) Submit(dst, src []core.Word) (*Ticket, error) {
 		return nil, fmt.Errorf("engine: got %d output slots, want %d: %w", len(dst), n, neterr.ErrBadSize)
 	}
 	req := e.pool.Get().(*request)
+	start := time.Now()
+	var deadline time.Time
+	if e.timeout > 0 {
+		deadline = start.Add(e.timeout)
+	}
 	*req = request{
-		src:   src,
-		dst:   dst,
-		start: time.Now(),
-		t:     &Ticket{done: make(chan error, 1), dst: dst},
+		src:      src,
+		dst:      dst,
+		start:    start,
+		deadline: deadline,
+		ctx:      ctx,
+		t:        &Ticket{done: make(chan error, 1), dst: dst},
 	}
 	t := req.t
 	e.mu.RLock()
@@ -179,11 +433,17 @@ func (e *Engine) Submit(dst, src []core.Word) (*Ticket, error) {
 // on failure) and errs[i] its error. It blocks until the whole batch has
 // been served.
 func (e *Engine) RouteBatch(batch [][]core.Word) (outs [][]core.Word, errs []error) {
+	return e.RouteBatchCtx(context.Background(), batch)
+}
+
+// RouteBatchCtx is RouteBatch with a context shared by every request of the
+// batch; cancelling it abandons the requests that have not yet been routed.
+func (e *Engine) RouteBatchCtx(ctx context.Context, batch [][]core.Word) (outs [][]core.Word, errs []error) {
 	outs = make([][]core.Word, len(batch))
 	errs = make([]error, len(batch))
 	tickets := make([]*Ticket, len(batch))
 	for i, src := range batch {
-		t, err := e.Submit(nil, src)
+		t, err := e.SubmitCtx(ctx, nil, src)
 		if err != nil {
 			errs[i] = err
 			continue

@@ -1,0 +1,313 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/neterr"
+	"repro/internal/perm"
+)
+
+// funcRouter turns a closure into a Router for fault scripting.
+type funcRouter struct {
+	n  int
+	fn func(dst, src []core.Word) error
+}
+
+func (r *funcRouter) Inputs() int                          { return r.n }
+func (r *funcRouter) RouteInto(dst, src []core.Word) error { return r.fn(dst, src) }
+
+// deliver routes by address, the healthy behaviour of any permutation router.
+func deliver(dst, src []core.Word) error {
+	for _, wd := range src {
+		dst[wd.Addr] = wd
+	}
+	return nil
+}
+
+func TestRetryRecoversTransient(t *testing.T) {
+	const n = 8
+	var calls atomic.Int64
+	r := &funcRouter{n: n, fn: func(dst, src []core.Word) error {
+		if calls.Add(1) <= 3 {
+			return fmt.Errorf("%w: glitch", neterr.ErrTransient)
+		}
+		return deliver(dst, src)
+	}}
+	var m metrics.Metrics
+	e, err := New(r, Config{Workers: 1, Metrics: &m, Retry: RetryPolicy{MaxAttempts: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tk, err := e.Submit(nil, permWords(perm.Identity(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tk.Wait()
+	if err != nil {
+		t.Fatalf("request failed despite retries: %v", err)
+	}
+	if !core.Delivered(out) {
+		t.Fatal("misdelivered after retry")
+	}
+	if got := m.Snapshot().Retries; got != 3 {
+		t.Errorf("Retries = %d, want 3", got)
+	}
+}
+
+func TestNoRetryByDefault(t *testing.T) {
+	const n = 8
+	r := &funcRouter{n: n, fn: func(dst, src []core.Word) error {
+		return fmt.Errorf("%w: glitch", neterr.ErrTransient)
+	}}
+	e, err := New(r, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tk, err := e.Submit(nil, permWords(perm.Identity(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); !errors.Is(err, neterr.ErrTransient) {
+		t.Errorf("zero-value retry policy: err = %v, want the transient error through", err)
+	}
+}
+
+func TestTimeoutBoundsRetryLoop(t *testing.T) {
+	const n = 8
+	r := &funcRouter{n: n, fn: func(dst, src []core.Word) error {
+		return fmt.Errorf("%w: glitch", neterr.ErrTransient)
+	}}
+	var m metrics.Metrics
+	e, err := New(r, Config{
+		Workers: 1,
+		Metrics: &m,
+		Timeout: 30 * time.Millisecond,
+		Retry:   RetryPolicy{MaxAttempts: 1 << 20, Backoff: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tk, err := e.Submit(nil, permWords(perm.Identity(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); !errors.Is(err, neterr.ErrTimeout) {
+		t.Fatalf("persistent transient under a deadline: err = %v, want ErrTimeout", err)
+	}
+	if got := m.Snapshot().Timeouts; got == 0 {
+		t.Error("no timeout counted")
+	}
+}
+
+func TestSubmitCtxCancellation(t *testing.T) {
+	const n = 8
+	gate := make(chan struct{})
+	r := &funcRouter{n: n, fn: func(dst, src []core.Word) error {
+		<-gate
+		return deliver(dst, src)
+	}}
+	e, err := New(r, Config{Workers: 1, Queue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the only worker, then queue a request whose context is already
+	// cancelled; the worker must refuse to route it.
+	blocker, err := e.Submit(nil, permWords(perm.Identity(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	doomed, err := e.SubmitCtx(ctx, nil, permWords(perm.Identity(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	if _, err := blocker.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doomed.Wait(); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled request: err = %v, want context.Canceled", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakerTripsToFallback(t *testing.T) {
+	const n = 8
+	r := &funcRouter{n: n, fn: func(dst, src []core.Word) error {
+		return errors.New("primary down")
+	}}
+	fb := &funcRouter{n: n, fn: deliver}
+	var m metrics.Metrics
+	e, err := New(r, Config{Workers: 1, Metrics: &m, FailureThreshold: 2, Fallback: fb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	send := func() ([]core.Word, error) {
+		tk, err := e.Submit(nil, permWords(perm.Identity(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tk.Wait()
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := send(); err == nil {
+			t.Fatalf("request %d succeeded on a dead primary", i)
+		}
+	}
+	if !e.BreakerOpen() {
+		t.Fatal("breaker closed after hitting the failure threshold")
+	}
+	// The primary is still down, so the open-state probe fails and the
+	// fallback serves.
+	for i := 0; i < 3; i++ {
+		out, err := send()
+		if err != nil {
+			t.Fatalf("fallback request %d: %v", i, err)
+		}
+		if !core.Delivered(out) {
+			t.Fatalf("fallback request %d misdelivered", i)
+		}
+	}
+	s := m.Snapshot()
+	if s.BreakerTrips != 1 {
+		t.Errorf("BreakerTrips = %d, want 1", s.BreakerTrips)
+	}
+	if s.FallbackRoutes != 3 {
+		t.Errorf("FallbackRoutes = %d, want 3", s.FallbackRoutes)
+	}
+}
+
+func TestBreakerFailsFastWithoutFallback(t *testing.T) {
+	const n = 8
+	var failing atomic.Bool
+	failing.Store(true)
+	r := &funcRouter{n: n, fn: func(dst, src []core.Word) error {
+		if failing.Load() {
+			return errors.New("primary down")
+		}
+		return deliver(dst, src)
+	}}
+	var m metrics.Metrics
+	e, err := New(r, Config{Workers: 1, Metrics: &m, FailureThreshold: 2, BreakerProbe: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	send := func() ([]core.Word, error) {
+		tk, err := e.Submit(nil, permWords(perm.Identity(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tk.Wait()
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := send(); err == nil {
+			t.Fatalf("request %d succeeded on a dead primary", i)
+		}
+	}
+	// Open breaker, primary still down: the first open request claims a
+	// probe, the probe fails, and with no fallback the request fails fast.
+	if _, err := send(); !errors.Is(err, neterr.ErrBreakerOpen) {
+		t.Fatalf("open-breaker request: err = %v, want ErrBreakerOpen", err)
+	}
+	// Heal the primary and wait out the probe interval: the next request
+	// probes, resets the breaker, and is served by the primary.
+	failing.Store(false)
+	time.Sleep(2 * time.Millisecond)
+	out, err := send()
+	if err != nil {
+		t.Fatalf("post-heal request: %v", err)
+	}
+	if !core.Delivered(out) {
+		t.Fatal("post-heal request misdelivered")
+	}
+	if e.BreakerOpen() {
+		t.Error("breaker still open after a passing probe")
+	}
+	s := m.Snapshot()
+	if s.BreakerTrips != 1 || s.BreakerResets != 1 {
+		t.Errorf("trips=%d resets=%d, want 1 and 1", s.BreakerTrips, s.BreakerResets)
+	}
+}
+
+func TestNewRejectsBadResilienceConfig(t *testing.T) {
+	n := newBNB(t, 3, 0)
+	small := &funcRouter{n: n.Inputs() / 2, fn: deliver}
+	if _, err := New(n, Config{Fallback: small, FailureThreshold: 1}); !errors.Is(err, neterr.ErrBadSize) {
+		t.Errorf("mismatched fallback: err = %v, want ErrBadSize", err)
+	}
+	fb := &funcRouter{n: n.Inputs(), fn: deliver}
+	if _, err := New(n, Config{Fallback: fb}); err == nil {
+		t.Error("fallback without a failure threshold accepted")
+	}
+}
+
+// TestCloseUnderConcurrentSubmit pins the drain contract under contention:
+// with producers hammering Submit from many goroutines, Close returns
+// promptly, every accepted ticket completes, and every rejected Submit
+// reports ErrClosed — nothing hangs and nothing panics.
+func TestCloseUnderConcurrentSubmit(t *testing.T) {
+	n := newBNB(t, 4, 0)
+	e, err := New(n, Config{Workers: 2, Queue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var accepted, rejected atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				tk, err := e.Submit(nil, permWords(perm.Random(n.Inputs(), rng)))
+				if err != nil {
+					if !errors.Is(err, neterr.ErrClosed) {
+						t.Errorf("Submit during Close: %v", err)
+					}
+					rejected.Add(1)
+					return
+				}
+				accepted.Add(1)
+				if _, err := tk.Wait(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	time.Sleep(5 * time.Millisecond) // let the producers saturate the queue
+	done := make(chan error, 1)
+	go func() { done <- e.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung under concurrent Submit")
+	}
+	wg.Wait()
+	if accepted.Load() == 0 {
+		t.Error("no submissions accepted before Close; the race was not exercised")
+	}
+	if rejected.Load() != 8 {
+		t.Errorf("%d producers saw ErrClosed, want all 8", rejected.Load())
+	}
+}

@@ -57,6 +57,12 @@ type Cell struct {
 
 // Traffic generates per-cycle arrivals. Generate returns one destination per
 // input port, or -1 for ports with no arrival this cycle.
+//
+// Generate is called from the goroutine driving Switch.Run with the rng that
+// was handed to Run, which owns it for the duration of the run: *rand.Rand
+// is not safe for concurrent use, so implementations must not share the rng
+// with, or call Generate from, other goroutines. Concurrent simulations need
+// one Switch and one rng each.
 type Traffic interface {
 	Generate(cycle int, n int, rng *rand.Rand) []int
 }
@@ -149,6 +155,16 @@ type Stats struct {
 	// WaitHistogram counts delivered cells by queueing delay:
 	// WaitHistogram[w] is the number of cells that waited exactly w cycles.
 	WaitHistogram []int
+	// FailedPasses is the number of cycles whose network pass failed outright
+	// (degraded mode only; strict mode aborts the run instead).
+	FailedPasses int
+	// Misrouted is the number of cells observed at a wrong output by the
+	// per-cycle delivery check (degraded mode only).
+	Misrouted int
+	// Requeued is the number of cell transmissions returned to their input
+	// queues after a failed or misdelivered pass (degraded mode only). One
+	// cell requeued on several cycles counts once per cycle.
+	Requeued int
 }
 
 // WaitPercentile returns the smallest wait w such that at least fraction p
@@ -211,6 +227,9 @@ type Switch struct {
 	now int
 	// m, when attached, observes every network pass for live monitoring.
 	m *metrics.Metrics
+	// degraded selects graceful degradation: failed or misdelivered passes
+	// requeue their cells instead of aborting the run.
+	degraded bool
 }
 
 // NewSwitch builds a switch around the router.
@@ -230,6 +249,17 @@ func NewSwitch(r Router) (*Switch, error) {
 // long Run can be watched through snapshots from another goroutine. Attach
 // before Run; a nil m detaches.
 func (s *Switch) AttachMetrics(m *metrics.Metrics) { s.m = m }
+
+// SetDegraded selects the fabric's failure policy. Strict (the default)
+// treats any routing failure or misdelivery as fatal: Run returns the error,
+// making every simulation an end-to-end correctness check of the network.
+// Degraded is the graceful mode a fabric built on a faulty network runs in:
+// a failed pass delivers nothing and every winner stays at its queue head; a
+// pass with misdelivered cells keeps exactly those cells queued (dummy
+// padding is never accounted). Requeued cells are re-arbitrated on following
+// cycles, so transient faults cost latency instead of correctness — cells
+// are delivered eventually, and only to their addressed output.
+func (s *Switch) SetDegraded(on bool) { s.degraded = on }
 
 // Ports returns the port count.
 func (s *Switch) Ports() int { return len(s.queues) }
@@ -322,17 +352,36 @@ func (s *Switch) Run(t Traffic, cycles int, rng *rand.Rand) (Stats, error) {
 		arrangement, err := s.router.Route(p)
 		s.m.ObserveRoute(winners, time.Since(start), err)
 		if err != nil {
-			return stats, fmt.Errorf("fabric: cycle %d: %w", cycle, err)
+			if !s.degraded {
+				return stats, fmt.Errorf("fabric: cycle %d: %w", cycle, err)
+			}
+			// Failed pass: nothing moved. Every winner stays at its queue
+			// head and is re-arbitrated next cycle.
+			stats.FailedPasses++
+			stats.Requeued += winners
+			s.m.AddRequeues(int64(winners))
+			continue
 		}
-		for j, src := range arrangement {
-			if p[src] != j {
-				return stats, fmt.Errorf("fabric: cycle %d: router misdelivered input %d to output %d",
-					cycle, src, j)
+		if !s.degraded {
+			for j, src := range arrangement {
+				if src < 0 || src >= n || p[src] != j {
+					return stats, fmt.Errorf("fabric: cycle %d: router misdelivered input %d to output %d",
+						cycle, src, j)
+				}
 			}
 		}
-		// Dequeue winners and account delivery.
+		// Dequeue winners and account delivery. In degraded mode a winner is
+		// dequeued only when the pass verifiably delivered its cell to the
+		// addressed output (arrangement entries may be corrupted, lost to a
+		// dead link, or out of range after a faulty pass); the rest requeue.
+		requeued := 0
 		for i := 0; i < n; i++ {
 			if !real[i] {
+				continue
+			}
+			if s.degraded && arrangement[p[i]] != i {
+				stats.Misrouted++
+				requeued++
 				continue
 			}
 			cell := s.queues[i][0]
@@ -344,6 +393,10 @@ func (s *Switch) Run(t Traffic, cycles int, rng *rand.Rand) (Stats, error) {
 				stats.WaitHistogram = append(stats.WaitHistogram, 0)
 			}
 			stats.WaitHistogram[wait]++
+		}
+		if requeued > 0 {
+			stats.Requeued += requeued
+			s.m.AddRequeues(int64(requeued))
 		}
 	}
 	for i := range s.queues {

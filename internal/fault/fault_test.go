@@ -1,0 +1,324 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/neterr"
+	"repro/internal/perm"
+)
+
+func route(t *testing.T, r Router, p perm.Perm) ([]core.Word, error) {
+	t.Helper()
+	n := r.Inputs()
+	src := make([]core.Word, n)
+	for i, d := range p {
+		src[i] = core.Word{Addr: d, Data: uint64(i)}
+	}
+	dst := make([]core.Word, n)
+	err := r.RouteInto(dst, src)
+	return dst, err
+}
+
+func TestPlanValidate(t *testing.T) {
+	const m = 3
+	bad := []Plan{
+		{Faults: []Fault{{Kind: StuckCross, Elem: Element{MainStage: m}}}},
+		{Faults: []Fault{{Kind: StuckCross, Elem: Element{MainStage: 1, Column: 2}}}},
+		{Faults: []Fault{{Kind: StuckStraight, Elem: Element{Switch: 4}}}},
+		{Faults: []Fault{{Kind: DeadLink, Port: 8}}},
+		{Faults: []Fault{{Kind: TagFlip, Port: -1}}},
+		{Faults: []Fault{{Kind: TagFlip, Bit: 3}}},
+		{Faults: []Fault{{Kind: Kind(99)}}},
+		{ChaosRate: 1.5},
+		{ChaosRate: -0.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(m); err == nil {
+			t.Errorf("plan %d validated: %+v", i, p)
+		}
+	}
+	good := Plan{
+		Faults: []Fault{
+			{Kind: StuckCross, Elem: Element{MainStage: 2, Column: 0, Switch: 3}},
+			{Kind: DeadLink, Port: 7},
+			{Kind: TagFlip, Port: 7, Bit: 2},
+		},
+		ChaosRate: 0.5,
+	}
+	if err := good.Validate(m); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+}
+
+func TestElementsUniverse(t *testing.T) {
+	for m := 1; m <= 5; m++ {
+		n := 1 << uint(m)
+		want := m * (m + 1) / 2 * (n / 2)
+		if got := len(Elements(m)); got != want {
+			t.Errorf("m=%d: %d elements, want %d", m, got, want)
+		}
+	}
+}
+
+// TestInjectorTagFlip pins the TagFlip model: with verify on, a flipped tag
+// either collides with another destination (a non-permutation, rejected by
+// the network) or lands the word at the wrong output (caught by the delivery
+// check) — and either way the error is classified transient when the fault
+// heals, hard when it is permanent.
+func TestInjectorTagFlip(t *testing.T) {
+	const m = 3
+	net, err := core.New(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, until := range []int64{0, 5} {
+		plan := &Plan{Faults: []Fault{{Kind: TagFlip, Port: 2, Bit: 0, Until: until}}}
+		inj, err := New(net, plan, Options{Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = route(t, inj, perm.Identity(net.Inputs()))
+		if err == nil {
+			t.Fatalf("until=%d: flipped tag routed without error", until)
+		}
+		wantTransient := until > 0
+		if got := errors.Is(err, neterr.ErrTransient); got != wantTransient {
+			t.Errorf("until=%d: transient=%v, want %v (err: %v)", until, got, wantTransient, err)
+		}
+	}
+}
+
+// TestInjectorDeadLink pins the DeadLink model: the dead output reads
+// Addr = -1 and verification classifies the loss as misrouting.
+func TestInjectorDeadLink(t *testing.T) {
+	const m = 3
+	net, err := core.New(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &Plan{Faults: []Fault{{Kind: DeadLink, Port: 5}}}
+
+	inj, err := New(net, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := route(t, inj, perm.Identity(net.Inputs()))
+	if err != nil {
+		t.Fatalf("non-verifying dead-link pass errored: %v", err)
+	}
+	if dst[5].Addr != -1 {
+		t.Errorf("dead output 5 reads %+v, want Addr=-1", dst[5])
+	}
+	for j := range dst {
+		if j != 5 && dst[j].Addr != j {
+			t.Errorf("healthy output %d corrupted: %+v", j, dst[j])
+		}
+	}
+
+	vinj, err := New(net, plan, Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = route(t, vinj, perm.Identity(net.Inputs()))
+	if !errors.Is(err, neterr.ErrMisrouted) {
+		t.Errorf("verifying dead-link pass: %v, want ErrMisrouted", err)
+	}
+	if errors.Is(err, neterr.ErrTransient) {
+		t.Errorf("permanent dead link classified transient: %v", err)
+	}
+}
+
+// TestInjectorWindow pins the chaos-schedule semantics of explicit faults:
+// the injector's cycle clock advances one per pass, and the fault perturbs
+// exactly the passes in [From, Until).
+func TestInjectorWindow(t *testing.T) {
+	const m = 3
+	net, err := core.New(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &Plan{Faults: []Fault{{Kind: DeadLink, Port: 0, From: 2, Until: 4}}}
+	inj, err := New(net, plan, Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cycle := int64(0); cycle < 6; cycle++ {
+		if got := inj.Cycle(); got != cycle {
+			t.Fatalf("cycle clock reads %d before pass %d", got, cycle)
+		}
+		_, err := route(t, inj, perm.Identity(net.Inputs()))
+		faulty := cycle >= 2 && cycle < 4
+		if (err != nil) != faulty {
+			t.Errorf("cycle %d: err=%v, want faulty=%v", cycle, err, faulty)
+		}
+		if faulty && !errors.Is(err, neterr.ErrTransient) {
+			t.Errorf("cycle %d: windowed fault not transient: %v", cycle, err)
+		}
+	}
+	if got := inj.InjectedPasses(); got != 2 {
+		t.Errorf("InjectedPasses=%d, want 2", got)
+	}
+}
+
+// TestChaosDeterminism pins that the chaos process is a pure function of
+// (seed, cycle): two injectors over the same plan perturb the same passes
+// with the same faults, and a different seed gives a different schedule.
+func TestChaosDeterminism(t *testing.T) {
+	const m = 4
+	net, err := core.New(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &Plan{ChaosRate: 0.2, ChaosHeal: 3, Seed: 42}
+	a, err := New(net, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(net, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFault := false
+	for cycle := int64(0); cycle < 200; cycle++ {
+		fa, fb := a.ActiveAt(cycle), b.ActiveAt(cycle)
+		if len(fa) != len(fb) {
+			t.Fatalf("cycle %d: %d vs %d active faults", cycle, len(fa), len(fb))
+		}
+		for i := range fa {
+			if fa[i] != fb[i] {
+				t.Fatalf("cycle %d: fault %d differs: %v vs %v", cycle, i, fa[i], fb[i])
+			}
+			if !fa[i].Transient() {
+				t.Fatalf("cycle %d: chaos fault %v not transient", cycle, fa[i])
+			}
+			if fa[i].Until-fa[i].From != 3 {
+				t.Fatalf("cycle %d: chaos fault %v lifetime != ChaosHeal", cycle, fa[i])
+			}
+			sawFault = true
+		}
+	}
+	if !sawFault {
+		t.Fatal("chaos at rate 0.2 produced no faults in 200 cycles")
+	}
+	other := &Plan{ChaosRate: 0.2, ChaosHeal: 3, Seed: 43}
+	c, err := New(net, other, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for cycle := int64(0); cycle < 200 && same; cycle++ {
+		fa, fc := a.ActiveAt(cycle), c.ActiveAt(cycle)
+		if len(fa) != len(fc) {
+			same = false
+			break
+		}
+		for i := range fa {
+			if fa[i] != fc[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical 200-cycle chaos schedules")
+	}
+}
+
+// TestChaosRoutesRecover pins the headline degradation property at the
+// injector level: chaos faults heal, so a retry loop that keeps re-offering
+// a failed pass eventually gets it through — every pass, with tags and
+// delivery verified, completes within a bounded number of attempts.
+func TestChaosRoutesRecover(t *testing.T) {
+	const m = 4
+	net, err := core.New(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &Plan{ChaosRate: 0.3, ChaosHeal: 1, Seed: 7}
+	inj, err := New(net, plan, Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := perm.Reversal(net.Inputs())
+	delivered := 0
+	for pass := 0; pass < 100; pass++ {
+		var lastErr error
+		for attempt := 0; attempt < 50; attempt++ {
+			_, lastErr = route(t, inj, p)
+			if lastErr == nil {
+				break
+			}
+			if !errors.Is(lastErr, neterr.ErrTransient) {
+				t.Fatalf("pass %d: chaos-only plan produced hard error: %v", pass, lastErr)
+			}
+		}
+		if lastErr != nil {
+			t.Fatalf("pass %d: not delivered after 50 attempts: %v", pass, lastErr)
+		}
+		delivered++
+	}
+	if delivered != 100 {
+		t.Fatalf("delivered %d/100 passes", delivered)
+	}
+	if inj.InjectedPasses() == 0 {
+		t.Fatal("chaos at rate 0.3 perturbed no passes")
+	}
+}
+
+// TestInjectorMetrics pins the metrics wiring: perturbed passes feed the
+// FaultsInjected counter.
+func TestInjectorMetrics(t *testing.T) {
+	const m = 3
+	net, err := core.New(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink metrics.Metrics
+	plan := &Plan{Faults: []Fault{{Kind: DeadLink, Port: 1}}}
+	inj, err := New(net, plan, Options{Metrics: &sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := route(t, inj, perm.Identity(net.Inputs())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sink.Snapshot().FaultsInjected; got != 3 {
+		t.Errorf("FaultsInjected=%d, want 3", got)
+	}
+}
+
+// TestNewRejects pins constructor validation: nil router/plan and stuck-at
+// plans over routers without the override capability.
+func TestNewRejects(t *testing.T) {
+	net, err := core.New(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(nil, &Plan{}, Options{}); err == nil {
+		t.Error("nil router accepted")
+	}
+	if _, err := New(net, nil, Options{}); err == nil {
+		t.Error("nil plan accepted")
+	}
+	bare := bareRouter{net}
+	if _, err := New(bare, StuckAt(Element{}, true), Options{}); err == nil {
+		t.Error("stuck-at plan accepted for a router without override capability")
+	}
+	if _, err := New(bare, &Plan{ChaosRate: 0.1}, Options{}); err == nil {
+		t.Error("chaos plan accepted for a router without override capability")
+	}
+	if _, err := New(bare, &Plan{Faults: []Fault{{Kind: DeadLink}}}, Options{}); err != nil {
+		t.Errorf("dead-link plan rejected for a plain router: %v", err)
+	}
+}
+
+// bareRouter hides core.Network's override capability.
+type bareRouter struct{ n *core.Network }
+
+func (b bareRouter) Inputs() int                          { return b.n.Inputs() }
+func (b bareRouter) RouteInto(dst, src []core.Word) error { return b.n.RouteInto(dst, src) }

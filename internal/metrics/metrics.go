@@ -30,6 +30,17 @@ type Metrics struct {
 	latSum  atomic.Int64 // nanoseconds
 	latMax  atomic.Int64 // nanoseconds
 	buckets [histBuckets]atomic.Int64
+
+	// Fault-tolerance counters: injected faults, recovery actions, and
+	// breaker state transitions, fed by the fault injector, the degraded
+	// fabric, and the engine's retry/breaker policies.
+	faults        atomic.Int64
+	retries       atomic.Int64
+	requeues      atomic.Int64
+	timeouts      atomic.Int64
+	breakerTrips  atomic.Int64
+	breakerResets atomic.Int64
+	fallbacks     atomic.Int64
 }
 
 // bucketOf maps a latency to its histogram bucket.
@@ -78,6 +89,58 @@ func (m *Metrics) ObserveRoute(words int, d time.Duration, err error) {
 	m.buckets[bucketOf(d)].Add(1)
 }
 
+// AddFaults counts n injected faults perturbing route passes.
+func (m *Metrics) AddFaults(n int64) {
+	if m != nil {
+		m.faults.Add(n)
+	}
+}
+
+// AddRetry counts one retried route attempt.
+func (m *Metrics) AddRetry() {
+	if m != nil {
+		m.retries.Add(1)
+	}
+}
+
+// AddRequeues counts n cells requeued by the degraded fabric after a failed
+// or misdelivered pass.
+func (m *Metrics) AddRequeues(n int64) {
+	if m != nil {
+		m.requeues.Add(n)
+	}
+}
+
+// AddTimeout counts one request abandoned by deadline.
+func (m *Metrics) AddTimeout() {
+	if m != nil {
+		m.timeouts.Add(1)
+	}
+}
+
+// AddBreakerTrip counts one circuit-breaker trip (closed -> open).
+func (m *Metrics) AddBreakerTrip() {
+	if m != nil {
+		m.breakerTrips.Add(1)
+	}
+}
+
+// AddBreakerReset counts one circuit-breaker reset (open -> closed after a
+// passing probe).
+func (m *Metrics) AddBreakerReset() {
+	if m != nil {
+		m.breakerResets.Add(1)
+	}
+}
+
+// AddFallback counts one request served by the fallback router while the
+// breaker was open.
+func (m *Metrics) AddFallback() {
+	if m != nil {
+		m.fallbacks.Add(1)
+	}
+}
+
 // Snapshot is a point-in-time copy of the counters with derived percentile
 // estimates. Percentiles are upper bounds of power-of-two-microsecond
 // buckets, so they are conservative to within 2x — the right resolution for
@@ -95,16 +158,37 @@ type Snapshot struct {
 	P50, P90, P99 time.Duration
 	// MaxLatency is the slowest successful route observed.
 	MaxLatency time.Duration
+
+	// FaultsInjected counts faults the injector applied to route passes.
+	FaultsInjected int64
+	// Retries counts route attempts repeated after a transient failure.
+	Retries int64
+	// Requeued counts cells the degraded fabric returned to their input
+	// queues after a failed or misdelivered pass.
+	Requeued int64
+	// Timeouts counts requests abandoned by deadline.
+	Timeouts int64
+	// BreakerTrips and BreakerResets count circuit-breaker transitions.
+	BreakerTrips, BreakerResets int64
+	// FallbackRoutes counts requests served by the fallback router.
+	FallbackRoutes int64
 }
 
 // Snapshot returns a consistent-enough copy of the counters: each value is
 // read atomically, though concurrent updates may land between reads.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		Routes:        m.routes.Load(),
-		Errors:        m.errors.Load(),
-		WordsSwitched: m.words.Load(),
-		MaxLatency:    time.Duration(m.latMax.Load()),
+		Routes:         m.routes.Load(),
+		Errors:         m.errors.Load(),
+		WordsSwitched:  m.words.Load(),
+		MaxLatency:     time.Duration(m.latMax.Load()),
+		FaultsInjected: m.faults.Load(),
+		Retries:        m.retries.Load(),
+		Requeued:       m.requeues.Load(),
+		Timeouts:       m.timeouts.Load(),
+		BreakerTrips:   m.breakerTrips.Load(),
+		BreakerResets:  m.breakerResets.Load(),
+		FallbackRoutes: m.fallbacks.Load(),
 	}
 	if s.Routes > 0 {
 		s.MeanLatency = time.Duration(m.latSum.Load() / s.Routes)
@@ -139,10 +223,18 @@ func percentile(counts []int64, total int64, p float64) time.Duration {
 	return bucketCeil(len(counts) - 1)
 }
 
-// String formats the snapshot as a single human-readable line.
+// String formats the snapshot as a single human-readable line; the
+// fault-tolerance counters appear only when any of them is non-zero, so
+// healthy runs keep the familiar compact form.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("routes=%d errors=%d words=%d mean=%v p50=%v p99=%v max=%v",
+	line := fmt.Sprintf("routes=%d errors=%d words=%d mean=%v p50=%v p99=%v max=%v",
 		s.Routes, s.Errors, s.WordsSwitched, s.MeanLatency, s.P50, s.P99, s.MaxLatency)
+	if s.FaultsInjected != 0 || s.Retries != 0 || s.Requeued != 0 || s.Timeouts != 0 ||
+		s.BreakerTrips != 0 || s.BreakerResets != 0 || s.FallbackRoutes != 0 {
+		line += fmt.Sprintf(" faults=%d retries=%d requeued=%d timeouts=%d breaker_trips=%d breaker_resets=%d fallbacks=%d",
+			s.FaultsInjected, s.Retries, s.Requeued, s.Timeouts, s.BreakerTrips, s.BreakerResets, s.FallbackRoutes)
+	}
+	return line
 }
 
 // Publish registers the metrics under the given expvar name, exposing live

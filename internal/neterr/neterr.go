@@ -4,6 +4,13 @@
 // without parsing error strings: a routing request either carried addresses
 // that are not a permutation, carried the wrong number of words for the
 // network, or hit an engine that has been shut down.
+//
+// The fault-tolerance sentinels split routing failures into the classes the
+// serving layer's recovery policy needs: ErrTransient marks a failure worth
+// retrying (the underlying fault has a heal time), ErrMisrouted marks a hard
+// delivery fault (a stuck element or dead link corrupted the arrangement),
+// ErrBreakerOpen marks requests rejected while the circuit breaker isolates
+// a failing network, and ErrTimeout marks requests abandoned by deadline.
 package neterr
 
 import "errors"
@@ -19,4 +26,21 @@ var (
 
 	// ErrClosed reports a request submitted to an engine after Close.
 	ErrClosed = errors.New("engine closed")
+
+	// ErrTransient reports a routing failure caused by a fault that is
+	// scheduled to heal; retrying the request is expected to succeed.
+	ErrTransient = errors.New("transient routing fault")
+
+	// ErrMisrouted reports a delivery that violated the permutation-network
+	// contract (out[j].Addr != j for some output j) — the signature of a
+	// stuck switching element or a dead link.
+	ErrMisrouted = errors.New("misrouted delivery")
+
+	// ErrBreakerOpen reports a request rejected because the engine's circuit
+	// breaker has tripped and no fallback router is registered.
+	ErrBreakerOpen = errors.New("circuit breaker open")
+
+	// ErrTimeout reports a request abandoned because its per-request
+	// deadline expired before a route attempt succeeded.
+	ErrTimeout = errors.New("request timed out")
 )

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 )
 
@@ -72,23 +73,63 @@ func Families() []string {
 	return names
 }
 
+// optFlag records which options were passed, so the constructors can reject
+// the ones that do not apply to them — a typo fails loudly instead of
+// silently doing nothing.
+type optFlag uint
+
+const (
+	optDataBits optFlag = 1 << iota
+	optWorkers
+	optQueue
+	optTrace
+	optMetrics
+	optFaults
+	optTimeout
+	optRetry
+	optBreaker
+	optFallback
+)
+
+// optEngine masks the resilience options that only NewEngine understands.
+const optEngine = optTimeout | optRetry | optBreaker | optFallback
+
 // options collects the functional options shared by New and NewEngine.
 type options struct {
+	set      optFlag
 	dataBits int
 	workers  int
 	queue    int
 	trace    func(stage int, snapshot []Word)
 	metrics  *metrics.Metrics
+
+	faults        *fault.Plan
+	timeout       time.Duration
+	retryAttempts int
+	retryBackoff  time.Duration
+	breaker       int
+	fallback      Network
+
+	errs []error
 }
 
-func gatherOptions(opts []Option) options {
+func (o *options) anySet(mask optFlag) bool { return o.set&mask != 0 }
+
+func (o *options) reject(format string, args ...any) {
+	o.errs = append(o.errs, fmt.Errorf("bnbnet: "+format, args...))
+}
+
+func gatherOptions(opts []Option) (options, error) {
 	var o options
 	for _, opt := range opts {
 		if opt != nil {
 			opt(&o)
 		}
 	}
-	return o
+	if len(o.errs) > 0 {
+		return o, o.errs[0]
+	}
+	return o, nil
 }
 
 // Option configures New or NewEngine. Each option documents which of the two
@@ -99,22 +140,37 @@ type Option func(*options)
 // WithDataBits sets the payload width w (0 <= w <= 64) of each word for
 // families that model it ("bnb", "batcher", "koppelman"). New only.
 func WithDataBits(w int) Option {
-	return func(o *options) { o.dataBits = w }
+	return func(o *options) { o.set |= optDataBits; o.dataBits = w }
 }
 
 // WithWorkers requests concurrent evaluation. For New it wraps a network
 // whose simulation supports parallel routing (currently "bnb") so that Route
 // evaluates independent boxes on n goroutines; for NewEngine it sets the
-// worker-pool size. n <= 0 keeps the default (serial Route; 4 engine
-// workers).
+// worker-pool size. Zero keeps the default (serial Route; 4 engine workers);
+// negative counts are rejected.
 func WithWorkers(n int) Option {
-	return func(o *options) { o.workers = n }
+	return func(o *options) {
+		if n < 0 {
+			o.reject("WithWorkers(%d): worker count cannot be negative", n)
+			return
+		}
+		o.set |= optWorkers
+		o.workers = n
+	}
 }
 
 // WithQueue bounds the number of in-flight engine requests before Submit
-// blocks; n <= 0 keeps the default of 4x the worker count. NewEngine only.
+// blocks; zero keeps the default of 4x the worker count and negative bounds
+// are rejected. NewEngine only.
 func WithQueue(n int) Option {
-	return func(o *options) { o.queue = n }
+	return func(o *options) {
+		if n < 0 {
+			o.reject("WithQueue(%d): queue bound cannot be negative", n)
+			return
+		}
+		o.set |= optQueue
+		o.queue = n
+	}
 }
 
 // WithTrace installs a stage observer on a network that supports traced
@@ -123,14 +179,93 @@ func WithQueue(n int) Option {
 // entering main stage i, with the final snapshot the output. Tracing forces
 // serial evaluation, so it overrides WithWorkers for Route. New only.
 func WithTrace(fn func(stage int, snapshot []Word)) Option {
-	return func(o *options) { o.trace = fn }
+	return func(o *options) { o.set |= optTrace; o.trace = fn }
 }
 
 // WithMetrics attaches an observability sink: every Route (New) or every
 // served request (NewEngine) is counted into m with its latency. The sink is
 // lock-free and may be snapshotted concurrently from other goroutines.
 func WithMetrics(m *Metrics) Option {
-	return func(o *options) { o.metrics = m }
+	return func(o *options) { o.set |= optMetrics; o.metrics = m }
+}
+
+// WithFaults wraps the constructed network in a FaultyNetwork perturbing
+// every route according to the plan, with delivery verification on — faults
+// surface as errors (transient ones marked ErrTransient) rather than silent
+// misdeliveries. Stuck-at and chaos plans require the "bnb" family, whose
+// simulation supports switch-level overrides. New only; it does not compose
+// with WithWorkers or WithTrace.
+func WithFaults(plan *FaultPlan) Option {
+	return func(o *options) {
+		if plan == nil {
+			o.reject("WithFaults(nil): nil fault plan")
+			return
+		}
+		o.set |= optFaults
+		o.faults = plan
+	}
+}
+
+// WithTimeout bounds each engine request from Submit to completion; expired
+// requests fail with ErrTimeout. NewEngine only.
+func WithTimeout(d time.Duration) Option {
+	return func(o *options) {
+		if d < 0 {
+			o.reject("WithTimeout(%v): negative timeout", d)
+			return
+		}
+		o.set |= optTimeout
+		o.timeout = d
+	}
+}
+
+// WithRetry re-attempts engine requests that fail transiently (ErrTransient,
+// the injector's mark for faults that heal) up to attempts total tries, with
+// the given backoff before the first retry, doubling after each. NewEngine
+// only.
+func WithRetry(attempts int, backoff time.Duration) Option {
+	return func(o *options) {
+		if attempts < 1 {
+			o.reject("WithRetry(%d, %v): need at least 1 attempt", attempts, backoff)
+			return
+		}
+		if backoff < 0 {
+			o.reject("WithRetry(%d, %v): negative backoff", attempts, backoff)
+			return
+		}
+		o.set |= optRetry
+		o.retryAttempts = attempts
+		o.retryBackoff = backoff
+	}
+}
+
+// WithBreaker arms the engine's circuit breaker: after threshold consecutive
+// hard failures the breaker opens, requests fail fast with ErrBreakerOpen
+// (or divert to the WithFallback network), and identity probes of the
+// primary close it again once they pass. NewEngine only.
+func WithBreaker(threshold int) Option {
+	return func(o *options) {
+		if threshold < 1 {
+			o.reject("WithBreaker(%d): threshold must be at least 1", threshold)
+			return
+		}
+		o.set |= optBreaker
+		o.breaker = threshold
+	}
+}
+
+// WithFallback registers a standby network served while the breaker is open;
+// it must have the same port count as the primary. Requires WithBreaker.
+// NewEngine only.
+func WithFallback(n Network) Option {
+	return func(o *options) {
+		if n == nil {
+			o.reject("WithFallback(nil): nil fallback network")
+			return
+		}
+		o.set |= optFallback
+		o.fallback = n
+	}
 }
 
 // New constructs a registered network family at order m (N = 2^m inputs),
@@ -151,13 +286,25 @@ func New(family string, m int, opts ...Option) (Network, error) {
 	if b == nil {
 		return nil, fmt.Errorf("bnbnet: unknown network family %q (have %v)", family, Families())
 	}
-	o := gatherOptions(opts)
-	if o.queue != 0 {
+	o, err := gatherOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if o.anySet(optQueue) {
 		return nil, fmt.Errorf("bnbnet: WithQueue applies to NewEngine, not New")
+	}
+	if o.anySet(optEngine) {
+		return nil, fmt.Errorf("bnbnet: WithTimeout, WithRetry, WithBreaker and WithFallback apply to NewEngine, not New")
 	}
 	n, err := b(m, o.dataBits)
 	if err != nil {
 		return nil, err
+	}
+	if o.anySet(optFaults) {
+		if o.anySet(optWorkers | optTrace) {
+			return nil, fmt.Errorf("bnbnet: WithFaults does not compose with WithWorkers or WithTrace")
+		}
+		return newFaulty(n, o.faults, o.metrics)
 	}
 	if o.workers > 0 {
 		if _, ok := n.(parallelNetwork); !ok {

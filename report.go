@@ -45,6 +45,12 @@ type Report struct {
 	// permutations fanned across the worker pool, with delivery verified and
 	// the request counts cross-checked against the metrics sink.
 	Serving []ServingStudy `json:"serving"`
+	// Availability records the fault-tolerance study: degraded fabric runs
+	// under seeded transient chaos faults at a sweep of rates, with
+	// eventual-delivery accounting (DESIGN.md §8).
+	Availability []AvailabilityStudy `json:"availability"`
+	// Diagnosis records the probe-set fault-diagnoser coverage.
+	Diagnosis []DiagnosisStudy `json:"diagnosis"`
 }
 
 // Table1Sweep is the Table 1 evaluation at one order.
@@ -111,6 +117,39 @@ type ServingStudy struct {
 	Delivered bool `json:"delivered"`
 	// MetricsConsistent is true when the sink's counters match the batch.
 	MetricsConsistent bool `json:"metrics_consistent"`
+}
+
+// AvailabilityStudy is one degraded-fabric run under seeded chaos faults: a
+// BNB fabric at order M routes permutation traffic for Cycles cycles while
+// transient faults strike whole passes at ChaosRate per cycle, requeueing
+// every failed or misdelivered cell; a drain phase then empties the backlog.
+// EventualDelivery is delivered/offered after the drain — 1.0 means the
+// requeue path lost nothing.
+type AvailabilityStudy struct {
+	M              int     `json:"m"`
+	ChaosRate      float64 `json:"chaos_rate"`
+	Cycles         int     `json:"cycles"`
+	Offered        int     `json:"offered"`
+	Delivered      int     `json:"delivered"`
+	Requeued       int     `json:"requeued"`
+	FailedPasses   int     `json:"failed_passes"`
+	InjectedPasses int64   `json:"injected_passes"`
+	// EventualDelivery is the delivered fraction of offered cells after the
+	// drain phase.
+	EventualDelivery float64 `json:"eventual_delivery"`
+}
+
+// DiagnosisStudy is the fault-diagnoser coverage at one order: the size of
+// the single-stuck-at fault universe, the probe count, the number of fault
+// groups the probe set cannot separate (0 = exact localization), and — when
+// feasible — the outcome of injecting and diagnosing every fault.
+type DiagnosisStudy struct {
+	M               int  `json:"m"`
+	Probes          int  `json:"probes"`
+	FaultUniverse   int  `json:"fault_universe"`
+	AmbiguousGroups int  `json:"ambiguous_groups"`
+	ExhaustiveRun   bool `json:"exhaustive_run"`
+	ExhaustiveOK    bool `json:"exhaustive_ok"`
 }
 
 // ConformanceResult is one network's verification-battery outcome.
@@ -224,6 +263,32 @@ func FullReport(minM, maxM, w, trials int, seed int64) (*Report, error) {
 		}
 	}
 
+	// Availability under chaos at a representative order, swept over rates.
+	am := 4
+	if am > maxM {
+		am = maxM
+	}
+	for _, rate := range []float64{0.005, 0.01, 0.02} {
+		a, err := availabilityStudy(am, 1000, rate, seed)
+		if err != nil {
+			return nil, err
+		}
+		r.Availability = append(r.Availability, a)
+	}
+
+	// Diagnoser coverage at a small order (the dictionary grows with the
+	// fault universe); the exhaustive inject-and-diagnose pass runs where it
+	// stays cheap.
+	dm := 3
+	if dm > maxM {
+		dm = maxM
+	}
+	ds, err := diagnosisStudy(dm, dm <= 4)
+	if err != nil {
+		return nil, err
+	}
+	r.Diagnosis = append(r.Diagnosis, ds)
+
 	// Conformance battery at the smallest order (exhaustive when N <= 8).
 	for _, n := range reportNetworks(minM, w) {
 		if n == nil {
@@ -286,6 +351,69 @@ func servingStudy(m, w, requests int, seed int64) (ServingStudy, error) {
 		s.Errors == int64(sv.Errors) &&
 		s.WordsSwitched == int64(requests-sv.Errors)*int64(b.Inputs())
 	return sv, nil
+}
+
+// availabilityStudy runs one degraded fabric under chaos faults at the given
+// per-cycle rate and measures eventual delivery through the requeue path.
+// Load 0.5 keeps the offered traffic under the FIFO fabric's head-of-line
+// saturation (~0.586), so the post-fault backlog provably drains.
+func availabilityStudy(m, cycles int, rate float64, seed int64) (AvailabilityStudy, error) {
+	n, err := New("bnb", m, WithFaults(&FaultPlan{ChaosRate: rate, ChaosHeal: 1, Seed: seed}))
+	if err != nil {
+		return AvailabilityStudy{}, err
+	}
+	s, err := NewFabricSwitch(n)
+	if err != nil {
+		return AvailabilityStudy{}, err
+	}
+	s.SetDegraded(true)
+	rng := rand.New(rand.NewSource(seed))
+	stats, err := s.Run(PermutationTraffic{Load: 0.5}, cycles, rng)
+	if err != nil {
+		return AvailabilityStudy{}, err
+	}
+	drain, err := s.Run(PermutationTraffic{Load: 0}, cycles/2, rng)
+	if err != nil {
+		return AvailabilityStudy{}, err
+	}
+	a := AvailabilityStudy{
+		M:              m,
+		ChaosRate:      rate,
+		Cycles:         cycles,
+		Offered:        stats.Offered,
+		Delivered:      stats.Delivered + drain.Delivered,
+		Requeued:       stats.Requeued + drain.Requeued,
+		FailedPasses:   stats.FailedPasses + drain.FailedPasses,
+		InjectedPasses: n.(*FaultyNetwork).InjectedPasses(),
+	}
+	if a.Offered > 0 {
+		a.EventualDelivery = float64(a.Delivered) / float64(a.Offered)
+	}
+	return a, nil
+}
+
+// diagnosisStudy builds the fault diagnoser at order m and, when exhaustive
+// is set, verifies it against the whole stuck-at universe.
+func diagnosisStudy(m int, exhaustive bool) (DiagnosisStudy, error) {
+	d, err := NewFaultDiagnoser(m)
+	if err != nil {
+		return DiagnosisStudy{}, err
+	}
+	ds := DiagnosisStudy{
+		M:               m,
+		Probes:          d.Probes(),
+		FaultUniverse:   2 * len(FaultElements(m)),
+		AmbiguousGroups: d.AmbiguousGroups(),
+	}
+	if exhaustive {
+		checked, err := ExhaustiveFaultCheck(m)
+		if err != nil {
+			return ds, err
+		}
+		ds.ExhaustiveRun = true
+		ds.ExhaustiveOK = checked == ds.FaultUniverse
+	}
+	return ds, nil
 }
 
 // reportNetworks builds one instance of every network at order m via the

@@ -84,6 +84,31 @@ func TestFullReportContents(t *testing.T) {
 			t.Errorf("%s: exhaustive battery should run at N=8", c.Network)
 		}
 	}
+	// Availability: the degraded fabric loses nothing at any swept rate.
+	if len(r.Availability) != 3 {
+		t.Fatalf("availability entries = %d, want 3", len(r.Availability))
+	}
+	for _, a := range r.Availability {
+		if a.InjectedPasses == 0 {
+			t.Errorf("rate %v: chaos injected nothing", a.ChaosRate)
+		}
+		if a.EventualDelivery != 1.0 {
+			t.Errorf("rate %v: eventual delivery %v, want 1.0 (delivered %d of %d)",
+				a.ChaosRate, a.EventualDelivery, a.Delivered, a.Offered)
+		}
+	}
+	// Diagnosis: the probe set separates the whole fault universe.
+	if len(r.Diagnosis) != 1 {
+		t.Fatalf("diagnosis entries = %d, want 1", len(r.Diagnosis))
+	}
+	for _, d := range r.Diagnosis {
+		if d.AmbiguousGroups != 0 {
+			t.Errorf("m=%d: %d ambiguous fault groups", d.M, d.AmbiguousGroups)
+		}
+		if d.ExhaustiveRun && !d.ExhaustiveOK {
+			t.Errorf("m=%d: exhaustive diagnosis failed", d.M)
+		}
+	}
 }
 
 func TestFullReportJSONRoundTrip(t *testing.T) {
