@@ -52,11 +52,14 @@ fuzz:
 	$(GO) test -fuzz FuzzAllNetworksAgree -fuzztime 30s .
 
 # Fault-injected soak under the race detector: the chaos, degradation,
-# and resilience suites, then a fabricsim run with 1% transient faults
-# that must report 100% eventual delivery.
+# and resilience suites, then a fabricsim run with 1% transient faults that
+# must report 100% eventual delivery, and the supervised-planes availability
+# run that must deliver every request despite a faulty plane. Both fabricsim
+# invocations exit nonzero on any misdelivery.
 chaos:
-	$(GO) test -race -run 'Chaos|Degraded|Fault|Breaker|Retry|Fallback|Diagnos' ./...
+	$(GO) test -race -run 'Chaos|Degraded|Fault|Breaker|Retry|Fallback|Diagnos|Supervised|Plane|Shed' ./...
 	$(GO) run -race ./cmd/fabricsim -net bnb -m 5 -traffic permutation -cycles 1000 -chaos 0.01
+	$(GO) run -race ./cmd/fabricsim -net bnb -m 5 -planes 3 -chaos 0.01 -requests 10000
 
 clean:
 	$(GO) clean ./...

@@ -10,19 +10,29 @@
 // requeueing every failed or misdelivered cell instead of aborting — and the
 // run reports eventual delivery after draining the backlog.
 //
+// With -planes the tool leaves the fabric loop and runs the availability
+// experiment of DESIGN.md §9: K supervised redundant planes with -chaos
+// injected into plane 0, versus an unsupervised single plane under the same
+// fault schedule, reporting delivery rates and the supervisor's failover /
+// repair / readmit counters. The run exits nonzero if the supervised stack
+// drops or misroutes anything.
+//
 //	fabricsim -net bnb -m 5 -traffic uniform -cycles 5000
 //	fabricsim -net bnb -m 5 -traffic permutation -metrics
 //	fabricsim -net batcher -m 5 -traffic hotspot -hotfrac 0.3
 //	fabricsim -net bnb -m 5 -traffic permutation -cycles 1000 -chaos 0.01
+//	fabricsim -net bnb -m 5 -planes 3 -chaos 0.01 -requests 10000
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	bnbnet "repro"
 )
@@ -40,12 +50,143 @@ func main() {
 		chaos     = flag.Float64("chaos", 0, "per-cycle transient fault rate; > 0 enables fault injection and degraded mode")
 		chaosHeal = flag.Int("chaos-heal", 1, "cycles a chaos fault lives before healing")
 		chaosSeed = flag.Int64("chaos-seed", 2026, "seed of the deterministic chaos schedule")
+		planes    = flag.Int("planes", 0, "run K >= 2 supervised redundant planes (with -chaos striking plane 0) instead of the fabric loop")
+		requests  = flag.Int("requests", 10000, "requests for the -planes availability run")
 	)
 	flag.Parse()
-	if err := run(*netName, *m, *traffic, *cycles, *seed, *hotfrac, *voq, *metrics, *chaos, *chaosHeal, *chaosSeed); err != nil {
+	var err error
+	if *planes > 0 {
+		err = runPlanes(*netName, *m, *planes, *requests, *seed, *chaos, *chaosHeal, *chaosSeed)
+	} else {
+		err = run(*netName, *m, *traffic, *cycles, *seed, *hotfrac, *voq, *metrics, *chaos, *chaosHeal, *chaosSeed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fabricsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runPlanes is the availability experiment: the same request stream is
+// offered to an unsupervised single plane carrying the chaos plan and to a
+// K-plane supervised stack with the identical plan striking plane 0, and
+// the two delivery rates are compared. The supervised run must be perfect.
+func runPlanes(netName string, m, k, requests int, seed int64, chaos float64, chaosHeal int, chaosSeed int64) error {
+	if k < 2 {
+		return fmt.Errorf("-planes %d: need at least 2 planes", k)
+	}
+	var plan *bnbnet.FaultPlan
+	if chaos > 0 {
+		plan = &bnbnet.FaultPlan{ChaosRate: chaos, ChaosHeal: chaosHeal, Seed: chaosSeed}
+	}
+	fmt.Printf("planes: %s, order %d (%d ports), %d supervised planes, %d requests\n",
+		netName, m, 1<<uint(m), k, requests)
+	if plan != nil {
+		fmt.Printf("chaos: transient fault rate %v per cycle on plane 0, heal %d, seed %d\n",
+			chaos, chaosHeal, chaosSeed)
+	}
+
+	type outcome struct {
+		delivered, failed, misrouted int
+		elapsed                      time.Duration
+	}
+	drive := func(route func([]bnbnet.Perm) ([][]bnbnet.Word, []error)) outcome {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << uint(m)
+		var out outcome
+		start := time.Now()
+		const batch = 256
+		for done := 0; done < requests; done += batch {
+			size := batch
+			if requests-done < size {
+				size = requests - done
+			}
+			ps := make([]bnbnet.Perm, size)
+			for i := range ps {
+				ps[i] = bnbnet.RandomPerm(n, rng)
+			}
+			outs, errs := route(ps)
+			for i := range errs {
+				if errs[i] != nil {
+					out.failed++
+					if errors.Is(errs[i], bnbnet.ErrMisrouted) {
+						out.misrouted++
+					}
+					continue
+				}
+				ok := true
+				for j, w := range outs[i] {
+					if w.Addr != j {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					out.delivered++
+				} else {
+					out.misrouted++
+				}
+			}
+		}
+		out.elapsed = time.Since(start)
+		return out
+	}
+
+	// Baseline: one plane, no supervision, the chaos plan striking it
+	// directly. Failures surface to the caller.
+	var baseOpts []bnbnet.Option
+	if plan != nil {
+		baseOpts = append(baseOpts, bnbnet.WithFaults(plan))
+	}
+	baseNet, err := bnbnet.New(netName, m, baseOpts...)
+	if err != nil {
+		return err
+	}
+	baseEng, err := bnbnet.NewEngine(baseNet, bnbnet.WithWorkers(4))
+	if err != nil {
+		return err
+	}
+	base := drive(baseEng.RoutePermBatch)
+	if err := baseEng.Close(); err != nil {
+		return err
+	}
+
+	// Supervised: K planes, the same plan striking plane 0 only.
+	supOpts := []bnbnet.Option{bnbnet.WithPlanes(k), bnbnet.WithWorkers(4)}
+	if plan != nil {
+		supOpts = append(supOpts, bnbnet.WithPlaneFaults(0, plan))
+	}
+	sup, err := bnbnet.NewSupervised(netName, m, supOpts...)
+	if err != nil {
+		return err
+	}
+	supOut := drive(sup.RoutePermBatch)
+	failovers, repairs, readmits := sup.Failovers(), sup.Repairs(), sup.Readmits()
+	states := sup.PlaneStates()
+	if err := sup.Close(); err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mode\trequests\tdelivered\tfailed\tmisrouted\tavailability\telapsed")
+	fmt.Fprintf(tw, "single plane\t%d\t%d\t%d\t%d\t%.4f\t%v\n",
+		requests, base.delivered, base.failed, base.misrouted,
+		float64(base.delivered)/float64(requests), base.elapsed.Round(time.Millisecond))
+	fmt.Fprintf(tw, "supervised x%d\t%d\t%d\t%d\t%d\t%.4f\t%v\n",
+		k, requests, supOut.delivered, supOut.failed, supOut.misrouted,
+		float64(supOut.delivered)/float64(requests), supOut.elapsed.Round(time.Millisecond))
+	tw.Flush()
+	fmt.Printf("supervisor: failovers=%d repairs=%d readmits=%d states=%v\n",
+		failovers, repairs, readmits, states)
+	if supOut.delivered != requests || supOut.misrouted != 0 {
+		return fmt.Errorf("supervised stack delivered %d/%d requests (%d misrouted); redundancy must absorb a single faulty plane",
+			supOut.delivered, requests, supOut.misrouted)
+	}
+	if plan != nil {
+		fmt.Println("the supervised stack delivered every request despite the faulty plane.")
+	} else {
+		fmt.Println("the supervised stack delivered every request.")
+	}
+	return nil
 }
 
 func run(netName string, m int, traffic string, cycles int, seed int64, hotfrac float64, voq, showMetrics bool, chaos float64, chaosHeal int, chaosSeed int64) error {
@@ -174,7 +315,7 @@ func run(netName string, m int, traffic string, cycles int, seed int64, hotfrac 
 		if allDelivered {
 			fmt.Println("every offered cell was eventually delivered to its addressed output.")
 		} else {
-			fmt.Println("WARNING: some cells were never delivered; see the table above.")
+			return fmt.Errorf("some cells were never delivered; see the table above")
 		}
 	}
 	if showMetrics {

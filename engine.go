@@ -52,7 +52,9 @@ type Engine struct {
 // workers), WithMetrics the observability sink. The resilience options —
 // WithTimeout, WithRetry, WithBreaker, WithFallback — bound each request's
 // life, retry transient faults, and fail over to a standby network after
-// consecutive hard failures (see DESIGN.md §8). Networks implementing
+// consecutive hard failures (see DESIGN.md §8); WithShedding rejects
+// requests whose deadline cannot be met at the current queue depth with
+// ErrOverloaded instead of letting them expire in the queue (§9). Networks implementing
 // IntoRouter — *BNB, including behind New's decorator — are served over the
 // pooled zero-allocation hot path.
 func NewEngine(n Network, opts ...Option) (*Engine, error) {
@@ -72,6 +74,9 @@ func NewEngine(n Network, opts ...Option) (*Engine, error) {
 	if o.anySet(optFaults) {
 		return nil, fmt.Errorf("bnbnet: WithFaults applies to New; pass the faulty network to NewEngine instead")
 	}
+	if o.anySet(optSupervised) {
+		return nil, fmt.Errorf("bnbnet: WithPlanes, WithPlaneFaults, WithPlaneCap and WithHealthInterval apply to NewSupervised, not NewEngine")
+	}
 	if o.anySet(optFallback) && !o.anySet(optBreaker) {
 		return nil, fmt.Errorf("bnbnet: WithFallback requires WithBreaker; without a breaker the fallback would never serve")
 	}
@@ -87,6 +92,7 @@ func NewEngine(n Network, opts ...Option) (*Engine, error) {
 		Retry:            engine.RetryPolicy{MaxAttempts: o.retryAttempts, Backoff: o.retryBackoff},
 		FailureThreshold: o.breaker,
 		Fallback:         fb,
+		Shed:             o.shed,
 	})
 	if err != nil {
 		return nil, err
@@ -155,7 +161,12 @@ func (e *Engine) RouteBatch(batch [][]Word) (outs [][]Word, errs []error) {
 }
 
 // RouteBatchCtx is RouteBatch with a context shared by every request of the
-// batch; cancelling it abandons the requests not yet routed.
+// batch. Cancellation splits the batch by completion: requests routed
+// before the cancellation was observed keep their results, while requests
+// still pending complete with the context's error — ErrTimeout-wrapped for
+// an expired deadline, the bare context error for a cancel. Every errs[i]
+// is either nil with a fully routed outs[i] or non-nil with outs[i] nil;
+// there are no half-routed results.
 func (e *Engine) RouteBatchCtx(ctx context.Context, batch [][]Word) (outs [][]Word, errs []error) {
 	return e.e.RouteBatchCtx(ctx, batch)
 }

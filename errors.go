@@ -30,4 +30,8 @@ var (
 	ErrBreakerOpen = neterr.ErrBreakerOpen
 	// ErrTimeout reports a request abandoned by its WithTimeout deadline.
 	ErrTimeout = neterr.ErrTimeout
+	// ErrOverloaded reports a request shed at admission: under WithShedding
+	// its deadline cannot be met at the current queue depth, or every
+	// eligible supervised plane is at its in-flight cap.
+	ErrOverloaded = neterr.ErrOverloaded
 )

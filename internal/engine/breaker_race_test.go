@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/neterr"
+	"repro/internal/perm"
+)
+
+// TestTryClaimProbeSingleWinner hammers the half-open claim from many
+// goroutines: per open window, exactly one caller may win the probe slot.
+func TestTryClaimProbeSingleWinner(t *testing.T) {
+	b := &breaker{threshold: 1, probeEvery: time.Hour}
+	for window := 0; window < 3; window++ {
+		b.fail() // open (or re-open) the breaker
+		if !b.isOpen() {
+			t.Fatal("breaker did not open")
+		}
+		var wins atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 64; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 100; i++ {
+					if b.tryClaimProbe() {
+						wins.Add(1)
+					}
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		if got := wins.Load(); got != 1 {
+			t.Fatalf("window %d: %d probe claims, want exactly 1", window, got)
+		}
+		// Close the window the way the engine does after a clean probe, so
+		// the next iteration reopens a fresh one.
+		b.reset()
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe drives the race end to end: a tripped
+// breaker over a healed primary is hammered by concurrent requests, and the
+// probeEvery window admits exactly one probe — so the breaker resets exactly
+// once and the reset metric agrees.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	const n = 8
+	var healthy atomic.Bool
+	var probes atomic.Int64
+	r := &funcRouter{n: n, fn: func(dst, src []core.Word) error {
+		if !healthy.Load() {
+			return fmt.Errorf("stuck: %w", neterr.ErrMisrouted)
+		}
+		probes.Add(1)
+		return deliver(dst, src)
+	}}
+	var m metrics.Metrics
+	e, err := New(r, Config{
+		Workers:          8,
+		Queue:            64,
+		Metrics:          &m,
+		FailureThreshold: 1,
+		BreakerProbe:     time.Hour, // one probe window for the whole test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// Trip the breaker on the dead primary.
+	if tk, err := e.Submit(nil, permWords(perm.Identity(n))); err != nil {
+		t.Fatal(err)
+	} else if _, err := tk.Wait(); err == nil {
+		t.Fatal("request on a dead primary succeeded")
+	}
+	if !e.BreakerOpen() {
+		t.Fatal("breaker did not trip")
+	}
+	// Heal the primary, then hammer: exactly one request probes and resets;
+	// the rest either fail fast on the open breaker or route normally after
+	// the reset.
+	healthy.Store(true)
+	const hammer = 200
+	var failFast, routed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < hammer; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk, err := e.Submit(nil, permWords(perm.Identity(n)))
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			switch _, err := tk.Wait(); {
+			case err == nil:
+				routed.Add(1)
+			case errors.Is(err, neterr.ErrBreakerOpen):
+				failFast.Add(1)
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Snapshot().BreakerResets; got != 1 {
+		t.Errorf("BreakerResets = %d, want exactly 1 (one probe per window)", got)
+	}
+	if e.BreakerOpen() {
+		t.Error("breaker still open after a clean probe")
+	}
+	if routed.Load() == 0 {
+		t.Error("no request routed after the reset")
+	}
+	t.Logf("hammer: routed=%d failFast=%d primaryRoutes=%d", routed.Load(), failFast.Load(), probes.Load())
+}

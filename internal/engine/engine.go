@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -68,6 +69,12 @@ type Config struct {
 	// Fallback, when non-nil, serves requests while the breaker is open.
 	// It must have the same port count as the primary router.
 	Fallback Router
+	// Shed enables deadline-aware admission control: a request carrying a
+	// deadline (Timeout or a context deadline) is rejected at Submit with
+	// ErrOverloaded when the estimated queue drain time — in-flight depth
+	// times the observed per-request service EWMA over the worker count —
+	// already exceeds it. Requests without a deadline are always admitted.
+	Shed bool
 }
 
 // RetryPolicy bounds the retry loop for transient failures.
@@ -169,11 +176,14 @@ func (b *breaker) tryClaimProbe() bool {
 	return true
 }
 
-// reset closes the breaker after a successful probe.
+// reset closes the breaker after a successful probe. It also clears the
+// probe throttle: if the breaker trips again, that is a new fault episode
+// and its first probe should not wait out the previous window's interval.
 func (b *breaker) reset() {
 	b.mu.Lock()
 	b.open = false
 	b.consecutive = 0
+	b.lastProbe = time.Time{}
 	b.mu.Unlock()
 }
 
@@ -189,6 +199,17 @@ type Engine struct {
 	timeout time.Duration
 	retry   RetryPolicy
 	brk     *breaker
+
+	// Admission control (Config.Shed): inflight tracks accepted requests not
+	// yet completed, ewmaServe the smoothed per-request service time in
+	// nanoseconds (zero until the first request completes).
+	shed      bool
+	inflight  atomic.Int64
+	ewmaServe atomic.Int64
+
+	// closing is closed by Close before the queue channel, so workers parked
+	// in a retry backoff cut the wait short and drain promptly.
+	closing chan struct{}
 
 	wg sync.WaitGroup
 
@@ -236,6 +257,8 @@ func New(r Router, cfg Config) (*Engine, error) {
 		timeout: cfg.Timeout,
 		retry:   cfg.Retry,
 		brk:     &breaker{threshold: cfg.FailureThreshold, probeEvery: probeEvery},
+		shed:    cfg.Shed,
+		closing: make(chan struct{}),
 		workers: workers,
 	}
 	e.pool.New = func() any { return new(request) }
@@ -261,13 +284,36 @@ func (e *Engine) BreakerOpen() bool { return e.brk.isOpen() }
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for req := range e.reqs {
+		served := time.Now()
 		err := e.serve(req)
+		e.observeServe(time.Since(served))
+		e.inflight.Add(-1)
 		e.m.ObserveRoute(len(req.src), time.Since(req.start), err)
 		t := req.t
 		*req = request{}
 		e.pool.Put(req)
 		t.done <- err
 	}
+}
+
+// observeServe folds one request's service time (routing plus retries, not
+// queue wait) into the EWMA the admission controller estimates with. The
+// load-and-store update may lose a concurrent sample; the estimate only has
+// to track the service-time scale, not count exactly.
+func (e *Engine) observeServe(d time.Duration) {
+	if !e.shed {
+		return
+	}
+	ns := int64(d)
+	if ns <= 0 {
+		ns = 1
+	}
+	old := e.ewmaServe.Load()
+	if old == 0 {
+		e.ewmaServe.Store(ns)
+		return
+	}
+	e.ewmaServe.Store(old - old/8 + ns/8)
 }
 
 // expired reports the request's deadline or cancellation error, or nil while
@@ -303,10 +349,14 @@ func (e *Engine) backoff(req *request, d time.Duration) error {
 			done = req.ctx.Done()
 		}
 		if d > 0 {
+			// Also wake on Close: a worker parked here must not stall the
+			// drain, so shutdown cuts the backoff short and the retry loop
+			// finishes the request immediately.
 			timer := time.NewTimer(d)
 			select {
 			case <-timer.C:
 			case <-done:
+			case <-e.closing:
 			}
 			timer.Stop()
 		}
@@ -402,12 +452,17 @@ func (e *Engine) SubmitCtx(ctx context.Context, dst, src []core.Word) (*Ticket, 
 	} else if len(dst) != n {
 		return nil, fmt.Errorf("engine: got %d output slots, want %d: %w", len(dst), n, neterr.ErrBadSize)
 	}
-	req := e.pool.Get().(*request)
 	start := time.Now()
 	var deadline time.Time
 	if e.timeout > 0 {
 		deadline = start.Add(e.timeout)
 	}
+	if e.shed {
+		if err := e.admit(ctx, start, deadline); err != nil {
+			return nil, err
+		}
+	}
+	req := e.pool.Get().(*request)
 	*req = request{
 		src:      src,
 		dst:      dst,
@@ -423,9 +478,37 @@ func (e *Engine) SubmitCtx(ctx context.Context, dst, src []core.Word) (*Ticket, 
 		e.pool.Put(req)
 		return nil, fmt.Errorf("engine: %w", neterr.ErrClosed)
 	}
+	e.inflight.Add(1)
 	e.reqs <- req
 	e.mu.RUnlock()
 	return t, nil
+}
+
+// admit is the load-shedding gate (Config.Shed): it estimates when a
+// request accepted now would complete — the in-flight depth times the
+// service-time EWMA, divided over the workers, plus the request's own
+// service — and rejects the request with ErrOverloaded when that exceeds
+// its deadline. A request with no deadline, or an engine that has not yet
+// observed a service time, is always admitted.
+func (e *Engine) admit(ctx context.Context, now, deadline time.Time) error {
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	if deadline.IsZero() {
+		return nil
+	}
+	ewma := e.ewmaServe.Load()
+	if ewma == 0 {
+		return nil
+	}
+	depth := e.inflight.Load()
+	est := time.Duration((depth/int64(e.workers) + 1) * ewma)
+	if now.Add(est).After(deadline) {
+		e.m.AddShed()
+		return fmt.Errorf("engine: %d requests in flight need ~%v, deadline in %v: %w",
+			depth, est, deadline.Sub(now), neterr.ErrOverloaded)
+	}
+	return nil
 }
 
 // RouteBatch routes every request of the batch across the worker pool and
@@ -437,7 +520,14 @@ func (e *Engine) RouteBatch(batch [][]core.Word) (outs [][]core.Word, errs []err
 }
 
 // RouteBatchCtx is RouteBatch with a context shared by every request of the
-// batch; cancelling it abandons the requests that have not yet been routed.
+// batch. Cancellation splits the batch by completion, not submission:
+// requests a worker finished routing before observing the cancellation keep
+// their results (outs[i] set, errs[i] nil), while requests still queued or
+// between retry attempts complete with the context's error — wrapped in
+// ErrTimeout for a deadline, the bare context error for a cancel. The split
+// point is scheduler-dependent, but no request is ever half-routed: each
+// errs[i] is either nil with a fully verified outs[i], or non-nil with
+// outs[i] == nil.
 func (e *Engine) RouteBatchCtx(ctx context.Context, batch [][]core.Word) (outs [][]core.Word, errs []error) {
 	outs = make([][]core.Word, len(batch))
 	errs = make([]error, len(batch))
@@ -460,8 +550,10 @@ func (e *Engine) RouteBatchCtx(ctx context.Context, batch [][]core.Word) (outs [
 }
 
 // Close stops accepting requests, waits for queued work to drain, and stops
-// the workers. Submitted tickets all complete. A second Close reports
-// ErrClosed.
+// the workers. Submitted tickets all complete — workers parked in a retry
+// backoff are woken so the drain is prompt — later Submits fail fast with
+// ErrClosed, and no worker or timer goroutine outlives the call. A second
+// Close reports ErrClosed.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -469,6 +561,7 @@ func (e *Engine) Close() error {
 		return fmt.Errorf("engine: %w", neterr.ErrClosed)
 	}
 	e.closed = true
+	close(e.closing)
 	close(e.reqs)
 	e.mu.Unlock()
 	e.wg.Wait()

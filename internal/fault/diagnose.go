@@ -57,16 +57,7 @@ func NewDiagnoser(m int) (*Diagnoser, error) {
 		return nil, fmt.Errorf("fault: %w", err)
 	}
 	d := &Diagnoser{m: m, ref: ref}
-
-	// Canonical probes: structured families plus the shuffle powers.
-	n := 1 << uint(m)
-	d.probes = append(d.probes, perm.Identity(n), perm.BitComplement(m), perm.Reversal(n), perm.BitReversal(m), perm.Butterfly(m))
-	shuffle := perm.PerfectShuffle(m)
-	s := shuffle
-	for t := 1; t < m; t++ {
-		d.probes = append(d.probes, s.Clone())
-		s = s.Compose(shuffle)
-	}
+	d.probes = CanonicalProbes(m)
 
 	// Candidate universe: every element, both polarities, plus "healthy".
 	elems := Elements(m)
@@ -158,6 +149,24 @@ func NewDiagnoser(m int) (*Diagnoser, error) {
 		d.dict[sigs[i]] = f
 	}
 	return d, nil
+}
+
+// CanonicalProbes returns the structured probe permutations every health
+// check starts from: identity, bit-complement, reversal, bit-reversal,
+// butterfly, and the perfect-shuffle powers. They are the canonical prefix
+// of the diagnoser's probe set and a cheap order-m health battery on their
+// own — building them costs O(m·N), no fault dictionary — which is what the
+// plane supervisor probes with at orders too large for exact diagnosis.
+func CanonicalProbes(m int) []perm.Perm {
+	n := 1 << uint(m)
+	probes := []perm.Perm{perm.Identity(n), perm.BitComplement(m), perm.Reversal(n), perm.BitReversal(m), perm.Butterfly(m)}
+	shuffle := perm.PerfectShuffle(m)
+	s := shuffle
+	for t := 1; t < m; t++ {
+		probes = append(probes, s.Clone())
+		s = s.Compose(shuffle)
+	}
+	return probes
 }
 
 // M returns the order the diagnoser was built for.

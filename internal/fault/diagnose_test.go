@@ -1,9 +1,12 @@
 package fault
 
 import (
+	"fmt"
+	"hash/fnv"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/perm"
 )
 
 // TestExhaustiveLocalization verifies the acceptance criterion of the fault
@@ -80,5 +83,68 @@ func TestDiagnoseUnknownSignature(t *testing.T) {
 	}
 	if diag.Healthy {
 		t.Fatalf("double fault diagnosed healthy")
+	}
+}
+
+// probeSetSignature folds a probe set into one FNV-1a hash, so a golden
+// value pins the exact probes across releases, not just within one process.
+func probeSetSignature(probes []perm.Perm) uint64 {
+	h := fnv.New64a()
+	for _, p := range probes {
+		for _, d := range p {
+			fmt.Fprintf(h, "%d,", d)
+		}
+		fmt.Fprint(h, ";")
+	}
+	return h.Sum64()
+}
+
+// TestDiagnoserGoldenSignature pins the diagnoser's observable construction
+// for every supported order: the probe-set hash and the ambiguous-group
+// count must match the golden values recorded when the dictionary was
+// built. A change here means diagnoses are no longer comparable across
+// versions and the goldens must be consciously re-recorded.
+func TestDiagnoserGoldenSignature(t *testing.T) {
+	golden := map[int]struct {
+		probes    uint64
+		ambiguous int
+	}{
+		1: {0xc2707a1aefbef8f5, 0},
+		2: {0xc710b21486c19b95, 0},
+		3: {0xd5f5d354b440fec6, 0},
+		4: {0x7148da9da7c9d356, 0},
+		5: {0x512a1c5ed41b540d, 0},
+	}
+	maxM := 5
+	if testing.Short() {
+		maxM = 3
+	}
+	for m := 1; m <= maxM; m++ {
+		d, err := NewDiagnoser(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := probeSetSignature(d.Probes())
+		t.Logf("m=%d probes=%#x ambiguous=%d", m, sig, d.AmbiguousGroups())
+		want, ok := golden[m]
+		if !ok {
+			t.Errorf("m=%d: no golden recorded", m)
+			continue
+		}
+		if sig != want.probes {
+			t.Errorf("m=%d: probe-set signature %#x, golden %#x", m, sig, want.probes)
+		}
+		if d.AmbiguousGroups() != want.ambiguous {
+			t.Errorf("m=%d: %d ambiguous groups, golden %d", m, d.AmbiguousGroups(), want.ambiguous)
+		}
+		// The canonical battery is the probe prefix, so supervisors using
+		// CanonicalProbes health-check with the same permutations the
+		// dictionary was keyed on.
+		canon := CanonicalProbes(m)
+		for i := range canon {
+			if !canon[i].Equal(d.Probes()[i]) {
+				t.Errorf("m=%d: canonical probe %d diverges from the diagnoser's", m, i)
+			}
+		}
 	}
 }

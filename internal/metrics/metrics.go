@@ -41,6 +41,18 @@ type Metrics struct {
 	breakerTrips  atomic.Int64
 	breakerResets atomic.Int64
 	fallbacks     atomic.Int64
+
+	// Supervision counters and gauges, fed by the plane supervisor and the
+	// engine's admission control: failovers away from a failing plane,
+	// repairs (plane rebuilds), readmissions after a clean probe pass,
+	// requests shed at admission, and the current plane-state census.
+	failovers         atomic.Int64
+	repairs           atomic.Int64
+	readmits          atomic.Int64
+	sheds             atomic.Int64
+	planesHealthy     atomic.Int64
+	planesSuspect     atomic.Int64
+	planesQuarantined atomic.Int64
 }
 
 // bucketOf maps a latency to its histogram bucket.
@@ -141,6 +153,47 @@ func (m *Metrics) AddFallback() {
 	}
 }
 
+// AddFailover counts one plane drained and failed away from after its first
+// misroute or probe failure.
+func (m *Metrics) AddFailover() {
+	if m != nil {
+		m.failovers.Add(1)
+	}
+}
+
+// AddRepair counts one plane rebuilt from its constructor.
+func (m *Metrics) AddRepair() {
+	if m != nil {
+		m.repairs.Add(1)
+	}
+}
+
+// AddReadmit counts one quarantined plane readmitted to service after a
+// clean full probe pass.
+func (m *Metrics) AddReadmit() {
+	if m != nil {
+		m.readmits.Add(1)
+	}
+}
+
+// AddShed counts one request rejected at admission (ErrOverloaded).
+func (m *Metrics) AddShed() {
+	if m != nil {
+		m.sheds.Add(1)
+	}
+}
+
+// SetPlaneStates publishes the supervisor's current plane-state census as
+// gauges; the supervisor calls it after every state transition.
+func (m *Metrics) SetPlaneStates(healthy, suspect, quarantined int64) {
+	if m == nil {
+		return
+	}
+	m.planesHealthy.Store(healthy)
+	m.planesSuspect.Store(suspect)
+	m.planesQuarantined.Store(quarantined)
+}
+
 // Snapshot is a point-in-time copy of the counters with derived percentile
 // estimates. Percentiles are upper bounds of power-of-two-microsecond
 // buckets, so they are conservative to within 2x — the right resolution for
@@ -172,6 +225,18 @@ type Snapshot struct {
 	BreakerTrips, BreakerResets int64
 	// FallbackRoutes counts requests served by the fallback router.
 	FallbackRoutes int64
+
+	// Failovers counts planes drained and failed away from.
+	Failovers int64
+	// Repairs counts plane rebuilds.
+	Repairs int64
+	// Readmits counts quarantined planes readmitted after clean probes.
+	Readmits int64
+	// Sheds counts requests rejected at admission (ErrOverloaded).
+	Sheds int64
+	// PlanesHealthy, PlanesSuspect and PlanesQuarantined are the current
+	// plane-state gauges of the supervisor, zero without one.
+	PlanesHealthy, PlanesSuspect, PlanesQuarantined int64
 }
 
 // Snapshot returns a consistent-enough copy of the counters: each value is
@@ -189,6 +254,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		BreakerTrips:   m.breakerTrips.Load(),
 		BreakerResets:  m.breakerResets.Load(),
 		FallbackRoutes: m.fallbacks.Load(),
+
+		Failovers:         m.failovers.Load(),
+		Repairs:           m.repairs.Load(),
+		Readmits:          m.readmits.Load(),
+		Sheds:             m.sheds.Load(),
+		PlanesHealthy:     m.planesHealthy.Load(),
+		PlanesSuspect:     m.planesSuspect.Load(),
+		PlanesQuarantined: m.planesQuarantined.Load(),
 	}
 	if s.Routes > 0 {
 		s.MeanLatency = time.Duration(m.latSum.Load() / s.Routes)
@@ -233,6 +306,12 @@ func (s Snapshot) String() string {
 		s.BreakerTrips != 0 || s.BreakerResets != 0 || s.FallbackRoutes != 0 {
 		line += fmt.Sprintf(" faults=%d retries=%d requeued=%d timeouts=%d breaker_trips=%d breaker_resets=%d fallbacks=%d",
 			s.FaultsInjected, s.Retries, s.Requeued, s.Timeouts, s.BreakerTrips, s.BreakerResets, s.FallbackRoutes)
+	}
+	if s.Failovers != 0 || s.Repairs != 0 || s.Readmits != 0 || s.Sheds != 0 ||
+		s.PlanesHealthy != 0 || s.PlanesSuspect != 0 || s.PlanesQuarantined != 0 {
+		line += fmt.Sprintf(" failovers=%d repairs=%d readmits=%d sheds=%d planes=%d/%d/%d",
+			s.Failovers, s.Repairs, s.Readmits, s.Sheds,
+			s.PlanesHealthy, s.PlanesSuspect, s.PlanesQuarantined)
 	}
 	return line
 }

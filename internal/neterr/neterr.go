@@ -43,4 +43,11 @@ var (
 	// ErrTimeout reports a request abandoned because its per-request
 	// deadline expired before a route attempt succeeded.
 	ErrTimeout = errors.New("request timed out")
+
+	// ErrOverloaded reports a request shed at admission: the engine's
+	// load-shedding policy judged that the request's deadline cannot be met
+	// at the current queue depth, or every eligible router plane is at its
+	// in-flight cap. Shed requests were never enqueued; retrying later or
+	// with a looser deadline may succeed.
+	ErrOverloaded = errors.New("overloaded")
 )

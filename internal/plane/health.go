@@ -1,0 +1,137 @@
+package plane
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/neterr"
+)
+
+// drainWait bounds how long the health checker waits for a suspect plane's
+// in-flight requests to land before diagnosing anyway; routing is
+// thread-safe, so proceeding under a straggler is correct, just noisier.
+const drainWait = 100 * time.Millisecond
+
+// healthLoop is the supervisor's background control plane: a periodic sweep
+// over every plane, kicked immediately when the hot path detects a failure.
+func (s *Supervisor) healthLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	// Scratch buffers reused across every probe the checker routes.
+	src := make([]core.Word, s.n)
+	dst := make([]core.Word, s.n)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		case <-s.kick:
+		}
+		s.sweep(dst, src)
+	}
+}
+
+// sweep advances every plane's state machine one step: suspect planes are
+// drained, diagnosed, and quarantined; quarantined planes are probed for
+// readmission (rebuilt after rebuildAfter consecutive failed passes);
+// healthy idle planes are probed so a fault on a cold plane is found before
+// live traffic hits it.
+func (s *Supervisor) sweep(dst, src []core.Word) {
+	for _, p := range s.planes {
+		switch State(p.state.Load()) {
+		case Suspect:
+			s.drain(p)
+			s.diagnose(p)
+			p.state.Store(int32(Quarantined))
+			s.publishGauges()
+			s.tryReadmit(p, dst, src)
+		case Quarantined:
+			s.tryReadmit(p, dst, src)
+		case Healthy:
+			// Opportunistic idle probe: skip planes carrying live traffic —
+			// their routes are verified inline anyway.
+			if p.inflight.Load() == 0 {
+				if err := s.probePass(p, dst, src); err != nil {
+					s.fail(p, err)
+				}
+			}
+		}
+	}
+}
+
+// drain waits (bounded) for the plane's in-flight requests to land.
+func (s *Supervisor) drain(p *planeState) {
+	deadline := time.Now().Add(drainWait)
+	for p.inflight.Load() > 0 && time.Now().Before(deadline) {
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(50 * time.Microsecond):
+		}
+	}
+}
+
+// diagnose localizes the drained plane's fault when a diagnoser is
+// configured. The outcome is advisory — repair policy keys on probe passes,
+// not on the dictionary — but it is recorded for operators and tests.
+func (s *Supervisor) diagnose(p *planeState) {
+	if s.diag == nil {
+		return
+	}
+	d, err := s.diag.Diagnose(p.get())
+	if err != nil {
+		return
+	}
+	p.lastDiag.Store(&d)
+}
+
+// tryReadmit runs a full probe pass over the quarantined plane and readmits
+// it on a clean pass. After rebuildAfter consecutive failed passes the
+// plane is rebuilt from its constructor — the repair for faults that do not
+// heal on their own — and probed again on the next sweep.
+func (s *Supervisor) tryReadmit(p *planeState, dst, src []core.Word) {
+	if err := s.probePass(p, dst, src); err != nil {
+		e := err
+		p.lastErr.Store(&e)
+		p.failedProbes++
+		if s.rebuild != nil && p.failedProbes >= s.rebuildAfter {
+			if r, rerr := s.rebuild(p.id); rerr == nil && r != nil && r.Inputs() == s.n {
+				p.router.Store(&routerBox{r: r})
+				p.repairs.Add(1)
+				s.repairs.Add(1)
+				s.m.AddRepair()
+				p.failedProbes = 0
+			}
+		}
+		return
+	}
+	p.failedProbes = 0
+	p.readmits.Add(1)
+	s.readmits.Add(1)
+	s.m.AddReadmit()
+	p.state.Store(int32(Healthy))
+	s.publishGauges()
+}
+
+// probePass routes the full probe set through the plane and verifies every
+// delivery; the first failing probe aborts the pass.
+func (s *Supervisor) probePass(p *planeState, dst, src []core.Word) error {
+	r := p.get()
+	for pi, probe := range s.probes {
+		for i, dest := range probe {
+			src[i] = core.Word{Addr: dest, Data: uint64(i)}
+		}
+		if err := r.RouteInto(dst, src); err != nil {
+			return fmt.Errorf("plane %d: probe %d: %w", p.id, pi, err)
+		}
+		for j := range dst {
+			if dst[j].Addr != j {
+				return fmt.Errorf("plane %d: probe %d: output %d carries address %d: %w",
+					p.id, pi, j, dst[j].Addr, neterr.ErrMisrouted)
+			}
+		}
+	}
+	return nil
+}

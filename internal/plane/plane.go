@@ -1,0 +1,472 @@
+// Package plane is the self-healing redundancy layer of the serving stack:
+// a Supervisor runs K >= 2 identical router planes behind one routing
+// front, detects a failing plane on its first misroute or probe failure,
+// drains and fails over from it, localizes the fault with the probe-set
+// diagnoser, repairs the plane (constructor rebuild, or heal-window expiry
+// under transient chaos), and readmits it only after a clean full probe
+// pass.
+//
+// The paper's network has exactly one path per (input, output) pair, so a
+// single stuck element breaks permutations until it is found and bypassed.
+// PR 2 built the detection machinery (the injector's classification and the
+// exact Diagnoser); this package closes the loop into a control plane: the
+// redundancy literature's detect → isolate → repair → readmit cycle, the
+// piece rearrangeable deployments assume around a fabric.
+//
+// Concurrency contract: the hot path (RouteInto) takes no locks — plane
+// states, in-flight counts and the rotor are atomics — so a routing call
+// never serializes against another or against the health checker. The
+// health checker is one background goroutine; it owns the Suspect →
+// Quarantined → Healthy transitions, while the hot path owns Healthy →
+// Suspect.
+package plane
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/neterr"
+	"repro/internal/perm"
+)
+
+// Router is the routing surface a plane serves — the engine's router shape.
+type Router interface {
+	// Inputs returns the port count N.
+	Inputs() int
+	// RouteInto routes src into dst; both must have length N.
+	RouteInto(dst, src []core.Word) error
+}
+
+// State is the health score of one plane.
+type State int32
+
+const (
+	// Healthy planes serve live traffic.
+	Healthy State = iota
+	// Suspect planes failed a route or a probe and are draining; the hot
+	// path stops picking them the moment the state flips.
+	Suspect
+	// Quarantined planes are under diagnosis and repair; they rejoin only
+	// after a clean full probe pass.
+	Quarantined
+)
+
+// MarshalText renders the state by name, so JSON views (expvar) show
+// "healthy" rather than 0.
+func (s State) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// String names the state for logs and expvar.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Quarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// Config tunes a Supervisor.
+type Config struct {
+	// Planes are the redundant routers; at least 2, all with equal Inputs.
+	Planes []Router
+	// Rebuild, when non-nil, constructs a replacement for plane i — the
+	// repair action for faults that do not heal on their own. The
+	// supervisor invokes it after RebuildAfter consecutive failed readmit
+	// probes of a quarantined plane.
+	Rebuild func(i int) (Router, error)
+	// RebuildAfter is the number of consecutive failed readmission probe
+	// passes before Rebuild is invoked; <= 0 selects 3.
+	RebuildAfter int
+	// Diagnoser, when non-nil, localizes a quarantined plane's stuck-at
+	// fault and its probe set replaces Probes. Exact diagnosis is feasible
+	// for small orders; larger fabrics probe with the canonical battery.
+	Diagnoser *fault.Diagnoser
+	// Probes is the health-check probe set when no Diagnoser is given;
+	// empty selects fault.CanonicalProbes of the plane order.
+	Probes []perm.Perm
+	// HealthInterval is the period of the background health sweep; <= 0
+	// selects 10ms. Failures additionally kick the sweep immediately.
+	HealthInterval time.Duration
+	// InFlightCap bounds the requests concurrently routing on one plane, so
+	// a degraded plane cannot absorb the whole queue; 0 means no cap.
+	InFlightCap int
+	// Metrics, when non-nil, receives failover/repair/readmit counters and
+	// the plane-state gauges. Routing observations stay with the engine.
+	Metrics *metrics.Metrics
+}
+
+// planeState is the per-plane control block. All fields the hot path reads
+// are atomics; the health checker is the only writer of router swaps and of
+// the Suspect -> Quarantined -> Healthy transitions.
+type planeState struct {
+	id       int
+	router   atomic.Pointer[routerBox]
+	state    atomic.Int32
+	inflight atomic.Int64
+	served   atomic.Int64
+	failures atomic.Int64
+	repairs  atomic.Int64
+	readmits atomic.Int64
+
+	// failedProbes counts consecutive failed readmission attempts; reset on
+	// readmit and on rebuild. Health-checker-owned.
+	failedProbes int
+	// lastErr records the failure that triggered the current quarantine.
+	lastErr atomic.Pointer[error]
+	// lastDiag records the most recent diagnosis outcome, for Stats.
+	lastDiag atomic.Pointer[fault.Diagnosis]
+}
+
+// routerBox wraps the router so swaps are one atomic pointer store.
+type routerBox struct{ r Router }
+
+func (p *planeState) get() Router { return p.router.Load().r }
+
+// Supervisor serves permutation routes over K redundant planes. Construct
+// with New; RouteInto is safe for concurrent use and lock-free.
+type Supervisor struct {
+	planes []*planeState
+	n      int // port count
+	cap    int64
+	rotor  atomic.Uint64
+	m      *metrics.Metrics
+
+	probes       []perm.Perm
+	diag         *fault.Diagnoser
+	rebuild      func(i int) (Router, error)
+	rebuildAfter int
+	interval     time.Duration
+
+	failovers atomic.Int64
+	repairs   atomic.Int64
+	readmits  atomic.Int64
+
+	kick chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	closeOnce sync.Once
+	closed    atomic.Bool
+}
+
+// New builds a supervisor over the configured planes and starts its health
+// checker.
+func New(cfg Config) (*Supervisor, error) {
+	if len(cfg.Planes) < 2 {
+		return nil, fmt.Errorf("plane: need at least 2 planes, got %d", len(cfg.Planes))
+	}
+	n := cfg.Planes[0].Inputs()
+	for i, p := range cfg.Planes {
+		if p == nil {
+			return nil, fmt.Errorf("plane: plane %d is nil", i)
+		}
+		if p.Inputs() != n {
+			return nil, fmt.Errorf("plane: plane %d has %d ports, plane 0 has %d: %w", i, p.Inputs(), n, neterr.ErrBadSize)
+		}
+	}
+	m := 0
+	for 1<<uint(m) < n {
+		m++
+	}
+	if 1<<uint(m) != n {
+		return nil, fmt.Errorf("plane: %d ports is not a power of two: %w", n, neterr.ErrBadSize)
+	}
+	probes := cfg.Probes
+	if cfg.Diagnoser != nil {
+		if cfg.Diagnoser.M() != m {
+			return nil, fmt.Errorf("plane: diagnoser built for order %d, planes have order %d", cfg.Diagnoser.M(), m)
+		}
+		probes = cfg.Diagnoser.Probes()
+	} else if len(probes) == 0 {
+		probes = fault.CanonicalProbes(m)
+	}
+	for i, p := range probes {
+		if len(p) != n {
+			return nil, fmt.Errorf("plane: probe %d has %d entries, want %d: %w", i, len(p), n, neterr.ErrBadSize)
+		}
+	}
+	interval := cfg.HealthInterval
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	rebuildAfter := cfg.RebuildAfter
+	if rebuildAfter <= 0 {
+		rebuildAfter = 3
+	}
+	s := &Supervisor{
+		planes:       make([]*planeState, len(cfg.Planes)),
+		n:            n,
+		cap:          int64(cfg.InFlightCap),
+		m:            cfg.Metrics,
+		probes:       probes,
+		diag:         cfg.Diagnoser,
+		rebuild:      cfg.Rebuild,
+		rebuildAfter: rebuildAfter,
+		interval:     interval,
+		kick:         make(chan struct{}, 1),
+		stop:         make(chan struct{}),
+	}
+	for i, r := range cfg.Planes {
+		p := &planeState{id: i}
+		p.router.Store(&routerBox{r: r})
+		s.planes[i] = p
+	}
+	s.publishGauges()
+	s.wg.Add(1)
+	go s.healthLoop()
+	return s, nil
+}
+
+// Inputs implements Router.
+func (s *Supervisor) Inputs() int { return s.n }
+
+// Planes returns the number of supervised planes.
+func (s *Supervisor) Planes() int { return len(s.planes) }
+
+// Failovers returns the number of planes drained and failed away from.
+func (s *Supervisor) Failovers() int64 { return s.failovers.Load() }
+
+// Repairs returns the number of plane rebuilds.
+func (s *Supervisor) Repairs() int64 { return s.repairs.Load() }
+
+// Readmits returns the number of quarantined planes readmitted to service.
+func (s *Supervisor) Readmits() int64 { return s.readmits.Load() }
+
+// States returns the current state of every plane.
+func (s *Supervisor) States() []State {
+	out := make([]State, len(s.planes))
+	for i, p := range s.planes {
+		out[i] = State(p.state.Load())
+	}
+	return out
+}
+
+// Stats is a point-in-time view of one plane.
+type Stats struct {
+	// State is the plane's current health score.
+	State State
+	// Served counts requests the plane routed and delivered correctly.
+	Served int64
+	// InFlight is the number of requests currently routing on the plane.
+	InFlight int64
+	// Failures counts route and probe failures attributed to the plane.
+	Failures int64
+	// Repairs counts rebuilds of this plane.
+	Repairs int64
+	// Readmits counts this plane's readmissions after quarantine.
+	Readmits int64
+	// LastError is the failure that triggered the most recent quarantine,
+	// empty if the plane never failed.
+	LastError string
+	// Diagnosis describes the most recent diagnosis outcome, empty if the
+	// plane was never diagnosed.
+	Diagnosis string
+}
+
+// PlaneStats returns the per-plane view, indexed like the configured planes.
+func (s *Supervisor) PlaneStats() []Stats {
+	out := make([]Stats, len(s.planes))
+	for i, p := range s.planes {
+		st := Stats{
+			State:    State(p.state.Load()),
+			Served:   p.served.Load(),
+			InFlight: p.inflight.Load(),
+			Failures: p.failures.Load(),
+			Repairs:  p.repairs.Load(),
+			Readmits: p.readmits.Load(),
+		}
+		if e := p.lastErr.Load(); e != nil {
+			st.LastError = (*e).Error()
+		}
+		if d := p.lastDiag.Load(); d != nil {
+			switch {
+			case d.Healthy:
+				st.Diagnosis = "healthy"
+			case d.Found:
+				st.Diagnosis = fmt.Sprintf("%v at %v", d.Fault.Kind, d.Fault.Elem)
+			default:
+				st.Diagnosis = "unlocalized"
+			}
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// RouteInto implements Router: it routes src into dst on a healthy plane,
+// verifies the delivery, and on any plane failure marks the plane suspect
+// and retries on the next one, so a single faulty plane surfaces no error
+// to the caller. Request-shaped errors (ErrNotPermutation, ErrBadSize) are
+// the caller's fault and are returned without blaming the plane. When every
+// healthy plane is at its in-flight cap the request is shed with
+// ErrOverloaded; when no plane is healthy, suspect and quarantined planes
+// serve as a verified last resort.
+func (s *Supervisor) RouteInto(dst, src []core.Word) error {
+	if s.closed.Load() {
+		return fmt.Errorf("plane: %w", neterr.ErrClosed)
+	}
+	k := len(s.planes)
+	start := int(s.rotor.Add(1) - 1)
+	var lastErr error
+	// Pass 1: healthy planes under the in-flight cap.
+	healthySeen, capped := 0, 0
+	for off := 0; off < k; off++ {
+		p := s.planes[(start+off)%k]
+		if State(p.state.Load()) != Healthy {
+			continue
+		}
+		healthySeen++
+		err, routed := s.routeOn(p, dst, src)
+		if !routed {
+			capped++
+			continue
+		}
+		if err == nil {
+			return nil
+		}
+		if isRequestError(err) {
+			return err
+		}
+		lastErr = err
+	}
+	if healthySeen > 0 && healthySeen == capped {
+		s.m.AddShed()
+		return fmt.Errorf("plane: every healthy plane at its in-flight cap of %d: %w", s.cap, neterr.ErrOverloaded)
+	}
+	// Pass 2: no healthy plane delivered — serve degraded rather than going
+	// dark, trying suspect planes first, then quarantined ones. Every route
+	// is still verified, so a wrong answer cannot leak.
+	for _, want := range []State{Suspect, Quarantined} {
+		for off := 0; off < k; off++ {
+			p := s.planes[(start+off)%k]
+			if State(p.state.Load()) != want {
+				continue
+			}
+			err, routed := s.routeOn(p, dst, src)
+			if !routed {
+				continue
+			}
+			if err == nil {
+				return nil
+			}
+			if isRequestError(err) {
+				return err
+			}
+			lastErr = err
+		}
+	}
+	if lastErr == nil {
+		s.m.AddShed()
+		return fmt.Errorf("plane: every plane at its in-flight cap of %d: %w", s.cap, neterr.ErrOverloaded)
+	}
+	return fmt.Errorf("plane: all %d planes failed: %w", k, lastErr)
+}
+
+// routeOn routes one request on the plane under its in-flight cap. The
+// second return reports whether the plane admitted the request at all;
+// when it did, the first return is the verified routing outcome.
+func (s *Supervisor) routeOn(p *planeState, dst, src []core.Word) (error, bool) {
+	if s.cap > 0 {
+		// Reserve a slot; undo on overshoot. Pure atomics — no lock is held
+		// across the routing call below.
+		if p.inflight.Add(1) > s.cap {
+			p.inflight.Add(-1)
+			return nil, false
+		}
+	} else {
+		p.inflight.Add(1)
+	}
+	defer p.inflight.Add(-1)
+	err := p.get().RouteInto(dst, src)
+	if err == nil {
+		// Opportunistic live-traffic verification: output j must carry the
+		// word addressed to j. Planes that verify internally (the fault
+		// injector) already guarantee this; raw planes get it here.
+		for j := range dst {
+			if dst[j].Addr != j {
+				err = fmt.Errorf("plane %d: output %d carries address %d: %w", p.id, j, dst[j].Addr, neterr.ErrMisrouted)
+				break
+			}
+		}
+	}
+	if err != nil {
+		if !isRequestError(err) {
+			s.fail(p, err)
+		}
+		return err, true
+	}
+	p.served.Add(1)
+	return nil, true
+}
+
+// isRequestError reports whether the error blames the request, not the
+// plane: malformed input fails identically on every plane, so failing over
+// would only repeat the rejection. A fault sentinel overrides the shape
+// check — a faulty plane that corrupts addresses mid-route makes the
+// underlying network report ErrNotPermutation on a perfectly good request,
+// and that is the plane's fault.
+func isRequestError(err error) bool {
+	if errors.Is(err, neterr.ErrTransient) || errors.Is(err, neterr.ErrMisrouted) {
+		return false
+	}
+	return errors.Is(err, neterr.ErrNotPermutation) || errors.Is(err, neterr.ErrBadSize)
+}
+
+// fail records a plane failure: the first failure flips Healthy -> Suspect,
+// which instantly drains the plane (the hot path stops picking it), counts
+// one failover, and kicks the health checker to diagnose and repair.
+func (s *Supervisor) fail(p *planeState, err error) {
+	p.failures.Add(1)
+	e := err
+	p.lastErr.Store(&e)
+	if p.state.CompareAndSwap(int32(Healthy), int32(Suspect)) {
+		s.failovers.Add(1)
+		s.m.AddFailover()
+		s.publishGauges()
+		select {
+		case s.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// publishGauges pushes the plane-state census into the metrics sink.
+func (s *Supervisor) publishGauges() {
+	if s.m == nil {
+		return
+	}
+	var h, su, q int64
+	for _, p := range s.planes {
+		switch State(p.state.Load()) {
+		case Healthy:
+			h++
+		case Suspect:
+			su++
+		case Quarantined:
+			q++
+		}
+	}
+	s.m.SetPlaneStates(h, su, q)
+}
+
+// Close stops the health checker. It does not close the planes — the
+// supervisor does not own them — and is idempotent. In-flight routes finish;
+// later RouteInto calls fail with ErrClosed.
+func (s *Supervisor) Close() error {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		close(s.stop)
+	})
+	s.wg.Wait()
+	return nil
+}

@@ -89,10 +89,20 @@ const (
 	optRetry
 	optBreaker
 	optFallback
+	optShedding
+	optPlanes
+	optPlaneFaults
+	optPlaneCap
+	optHealthInterval
 )
 
-// optEngine masks the resilience options that only NewEngine understands.
-const optEngine = optTimeout | optRetry | optBreaker | optFallback
+// optEngine masks the resilience options that only NewEngine (and
+// NewSupervised, which embeds an engine) understands.
+const optEngine = optTimeout | optRetry | optBreaker | optFallback | optShedding
+
+// optSupervised masks the redundancy options that only NewSupervised
+// understands.
+const optSupervised = optPlanes | optPlaneFaults | optPlaneCap | optHealthInterval
 
 // options collects the functional options shared by New and NewEngine.
 type options struct {
@@ -109,6 +119,12 @@ type options struct {
 	retryBackoff  time.Duration
 	breaker       int
 	fallback      Network
+
+	shed           bool
+	planes         int
+	planeFaults    map[int]*fault.Plan
+	planeCap       int
+	healthInterval time.Duration
 
 	errs []error
 }
@@ -268,6 +284,83 @@ func WithFallback(n Network) Option {
 	}
 }
 
+// WithShedding enables deadline-aware admission control: a request carrying
+// a deadline (WithTimeout or a SubmitCtx context deadline) is rejected at
+// Submit with ErrOverloaded when the estimated queue drain time — in-flight
+// depth times the observed service-time average over the workers — already
+// exceeds it, so overload sheds early instead of accepting requests that
+// would only expire in the queue. NewEngine and NewSupervised.
+func WithShedding() Option {
+	return func(o *options) { o.set |= optShedding; o.shed = true }
+}
+
+// WithPlanes sets the number of redundant router planes K >= 2 the
+// supervisor runs. NewSupervised only.
+func WithPlanes(k int) Option {
+	return func(o *options) {
+		if k < 2 {
+			o.reject("WithPlanes(%d): need at least 2 planes", k)
+			return
+		}
+		o.set |= optPlanes
+		o.planes = k
+	}
+}
+
+// WithPlaneFaults injects a fault plan into one plane — the chaos harness
+// of the supervision experiments. May be repeated for different planes.
+// NewSupervised only.
+func WithPlaneFaults(plane int, plan *FaultPlan) Option {
+	return func(o *options) {
+		if plane < 0 {
+			o.reject("WithPlaneFaults(%d, ...): negative plane index", plane)
+			return
+		}
+		if plan == nil {
+			o.reject("WithPlaneFaults(%d, nil): nil fault plan", plane)
+			return
+		}
+		if o.planeFaults == nil {
+			o.planeFaults = make(map[int]*fault.Plan)
+		}
+		if _, dup := o.planeFaults[plane]; dup {
+			o.reject("WithPlaneFaults(%d, ...): plane already has a fault plan", plane)
+			return
+		}
+		o.set |= optPlaneFaults
+		o.planeFaults[plane] = plan
+	}
+}
+
+// WithPlaneCap bounds the requests concurrently routing on any one plane,
+// so a degraded plane cannot absorb the whole queue; requests finding every
+// eligible plane at its cap are shed with ErrOverloaded. Zero (the default)
+// means no cap. NewSupervised only.
+func WithPlaneCap(n int) Option {
+	return func(o *options) {
+		if n < 0 {
+			o.reject("WithPlaneCap(%d): cap cannot be negative", n)
+			return
+		}
+		o.set |= optPlaneCap
+		o.planeCap = n
+	}
+}
+
+// WithHealthInterval sets the period of the supervisor's background health
+// sweep (probe passes over idle and quarantined planes); zero keeps the
+// default of 10ms. NewSupervised only.
+func WithHealthInterval(d time.Duration) Option {
+	return func(o *options) {
+		if d < 0 {
+			o.reject("WithHealthInterval(%v): negative interval", d)
+			return
+		}
+		o.set |= optHealthInterval
+		o.healthInterval = d
+	}
+}
+
 // New constructs a registered network family at order m (N = 2^m inputs),
 // applying the given options. It is the single entry point replacing the
 // per-family constructors:
@@ -294,7 +387,10 @@ func New(family string, m int, opts ...Option) (Network, error) {
 		return nil, fmt.Errorf("bnbnet: WithQueue applies to NewEngine, not New")
 	}
 	if o.anySet(optEngine) {
-		return nil, fmt.Errorf("bnbnet: WithTimeout, WithRetry, WithBreaker and WithFallback apply to NewEngine, not New")
+		return nil, fmt.Errorf("bnbnet: WithTimeout, WithRetry, WithBreaker, WithFallback and WithShedding apply to NewEngine, not New")
+	}
+	if o.anySet(optSupervised) {
+		return nil, fmt.Errorf("bnbnet: WithPlanes, WithPlaneFaults, WithPlaneCap and WithHealthInterval apply to NewSupervised, not New")
 	}
 	n, err := b(m, o.dataBits)
 	if err != nil {

@@ -1,0 +1,230 @@
+package bnbnet
+
+// This file exposes the self-healing redundancy layer: NewSupervised runs
+// K >= 2 identical router planes behind one serving engine, with a
+// background health checker that detects a failing plane on its first
+// misroute or probe failure, drains it, diagnoses the fault, repairs the
+// plane, and readmits it after a clean full probe pass (DESIGN.md §9).
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/plane"
+)
+
+// PlaneState is the health score of one supervised plane.
+type PlaneState = plane.State
+
+// The plane-state taxonomy: healthy planes serve, suspect planes are
+// draining after a failure, quarantined planes are under repair.
+const (
+	PlaneHealthy     = plane.Healthy
+	PlaneSuspect     = plane.Suspect
+	PlaneQuarantined = plane.Quarantined
+)
+
+// PlaneStats is a point-in-time view of one supervised plane.
+type PlaneStats = plane.Stats
+
+// diagMaxOrder bounds the orders NewSupervised builds the exact fault
+// dictionary for; the construction cost grows with the fault universe, so
+// larger fabrics health-check with the canonical probe battery instead.
+const diagMaxOrder = 5
+
+// Supervised is a self-healing serving front over K redundant router
+// planes: requests are admitted by the engine (worker pool, deadlines,
+// optional shedding), routed on a healthy plane with every delivery
+// verified, and failed over transparently when a plane misbehaves, while
+// the supervisor's health checker quarantines, repairs and readmits the
+// faulty plane in the background. Construct with NewSupervised; all methods
+// are safe for concurrent use.
+type Supervised struct {
+	e   *engine.Engine
+	sup *plane.Supervisor
+}
+
+// NewSupervised builds K identical planes of the family (default 2, set
+// WithPlanes) and starts the supervised serving front. Engine options
+// (WithWorkers, WithQueue, WithMetrics, WithTimeout, WithRetry,
+// WithShedding) tune the front; WithPlaneCap bounds per-plane concurrency,
+// WithHealthInterval the probe cadence, and WithPlaneFaults injects a
+// chaos plan into one plane for resilience experiments. WithBreaker and
+// WithFallback are rejected — the supervisor's health checker subsumes
+// them. For orders <= 5 the health checker diagnoses quarantined planes
+// with the exact probe dictionary; larger orders probe with the canonical
+// battery.
+func NewSupervised(family string, m int, opts ...Option) (*Supervised, error) {
+	builders.RLock()
+	b := builders.m[family]
+	builders.RUnlock()
+	if b == nil {
+		return nil, fmt.Errorf("bnbnet: unknown network family %q (have %v)", family, Families())
+	}
+	o, err := gatherOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if o.anySet(optTrace) {
+		return nil, fmt.Errorf("bnbnet: WithTrace applies to New, not NewSupervised")
+	}
+	if o.anySet(optFaults) {
+		return nil, fmt.Errorf("bnbnet: WithFaults applies to New; use WithPlaneFaults(plane, plan) to fault one supervised plane")
+	}
+	if o.anySet(optBreaker | optFallback) {
+		return nil, fmt.Errorf("bnbnet: WithBreaker and WithFallback do not apply to NewSupervised; the supervisor's health checker subsumes them")
+	}
+	k := o.planes
+	if k == 0 {
+		k = 2
+	}
+	for idx := range o.planeFaults {
+		if idx >= k {
+			return nil, fmt.Errorf("bnbnet: WithPlaneFaults(%d, ...): only %d planes (WithPlanes)", idx, k)
+		}
+	}
+	// buildPlane constructs one clean plane; it doubles as the supervisor's
+	// repair action, so a rebuilt plane is always fault-free.
+	buildPlane := func() (plane.Router, error) {
+		n, err := b(m, o.dataBits)
+		if err != nil {
+			return nil, err
+		}
+		return engineRouter(n), nil
+	}
+	planes := make([]plane.Router, k)
+	for i := 0; i < k; i++ {
+		if p, ok := o.planeFaults[i]; ok {
+			n, err := b(m, o.dataBits)
+			if err != nil {
+				return nil, err
+			}
+			fn, err := newFaulty(n, p, nil)
+			if err != nil {
+				return nil, err
+			}
+			planes[i] = engineRouter(fn)
+			continue
+		}
+		r, err := buildPlane()
+		if err != nil {
+			return nil, err
+		}
+		planes[i] = r
+	}
+	var diag *fault.Diagnoser
+	if family == "bnb" && m <= diagMaxOrder {
+		if diag, err = fault.NewDiagnoser(m); err != nil {
+			return nil, err
+		}
+	}
+	sup, err := plane.New(plane.Config{
+		Planes:         planes,
+		Rebuild:        func(int) (plane.Router, error) { return buildPlane() },
+		Diagnoser:      diag,
+		HealthInterval: o.healthInterval,
+		InFlightCap:    o.planeCap,
+		Metrics:        o.metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e, err := engine.New(sup, engine.Config{
+		Workers: o.workers,
+		Queue:   o.queue,
+		Metrics: o.metrics,
+		Timeout: o.timeout,
+		Retry:   engine.RetryPolicy{MaxAttempts: o.retryAttempts, Backoff: o.retryBackoff},
+		Shed:    o.shed,
+	})
+	if err != nil {
+		sup.Close()
+		return nil, err
+	}
+	return &Supervised{e: e, sup: sup}, nil
+}
+
+// Submit enqueues one routing request; see Engine.Submit.
+func (s *Supervised) Submit(dst, src []Word) (*Ticket, error) { return s.e.Submit(dst, src) }
+
+// SubmitCtx is Submit with a context; see Engine.SubmitCtx.
+func (s *Supervised) SubmitCtx(ctx context.Context, dst, src []Word) (*Ticket, error) {
+	return s.e.SubmitCtx(ctx, dst, src)
+}
+
+// RouteBatch routes the batch across the worker pool with per-request
+// errors; see Engine.RouteBatch.
+func (s *Supervised) RouteBatch(batch [][]Word) (outs [][]Word, errs []error) {
+	return s.e.RouteBatch(batch)
+}
+
+// RouteBatchCtx is RouteBatch with a shared context; see
+// Engine.RouteBatchCtx for the partial-cancellation contract.
+func (s *Supervised) RouteBatchCtx(ctx context.Context, batch [][]Word) (outs [][]Word, errs []error) {
+	return s.e.RouteBatchCtx(ctx, batch)
+}
+
+// RoutePermBatch routes a batch of bare permutations, carrying each source
+// index as the payload (the RoutePerm convention), and reports per-request
+// results like RouteBatch.
+func (s *Supervised) RoutePermBatch(ps []Perm) (outs [][]Word, errs []error) {
+	batch := make([][]Word, len(ps))
+	for i, p := range ps {
+		words := make([]Word, len(p))
+		for j, d := range p {
+			words[j] = Word{Addr: d, Data: uint64(j)}
+		}
+		batch[i] = words
+	}
+	return s.e.RouteBatch(batch)
+}
+
+// Inputs returns the port count of the supervised planes.
+func (s *Supervised) Inputs() int { return s.e.Inputs() }
+
+// Workers returns the number of serving goroutines.
+func (s *Supervised) Workers() int { return s.e.Workers() }
+
+// Planes returns the number of supervised planes.
+func (s *Supervised) Planes() int { return s.sup.Planes() }
+
+// Metrics returns the attached sink, or nil if none was configured.
+func (s *Supervised) Metrics() *Metrics { return s.e.Metrics() }
+
+// PlaneStates returns the current state of every plane.
+func (s *Supervised) PlaneStates() []PlaneState { return s.sup.States() }
+
+// PlaneStats returns the per-plane serving and repair counters.
+func (s *Supervised) PlaneStats() []PlaneStats { return s.sup.PlaneStats() }
+
+// Failovers returns the number of planes drained and failed away from.
+func (s *Supervised) Failovers() int64 { return s.sup.Failovers() }
+
+// Repairs returns the number of plane rebuilds.
+func (s *Supervised) Repairs() int64 { return s.sup.Repairs() }
+
+// Readmits returns the number of planes readmitted after quarantine.
+func (s *Supervised) Readmits() int64 { return s.sup.Readmits() }
+
+// Publish registers the supervisor's plane view under the given expvar
+// name: a per-plane list of state and counters, live on /debug/vars. Pair
+// it with Metrics.Publish for the counter side. It returns an error if the
+// name is taken (expvar itself would panic).
+func (s *Supervised) Publish(name string) error {
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("bnbnet: expvar name %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return s.sup.PlaneStats() }))
+	return nil
+}
+
+// Close drains the serving engine, then stops the health checker. A second
+// Close reports ErrClosed.
+func (s *Supervised) Close() error {
+	err := s.e.Close()
+	s.sup.Close()
+	return err
+}
