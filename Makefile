@@ -2,18 +2,29 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench check repro figures fuzz chaos clean
+.PHONY: all build vet test test-short bench check verify repro figures fuzz chaos clean
 
 all: build vet test
 
-# Full pre-merge gate: vet, the race-detector suite, the zero-allocation
-# pin on the pooled routing hot path, and a short fuzz smoke of the
-# fault-injected pooled path.
+# Full pre-merge gate: vet (plus staticcheck when installed), the
+# race-detector suite, a 32-bit cross-compile (pins int-width bugs like the
+# rotor truncation), the zero-allocation pin on the pooled routing hot path,
+# a short fuzz smoke of the fault-injected pooled path, and the differential
+# verification battery up to m=4.
 check:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
+	GOARCH=386 $(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run=TestRouteAllocs .
 	$(GO) test -run='^$$' -fuzz FuzzPooledPathUnderFault -fuzztime 10s .
+	$(GO) run ./cmd/bnbverify -maxm 4
+
+# Differential + metamorphic verification of every registered family:
+# exhaustive for N <= 8, the full BPC class at m=4, structured, random and
+# adversarial batteries; exits nonzero on any divergence.
+verify:
+	$(GO) run ./cmd/bnbverify -maxm 4
 
 build:
 	$(GO) build ./...

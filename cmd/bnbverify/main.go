@@ -1,0 +1,105 @@
+// Command bnbverify cross-checks every registered network family: it routes
+// the sweep batteries (exhaustive for N <= 8, the full BPC class for m <= 4,
+// structured families, seeded random draws, adversarial hill climbs) through
+// all families at once, compares the outputs word-for-word against the first
+// family, and then runs the metamorphic relations (inverse composition,
+// shuffle conjugation, and the Definition-2 stage invariant for networks
+// that trace) on each family alone. Any divergence prints the offending
+// permutation and exits nonzero, so `make check` and CI can gate on it.
+//
+// Usage:
+//
+//	bnbverify [-m 3 | -maxm 4] [-families bnb,batcher] [-trials 100]
+//	          [-bpc 50] [-adversarial 2] [-seed 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	bnbnet "repro"
+)
+
+func main() {
+	var (
+		m           = flag.Int("m", 0, "verify a single order m (N = 2^m ports)")
+		maxm        = flag.Int("maxm", 4, "verify every order 1..maxm (ignored when -m is set)")
+		familiesArg = flag.String("families", "", "comma-separated families to cross-check (default: all registered)")
+		trials      = flag.Int("trials", 100, "seeded random permutations per order (negative disables)")
+		bpc         = flag.Int("bpc", 50, "sampled BPC permutations per order when the class is too large to enumerate (negative disables)")
+		adversarial = flag.Int("adversarial", 2, "adversarial hill climbs per order (negative disables)")
+		seed        = flag.Int64("seed", 1, "seed for the random and adversarial batteries")
+		verbose     = flag.Bool("v", false, "print every failure, not just the summary")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "bnbverify: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var families []string
+	if *familiesArg != "" {
+		for _, f := range strings.Split(*familiesArg, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				families = append(families, f)
+			}
+		}
+	}
+	orders := []int{*m}
+	if *m <= 0 {
+		orders = orders[:0]
+		for o := 1; o <= *maxm; o++ {
+			orders = append(orders, o)
+		}
+	}
+	if len(orders) == 0 {
+		fmt.Fprintln(os.Stderr, "bnbverify: no orders to verify (set -m or -maxm)")
+		os.Exit(2)
+	}
+
+	opts := bnbnet.CheckOptions{
+		RandomTrials:      *trials,
+		BPCTrials:         *bpc,
+		AdversarialClimbs: *adversarial,
+		Seed:              *seed,
+	}
+	failed := false
+	for _, order := range orders {
+		report, err := bnbnet.Verify(families, order, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bnbverify: m=%d: %v\n", order, err)
+			os.Exit(1)
+		}
+		status := "ok"
+		if !report.OK() {
+			status = fmt.Sprintf("FAIL (%d divergences)", len(report.Failures))
+			failed = true
+		}
+		scope := "sampled"
+		switch {
+		case report.ExhaustiveDone:
+			scope = "exhaustive N!"
+		case report.BPCExhaustive:
+			scope = "full BPC class"
+		}
+		fmt.Printf("m=%d N=%d: %d checks (%s): %s\n", order, 1<<uint(order), report.Checked, scope, status)
+		if !report.OK() {
+			failures := report.Failures
+			if !*verbose && len(failures) > 3 {
+				failures = failures[:3]
+			}
+			for _, f := range failures {
+				fmt.Printf("  %s\n", f)
+			}
+			if n := len(report.Failures) - len(failures); n > 0 {
+				fmt.Printf("  ... and %d more (rerun with -v)\n", n)
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,117 @@
+package bnbnet
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+)
+
+// This file is the public face of internal/check, the correctness-tooling
+// subsystem: differential routing (two implementations compared word-for-
+// word on every call), sweep batteries, and metamorphic relations. The
+// command-line entry point is cmd/bnbverify; `make verify` runs the default
+// battery.
+
+// CheckOptions configures Verify and the sweep drivers of the differential
+// battery. The zero value enumerates all N! permutations when N <= 8, the
+// whole BPC class when m <= 4, every structured family, 100 seeded random
+// permutations and 2 adversarial hill climbs.
+type CheckOptions = check.Options
+
+// CheckReport summarizes a Verify run.
+type CheckReport = check.Report
+
+// NewDifferential wraps a subject and a reference network of equal port
+// count into a Network that routes every call through both and compares the
+// outputs word-for-word, failing with ErrMismatch on any divergence — the
+// subject erroring where the reference delivers, or a single differing
+// word. Cost and Delay report the subject's figures; Unwrap returns the
+// subject.
+//
+// Use it to run an entire workload — a fabric simulation, an engine soak —
+// under continuous cross-checking:
+//
+//	bnb, _ := bnbnet.New("bnb", 4)
+//	ref, _ := bnbnet.New("batcher", 4)
+//	net, _ := bnbnet.NewDifferential(bnb, ref)
+//	out, err := net.RoutePerm(p) // errors.Is(err, bnbnet.ErrMismatch) on divergence
+func NewDifferential(subject, reference Network) (*DifferentialNetwork, error) {
+	d, err := check.NewDifferential(subject, reference)
+	if err != nil {
+		return nil, err
+	}
+	return &DifferentialNetwork{d: d, subject: subject}, nil
+}
+
+// DifferentialNetwork is the Network returned by NewDifferential.
+type DifferentialNetwork struct {
+	d       *check.Differential
+	subject Network
+}
+
+var _ Network = (*DifferentialNetwork)(nil)
+
+// Name identifies the pair, e.g. "diff(bnb,batcher)".
+func (x *DifferentialNetwork) Name() string { return x.d.Name() }
+
+// Inputs implements Network.
+func (x *DifferentialNetwork) Inputs() int { return x.d.Inputs() }
+
+// Route implements Network: both wrapped networks route the words and the
+// outputs must agree word-for-word.
+func (x *DifferentialNetwork) Route(words []Word) ([]Word, error) { return x.d.Route(words) }
+
+// RoutePerm implements Network with the same comparison contract.
+func (x *DifferentialNetwork) RoutePerm(p Perm) ([]Word, error) { return x.d.RoutePerm(p) }
+
+// Cost implements Network, reporting the subject's hardware cost.
+func (x *DifferentialNetwork) Cost() Cost { return x.subject.Cost() }
+
+// Delay implements Network, reporting the subject's critical path.
+func (x *DifferentialNetwork) Delay() Delay { return x.subject.Delay() }
+
+// Unwrap returns the subject network.
+func (x *DifferentialNetwork) Unwrap() Network { return x.subject }
+
+// Checked returns the number of routes compared so far.
+func (x *DifferentialNetwork) Checked() int64 { return x.d.Checked() }
+
+// Mismatches returns the number of compared routes that diverged.
+func (x *DifferentialNetwork) Mismatches() int64 { return x.d.Mismatches() }
+
+// Verify cross-checks network families at order m (N = 2^m): it builds one
+// instance per family, runs the differential sweep battery — every
+// permutation routed on every family and compared word-for-word against the
+// first family, which acts as the reference — and then the metamorphic
+// battery (inverse, shuffle-conjugation, and, for networks that trace, the
+// Definition-2 stage invariant) on each family individually. A nil or empty
+// families slice selects every registered family.
+//
+// The returned report is aggregate; it is OK only when every check of every
+// battery passed. Construction failures (an unknown family, an order a
+// family rejects) are returned as an error, not recorded as mismatches.
+func Verify(families []string, m int, opts CheckOptions) (CheckReport, error) {
+	if len(families) == 0 {
+		families = Families()
+	}
+	nets := make([]check.Network, 0, len(families))
+	for _, f := range families {
+		n, err := New(f, m)
+		if err != nil {
+			return CheckReport{}, fmt.Errorf("bnbnet: Verify: family %q: %w", f, err)
+		}
+		nets = append(nets, n)
+	}
+	report, err := check.Sweep(nets, opts)
+	if err != nil {
+		return report, err
+	}
+	for _, n := range nets {
+		meta, err := check.Metamorphic(n, opts)
+		if err != nil {
+			return report, err
+		}
+		report.Merge(meta)
+	}
+	return report, nil
+}

@@ -1,0 +1,111 @@
+package bnbnet
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewDifferentialAgreement(t *testing.T) {
+	bnb, err := New("bnb", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New("batcher", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDifferential(bnb, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Name(); got != "diff(bnb,batcher)" {
+		t.Errorf("Name() = %q", got)
+	}
+	for _, p := range []Perm{
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{7, 6, 5, 4, 3, 2, 1, 0},
+		{0, 4, 2, 6, 1, 5, 3, 7}, // bit reversal
+	} {
+		out, err := d.RoutePerm(p)
+		if err != nil {
+			t.Fatalf("perm %v: %v", p, err)
+		}
+		for j, wd := range out {
+			if wd.Addr != j {
+				t.Fatalf("perm %v: output %d carries address %d", p, j, wd.Addr)
+			}
+		}
+	}
+	if d.Checked() != 3 || d.Mismatches() != 0 {
+		t.Errorf("checked = %d, mismatches = %d, want 3, 0", d.Checked(), d.Mismatches())
+	}
+	if d.Unwrap() != bnb {
+		t.Error("Unwrap did not return the subject")
+	}
+	// Cost and Delay pass through the subject's figures.
+	if d.Cost() != bnb.Cost() || d.Delay() != bnb.Delay() {
+		t.Error("Cost/Delay do not report the subject's figures")
+	}
+}
+
+func TestNewDifferentialCatchesMismatch(t *testing.T) {
+	inner, err := NewBNB(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New("batcher", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDifferential(brokenNetwork{inner: inner}, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RoutePerm(Perm{7, 6, 5, 4, 3, 2, 1, 0}); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("sabotaged subject not detected: err = %v", err)
+	}
+	if d.Mismatches() != 1 {
+		t.Errorf("mismatches = %d, want 1", d.Mismatches())
+	}
+}
+
+func TestNewDifferentialValidation(t *testing.T) {
+	bnb, err := New("bnb", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := New("bnb", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDifferential(bnb, small); !errors.Is(err, ErrBadSize) {
+		t.Errorf("mismatched port counts: err = %v, want ErrBadSize", err)
+	}
+	if _, err := NewDifferential(nil, bnb); err == nil {
+		t.Error("nil subject accepted")
+	}
+}
+
+func TestVerifyAllFamilies(t *testing.T) {
+	for m := 2; m <= 3; m++ {
+		report, err := Verify(nil, m, CheckOptions{})
+		if err != nil {
+			t.Fatalf("m = %d: %v", m, err)
+		}
+		if !report.OK() {
+			t.Fatalf("m = %d: registered families disagree: %v", m, report.Failures)
+		}
+		if !report.ExhaustiveDone {
+			t.Errorf("m = %d: exhaustive pass should auto-enable at N <= 8", m)
+		}
+		if report.Checked == 0 {
+			t.Errorf("m = %d: no checks ran", m)
+		}
+	}
+}
+
+func TestVerifyRejectsUnknownFamily(t *testing.T) {
+	if _, err := Verify([]string{"no-such-family"}, 3, CheckOptions{}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}

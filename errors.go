@@ -34,4 +34,8 @@ var (
 	// its deadline cannot be met at the current queue depth, or every
 	// eligible supervised plane is at its in-flight cap.
 	ErrOverloaded = neterr.ErrOverloaded
+	// ErrMismatch reports a differential-verification failure: two networks
+	// disagreed word-for-word on the same request, or a metamorphic relation
+	// between two routes was violated (NewDifferential, Verify).
+	ErrMismatch = neterr.ErrMismatch
 )

@@ -29,7 +29,7 @@ func main() {
 	p := bnbnet.RandomPerm(net.Inputs(), rng)
 	words := make([]bnbnet.Word, net.Inputs())
 	for i, dest := range p {
-		words[i] = bnbnet.Word{Addr: dest, Data: uint64(0xCAFE0000 + i)}
+		words[i] = bnbnet.Word{Addr: dest, Data: 0xCAFE0000 + uint64(i)}
 	}
 	out, err := net.Route(words)
 	if err != nil {

@@ -1,0 +1,300 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// Options configures a verification sweep. The zero value is usable: it
+// enumerates all N! permutations when N <= 8, enumerates every BPC
+// permutation when m <= 4 (384 at m = 4) and samples 50 otherwise, routes
+// every structured family, 100 seeded random permutations, and 2 adversarial
+// hill climbs, with seed 1.
+type Options struct {
+	// Exhaustive forces or suppresses the full N! enumeration; by default it
+	// runs automatically for N <= 8. Forcing it for N > 8 is rejected — 16!
+	// routes is not a battery, it is a heat source.
+	Exhaustive *bool
+	// RandomTrials is the number of uniform random permutations (default
+	// 100; negative disables).
+	RandomTrials int
+	// BPCTrials is the number of sampled bit-permute-complement permutations
+	// when m > 4 (default 50; negative disables). For m <= 4 the full BPC
+	// class is enumerated instead.
+	BPCTrials int
+	// AdversarialClimbs is the number of independent adversarial hill climbs
+	// (default 2; negative disables). Every candidate the climb evaluates is
+	// itself routed and compared, so one climb contributes a few hundred
+	// checked permutations biased toward heavy switching activity.
+	AdversarialClimbs int
+	// SkipFamilies disables the structured-family sweep.
+	SkipFamilies bool
+	// Seed drives all sampled workloads (default 1).
+	Seed int64
+	// MaxFailures caps the recorded failure descriptions (default 5).
+	MaxFailures int
+}
+
+func (o Options) withDefaults() Options {
+	if o.RandomTrials == 0 {
+		o.RandomTrials = 100
+	}
+	if o.BPCTrials == 0 {
+		o.BPCTrials = 50
+	}
+	if o.AdversarialClimbs == 0 {
+		o.AdversarialClimbs = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxFailures == 0 {
+		o.MaxFailures = 5
+	}
+	return o
+}
+
+// exhaustiveLimit is the largest port count whose N! permutations are
+// enumerated by default (8! = 40320 routes per network).
+const exhaustiveLimit = 8
+
+// Report summarizes a verification sweep.
+type Report struct {
+	// Checked is the number of (permutation, relation) checks performed.
+	Checked int
+	// ExhaustiveDone reports whether the full N! enumeration ran.
+	ExhaustiveDone bool
+	// BPCExhaustive reports whether the full BPC class was enumerated.
+	BPCExhaustive bool
+	// Failures holds descriptions of the first failing checks (empty on a
+	// conforming implementation).
+	Failures []string
+}
+
+// OK reports whether the sweep found no violations.
+func (r *Report) OK() bool { return len(r.Failures) == 0 }
+
+// record appends a failure description and reports whether the sweep should
+// keep going (it stops once MaxFailures descriptions are recorded).
+func (r *Report) record(max int, format string, args ...any) bool {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+	return len(r.Failures) < max
+}
+
+// Merge folds another report into r.
+func (r *Report) Merge(other Report) {
+	r.Checked += other.Checked
+	r.ExhaustiveDone = r.ExhaustiveDone || other.ExhaustiveDone
+	r.BPCExhaustive = r.BPCExhaustive || other.BPCExhaustive
+	r.Failures = append(r.Failures, other.Failures...)
+}
+
+// Sweep routes the battery through every network and compares all outputs
+// word-for-word against nets[0], the reference. All networks must share one
+// port count. A single network is legal — the sweep then degenerates to the
+// delivery-contract check (output j carries address j with its payload
+// intact), which every routed permutation is subjected to regardless.
+func Sweep(nets []Network, opts Options) (Report, error) {
+	if len(nets) == 0 {
+		return Report{}, fmt.Errorf("check: no networks to sweep")
+	}
+	size := nets[0].Inputs()
+	for _, n := range nets[1:] {
+		if n.Inputs() != size {
+			return Report{}, fmt.Errorf("check: network %q has %d inputs, %q has %d",
+				n.Name(), n.Inputs(), nets[0].Name(), size)
+		}
+	}
+	if size < 2 {
+		return Report{}, fmt.Errorf("check: network has %d inputs, need at least 2", size)
+	}
+	opts = opts.withDefaults()
+	exhaustive := size <= exhaustiveLimit
+	if opts.Exhaustive != nil {
+		exhaustive = *opts.Exhaustive
+		if exhaustive && size > exhaustiveLimit {
+			return Report{}, fmt.Errorf("check: refusing exhaustive enumeration of %d! permutations (N > %d)", size, exhaustiveLimit)
+		}
+	}
+
+	var report Report
+	rng := rand.New(rand.NewSource(opts.Seed))
+	check := func(label string, p perm.Perm) bool {
+		report.Checked++
+		if desc := compareAll(nets, p); desc != "" {
+			return report.record(opts.MaxFailures, "%s: %s", label, desc)
+		}
+		return true
+	}
+
+	if exhaustive {
+		report.ExhaustiveDone = true
+		perm.ForEach(size, func(p perm.Perm) bool {
+			return check("exhaustive", p)
+		})
+		if !report.OK() {
+			return report, nil
+		}
+	}
+	m := log2(size)
+	if !opts.SkipFamilies && 1<<uint(m) == size {
+		for _, f := range perm.Families() {
+			p, err := perm.Generate(f, m, rng)
+			if err != nil {
+				continue // family undefined for this m (e.g. transpose, odd m)
+			}
+			if !check(fmt.Sprintf("family[%v]", f), p) {
+				return report, nil
+			}
+		}
+	}
+	if 1<<uint(m) == size {
+		if m <= 4 {
+			// The whole BPC class — m!·2^m members, 384 at m = 4 — is cheap
+			// enough to enumerate outright.
+			report.BPCExhaustive = true
+			ok := true
+			perm.ForEach(m, func(bits perm.Perm) bool {
+				for c := 0; c < size; c++ {
+					p, err := perm.BPC{BitPerm: bits, Complement: c}.Perm()
+					if err != nil {
+						ok = report.record(opts.MaxFailures, "bpc: %v", err)
+						return ok
+					}
+					if ok = check(fmt.Sprintf("bpc[%v^%#x]", []int(bits), c), p); !ok {
+						return false
+					}
+				}
+				return true
+			})
+			if !ok {
+				return report, nil
+			}
+		} else {
+			for t := 0; t < opts.BPCTrials; t++ {
+				p, err := perm.RandomBPC(m, rng).Perm()
+				if err != nil {
+					return report, err
+				}
+				if !check(fmt.Sprintf("bpc[%d]", t), p) {
+					return report, nil
+				}
+			}
+		}
+	}
+	for t := 0; t < opts.RandomTrials; t++ {
+		if !check(fmt.Sprintf("random[%d]", t), perm.Random(size, rng)) {
+			return report, nil
+		}
+	}
+	for t := 0; t < opts.AdversarialClimbs; t++ {
+		if !adversarialClimb(nets, &report, opts, rng, t) {
+			return report, nil
+		}
+	}
+	return report, nil
+}
+
+// adversarialClimb hill-climbs toward permutations of maximal switching
+// activity (total address-bit flips, sum over i of popcount(i XOR p[i])),
+// routing and comparing every candidate the search evaluates. The score
+// rewards dense bit mixing — the traffic that exercises every splitter
+// level — so the battery concentrates checks where a routing bug has the
+// most switch states to hide in. It reports whether the sweep should
+// continue.
+func adversarialClimb(nets []Network, report *Report, opts Options, rng *rand.Rand, climb int) bool {
+	size := nets[0].Inputs()
+	keepGoing := true
+	score := func(p perm.Perm) (float64, error) {
+		report.Checked++
+		if desc := compareAll(nets, p); desc != "" {
+			keepGoing = report.record(opts.MaxFailures, "adversarial[%d]: %s", climb, desc)
+			if !keepGoing {
+				return 0, fmt.Errorf("check: failure budget exhausted")
+			}
+		}
+		total := 0
+		for i, d := range p {
+			total += popcount(i ^ d)
+		}
+		return float64(total), nil
+	}
+	_, _, err := adversary.Maximize(size, score, adversary.Options{Restarts: 1, MaxSteps: 50}, rng)
+	if err != nil && keepGoing {
+		keepGoing = report.record(opts.MaxFailures, "adversarial[%d]: search: %v", climb, err)
+	}
+	return keepGoing
+}
+
+// compareAll routes p through every network and verifies (a) the delivery
+// contract on the reference output and (b) word-for-word agreement of every
+// other network with the reference. It returns a failure description, empty
+// on success.
+func compareAll(nets []Network, p perm.Perm) string {
+	ref := nets[0]
+	refOut, refErr := ref.RoutePerm(p)
+	if refErr != nil {
+		return fmt.Sprintf("%s: route error: %v", ref.Name(), refErr)
+	}
+	if desc := checkDelivery(refOut, p); desc != "" {
+		return fmt.Sprintf("%s: %s", ref.Name(), desc)
+	}
+	for _, n := range nets[1:] {
+		out, err := n.RoutePerm(p)
+		if err != nil {
+			return fmt.Sprintf("%s failed (%v) where %s delivered", n.Name(), err, ref.Name())
+		}
+		if len(out) != len(refOut) {
+			return fmt.Sprintf("%s delivered %d words, %s delivered %d", n.Name(), len(out), ref.Name(), len(refOut))
+		}
+		for j := range out {
+			if out[j] != refOut[j] {
+				return fmt.Sprintf("output %d: %s delivered {addr %d, data %d}, %s delivered {addr %d, data %d}",
+					j, n.Name(), out[j].Addr, out[j].Data, ref.Name(), refOut[j].Addr, refOut[j].Data)
+			}
+		}
+	}
+	return ""
+}
+
+// checkDelivery verifies the permutation-network contract on one output
+// vector: output j carries address j, and the payload of input i lands on
+// output p[i]. It returns a failure description, empty on success.
+func checkDelivery(out []core.Word, p perm.Perm) string {
+	if len(out) != len(p) {
+		return fmt.Sprintf("%d outputs for %d inputs", len(out), len(p))
+	}
+	for j, wd := range out {
+		if wd.Addr != j {
+			return fmt.Sprintf("output %d carries address %d", j, wd.Addr)
+		}
+	}
+	for i, d := range p {
+		if out[d].Data != uint64(i) {
+			return fmt.Sprintf("payload of input %d lost", i)
+		}
+	}
+	return ""
+}
+
+// log2 returns floor(log2(n)).
+func log2(n int) int {
+	m := 0
+	for x := n; x > 1; x >>= 1 {
+		m++
+	}
+	return m
+}
+
+// popcount counts the set bits of a non-negative int.
+func popcount(x int) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}

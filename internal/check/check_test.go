@@ -1,0 +1,209 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/neterr"
+	"repro/internal/perm"
+)
+
+// sortNet is a trivially correct reference: it places each word on the
+// output its address names.
+type sortNet struct {
+	name string
+	n    int
+}
+
+func (s sortNet) Name() string { return s.name }
+
+func (s sortNet) Inputs() int { return s.n }
+
+func (s sortNet) Route(words []core.Word) ([]core.Word, error) {
+	if len(words) != s.n {
+		return nil, fmt.Errorf("sortNet: got %d words, want %d: %w", len(words), s.n, neterr.ErrBadSize)
+	}
+	addrs := make(perm.Perm, len(words))
+	for i, wd := range words {
+		addrs[i] = wd.Addr
+	}
+	if err := addrs.Validate(); err != nil {
+		return nil, fmt.Errorf("sortNet: %w", err)
+	}
+	out := make([]core.Word, len(words))
+	for _, wd := range words {
+		out[wd.Addr] = wd
+	}
+	return out, nil
+}
+
+func (s sortNet) RoutePerm(p perm.Perm) ([]core.Word, error) {
+	words := make([]core.Word, len(p))
+	for i, d := range p {
+		words[i] = core.Word{Addr: d, Data: uint64(i)}
+	}
+	return s.Route(words)
+}
+
+// payloadSwapNet delivers addresses correctly but swaps the payloads of
+// outputs 0 and 1 — a misdelivery the address-only oracle cannot see.
+type payloadSwapNet struct{ sortNet }
+
+func (b payloadSwapNet) Route(words []core.Word) ([]core.Word, error) {
+	out, err := b.sortNet.Route(words)
+	if err != nil {
+		return nil, err
+	}
+	out[0].Data, out[1].Data = out[1].Data, out[0].Data
+	return out, nil
+}
+
+func (b payloadSwapNet) RoutePerm(p perm.Perm) ([]core.Word, error) {
+	words := make([]core.Word, len(p))
+	for i, d := range p {
+		words[i] = core.Word{Addr: d, Data: uint64(i)}
+	}
+	return b.Route(words)
+}
+
+// rejectNet fails one specific permutation (the reversal) and is otherwise
+// correct — the "subject errors where the reference delivers" divergence.
+type rejectNet struct{ sortNet }
+
+func (r rejectNet) RoutePerm(p perm.Perm) ([]core.Word, error) {
+	if p.Equal(perm.Reversal(len(p))) {
+		return nil, fmt.Errorf("rejectNet: scripted failure")
+	}
+	return r.sortNet.RoutePerm(p)
+}
+
+func TestNewDifferentialValidates(t *testing.T) {
+	if _, err := NewDifferential(nil, sortNet{"ref", 8}); err == nil {
+		t.Error("nil subject accepted")
+	}
+	if _, err := NewDifferential(sortNet{"a", 8}, sortNet{"b", 4}); !errors.Is(err, neterr.ErrBadSize) {
+		t.Errorf("mismatched sizes: err = %v, want ErrBadSize", err)
+	}
+}
+
+func TestDifferentialAgreement(t *testing.T) {
+	d, err := NewDifferential(sortNet{"a", 8}, sortNet{"b", 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Name(); got != "diff(a,b)" {
+		t.Errorf("Name() = %q", got)
+	}
+	p := perm.Reversal(8)
+	out, err := d.RoutePerm(p)
+	if err != nil {
+		t.Fatalf("agreeing implementations reported: %v", err)
+	}
+	if desc := checkDelivery(out, p); desc != "" {
+		t.Errorf("delivery: %s", desc)
+	}
+	// Agreement on rejection is not a mismatch.
+	if _, err := d.RoutePerm(perm.Perm{0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("non-permutation accepted")
+	} else if errors.Is(err, neterr.ErrMismatch) {
+		t.Errorf("agreed rejection misreported as mismatch: %v", err)
+	}
+	if d.Checked() != 2 || d.Mismatches() != 0 {
+		t.Errorf("checked = %d, mismatches = %d, want 2, 0", d.Checked(), d.Mismatches())
+	}
+}
+
+func TestDifferentialCatchesPayloadSwap(t *testing.T) {
+	d, err := NewDifferential(payloadSwapNet{sortNet{"bad", 8}}, sortNet{"ref", 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.RoutePerm(perm.Reversal(8))
+	if !errors.Is(err, neterr.ErrMismatch) {
+		t.Fatalf("payload swap not detected: err = %v", err)
+	}
+	if d.Mismatches() != 1 {
+		t.Errorf("mismatches = %d, want 1", d.Mismatches())
+	}
+}
+
+func TestDifferentialCatchesOneSidedFailure(t *testing.T) {
+	d, err := NewDifferential(rejectNet{sortNet{"flaky", 8}}, sortNet{"ref", 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RoutePerm(perm.Identity(8)); err != nil {
+		t.Fatalf("identity: %v", err)
+	}
+	_, err = d.RoutePerm(perm.Reversal(8))
+	if !errors.Is(err, neterr.ErrMismatch) {
+		t.Fatalf("one-sided failure not detected: err = %v", err)
+	}
+}
+
+func TestSweepPassesOnCorrectNetworks(t *testing.T) {
+	nets := []Network{sortNet{"a", 8}, sortNet{"b", 8}, sortNet{"c", 8}}
+	report, err := Sweep(nets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("correct networks failed the sweep: %v", report.Failures)
+	}
+	if !report.ExhaustiveDone {
+		t.Error("exhaustive pass should auto-enable at N = 8")
+	}
+	if !report.BPCExhaustive {
+		t.Error("full BPC class should be enumerated at m = 3")
+	}
+	// 40320 exhaustive + 3!*8 = 48 BPC + families + 100 random + climbs.
+	if report.Checked < 40320+48+100 {
+		t.Errorf("only %d checks ran", report.Checked)
+	}
+}
+
+func TestSweepCatchesBrokenSubject(t *testing.T) {
+	nets := []Network{sortNet{"ref", 8}, payloadSwapNet{sortNet{"bad", 8}}}
+	report, err := Sweep(nets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK() {
+		t.Fatal("payload-swapping network survived the sweep")
+	}
+	if cap := (Options{}).withDefaults().MaxFailures; len(report.Failures) != cap {
+		t.Errorf("recorded %d failures, want the %d cap", len(report.Failures), cap)
+	}
+	for _, f := range report.Failures {
+		if !strings.Contains(f, "bad") {
+			t.Errorf("failure does not name the diverging network: %q", f)
+		}
+	}
+}
+
+func TestSweepRefusesHugeExhaustive(t *testing.T) {
+	force := true
+	_, err := Sweep([]Network{sortNet{"a", 16}}, Options{Exhaustive: &force})
+	if err == nil {
+		t.Fatal("16! enumeration accepted")
+	}
+}
+
+func TestSweepAdversarialFindsMismatch(t *testing.T) {
+	// Disable every other battery: only the adversarial climbs run, so this
+	// pins that the climb itself routes and compares its candidates.
+	off := false
+	report, err := Sweep(
+		[]Network{sortNet{"ref", 8}, payloadSwapNet{sortNet{"bad", 8}}},
+		Options{Exhaustive: &off, RandomTrials: -1, BPCTrials: -1, SkipFamilies: true, AdversarialClimbs: 1, MaxFailures: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK() {
+		t.Fatal("adversarial battery missed a payload swap present on every permutation")
+	}
+}

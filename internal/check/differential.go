@@ -1,0 +1,151 @@
+// Package check is the correctness-tooling subsystem of the repository: the
+// machinery that turns "the paper claims all N! permutations" from a
+// spot-checked assertion into a machine-checked one.
+//
+// It has three parts:
+//
+//   - a DifferentialRouter that wraps two independently implemented
+//     permutation networks (say BNB against Batcher or Beneš) and compares
+//     their outputs word-for-word on every call, plus sweep drivers that
+//     feed it exhaustive small-N enumerations and seeded random, BPC,
+//     structured-family and adversarial (hill-climbed) batteries;
+//   - metamorphic checks that need no second implementation: routing p then
+//     p⁻¹ must compose to the identity, conjugating p by a fixed shuffle
+//     must route consistently with p itself, and the BNB stage trace must
+//     respect the Definition-2 unshuffle wiring invariant (entering main
+//     stage i, the top i address bits of every word equal the top i bits of
+//     its line index — the MSB-first radix sort made checkable);
+//   - a deterministic-schedule concurrency harness (Sched/Thread) that
+//     drives the serving layer's state machines through explicitly
+//     interleaved steps, so races are pinned by failing-before/
+//     passing-after regression tests instead of by luck under -race.
+//
+// The KR-Beneš line of work (PAPERS.md) wins by making control and
+// verification cheap relative to the data path; this package applies the
+// same economics to the reproduction itself.
+package check
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/neterr"
+	"repro/internal/perm"
+)
+
+// Network is the routing surface the checker compares. It is the structural
+// subset of the root package's Network interface (Word and Perm are aliases
+// of the core and perm types), so any bnbnet.Network satisfies it without an
+// adapter.
+type Network interface {
+	// Name identifies the network family ("bnb", "batcher", ...).
+	Name() string
+	// Inputs returns the port count N.
+	Inputs() int
+	// Route self-routes the words; output j must carry the word addressed
+	// to j.
+	Route(words []core.Word) ([]core.Word, error)
+	// RoutePerm routes a bare permutation, carrying each source index as
+	// the payload.
+	RoutePerm(p perm.Perm) ([]core.Word, error)
+}
+
+// Differential wraps a subject network and a reference network and compares
+// their outputs word-for-word on every call. A route succeeds only when both
+// implementations succeed and agree exactly; any divergence — one erroring
+// while the other delivers, differing lengths, or a single differing word —
+// fails with ErrMismatch. Both wrapped networks must be safe for concurrent
+// use; the wrapper itself adds only atomic counters.
+type Differential struct {
+	subject   Network
+	reference Network
+
+	checked    atomic.Int64
+	mismatches atomic.Int64
+}
+
+// NewDifferential pairs a subject with a reference of the same port count.
+func NewDifferential(subject, reference Network) (*Differential, error) {
+	if subject == nil || reference == nil {
+		return nil, fmt.Errorf("check: nil network")
+	}
+	if subject.Inputs() != reference.Inputs() {
+		return nil, fmt.Errorf("check: subject %q has %d inputs, reference %q has %d: %w",
+			subject.Name(), subject.Inputs(), reference.Name(), reference.Inputs(), neterr.ErrBadSize)
+	}
+	return &Differential{subject: subject, reference: reference}, nil
+}
+
+// Name identifies the pair, e.g. "diff(bnb,batcher)".
+func (d *Differential) Name() string {
+	return fmt.Sprintf("diff(%s,%s)", d.subject.Name(), d.reference.Name())
+}
+
+// Inputs returns the shared port count.
+func (d *Differential) Inputs() int { return d.subject.Inputs() }
+
+// Subject returns the wrapped subject network.
+func (d *Differential) Subject() Network { return d.subject }
+
+// Reference returns the wrapped reference network.
+func (d *Differential) Reference() Network { return d.reference }
+
+// Checked returns the number of routes compared so far.
+func (d *Differential) Checked() int64 { return d.checked.Load() }
+
+// Mismatches returns the number of compared routes that diverged.
+func (d *Differential) Mismatches() int64 { return d.mismatches.Load() }
+
+// Route routes the words through both implementations and compares the
+// outputs word-for-word, returning the subject's output on agreement and an
+// ErrMismatch-wrapped error on any divergence. Errors that both
+// implementations agree on (for example a malformed request) are returned as
+// the subject's error without counting a mismatch.
+func (d *Differential) Route(words []core.Word) ([]core.Word, error) {
+	d.checked.Add(1)
+	subOut, subErr := d.subject.Route(words)
+	refOut, refErr := d.reference.Route(words)
+	return d.compare(subOut, subErr, refOut, refErr)
+}
+
+// RoutePerm is Route for a bare permutation, with each source index carried
+// as the payload.
+func (d *Differential) RoutePerm(p perm.Perm) ([]core.Word, error) {
+	d.checked.Add(1)
+	subOut, subErr := d.subject.RoutePerm(p)
+	refOut, refErr := d.reference.RoutePerm(p)
+	return d.compare(subOut, subErr, refOut, refErr)
+}
+
+// compare implements the word-for-word agreement contract.
+func (d *Differential) compare(subOut []core.Word, subErr error, refOut []core.Word, refErr error) ([]core.Word, error) {
+	switch {
+	case subErr != nil && refErr != nil:
+		// Agreement on rejection: the request was bad for both. Not a
+		// divergence between the implementations.
+		return nil, subErr
+	case subErr != nil:
+		d.mismatches.Add(1)
+		return nil, fmt.Errorf("check: %s failed (%v) where %s delivered: %w",
+			d.subject.Name(), subErr, d.reference.Name(), neterr.ErrMismatch)
+	case refErr != nil:
+		d.mismatches.Add(1)
+		return nil, fmt.Errorf("check: %s failed (%v) where %s delivered: %w",
+			d.reference.Name(), refErr, d.subject.Name(), neterr.ErrMismatch)
+	}
+	if len(subOut) != len(refOut) {
+		d.mismatches.Add(1)
+		return nil, fmt.Errorf("check: %s delivered %d words, %s delivered %d: %w",
+			d.subject.Name(), len(subOut), d.reference.Name(), len(refOut), neterr.ErrMismatch)
+	}
+	for j := range subOut {
+		if subOut[j] != refOut[j] {
+			d.mismatches.Add(1)
+			return nil, fmt.Errorf("check: output %d: %s delivered {addr %d, data %d}, %s delivered {addr %d, data %d}: %w",
+				j, d.subject.Name(), subOut[j].Addr, subOut[j].Data,
+				d.reference.Name(), refOut[j].Addr, refOut[j].Data, neterr.ErrMismatch)
+		}
+	}
+	return subOut, nil
+}

@@ -1,0 +1,265 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/neterr"
+	"repro/internal/perm"
+)
+
+// Metamorphic relations need no second implementation: they compare two
+// routes of the same network whose outputs are mathematically linked, so a
+// bug has to conspire with itself consistently across both calls to stay
+// hidden. Three relations are checked:
+//
+//   - inverse: the delivery of p composed with the delivery of p⁻¹ must be
+//     the identity;
+//   - conjugation: the delivery of s∘p∘s⁻¹ (s a fixed shuffle) must equal
+//     the s-conjugate of the delivery of p;
+//   - trace: the BNB stage snapshots must respect the Definition-2
+//     unshuffle wiring invariant (see CheckTrace).
+
+// delivery extracts the source-of-output map from a routed output vector:
+// delivery[j] is the input index whose payload landed on output j. It
+// assumes RoutePerm's payload convention (word i carries data i).
+func delivery(out []core.Word) perm.Perm {
+	d := make(perm.Perm, len(out))
+	for j, wd := range out {
+		d[j] = int(wd.Data)
+	}
+	return d
+}
+
+// CheckInverse routes p and p⁻¹ and verifies that the two deliveries
+// compose to the identity: if input i lands on output j under p, then input
+// j must land on output i under p⁻¹. The relation holds for any correct
+// network without consulting p itself, so it cannot share a blind spot with
+// the delivery-contract oracle.
+func CheckInverse(n Network, p perm.Perm) error {
+	inv := p.Inverse()
+	fwd, err := n.RoutePerm(p)
+	if err != nil {
+		return fmt.Errorf("check: inverse: forward route: %w", err)
+	}
+	bwd, err := n.RoutePerm(inv)
+	if err != nil {
+		return fmt.Errorf("check: inverse: backward route: %w", err)
+	}
+	df, db := delivery(fwd), delivery(bwd)
+	if len(df) != len(db) {
+		return fmt.Errorf("check: inverse: %d forward outputs, %d backward: %w", len(df), len(db), neterr.ErrMismatch)
+	}
+	for j := range df {
+		if src := df[j]; src < 0 || src >= len(db) || db[src] != j {
+			return fmt.Errorf("check: inverse: output %d received input %d forward, but input %d landed on output %d backward: %w",
+				j, src, src, at(db, src), neterr.ErrMismatch)
+		}
+	}
+	return nil
+}
+
+// CheckConjugate routes p and its conjugate q = s∘p∘s⁻¹ by the perfect
+// shuffle s and verifies the deliveries are conjugates too: a network that
+// routes p correctly but mishandles the relabeled copy of the same cycle
+// structure is caught here.
+func CheckConjugate(n Network, p perm.Perm) error {
+	size := n.Inputs()
+	m := log2(size)
+	if 1<<uint(m) != size {
+		return nil // conjugation by the shuffle needs a power-of-two size
+	}
+	s := perm.PerfectShuffle(m)
+	sInv := s.Inverse()
+	// q = s∘p∘s⁻¹ as functions: q(i) = s(p(s⁻¹(i))).
+	q := make(perm.Perm, size)
+	for i := range q {
+		q[i] = s[p[sInv[i]]]
+	}
+	pOut, err := n.RoutePerm(p)
+	if err != nil {
+		return fmt.Errorf("check: conjugate: base route: %w", err)
+	}
+	qOut, err := n.RoutePerm(q)
+	if err != nil {
+		return fmt.Errorf("check: conjugate: conjugated route: %w", err)
+	}
+	dp, dq := delivery(pOut), delivery(qOut)
+	for j := range dq {
+		// delivery(q) = (delivery(p))^s: dq(j) = s(dp(s⁻¹(j))).
+		if want := s[at(dp, sInv[j])]; dq[j] != want {
+			return fmt.Errorf("check: conjugate: output %d received input %d, conjugation of the base delivery predicts %d: %w",
+				j, dq[j], want, neterr.ErrMismatch)
+		}
+	}
+	return nil
+}
+
+// Tracer is the stage-tracing capability CheckTrace requires — the BNB
+// network's RouteTraced shape: snapshot 0 is the network input, snapshot i
+// the word vector entering main stage i, and the final snapshot the output.
+type Tracer interface {
+	Inputs() int
+	RouteTraced(words []core.Word) ([]core.Word, [][]core.Word, error)
+}
+
+// CheckTrace routes p with stage tracing and verifies the Definition-2
+// unshuffle wiring invariant at every snapshot. The GBN's stage i sorts on
+// address bit m-1-i and its 2^{m-i}-unshuffle connection delivers the 0-half
+// of every box to the upper nested sub-network and the 1-half to the lower,
+// so entering main stage i the top i address bits of every word must equal
+// the top i bits of its line index — the MSB-first radix sort, stage by
+// stage. Each snapshot must also carry exactly the input multiset: a word
+// duplicated or lost mid-network is a wiring bug even if the final output
+// happens to check out.
+func CheckTrace(t Tracer, p perm.Perm) error {
+	size := t.Inputs()
+	m := log2(size)
+	if 1<<uint(m) != size {
+		return fmt.Errorf("check: trace: %d inputs is not a power of two: %w", size, neterr.ErrBadSize)
+	}
+	words := make([]core.Word, len(p))
+	for i, d := range p {
+		words[i] = core.Word{Addr: d, Data: uint64(i)}
+	}
+	out, snaps, err := t.RouteTraced(words)
+	if err != nil {
+		return fmt.Errorf("check: trace: %w", err)
+	}
+	if desc := checkDelivery(out, p); desc != "" {
+		return fmt.Errorf("check: trace: %s: %w", desc, neterr.ErrMismatch)
+	}
+	if len(snaps) != m+1 {
+		return fmt.Errorf("check: trace: %d snapshots for order %d, want %d: %w", len(snaps), m, m+1, neterr.ErrMismatch)
+	}
+	seen := make(map[core.Word]int, size)
+	for _, wd := range words {
+		seen[wd]++
+	}
+	for i, snap := range snaps {
+		if len(snap) != size {
+			return fmt.Errorf("check: trace: snapshot %d has %d words, want %d: %w", i, len(snap), size, neterr.ErrMismatch)
+		}
+		// Conservation: the snapshot is a permutation of the input words.
+		count := make(map[core.Word]int, size)
+		for _, wd := range snap {
+			count[wd]++
+		}
+		for wd, c := range seen {
+			if count[wd] != c {
+				return fmt.Errorf("check: trace: snapshot %d carries word {addr %d, data %d} %d times, input carried it %d times: %w",
+					i, wd.Addr, wd.Data, count[wd], c, neterr.ErrMismatch)
+			}
+		}
+		// Definition-2 invariant: after i stages of MSB-first radix sort and
+		// unshuffle wiring, the top i address bits equal the top i line-index
+		// bits. At i = m this is exactly the delivery contract.
+		shift := uint(m - i)
+		if i > m {
+			shift = 0
+		}
+		for j, wd := range snap {
+			if wd.Addr>>shift != j>>shift {
+				return fmt.Errorf("check: trace: snapshot %d line %d carries address %d, violating the %d-bit MSB prefix of the unshuffle wiring: %w",
+					i, j, wd.Addr, i, neterr.ErrMismatch)
+			}
+		}
+	}
+	return nil
+}
+
+// Metamorphic runs the relation battery over the same workloads as Sweep
+// (exhaustive enumeration for small N, structured families, BPC, seeded
+// random permutations) against a single network, applying CheckInverse and
+// CheckConjugate to every permutation and CheckTrace additionally when the
+// network supports stage tracing.
+func Metamorphic(n Network, opts Options) (Report, error) {
+	if n == nil {
+		return Report{}, fmt.Errorf("check: nil network")
+	}
+	size := n.Inputs()
+	if size < 2 {
+		return Report{}, fmt.Errorf("check: network has %d inputs, need at least 2", size)
+	}
+	opts = opts.withDefaults()
+	exhaustive := size <= exhaustiveLimit
+	if opts.Exhaustive != nil {
+		exhaustive = *opts.Exhaustive
+		if exhaustive && size > exhaustiveLimit {
+			return Report{}, fmt.Errorf("check: refusing exhaustive enumeration of %d! permutations (N > %d)", size, exhaustiveLimit)
+		}
+	}
+	tracer, _ := n.(Tracer)
+
+	var report Report
+	rng := rand.New(rand.NewSource(opts.Seed))
+	check := func(label string, p perm.Perm) bool {
+		report.Checked++
+		if err := CheckInverse(n, p); err != nil {
+			return report.record(opts.MaxFailures, "%s: %v", label, err)
+		}
+		if err := CheckConjugate(n, p); err != nil {
+			return report.record(opts.MaxFailures, "%s: %v", label, err)
+		}
+		if tracer != nil {
+			if err := CheckTrace(tracer, p); err != nil {
+				return report.record(opts.MaxFailures, "%s: %v", label, err)
+			}
+		}
+		return true
+	}
+
+	if exhaustive {
+		report.ExhaustiveDone = true
+		perm.ForEach(size, func(p perm.Perm) bool {
+			return check("exhaustive", p)
+		})
+		if !report.OK() {
+			return report, nil
+		}
+	}
+	m := log2(size)
+	if !opts.SkipFamilies && 1<<uint(m) == size {
+		for _, f := range perm.Families() {
+			p, err := perm.Generate(f, m, rng)
+			if err != nil {
+				continue
+			}
+			if !check(fmt.Sprintf("family[%v]", f), p) {
+				return report, nil
+			}
+		}
+	}
+	if 1<<uint(m) == size {
+		trials := opts.BPCTrials
+		if m <= 4 {
+			trials = min(trials, 20)
+		}
+		for t := 0; t < trials; t++ {
+			p, err := perm.RandomBPC(m, rng).Perm()
+			if err != nil {
+				return report, err
+			}
+			if !check(fmt.Sprintf("bpc[%d]", t), p) {
+				return report, nil
+			}
+		}
+	}
+	for t := 0; t < opts.RandomTrials; t++ {
+		if !check(fmt.Sprintf("random[%d]", t), perm.Random(size, rng)) {
+			return report, nil
+		}
+	}
+	return report, nil
+}
+
+// at indexes p defensively: out-of-range reads return -1 instead of
+// panicking, so a corrupted delivery produces a mismatch report, not a
+// crash.
+func at(p perm.Perm, i int) int {
+	if i < 0 || i >= len(p) {
+		return -1
+	}
+	return p[i]
+}

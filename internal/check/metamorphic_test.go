@@ -1,0 +1,126 @@
+package check
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/neterr"
+	"repro/internal/perm"
+)
+
+func newCore(t *testing.T, m int) *core.Network {
+	t.Helper()
+	n, err := core.New(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestMetamorphicPassesOnBNB(t *testing.T) {
+	report, err := Metamorphic(coreAdapter{newCore(t, 3)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("BNB failed the metamorphic battery: %v", report.Failures)
+	}
+	if !report.ExhaustiveDone {
+		t.Error("exhaustive pass should auto-enable at N = 8")
+	}
+}
+
+func TestMetamorphicCatchesPayloadSwap(t *testing.T) {
+	report, err := Metamorphic(payloadSwapNet{sortNet{"bad", 8}}, Options{MaxFailures: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK() {
+		t.Fatal("payload-swapping network survived the metamorphic battery")
+	}
+}
+
+func TestCheckInverseOnCorrectAndBroken(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := perm.Random(8, rng)
+	if err := CheckInverse(sortNet{"ok", 8}, p); err != nil {
+		t.Errorf("correct network violates the inverse relation: %v", err)
+	}
+	if err := CheckInverse(payloadSwapNet{sortNet{"bad", 8}}, p); !errors.Is(err, neterr.ErrMismatch) {
+		t.Errorf("payload swap not caught by the inverse relation: %v", err)
+	}
+}
+
+func TestCheckConjugateOnCorrectAndBroken(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := perm.Random(8, rng)
+	if err := CheckConjugate(sortNet{"ok", 8}, p); err != nil {
+		t.Errorf("correct network violates the conjugation relation: %v", err)
+	}
+	// The swap corrupts delivery at outputs 0 and 1 identically on both
+	// routes, so the relation needs a permutation whose conjugate moves the
+	// corruption elsewhere; a random permutation does.
+	if err := CheckConjugate(payloadSwapNet{sortNet{"bad", 8}}, p); !errors.Is(err, neterr.ErrMismatch) {
+		t.Errorf("payload swap not caught by the conjugation relation: %v", err)
+	}
+}
+
+// coreAdapter gives the core BNB network the Name method check.Network
+// wants; core.Network natively provides the rest, including RouteTraced.
+type coreAdapter struct{ *core.Network }
+
+func (coreAdapter) Name() string { return "bnb" }
+
+func TestCheckTracePassesOnBNB(t *testing.T) {
+	n := newCore(t, 3)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		p := perm.Random(8, rng)
+		if err := CheckTrace(n, p); err != nil {
+			t.Fatalf("trial %d, perm %v: %v", trial, p, err)
+		}
+	}
+}
+
+// corruptTracer wraps the BNB tracer and corrupts one mid-network snapshot:
+// the output still checks out, so only the stage invariant can see the bug.
+type corruptTracer struct {
+	*core.Network
+	corrupt func(snaps [][]core.Word)
+}
+
+func (c corruptTracer) RouteTraced(words []core.Word) ([]core.Word, [][]core.Word, error) {
+	out, snaps, err := c.Network.RouteTraced(words)
+	if err == nil {
+		c.corrupt(snaps)
+	}
+	return out, snaps, err
+}
+
+func TestCheckTraceCatchesWiringViolation(t *testing.T) {
+	n := newCore(t, 3)
+	p := perm.Reversal(8)
+	// Swap two lines of snapshot 1 across the half boundary: the words'
+	// MSBs no longer match their halves — an unshuffle wiring violation.
+	broken := corruptTracer{n, func(snaps [][]core.Word) {
+		snaps[1][0], snaps[1][7] = snaps[1][7], snaps[1][0]
+	}}
+	if err := CheckTrace(broken, p); !errors.Is(err, neterr.ErrMismatch) {
+		t.Errorf("wiring violation not caught: %v", err)
+	}
+}
+
+func TestCheckTraceCatchesLostWord(t *testing.T) {
+	n := newCore(t, 3)
+	p := perm.Identity(8)
+	// Duplicate a word over another within the same half of snapshot 1:
+	// the prefix invariant still holds, only conservation is violated.
+	broken := corruptTracer{n, func(snaps [][]core.Word) {
+		snaps[1][1] = snaps[1][0]
+	}}
+	if err := CheckTrace(broken, p); !errors.Is(err, neterr.ErrMismatch) {
+		t.Errorf("lost word not caught: %v", err)
+	}
+}

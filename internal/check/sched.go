@@ -1,0 +1,135 @@
+package check
+
+import (
+	"fmt"
+	"time"
+)
+
+// The deterministic-schedule harness: a Thread wraps a goroutine that parks
+// at explicit yield points, and the test (the "scheduler") releases it one
+// step at a time. Interleavings that -race only hits by luck — two workers
+// between the load and the publication of a shared counter, a failure racing
+// a health sweep — become explicit schedules: the test names the exact
+// interleaving, runs it, and asserts the outcome, so a regression test fails
+// deterministically on the buggy code instead of flaking.
+//
+// Usage:
+//
+//	a := check.Go(func(yield func()) { ...; yield(); ... })
+//	b := check.Go(func(yield func()) { ... })
+//	a.Step() // run a until its first yield
+//	b.Finish()
+//	a.Finish()
+//
+// The code under test either calls yield directly (test doubles) or exposes
+// a package-level hook at the preemption point that production leaves nil
+// and the test routes to the current thread's yield.
+
+// stepTimeout bounds one Step: a thread that fails to reach its next yield
+// point (deadlocked on something the schedule does not control) aborts the
+// test with a diagnostic instead of hanging the suite.
+const stepTimeout = 10 * time.Second
+
+// current is the thread holding the execution grant. Only the scheduler
+// goroutine writes it, always before handing the grant over, and only the
+// granted thread reads it, so the grant/park channel operations order every
+// access. It lets package-level preemption hooks in the code under test
+// (e.g. the engine's ewmaYield) park whichever scheduled thread is running
+// without per-goroutine plumbing.
+var current *Thread
+
+// Yield parks the currently granted thread until its next Step. Called
+// outside any scheduled thread it is a no-op, so production code can route
+// a hook at check.Yield unconditionally in tests while the same binary's
+// unscheduled goroutines pass through untouched.
+func Yield() {
+	if t := current; t != nil {
+		t.parked <- true
+		<-t.grant
+	}
+}
+
+// Thread is one deterministically scheduled goroutine. Create with Go;
+// drive with Step and Finish from the test goroutine only.
+type Thread struct {
+	name   string
+	grant  chan struct{}
+	parked chan bool // true = parked at a yield, false = body returned
+	live   bool
+}
+
+// Go starts fn on a new goroutine parked before its first instruction. fn
+// receives the thread's yield function and must call it only from that
+// goroutine; each yield parks the thread until the scheduler grants its next
+// step.
+func Go(fn func(yield func())) *Thread { return GoNamed("thread", fn) }
+
+// GoNamed is Go with a name for timeout diagnostics.
+func GoNamed(name string, fn func(yield func())) *Thread {
+	t := &Thread{
+		name:   name,
+		grant:  make(chan struct{}),
+		parked: make(chan bool),
+		live:   true,
+	}
+	go func() {
+		yield := func() {
+			t.parked <- true
+			<-t.grant
+		}
+		<-t.grant // park before the body runs
+		fn(yield)
+		t.parked <- false
+	}()
+	return t
+}
+
+// Step releases the thread to run until its next yield (or until its body
+// returns) and blocks until it gets there. It reports whether the thread is
+// still running. Stepping a finished thread is a no-op returning false, so
+// schedules may over-step harmlessly.
+func (t *Thread) Step() bool {
+	if !t.live {
+		return false
+	}
+	current = t
+	select {
+	case t.grant <- struct{}{}:
+	case <-time.After(stepTimeout):
+		panic(fmt.Sprintf("check: thread %q did not accept a step within %v: parked somewhere the schedule does not control", t.name, stepTimeout))
+	}
+	select {
+	case t.live = <-t.parked:
+	case <-time.After(stepTimeout):
+		panic(fmt.Sprintf("check: thread %q did not reach its next yield within %v: deadlocked outside the schedule", t.name, stepTimeout))
+	}
+	// The grant is back with the scheduler: clear current so a hook fired
+	// from an unscheduled goroutine between schedules is a no-op instead of
+	// parking on a thread that is not running.
+	current = nil
+	return t.live
+}
+
+// Running reports whether the thread has more steps to take.
+func (t *Thread) Running() bool { return t.live }
+
+// Finish steps the thread until its body returns.
+func (t *Thread) Finish() {
+	for t.Step() {
+	}
+}
+
+// Run executes a whole schedule: each entry names the thread to grant the
+// next step. Threads still running after the schedule are finished in the
+// given order, so every Run leaves no goroutine behind.
+func Run(schedule []*Thread, rest ...*Thread) {
+	for _, t := range schedule {
+		t.Step()
+	}
+	for _, t := range schedule {
+		t.Finish()
+	}
+	for _, t := range rest {
+		t.Finish()
+	}
+}

@@ -1,0 +1,94 @@
+package check
+
+import (
+	"testing"
+)
+
+func TestThreadStepsRunInScheduledOrder(t *testing.T) {
+	var trace []string
+	a := GoNamed("a", func(yield func()) {
+		trace = append(trace, "a1")
+		yield()
+		trace = append(trace, "a2")
+	})
+	b := GoNamed("b", func(yield func()) {
+		trace = append(trace, "b1")
+		yield()
+		trace = append(trace, "b2")
+	})
+	// Interleave: a runs to its yield, then b, then a finishes, then b.
+	if !a.Step() {
+		t.Fatal("a finished before its yield")
+	}
+	if !b.Step() {
+		t.Fatal("b finished before its yield")
+	}
+	a.Finish()
+	b.Finish()
+	want := []string{"a1", "b1", "a2", "b2"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestThreadOverStepIsHarmless(t *testing.T) {
+	ran := false
+	a := Go(func(yield func()) { ran = true })
+	a.Finish()
+	if !ran {
+		t.Fatal("body did not run")
+	}
+	if a.Step() {
+		t.Fatal("finished thread reported another step")
+	}
+	if a.Running() {
+		t.Fatal("finished thread reports running")
+	}
+}
+
+func TestYieldParksTheGrantedThread(t *testing.T) {
+	// The code under test calls the package-level Yield (via a hook) rather
+	// than its own thread's yield: the scheduler must park whichever thread
+	// holds the grant.
+	var trace []string
+	hooked := func(label string) {
+		trace = append(trace, label+"-pre")
+		Yield()
+		trace = append(trace, label+"-post")
+	}
+	a := GoNamed("a", func(func()) { hooked("a") })
+	b := GoNamed("b", func(func()) { hooked("b") })
+	a.Step() // a parks inside Yield
+	b.Finish()
+	a.Finish()
+	want := []string{"a-pre", "b-pre", "b-post", "a-post"}
+	for i := range want {
+		if i >= len(trace) || trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestYieldOutsideScheduleIsNoOp(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		Yield() // no scheduled thread holds the grant: must not block
+		close(done)
+	}()
+	<-done
+}
+
+func TestRunExecutesScheduleThenDrains(t *testing.T) {
+	count := 0
+	a := Go(func(yield func()) { count++; yield(); count++ })
+	b := Go(func(yield func()) { count++ })
+	Run([]*Thread{a, b}, a)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -296,10 +297,19 @@ func (e *Engine) worker() {
 	}
 }
 
+// ewmaYield, when non-nil, is invoked between reading the EWMA and
+// publishing its update — the preemption point the deterministic-schedule
+// concurrency tests use to interleave concurrent observers. Production
+// leaves it nil.
+var ewmaYield func()
+
 // observeServe folds one request's service time (routing plus retries, not
 // queue wait) into the EWMA the admission controller estimates with. The
-// load-and-store update may lose a concurrent sample; the estimate only has
-// to track the service-time scale, not count exactly.
+// update is a CompareAndSwap loop: a concurrent sample that lands between
+// the load and the swap makes the swap fail and the fold retry against the
+// fresh value, so no sample is silently dropped — under a worker pool all
+// observing at once, a lossy load/store here let the estimate stall on
+// stale service times.
 func (e *Engine) observeServe(d time.Duration) {
 	if !e.shed {
 		return
@@ -308,12 +318,19 @@ func (e *Engine) observeServe(d time.Duration) {
 	if ns <= 0 {
 		ns = 1
 	}
-	old := e.ewmaServe.Load()
-	if old == 0 {
-		e.ewmaServe.Store(ns)
-		return
+	for {
+		old := e.ewmaServe.Load()
+		next := ns
+		if old != 0 {
+			next = old - old/8 + ns/8
+		}
+		if ewmaYield != nil {
+			ewmaYield()
+		}
+		if e.ewmaServe.CompareAndSwap(old, next) {
+			return
+		}
 	}
-	e.ewmaServe.Store(old - old/8 + ns/8)
 }
 
 // expired reports the request's deadline or cancellation error, or nil while
@@ -502,7 +519,16 @@ func (e *Engine) admit(ctx context.Context, now, deadline time.Time) error {
 		return nil
 	}
 	depth := e.inflight.Load()
-	est := time.Duration((depth/int64(e.workers) + 1) * ewma)
+	slots := depth/int64(e.workers) + 1
+	// Saturate instead of multiplying: a huge queue depth times the EWMA
+	// overflows int64 into a negative estimate that admits everything —
+	// the opposite of what an overloaded engine needs.
+	if slots > math.MaxInt64/ewma {
+		e.m.AddShed()
+		return fmt.Errorf("engine: %d requests in flight at ~%v each exceed any deadline: %w",
+			depth, time.Duration(ewma), neterr.ErrOverloaded)
+	}
+	est := time.Duration(slots * ewma)
 	if now.Add(est).After(deadline) {
 		e.m.AddShed()
 		return fmt.Errorf("engine: %d requests in flight need ~%v, deadline in %v: %w",

@@ -87,6 +87,10 @@ func (m *Metrics) ObserveRoute(words int, d time.Duration, err error) {
 	}
 	m.routes.Add(1)
 	m.words.Add(int64(words))
+	// Clamp a negative latency (a clock step between the two readings) to
+	// zero everywhere, histogram included: bucketing the raw duration would
+	// convert it to a huge uint64 and land it in the top bucket, wrecking
+	// the percentile snapshots.
 	ns := int64(d)
 	if ns < 0 {
 		ns = 0
@@ -98,7 +102,7 @@ func (m *Metrics) ObserveRoute(words int, d time.Duration, err error) {
 			break
 		}
 	}
-	m.buckets[bucketOf(d)].Add(1)
+	m.buckets[bucketOf(time.Duration(ns))].Add(1)
 }
 
 // AddFaults counts n injected faults perturbing route passes.

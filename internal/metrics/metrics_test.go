@@ -108,3 +108,22 @@ func TestBucketMonotone(t *testing.T) {
 		prev = b
 	}
 }
+
+// TestObserveRouteNegativeDuration pins the clamped-value bucketing fix: a
+// negative duration (a backwards clock step) must land in the fastest
+// bucket, not — via the raw value falling past every bucket bound — in the
+// top one, where a single glitch would drag P99 to hours.
+func TestObserveRouteNegativeDuration(t *testing.T) {
+	var m Metrics
+	m.ObserveRoute(8, -5*time.Second, nil)
+	s := m.Snapshot()
+	if s.Routes != 1 {
+		t.Fatalf("Routes = %d, want 1", s.Routes)
+	}
+	if s.MaxLatency != 0 || s.MeanLatency != 0 {
+		t.Errorf("max = %v, mean = %v, want 0 for a clamped negative sample", s.MaxLatency, s.MeanLatency)
+	}
+	if s.P50 > time.Microsecond || s.P99 > time.Microsecond {
+		t.Errorf("P50 = %v, P99 = %v: the negative sample was bucketed raw into the top bucket", s.P50, s.P99)
+	}
+}

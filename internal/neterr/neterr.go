@@ -50,4 +50,10 @@ var (
 	// in-flight cap. Shed requests were never enqueued; retrying later or
 	// with a looser deadline may succeed.
 	ErrOverloaded = errors.New("overloaded")
+
+	// ErrMismatch reports a differential-verification failure: two network
+	// implementations routed the same request and disagreed word-for-word,
+	// or a metamorphic relation between two routes of one network was
+	// violated. At least one of the implementations is wrong.
+	ErrMismatch = errors.New("differential mismatch")
 )

@@ -316,7 +316,11 @@ func (s *Supervisor) RouteInto(dst, src []core.Word) error {
 		return fmt.Errorf("plane: %w", neterr.ErrClosed)
 	}
 	k := len(s.planes)
-	start := int(s.rotor.Add(1) - 1)
+	// Reduce the rotor modulo the plane count in uint64 space before the
+	// int conversion: converting the raw counter truncates once it passes
+	// MaxInt on 32-bit platforms (and MaxInt64 anywhere), yielding a
+	// negative start and a panic on the plane index.
+	start := int((s.rotor.Add(1) - 1) % uint64(k))
 	var lastErr error
 	// Pass 1: healthy planes under the in-flight cap.
 	healthySeen, capped := 0, 0
