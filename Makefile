@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench check verify repro figures fuzz chaos clean
+.PHONY: all build vet test test-short bench microbench check verify repro figures fuzz chaos clean
 
 all: build vet test
 
@@ -41,7 +41,16 @@ test-short:
 race:
 	$(GO) test -race ./...
 
+# Perf-trajectory smoke: run the bnbbench harness with quick sample counts
+# into a scratch dir and validate the output against the bnbbench/v1
+# schema. The committed BENCH_<m>.json files are full runs; refresh them
+# after perf work with `$(GO) run ./cmd/bnbbench -m 3,5,7 -out .`.
 bench:
+	$(GO) run ./cmd/bnbbench -quick -m 5 -out /tmp
+	$(GO) run ./cmd/bnbbench -validate /tmp/BENCH_5.json
+
+# Raw go-test microbenchmarks (per-stage and per-family numbers).
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table, equation check, claim, and extension study.

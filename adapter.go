@@ -1,0 +1,77 @@
+package bnbnet
+
+// This file holds the shared routing adapters behind the per-family Network
+// wrappers. Two shapes cover every family in the registry: the self-routing
+// sorters carry words through an internal Word type of identical layout
+// (routeConverted), while the looping-routed rearrangeable networks compute
+// an output arrangement from the bare permutation (routeArranged). Both
+// funnel RoutePerm through the one permWords convention.
+
+import "fmt"
+
+// wordLike constrains the internal word types of the network packages; they
+// all share core.Word's exact layout, so the adapters convert slices
+// element-wise without reflection.
+type wordLike interface {
+	~struct {
+		Addr int
+		Data uint64
+	}
+}
+
+// permWords expands a bare permutation into the RoutePerm word convention:
+// word i is addressed to p[i] and carries its source index as payload.
+func permWords(p Perm) []Word {
+	words := make([]Word, len(p))
+	for i, d := range p {
+		words[i] = Word{Addr: d, Data: uint64(i)}
+	}
+	return words
+}
+
+// routeConverted routes words through a network whose API speaks its own
+// word type W, converting on the way in and out. Validation (length,
+// permutation property) is the inner network's.
+func routeConverted[W wordLike](words []Word, route func([]W) ([]W, error)) ([]Word, error) {
+	in := make([]W, len(words))
+	for i, wd := range words {
+		in[i] = W(wd)
+	}
+	out, err := route(in)
+	if err != nil {
+		return nil, err
+	}
+	res := make([]Word, len(out))
+	for i, wd := range out {
+		res[i] = Word(wd)
+	}
+	return res, nil
+}
+
+// routeArranged routes words through a looping-routed network: route maps
+// the destination permutation to an output arrangement (arrangement[j] is
+// the input whose word exits on output j), and every delivery is verified
+// against the requested addresses. name prefixes the validation errors.
+func routeArranged(name string, n int, words []Word, route func(Perm) (Perm, error)) ([]Word, error) {
+	if len(words) != n {
+		return nil, fmt.Errorf("%s: got %d words, want %d", name, len(words), n)
+	}
+	p := make(Perm, len(words))
+	for i, wd := range words {
+		p[i] = wd.Addr
+	}
+	arrangement, err := route(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Word, len(words))
+	for j, src := range arrangement {
+		out[j] = words[src]
+	}
+	for j, wd := range out {
+		if wd.Addr != j {
+			return nil, fmt.Errorf("%s: looping misdelivered address %d to output %d", name, wd.Addr, j)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package bnbnet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestOptionalSurfaces pins the public optional-interface contract: the
+// pooled and stage-tracing surfaces are discovered by type assertion, and
+// AsBulkRouter/AsTracedRouter see them through New's decorators.
+func TestOptionalSurfaces(t *testing.T) {
+	const m = 3
+	n, err := New("bnb", m, WithMetrics(NewMetrics())) // decorated
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.(BulkRouter); ok {
+		t.Fatal("decorator itself should not expose RouteInto; discovery goes through AsBulkRouter")
+	}
+	br, ok := AsBulkRouter(n)
+	if !ok {
+		t.Fatal("AsBulkRouter did not find *BNB under the decorator")
+	}
+	rng := rand.New(rand.NewSource(1))
+	p := RandomPerm(n.Inputs(), rng)
+	dst := make([]Word, n.Inputs())
+	if err := br.RouteInto(dst, permWords(p)); err != nil {
+		t.Fatal(err)
+	}
+	for j, wd := range dst {
+		if wd.Addr != j {
+			t.Fatalf("output %d carries address %d", j, wd.Addr)
+		}
+	}
+
+	tr, ok := AsTracedRouter(n)
+	if !ok {
+		t.Fatal("AsTracedRouter did not find *BNB under the decorator")
+	}
+	out, snaps, err := tr.RouteTraced(permWords(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n.Inputs() || len(snaps) != m+1 {
+		t.Fatalf("RouteTraced: %d outputs, %d snapshots, want %d and %d",
+			len(out), len(snaps), n.Inputs(), m+1)
+	}
+
+	// Families without the surfaces are reported as such.
+	b, err := New("batcher", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := AsBulkRouter(b); ok {
+		t.Error("batcher unexpectedly offers a pooled surface")
+	}
+	if _, ok := AsTracedRouter(b); ok {
+		t.Error("batcher unexpectedly offers stage tracing")
+	}
+}
+
+// TestAdapterConformance routes one random permutation through every family
+// wrapper and checks the shared adapters deliver and validate: a wrong-size
+// batch errors, a correct one lands every address on its output.
+func TestAdapterConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, family := range Families() {
+		n, err := New(family, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		p := RandomPerm(n.Inputs(), rng)
+		out, err := n.RoutePerm(p)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		for j, wd := range out {
+			if wd.Addr != j {
+				t.Errorf("%s: output %d carries address %d", family, j, wd.Addr)
+			}
+		}
+		if _, err := n.Route(permWords(p)[:n.Inputs()-1]); err == nil {
+			t.Errorf("%s: short batch routed without error", family)
+		}
+	}
+}

@@ -11,6 +11,9 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
+
+	"repro/internal/plane"
 )
 
 // TestRegistryFamilies: every built-in family constructs through New and
@@ -144,6 +147,16 @@ func TestDeprecatedConstructorsDelegate(t *testing.T) {
 		if n.Name() != tc.name {
 			t.Errorf("%s: Name() = %q", tc.name, n.Name())
 		}
+	}
+	bnb, err := New("bnb", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw, err := NewFabricSwitch(bnb); err != nil || sw == nil {
+		t.Errorf("NewFabricSwitch: %v", err)
+	}
+	if sw, err := NewVOQFabricSwitch(bnb); err != nil || sw == nil {
+		t.Errorf("NewVOQFabricSwitch: %v", err)
 	}
 }
 
@@ -286,6 +299,34 @@ func TestRouteAllocs(t *testing.T) {
 		if wd.Addr != j {
 			t.Fatalf("output %d carries address %d", j, wd.Addr)
 		}
+	}
+
+	// The supervised traced path inherits the guarantee when tracing is
+	// disabled: RouteIntoTraced with a nil span — exactly what the engine
+	// passes when no tracer is configured — adds zero allocations on top of
+	// the plane's RouteInto.
+	b2, err := NewBNB(10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := plane.New(plane.Config{
+		Planes:         []plane.Router{b, b2},
+		HealthInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	if err := sup.RouteIntoTraced(dst, src, nil); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		if err := sup.RouteIntoTraced(dst, src, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("supervised RouteIntoTraced with tracing disabled allocates %.1f objects per call, want 0", allocs)
 	}
 }
 

@@ -33,8 +33,8 @@ func BenchmarkTable1Hardware(b *testing.B) {
 			name string
 			fn   func() (Network, error)
 		}{
-			{"Batcher", func() (Network, error) { return NewBatcher(m, 8) }},
-			{"Koppelman", func() (Network, error) { return NewKoppelman(m, 8) }},
+			{"Batcher", func() (Network, error) { return New("batcher", m, WithDataBits(8)) }},
+			{"Koppelman", func() (Network, error) { return New("koppelman", m, WithDataBits(8)) }},
 			{"BNB", func() (Network, error) { return NewBNB(m, 8) }},
 		} {
 			b.Run(fmt.Sprintf("%s/%s", build.name, benchName(m)), func(b *testing.B) {
@@ -62,8 +62,8 @@ func BenchmarkTable2Delay(b *testing.B) {
 			name string
 			fn   func() (Network, error)
 		}{
-			{"Batcher", func() (Network, error) { return NewBatcher(m, 0) }},
-			{"Koppelman", func() (Network, error) { return NewKoppelman(m, 0) }},
+			{"Batcher", func() (Network, error) { return New("batcher", m) }},
+			{"Koppelman", func() (Network, error) { return New("koppelman", m) }},
 			{"BNB", func() (Network, error) { return NewBNB(m, 0) }},
 		} {
 			b.Run(fmt.Sprintf("%s/%s", build.name, benchName(m)), func(b *testing.B) {
@@ -204,19 +204,19 @@ func BenchmarkEngineThroughput(b *testing.B) {
 
 // BenchmarkRouteBatcher measures the Batcher baseline.
 func BenchmarkRouteBatcher(b *testing.B) {
-	benchmarkRoute(b, func(m int) (Network, error) { return NewBatcher(m, 16) })
+	benchmarkRoute(b, func(m int) (Network, error) { return New("batcher", m, WithDataBits(16)) })
 }
 
 // BenchmarkRouteKoppelman measures the Koppelman analogue.
 func BenchmarkRouteKoppelman(b *testing.B) {
-	benchmarkRoute(b, func(m int) (Network, error) { return NewKoppelman(m, 16) })
+	benchmarkRoute(b, func(m int) (Network, error) { return New("koppelman", m, WithDataBits(16)) })
 }
 
 // BenchmarkRouteBenes measures the Beneš network including the per-call
 // global looping set-up — the centralized overhead the introduction
 // contrasts with self-routing.
 func BenchmarkRouteBenes(b *testing.B) {
-	benchmarkRoute(b, func(m int) (Network, error) { return NewBenes(m) })
+	benchmarkRoute(b, func(m int) (Network, error) { return New("benes", m) })
 }
 
 // BenchmarkRouteCrossbar measures the crossbar reference.
@@ -264,7 +264,7 @@ func benchmarkFabric(b *testing.B, traffic Traffic, name string) {
 		rng := rand.New(rand.NewSource(1))
 		var tp float64
 		for i := 0; i < b.N; i++ {
-			sw, err := NewFabricSwitch(n)
+			sw, err := NewFabric(n)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -311,7 +311,7 @@ func BenchmarkFigures(b *testing.B) {
 // BenchmarkRouteWaksman measures the minimum-switch rearrangeable baseline
 // (looping set-up per call).
 func BenchmarkRouteWaksman(b *testing.B) {
-	benchmarkRoute(b, func(m int) (Network, error) { return NewWaksman(m) })
+	benchmarkRoute(b, func(m int) (Network, error) { return New("waksman", m) })
 }
 
 // BenchmarkOmegaBlocking regenerates extension X4: the omega network's
@@ -362,7 +362,7 @@ func BenchmarkFabricVOQ(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	var tp float64
 	for i := 0; i < b.N; i++ {
-		sw, err := NewVOQFabricSwitch(n)
+		sw, err := NewFabric(n, WithVOQ())
 		if err != nil {
 			b.Fatal(err)
 		}

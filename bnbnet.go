@@ -19,8 +19,9 @@
 //   - hardware/delay cost reports in the paper's C_SW/C_FN/D_SW/D_FN units,
 //     and the closed-form rows of the paper's Tables 1 and 2 (Table1,
 //     Table2, HeadlineRatios);
-//   - an input-queued switch-fabric simulator (NewFabricSwitch) with
-//     uniform, permutation and hotspot traffic for system-level workloads;
+//   - a cell-switch fabric simulator (NewFabric; FIFO input-queued or
+//     virtual-output-queued with WithVOQ) with uniform, permutation and
+//     hotspot traffic for system-level workloads;
 //   - permutation workload generators (RandomPerm, GeneratePerm and the
 //     structured families), and the Beneš bit-controlled self-routing
 //     experiment behind the paper's introduction (BenesSelfRouting);
@@ -232,28 +233,10 @@ func (b batcherNetwork) Name() string { return "batcher" }
 func (b batcherNetwork) Inputs() int { return b.n.Inputs() }
 
 func (b batcherNetwork) Route(words []Word) ([]Word, error) {
-	in := make([]batcher.Word, len(words))
-	for i, wd := range words {
-		in[i] = batcher.Word(wd)
-	}
-	out, err := b.n.Route(in)
-	if err != nil {
-		return nil, err
-	}
-	res := make([]Word, len(out))
-	for i, wd := range out {
-		res[i] = Word(wd)
-	}
-	return res, nil
+	return routeConverted(words, b.n.Route)
 }
 
-func (b batcherNetwork) RoutePerm(p Perm) ([]Word, error) {
-	words := make([]Word, len(p))
-	for i, d := range p {
-		words[i] = Word{Addr: d, Data: uint64(i)}
-	}
-	return b.Route(words)
-}
+func (b batcherNetwork) RoutePerm(p Perm) ([]Word, error) { return b.Route(permWords(p)) }
 
 func (b batcherNetwork) Cost() Cost {
 	h := b.n.CountHardware()
@@ -290,28 +273,10 @@ func (k koppelmanNetwork) Name() string { return "koppelman" }
 func (k koppelmanNetwork) Inputs() int { return k.n.Inputs() }
 
 func (k koppelmanNetwork) Route(words []Word) ([]Word, error) {
-	in := make([]koppelman.Word, len(words))
-	for i, wd := range words {
-		in[i] = koppelman.Word(wd)
-	}
-	out, err := k.n.Route(in)
-	if err != nil {
-		return nil, err
-	}
-	res := make([]Word, len(out))
-	for i, wd := range out {
-		res[i] = Word(wd)
-	}
-	return res, nil
+	return routeConverted(words, k.n.Route)
 }
 
-func (k koppelmanNetwork) RoutePerm(p Perm) ([]Word, error) {
-	words := make([]Word, len(p))
-	for i, d := range p {
-		words[i] = Word{Addr: d, Data: uint64(i)}
-	}
-	return k.Route(words)
-}
+func (k koppelmanNetwork) RoutePerm(p Perm) ([]Word, error) { return k.Route(permWords(p)) }
 
 func (k koppelmanNetwork) Cost() Cost {
 	h := k.n.CountHardware()
@@ -370,37 +335,16 @@ func (b benesNetwork) Name() string { return "benes" }
 func (b benesNetwork) Inputs() int { return b.n.Inputs() }
 
 func (b benesNetwork) Route(words []Word) ([]Word, error) {
-	p := make(Perm, len(words))
-	for i, wd := range words {
-		p[i] = wd.Addr
-	}
-	settings, err := b.n.RouteGlobal(p)
-	if err != nil {
-		return nil, err
-	}
-	arrangement, err := b.n.Apply(settings)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Word, len(words))
-	for j, src := range arrangement {
-		out[j] = words[src]
-	}
-	for j, wd := range out {
-		if wd.Addr != j {
-			return nil, fmt.Errorf("benes: looping misdelivered address %d to output %d", wd.Addr, j)
+	return routeArranged("benes", b.n.Inputs(), words, func(p Perm) (Perm, error) {
+		settings, err := b.n.RouteGlobal(p)
+		if err != nil {
+			return nil, err
 		}
-	}
-	return out, nil
+		return b.n.Apply(settings)
+	})
 }
 
-func (b benesNetwork) RoutePerm(p Perm) ([]Word, error) {
-	words := make([]Word, len(p))
-	for i, d := range p {
-		words[i] = Word{Addr: d, Data: uint64(i)}
-	}
-	return b.Route(words)
-}
+func (b benesNetwork) RoutePerm(p Perm) ([]Word, error) { return b.Route(permWords(p)) }
 
 func (b benesNetwork) Cost() Cost { return Cost{Switches: b.n.Switches()} }
 
@@ -435,28 +379,10 @@ func (c crossbarNetwork) Name() string { return "crossbar" }
 func (c crossbarNetwork) Inputs() int { return c.n.Inputs() }
 
 func (c crossbarNetwork) Route(words []Word) ([]Word, error) {
-	in := make([]crossbar.Word, len(words))
-	for i, wd := range words {
-		in[i] = crossbar.Word(wd)
-	}
-	out, err := c.n.Route(in)
-	if err != nil {
-		return nil, err
-	}
-	res := make([]Word, len(out))
-	for i, wd := range out {
-		res[i] = Word(wd)
-	}
-	return res, nil
+	return routeConverted(words, c.n.Route)
 }
 
-func (c crossbarNetwork) RoutePerm(p Perm) ([]Word, error) {
-	words := make([]Word, len(p))
-	for i, d := range p {
-		words[i] = Word{Addr: d, Data: uint64(i)}
-	}
-	return c.Route(words)
-}
+func (c crossbarNetwork) RoutePerm(p Perm) ([]Word, error) { return c.Route(permWords(p)) }
 
 func (c crossbarNetwork) Cost() Cost { return Cost{Crosspoints: c.n.Crosspoints()} }
 
@@ -489,8 +415,67 @@ type FabricSwitch = fabric.Switch
 // iSLIP-style matcher around a Network; it removes head-of-line blocking.
 type VOQFabricSwitch = fabric.VOQSwitch
 
+// Fabric is the common surface of the cell-switch simulators NewFabric
+// builds: FIFO input-queued by default, virtual-output-queued with WithVOQ.
+type Fabric interface {
+	// Ports returns the port count N.
+	Ports() int
+	// QueueDepth returns input i's backlog (summed over VOQs when present).
+	QueueDepth(i int) int
+	// AttachMetrics observes every routed cycle into the sink.
+	AttachMetrics(m *Metrics)
+	// Run drives the switch for the given cycles of traffic.
+	Run(t Traffic, cycles int, rng *rand.Rand) (FabricStats, error)
+}
+
+// NewFabric wraps a Network as the routing core of a cell-switch simulator.
+// The default is the FIFO input-queued switch under the strict failure
+// policy; WithVOQ selects the virtual-output-queued switch with the
+// iSLIP-style matcher (removing head-of-line blocking), WithDegraded the
+// FIFO switch's graceful requeue-on-failure policy (the mode a fabric over a
+// faulty network runs in — it does not compose with WithVOQ), and
+// WithMetrics attaches the observability sink. The concrete *FabricSwitch
+// and *VOQFabricSwitch types remain reachable by type assertion.
+func NewFabric(n Network, opts ...Option) (Fabric, error) {
+	o, err := gatherOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if o.anySet(^(optFabric | optMetrics)) {
+		return nil, fmt.Errorf("bnbnet: NewFabric accepts only WithVOQ, WithDegraded and WithMetrics")
+	}
+	if o.voq && o.degraded {
+		return nil, fmt.Errorf("bnbnet: WithDegraded is the FIFO switch's failure policy; it does not compose with WithVOQ")
+	}
+	r, err := fabricRouter(n)
+	if err != nil {
+		return nil, err
+	}
+	var f Fabric
+	if o.voq {
+		s, err := fabric.NewVOQSwitch(r)
+		if err != nil {
+			return nil, err
+		}
+		f = s
+	} else {
+		s, err := fabric.NewSwitch(r)
+		if err != nil {
+			return nil, err
+		}
+		s.SetDegraded(o.degraded)
+		f = s
+	}
+	if o.metrics != nil {
+		f.AttachMetrics(o.metrics)
+	}
+	return f, nil
+}
+
 // NewFabricSwitch wraps a Network as the routing core of a FIFO
 // input-queued cell switch.
+//
+// Deprecated: Use NewFabric(n).
 func NewFabricSwitch(n Network) (*FabricSwitch, error) {
 	r, err := fabricRouter(n)
 	if err != nil {
@@ -501,6 +486,8 @@ func NewFabricSwitch(n Network) (*FabricSwitch, error) {
 
 // NewVOQFabricSwitch wraps a Network as the routing core of a virtual-
 // output-queued cell switch.
+//
+// Deprecated: Use NewFabric(n, WithVOQ()).
 func NewVOQFabricSwitch(n Network) (*VOQFabricSwitch, error) {
 	r, err := fabricRouter(n)
 	if err != nil {

@@ -14,11 +14,11 @@ func allNetworks(t testing.TB, m, w int) []Network {
 	var nets []Network
 	for _, build := range []func() (Network, error){
 		func() (Network, error) { return NewBNB(m, w) },
-		func() (Network, error) { return NewBatcher(m, w) },
-		func() (Network, error) { return NewKoppelman(m, w) },
-		func() (Network, error) { return NewBenes(m) },
-		func() (Network, error) { return NewWaksman(m) },
-		func() (Network, error) { return NewBitonic(m) },
+		func() (Network, error) { return New("batcher", m, WithDataBits(w)) },
+		func() (Network, error) { return New("koppelman", m, WithDataBits(w)) },
+		func() (Network, error) { return New("benes", m) },
+		func() (Network, error) { return New("waksman", m) },
+		func() (Network, error) { return New("bitonic", m) },
 		func() (Network, error) { return NewCrossbar(1 << uint(m)) },
 	} {
 		n, err := build()
@@ -175,7 +175,7 @@ func TestDelayOrdering(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		bat, err := NewBatcher(m, 0)
+		bat, err := New("batcher", m)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -235,9 +235,12 @@ func TestFabricThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw, err := NewFabricSwitch(n)
+	sw, err := NewFabric(n)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if _, ok := sw.(*FabricSwitch); !ok {
+		t.Fatalf("NewFabric default built %T, want *FabricSwitch", sw)
 	}
 	rng := rand.New(rand.NewSource(6))
 	stats, err := sw.Run(PermutationTraffic{Load: 1.0}, 100, rng)
@@ -247,8 +250,22 @@ func TestFabricThroughFacade(t *testing.T) {
 	if got := stats.Throughput(16); math.Abs(got-1.0) > 1e-9 {
 		t.Errorf("throughput = %v, want 1.0", got)
 	}
-	if _, err := NewFabricSwitch(nil); err == nil {
-		t.Error("NewFabricSwitch(nil) accepted")
+	if _, err := NewFabric(nil); err == nil {
+		t.Error("NewFabric(nil) accepted")
+	}
+	if v, err := NewFabric(n, WithVOQ()); err != nil {
+		t.Errorf("NewFabric(WithVOQ): %v", err)
+	} else if _, ok := v.(*VOQFabricSwitch); !ok {
+		t.Errorf("WithVOQ built %T, want *VOQFabricSwitch", v)
+	}
+	if _, err := NewFabric(n, WithVOQ(), WithDegraded()); err == nil {
+		t.Error("WithVOQ + WithDegraded accepted")
+	}
+	if _, err := NewFabric(n, WithWorkers(2)); err == nil {
+		t.Error("NewFabric accepted an engine option")
+	}
+	if _, err := New("bnb", 4, WithVOQ()); err == nil {
+		t.Error("New accepted WithVOQ")
 	}
 }
 
@@ -302,7 +319,7 @@ func TestFiguresThroughFacade(t *testing.T) {
 func TestKoppelmanDelayReportConsistent(t *testing.T) {
 	prev := 0.0
 	for _, m := range []int{4, 6, 8, 10} {
-		n, err := NewKoppelman(m, 0)
+		n, err := New("koppelman", m)
 		if err != nil {
 			t.Fatal(err)
 		}

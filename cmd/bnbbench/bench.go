@@ -1,0 +1,310 @@
+package main
+
+// The measurement core of bnbbench. runBench is a pure function of its
+// config — seeded workloads, no global state — so the test suite drives it
+// in-process and the CLI just wires flags to it.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	bnbnet "repro"
+)
+
+// Report is the machine-readable result of one bnbbench run at one order —
+// the BENCH_<m>.json payload. Schema "bnbbench/v1"; Validate checks an
+// emitted file against it.
+type Report struct {
+	Schema string `json:"schema"`
+	M      int    `json:"m"`
+	N      int    `json:"n"`
+	Go     string `json:"go"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+	Quick  bool   `json:"quick"`
+
+	Networks []NetworkResult `json:"networks"`
+	Engine   []EngineResult  `json:"engine"`
+	Planes   []PlaneResult   `json:"planes"`
+}
+
+// NetworkResult is the single-threaded route latency profile of one family.
+type NetworkResult struct {
+	Family       string  `json:"family"`
+	Samples      int     `json:"samples"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	RoutesPerSec float64 `json:"routes_per_sec"`
+	P50Ns        int64   `json:"p50_ns"`
+	P99Ns        int64   `json:"p99_ns"`
+	// PooledNsPerOp is the zero-allocation RouteInto path, present only for
+	// families offering the BulkRouter surface (0 otherwise).
+	PooledNsPerOp float64 `json:"pooled_ns_per_op,omitempty"`
+}
+
+// EngineResult is one point of the serving-engine throughput sweep.
+type EngineResult struct {
+	Workers      int     `json:"workers"`
+	Requests     int     `json:"requests"`
+	RoutesPerSec float64 `json:"routes_per_sec"`
+	P50Ns        int64   `json:"p50_ns"`
+	P99Ns        int64   `json:"p99_ns"`
+}
+
+// PlaneResult is one point of the supervised multi-plane sweep.
+type PlaneResult struct {
+	Planes       int     `json:"planes"`
+	Workers      int     `json:"workers"`
+	Requests     int     `json:"requests"`
+	RoutesPerSec float64 `json:"routes_per_sec"`
+	P50Ns        int64   `json:"p50_ns"`
+	P99Ns        int64   `json:"p99_ns"`
+	Failovers    int64   `json:"failovers"`
+}
+
+// benchConfig sizes one run. The zero value is not useful; build with
+// defaultConfig.
+type benchConfig struct {
+	m        int
+	families []string
+	workers  []int
+	quick    bool
+	seed     int64
+
+	routeSamples   int // per-family latency samples
+	engineRequests int // per sweep point
+}
+
+func defaultConfig(m int, families []string, workers []int, quick bool) benchConfig {
+	cfg := benchConfig{
+		m:              m,
+		families:       families,
+		workers:        workers,
+		quick:          quick,
+		seed:           1991, // the paper's year; fixed so runs are comparable
+		routeSamples:   1500,
+		engineRequests: 4000,
+	}
+	if quick {
+		cfg.routeSamples = 300
+		cfg.engineRequests = 800
+	}
+	return cfg
+}
+
+// runBench measures every configured family and sweep at order cfg.m.
+func runBench(cfg benchConfig) (Report, error) {
+	rep := Report{
+		Schema: "bnbbench/v1",
+		M:      cfg.m,
+		N:      1 << uint(cfg.m),
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Quick:  cfg.quick,
+	}
+	for _, family := range cfg.families {
+		nr, err := benchNetwork(family, cfg)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Networks = append(rep.Networks, nr)
+	}
+	for _, w := range cfg.workers {
+		er, err := benchEngine(w, cfg)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Engine = append(rep.Engine, er)
+	}
+	pr, err := benchPlanes(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Planes = append(rep.Planes, pr)
+	return rep, nil
+}
+
+// workload pre-generates the sample permutations as word batches so
+// generation cost stays out of the timed region.
+func workload(n, samples int, seed int64) [][]bnbnet.Word {
+	rng := rand.New(rand.NewSource(seed))
+	batches := make([][]bnbnet.Word, samples)
+	for i := range batches {
+		p := bnbnet.RandomPerm(n, rng)
+		words := make([]bnbnet.Word, n)
+		for j, d := range p {
+			words[j] = bnbnet.Word{Addr: d, Data: uint64(j)}
+		}
+		batches[i] = words
+	}
+	return batches
+}
+
+// summarize turns raw per-op nanosecond samples into the latency triple.
+func summarize(samples []int64) (mean float64, p50, p99 int64) {
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum int64
+	for _, s := range sorted {
+		sum += s
+	}
+	mean = float64(sum) / float64(len(sorted))
+	pick := func(q float64) int64 {
+		idx := int(q * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return mean, pick(0.50), pick(0.99)
+}
+
+// allocsPerOp measures the steady-state heap allocations of fn, the
+// ReadMemStats-delta analogue of testing.AllocsPerRun.
+func allocsPerOp(runs int, fn func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	fn() // warm pools and lazy initialization outside the measured window
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}
+
+func benchNetwork(family string, cfg benchConfig) (NetworkResult, error) {
+	net, err := bnbnet.New(family, cfg.m)
+	if err != nil {
+		return NetworkResult{}, err
+	}
+	n := net.Inputs()
+	batches := workload(n, cfg.routeSamples, cfg.seed)
+	// Warm-up: scratch pools, allocator, branch predictors.
+	for i := 0; i < len(batches) && i < 16; i++ {
+		if _, err := net.Route(batches[i]); err != nil {
+			return NetworkResult{}, fmt.Errorf("%s warm-up: %w", family, err)
+		}
+	}
+	samples := make([]int64, len(batches))
+	for i, words := range batches {
+		start := time.Now()
+		if _, err := net.Route(words); err != nil {
+			return NetworkResult{}, fmt.Errorf("%s: %w", family, err)
+		}
+		samples[i] = time.Since(start).Nanoseconds()
+	}
+	mean, p50, p99 := summarize(samples)
+	res := NetworkResult{
+		Family:       family,
+		Samples:      len(samples),
+		NsPerOp:      mean,
+		RoutesPerSec: 1e9 / mean,
+		P50Ns:        p50,
+		P99Ns:        p99,
+	}
+	res.AllocsPerOp = allocsPerOp(64, func() { net.Route(batches[0]) }) //nolint:errcheck // measured above
+
+	if br, ok := bnbnet.AsBulkRouter(net); ok {
+		dst := make([]bnbnet.Word, n)
+		pooled := make([]int64, len(batches))
+		for i, words := range batches {
+			start := time.Now()
+			if err := br.RouteInto(dst, words); err != nil {
+				return NetworkResult{}, fmt.Errorf("%s pooled: %w", family, err)
+			}
+			pooled[i] = time.Since(start).Nanoseconds()
+		}
+		pmean, _, _ := summarize(pooled)
+		res.PooledNsPerOp = pmean
+	}
+	return res, nil
+}
+
+func benchEngine(workers int, cfg benchConfig) (EngineResult, error) {
+	net, err := bnbnet.New("bnb", cfg.m)
+	if err != nil {
+		return EngineResult{}, err
+	}
+	sink := bnbnet.NewMetrics()
+	eng, err := bnbnet.NewEngine(net, bnbnet.WithWorkers(workers), bnbnet.WithMetrics(sink))
+	if err != nil {
+		return EngineResult{}, err
+	}
+	elapsed, err := driveBatches(eng.RoutePermBatch, net.Inputs(), cfg.engineRequests, cfg.seed)
+	cerr := eng.Close()
+	if err != nil {
+		return EngineResult{}, err
+	}
+	if cerr != nil {
+		return EngineResult{}, cerr
+	}
+	s := sink.Snapshot()
+	return EngineResult{
+		Workers:      workers,
+		Requests:     cfg.engineRequests,
+		RoutesPerSec: float64(cfg.engineRequests) / elapsed.Seconds(),
+		P50Ns:        s.P50.Nanoseconds(),
+		P99Ns:        s.P99.Nanoseconds(),
+	}, nil
+}
+
+func benchPlanes(cfg benchConfig) (PlaneResult, error) {
+	const planes = 2
+	workers := cfg.workers[len(cfg.workers)-1]
+	sink := bnbnet.NewMetrics()
+	sup, err := bnbnet.NewSupervised("bnb", cfg.m,
+		bnbnet.WithPlanes(planes), bnbnet.WithWorkers(workers), bnbnet.WithMetrics(sink))
+	if err != nil {
+		return PlaneResult{}, err
+	}
+	n := 1 << uint(cfg.m)
+	elapsed, err := driveBatches(sup.RoutePermBatch, n, cfg.engineRequests, cfg.seed)
+	failovers := sup.Failovers()
+	cerr := sup.Close()
+	if err != nil {
+		return PlaneResult{}, err
+	}
+	if cerr != nil {
+		return PlaneResult{}, cerr
+	}
+	s := sink.Snapshot()
+	return PlaneResult{
+		Planes:       planes,
+		Workers:      workers,
+		Requests:     cfg.engineRequests,
+		RoutesPerSec: float64(cfg.engineRequests) / elapsed.Seconds(),
+		P50Ns:        s.P50.Nanoseconds(),
+		P99Ns:        s.P99.Nanoseconds(),
+		Failovers:    failovers,
+	}, nil
+}
+
+// driveBatches pushes `requests` random permutations through the serving
+// front in fixed-size batches and returns the wall-clock time.
+func driveBatches(route func([]bnbnet.Perm) ([][]bnbnet.Word, []error), n, requests int, seed int64) (time.Duration, error) {
+	rng := rand.New(rand.NewSource(seed))
+	const batch = 128
+	start := time.Now()
+	for done := 0; done < requests; done += batch {
+		size := batch
+		if requests-done < size {
+			size = requests - done
+		}
+		ps := make([]bnbnet.Perm, size)
+		for i := range ps {
+			ps[i] = bnbnet.RandomPerm(n, rng)
+		}
+		_, errs := route(ps)
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	return time.Since(start), nil
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps in-process runs fast: one small order, minimal samples.
+func tinyConfig() benchConfig {
+	cfg := defaultConfig(3, []string{"bnb", "batcher", "benes"}, []int{1, 2}, true)
+	cfg.routeSamples = 40
+	cfg.engineRequests = 100
+	return cfg
+}
+
+func TestRunBenchProducesValidReport(t *testing.T) {
+	rep, err := runBench(tinyConfig())
+	if err != nil {
+		t.Fatalf("runBench: %v", err)
+	}
+	if err := checkReport(rep); err != nil {
+		t.Fatalf("checkReport: %v", err)
+	}
+	if len(rep.Networks) != 3 {
+		t.Fatalf("got %d network results, want 3", len(rep.Networks))
+	}
+	if len(rep.Engine) != 2 {
+		t.Fatalf("got %d engine points, want 2", len(rep.Engine))
+	}
+	if len(rep.Planes) != 1 || rep.Planes[0].Planes != 2 {
+		t.Fatalf("plane sweep %+v, want one 2-plane point", rep.Planes)
+	}
+	// bnb offers the pooled BulkRouter path; batcher does not.
+	for _, nr := range rep.Networks {
+		switch nr.Family {
+		case "bnb":
+			if nr.PooledNsPerOp <= 0 {
+				t.Errorf("bnb: pooled_ns_per_op = %v, want > 0", nr.PooledNsPerOp)
+			}
+		case "batcher":
+			if nr.PooledNsPerOp != 0 {
+				t.Errorf("batcher: pooled_ns_per_op = %v, want 0", nr.PooledNsPerOp)
+			}
+		}
+	}
+}
+
+func TestValidateRoundTrip(t *testing.T) {
+	rep, err := runBench(tinyConfig())
+	if err != nil {
+		t.Fatalf("runBench: %v", err)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := Validate(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got.M != rep.M || got.N != rep.N || len(got.Networks) != len(rep.Networks) {
+		t.Fatalf("round trip mutated report: %+v vs %+v", got, rep)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	rep, err := runBench(tinyConfig())
+	if err != nil {
+		t.Fatalf("runBench: %v", err)
+	}
+	marshal := func(r Report) []byte {
+		buf, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return buf
+	}
+	cases := []struct {
+		name    string
+		payload []byte
+		want    string
+	}{
+		{"unknown field", []byte(`{"schema":"bnbbench/v1","bogus":1}`), "decode"},
+		{"wrong schema", marshal(func() Report { r := rep; r.Schema = "bnbbench/v0"; return r }()), "schema"},
+		{"n mismatch", marshal(func() Report { r := rep; r.N = 7; return r }()), "2^m"},
+		{"missing family", marshal(func() Report {
+			r := rep
+			r.Networks = r.Networks[:1] // bnb only
+			return r
+		}()), "required family"},
+		{"inverted percentiles", marshal(func() Report {
+			r := rep
+			nets := append([]NetworkResult(nil), r.Networks...)
+			nets[0].P99Ns = nets[0].P50Ns - 1
+			r.Networks = nets
+			return r
+		}()), "out of order"},
+		{"empty stamp", marshal(func() Report { r := rep; r.Go = ""; return r }()), "machine stamp"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Validate(bytes.NewReader(tc.payload))
+			if err == nil {
+				t.Fatal("Validate accepted a bad report")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCLIRunEmitsAndValidatesFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("3", "bnb,batcher,benes", "1", true, dir, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	path := filepath.Join(dir, "BENCH_3.json")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("expected %s: %v", path, err)
+	}
+	defer f.Close()
+	rep, err := Validate(f)
+	if err != nil {
+		t.Fatalf("emitted file fails validation: %v", err)
+	}
+	if rep.M != 3 || !rep.Quick {
+		t.Fatalf("got m=%d quick=%v, want m=3 quick=true", rep.M, rep.Quick)
+	}
+	// The -validate mode must accept its own output.
+	if err := run("", "", "", false, "", path); err != nil {
+		t.Fatalf("run -validate: %v", err)
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 3, 5 ,7")
+	if err != nil || len(got) != 3 || got[0] != 3 || got[2] != 7 {
+		t.Fatalf("parseInts: got %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "3,x", "0", "-1,3"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package main
+
+// Schema validation for BENCH_<m>.json files. CI runs `bnbbench -validate`
+// over freshly generated output, so a drifting field name or a nonsensical
+// number fails the build instead of silently corrupting the perf trajectory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// requiredFamilies must appear in every report's networks section; they are
+// the paper's headline comparison (self-routing BNB vs. Batcher sorting vs.
+// centrally-routed Beneš).
+var requiredFamilies = []string{"bnb", "batcher", "benes"}
+
+// Validate strictly decodes one report and checks its invariants.
+func Validate(r io.Reader) (Report, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("decode: %w", err)
+	}
+	if err := checkReport(rep); err != nil {
+		return Report{}, err
+	}
+	return rep, nil
+}
+
+func checkReport(rep Report) error {
+	if rep.Schema != "bnbbench/v1" {
+		return fmt.Errorf("schema %q, want bnbbench/v1", rep.Schema)
+	}
+	if rep.M < 1 || rep.N != 1<<uint(rep.M) {
+		return fmt.Errorf("m = %d with n = %d; want n = 2^m", rep.M, rep.N)
+	}
+	if rep.Go == "" || rep.GOOS == "" || rep.GOARCH == "" || rep.CPUs < 1 {
+		return fmt.Errorf("incomplete machine stamp: go=%q goos=%q goarch=%q cpus=%d",
+			rep.Go, rep.GOOS, rep.GOARCH, rep.CPUs)
+	}
+	seen := map[string]bool{}
+	for _, nr := range rep.Networks {
+		if seen[nr.Family] {
+			return fmt.Errorf("family %q listed twice", nr.Family)
+		}
+		seen[nr.Family] = true
+		if nr.Samples < 1 {
+			return fmt.Errorf("%s: %d samples", nr.Family, nr.Samples)
+		}
+		if nr.NsPerOp <= 0 || nr.RoutesPerSec <= 0 {
+			return fmt.Errorf("%s: non-positive ns_per_op %v or routes_per_sec %v",
+				nr.Family, nr.NsPerOp, nr.RoutesPerSec)
+		}
+		if nr.P50Ns <= 0 || nr.P99Ns < nr.P50Ns {
+			return fmt.Errorf("%s: p50 %d / p99 %d out of order", nr.Family, nr.P50Ns, nr.P99Ns)
+		}
+		if nr.AllocsPerOp < 0 || nr.PooledNsPerOp < 0 {
+			return fmt.Errorf("%s: negative allocs or pooled time", nr.Family)
+		}
+	}
+	for _, want := range requiredFamilies {
+		if !seen[want] {
+			return fmt.Errorf("required family %q missing (have %v)", want, rep.Networks)
+		}
+	}
+	for _, er := range rep.Engine {
+		if er.Workers < 1 || er.Requests < 1 {
+			return fmt.Errorf("engine sweep: workers %d, requests %d", er.Workers, er.Requests)
+		}
+		if er.RoutesPerSec <= 0 || er.P50Ns <= 0 || er.P99Ns < er.P50Ns {
+			return fmt.Errorf("engine sweep workers=%d: routes_per_sec %v, p50 %d, p99 %d",
+				er.Workers, er.RoutesPerSec, er.P50Ns, er.P99Ns)
+		}
+	}
+	for _, pr := range rep.Planes {
+		if pr.Planes < 2 {
+			return fmt.Errorf("plane sweep: %d planes", pr.Planes)
+		}
+		if pr.RoutesPerSec <= 0 || pr.P50Ns <= 0 || pr.P99Ns < pr.P50Ns {
+			return fmt.Errorf("plane sweep: routes_per_sec %v, p50 %d, p99 %d",
+				pr.RoutesPerSec, pr.P50Ns, pr.P99Ns)
+		}
+		if pr.Failovers < 0 {
+			return fmt.Errorf("plane sweep: negative failovers")
+		}
+	}
+	return nil
+}

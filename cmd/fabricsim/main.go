@@ -52,13 +52,25 @@ func main() {
 		chaosSeed = flag.Int64("chaos-seed", 2026, "seed of the deterministic chaos schedule")
 		planes    = flag.Int("planes", 0, "run K >= 2 supervised redundant planes (with -chaos striking plane 0) instead of the fabric loop")
 		requests  = flag.Int("requests", 10000, "requests for the -planes availability run")
+		debugAddr = flag.String("debug", "", `serve the debug bundle (metrics exposition, trace dump, pprof) on this address for the duration of the run, e.g. ":8080"`)
 	)
 	flag.Parse()
+	// With -debug the whole run shares one sink and one tracer, exposed live
+	// on the debug endpoint; the per-load-point tables then read cumulative.
+	var dbg *debugState
+	if *debugAddr != "" {
+		var err error
+		if dbg, err = startDebug(*debugAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "fabricsim:", err)
+			os.Exit(1)
+		}
+		defer dbg.srv.Close()
+	}
 	var err error
 	if *planes > 0 {
-		err = runPlanes(*netName, *m, *planes, *requests, *seed, *chaos, *chaosHeal, *chaosSeed)
+		err = runPlanes(*netName, *m, *planes, *requests, *seed, *chaos, *chaosHeal, *chaosSeed, dbg)
 	} else {
-		err = run(*netName, *m, *traffic, *cycles, *seed, *hotfrac, *voq, *metrics, *chaos, *chaosHeal, *chaosSeed)
+		err = run(*netName, *m, *traffic, *cycles, *seed, *hotfrac, *voq, *metrics, *chaos, *chaosHeal, *chaosSeed, dbg)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fabricsim:", err)
@@ -66,11 +78,30 @@ func main() {
 	}
 }
 
+// debugState is the shared observability surface behind -debug: one metrics
+// sink and one trace ring for the whole run, served over HTTP until exit.
+type debugState struct {
+	sink   *bnbnet.Metrics
+	tracer *bnbnet.Tracer
+	srv    *bnbnet.DebugServer
+}
+
+func startDebug(addr string) (*debugState, error) {
+	d := &debugState{sink: bnbnet.NewMetrics(), tracer: bnbnet.NewTracer(4096)}
+	srv, err := bnbnet.Serve(addr, d.sink, d.tracer)
+	if err != nil {
+		return nil, err
+	}
+	d.srv = srv
+	fmt.Printf("debug: http://%s/debug/bnb/metrics (also /debug/bnb/traces, /debug/pprof/)\n", srv.Addr())
+	return d, nil
+}
+
 // runPlanes is the availability experiment: the same request stream is
 // offered to an unsupervised single plane carrying the chaos plan and to a
 // K-plane supervised stack with the identical plan striking plane 0, and
 // the two delivery rates are compared. The supervised run must be perfect.
-func runPlanes(netName string, m, k, requests int, seed int64, chaos float64, chaosHeal int, chaosSeed int64) error {
+func runPlanes(netName string, m, k, requests int, seed int64, chaos float64, chaosHeal int, chaosSeed int64, dbg *debugState) error {
 	if k < 2 {
 		return fmt.Errorf("-planes %d: need at least 2 planes", k)
 	}
@@ -155,6 +186,9 @@ func runPlanes(netName string, m, k, requests int, seed int64, chaos float64, ch
 	if plan != nil {
 		supOpts = append(supOpts, bnbnet.WithPlaneFaults(0, plan))
 	}
+	if dbg != nil {
+		supOpts = append(supOpts, bnbnet.WithMetrics(dbg.sink), bnbnet.WithTracer(dbg.tracer))
+	}
 	sup, err := bnbnet.NewSupervised(netName, m, supOpts...)
 	if err != nil {
 		return err
@@ -189,7 +223,7 @@ func runPlanes(netName string, m, k, requests int, seed int64, chaos float64, ch
 	return nil
 }
 
-func run(netName string, m int, traffic string, cycles int, seed int64, hotfrac float64, voq, showMetrics bool, chaos float64, chaosHeal int, chaosSeed int64) error {
+func run(netName string, m int, traffic string, cycles int, seed int64, hotfrac float64, voq, showMetrics bool, chaos float64, chaosHeal int, chaosSeed int64, dbg *debugState) error {
 	var opts []bnbnet.Option
 	if chaos > 0 {
 		if voq {
@@ -233,61 +267,53 @@ func run(netName string, m int, traffic string, cycles int, seed int64, hotfrac 
 			return err
 		}
 		sink := bnbnet.NewMetrics()
-		var stats bnbnet.FabricStats
+		if dbg != nil {
+			sink = dbg.sink
+		}
+		fopts := []bnbnet.Option{bnbnet.WithMetrics(sink)}
 		if voq {
-			sw, err := bnbnet.NewVOQFabricSwitch(net)
+			fopts = append(fopts, bnbnet.WithVOQ())
+		} else if chaos > 0 {
+			fopts = append(fopts, bnbnet.WithDegraded())
+		}
+		sw, err := bnbnet.NewFabric(net, fopts...)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		stats, err := sw.Run(gen, cycles, rng)
+		if err != nil {
+			return err
+		}
+		if !voq && chaos > 0 {
+			// Drain with idle arrivals until every requeued cell lands.
+			row := chaosRow{
+				load: load, offered: stats.Offered, delivered: stats.Delivered,
+				requeued: stats.Requeued, fails: stats.FailedPasses,
+			}
+			idle, err := makeTraffic(traffic, 0, hotfrac)
 			if err != nil {
 				return err
 			}
-			sw.AttachMetrics(sink)
-			stats, err = sw.Run(gen, cycles, rand.New(rand.NewSource(seed)))
-			if err != nil {
-				return err
-			}
-		} else {
-			sw, err := bnbnet.NewFabricSwitch(net)
-			if err != nil {
-				return err
-			}
-			sw.AttachMetrics(sink)
-			if chaos > 0 {
-				sw.SetDegraded(true)
-			}
-			rng := rand.New(rand.NewSource(seed))
-			stats, err = sw.Run(gen, cycles, rng)
-			if err != nil {
-				return err
-			}
-			if chaos > 0 {
-				// Drain with idle arrivals until every requeued cell lands.
-				row := chaosRow{
-					load: load, offered: stats.Offered, delivered: stats.Delivered,
-					requeued: stats.Requeued, fails: stats.FailedPasses,
-				}
-				idle, err := makeTraffic(traffic, 0, hotfrac)
+			for chunk := 0; chunk < 20; chunk++ {
+				d, err := sw.Run(idle, cycles, rng)
 				if err != nil {
 					return err
 				}
-				for chunk := 0; chunk < 20; chunk++ {
-					d, err := sw.Run(idle, cycles, rng)
-					if err != nil {
-						return err
-					}
-					row.delivered += d.Delivered
-					row.requeued += d.Requeued
-					row.fails += d.FailedPasses
-					row.drain += cycles
-					if d.Backlog == 0 {
-						break
-					}
+				row.delivered += d.Delivered
+				row.requeued += d.Requeued
+				row.fails += d.FailedPasses
+				row.drain += cycles
+				if d.Backlog == 0 {
+					break
 				}
-				if row.offered > 0 {
-					row.eventual = float64(row.delivered) / float64(row.offered)
-				} else {
-					row.eventual = 1
-				}
-				chaosRows = append(chaosRows, row)
 			}
+			if row.offered > 0 {
+				row.eventual = float64(row.delivered) / float64(row.offered)
+			} else {
+				row.eventual = 1
+			}
+			chaosRows = append(chaosRows, row)
 		}
 		snapshots = append(snapshots, sink.Snapshot())
 		fmt.Fprintf(tw, "%.2f\t%.4f\t%.2f\t%d\t%d\t%d\t%d\n",

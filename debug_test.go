@@ -1,0 +1,169 @@
+package bnbnet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// get fetches one debug URL and returns the body.
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestDebugEndpoints serves requests through a traced engine and checks the
+// exposition, span dump, and pprof surfaces over real HTTP.
+func TestDebugEndpoints(t *testing.T) {
+	n, err := New("bnb", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics()
+	tr := NewTracer(64)
+	e, err := NewEngine(n, WithWorkers(2), WithMetrics(m), WithTracer(tr), WithDebugAddr("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	addr := e.DebugAddr()
+	if addr == "" {
+		t.Fatal("WithDebugAddr engine reports no DebugAddr")
+	}
+	if e.Tracer() != tr {
+		t.Fatal("Tracer() did not return the WithTracer ring")
+	}
+	const reqs = 5
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < reqs; i++ {
+		out, errs := e.RoutePermBatch([]Perm{RandomPerm(n.Inputs(), rng)})
+		if errs[0] != nil || out[0] == nil {
+			t.Fatalf("request %d failed: %v", i, errs[0])
+		}
+	}
+
+	code, body := get(t, "http://"+addr+"/debug/bnb/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	if !strings.Contains(body, fmt.Sprintf("bnb_routes_total %d", reqs)) {
+		t.Fatalf("exposition missing routes counter:\n%s", body)
+	}
+	if !strings.Contains(body, `bnb_route_latency_seconds_bucket{le="+Inf"} `) {
+		t.Fatalf("exposition missing histogram:\n%s", body)
+	}
+
+	code, body = get(t, "http://"+addr+"/debug/bnb/traces?n=3")
+	if code != http.StatusOK {
+		t.Fatalf("traces status %d", code)
+	}
+	var dump struct {
+		Capacity  int         `json:"capacity"`
+		Published uint64      `json:"published"`
+		Spans     []TraceSpan `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("traces dump is not JSON: %v\n%s", err, body)
+	}
+	if dump.Capacity != 64 || dump.Published != reqs || len(dump.Spans) != 3 {
+		t.Fatalf("traces dump = capacity %d published %d spans %d, want 64/%d/3",
+			dump.Capacity, dump.Published, len(dump.Spans), reqs)
+	}
+	if dump.Spans[0].Kind != "request" || dump.Spans[0].Words != n.Inputs() {
+		t.Fatalf("span shape off: %+v", dump.Spans[0])
+	}
+
+	if code, body = get(t, "http://"+addr+"/debug/bnb/traces?n=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad n param: status %d body %q", code, body)
+	}
+	if code, _ = get(t, "http://"+addr+"/debug/bnb/traces?slow=1"); code != http.StatusOK {
+		t.Fatalf("slow dump status %d", code)
+	}
+	if code, body = get(t, "http://"+addr+"/debug/pprof/cmdline"); code != http.StatusOK || body == "" {
+		t.Fatalf("pprof cmdline: status %d", code)
+	}
+	if code, _ = get(t, "http://"+addr+"/debug/vars"); code != http.StatusOK {
+		t.Fatalf("expvar status %d", code)
+	}
+}
+
+// TestDebugServerNilSurfaces checks a standalone Serve with nothing attached
+// still answers every endpoint.
+func TestDebugServerNilSurfaces(t *testing.T) {
+	d, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	code, body := get(t, "http://"+d.Addr()+"/debug/bnb/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "bnb_routes_total 0") {
+		t.Fatalf("nil-metrics exposition: status %d\n%s", code, body)
+	}
+	code, body = get(t, "http://"+d.Addr()+"/debug/bnb/traces")
+	if code != http.StatusOK || !strings.Contains(body, `"spans": []`) {
+		t.Fatalf("nil-tracer dump: status %d\n%s", code, body)
+	}
+}
+
+// TestDebugServerShutdownLeak pins the goroutine-leak contract: starting and
+// closing debug servers (standalone and engine-owned) leaves no serving
+// goroutine behind.
+func TestDebugServerShutdownLeak(t *testing.T) {
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		d, err := Serve("127.0.0.1:0", NewMetrics(), NewTracer(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code, _ := get(t, "http://"+d.Addr()+"/debug/bnb/metrics"); code != http.StatusOK {
+			t.Fatalf("round %d: status %d", i, code)
+		}
+		if err := d.Close(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			t.Fatalf("round %d: close: %v", i, err)
+		}
+
+		n, err := New("bnb", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(n, WithTracer(NewTracer(16)), WithDebugAddr("127.0.0.1:0"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.DebugAddr() == "" {
+			t.Fatal("engine-owned server has no address")
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The HTTP client keeps idle connections briefly; allow them to die.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > baseline+2 {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+			baseline, got, buf[:runtime.Stack(buf, true)])
+	}
+}

@@ -26,14 +26,55 @@ type MetricsSnapshot = metrics.Snapshot
 // or FabricSwitch.AttachMetrics.
 func NewMetrics() *Metrics { return new(Metrics) }
 
-// IntoRouter is implemented by networks with a pooled in-place routing path
-// (*BNB natively). NewEngine serves such networks with zero steady-state
-// allocation per request; everything else goes through a route-and-copy
-// adapter.
-type IntoRouter interface {
+// BulkRouter is the optional pooled routing surface of a Network: RouteInto
+// routes src into dst in place, with zero steady-state allocation for
+// networks implementing it natively (*BNB). NewEngine and the supervised
+// planes serve BulkRouter networks over this hot path; everything else goes
+// through a route-and-copy adapter. Discover the surface with AsBulkRouter,
+// which sees through New's decorators.
+type BulkRouter interface {
 	// RouteInto routes src into dst; both must have length Inputs().
 	RouteInto(dst, src []Word) error
 }
+
+// IntoRouter is the original name of BulkRouter.
+//
+// Deprecated: Use BulkRouter.
+type IntoRouter = BulkRouter
+
+// TracedRouter is the optional stage-tracing surface of a Network:
+// RouteTraced routes the words and additionally returns the word vector at
+// the input of every main stage plus the final output. *BNB implements it
+// natively; New's WithTrace option requires it. Discover the surface with
+// AsTracedRouter.
+type TracedRouter interface {
+	RouteTraced(words []Word) ([]Word, [][]Word, error)
+}
+
+// asSurface walks n's decorator chain (interface{ Unwrap() Network }) until
+// one link implements the optional surface T.
+func asSurface[T any](n Network) (T, bool) {
+	for base := n; base != nil; {
+		if s, ok := base.(T); ok {
+			return s, true
+		}
+		u, ok := base.(interface{ Unwrap() Network })
+		if !ok {
+			break
+		}
+		base = u.Unwrap()
+	}
+	var zero T
+	return zero, false
+}
+
+// AsBulkRouter returns the pooled routing surface of n, or ok = false when
+// neither the network nor anything under its decorators offers one.
+func AsBulkRouter(n Network) (BulkRouter, bool) { return asSurface[BulkRouter](n) }
+
+// AsTracedRouter returns the stage-tracing surface of n, or ok = false when
+// neither the network nor anything under its decorators offers one.
+func AsTracedRouter(n Network) (TracedRouter, bool) { return asSurface[TracedRouter](n) }
 
 // Ticket is the handle to one request submitted to an Engine; Wait blocks
 // for completion and returns the output buffer and the request's error.
@@ -44,7 +85,8 @@ type Ticket = engine.Ticket
 // RouteBatch fans a batch across the workers and reports per-request errors.
 // Construct with NewEngine; all methods are safe for concurrent use.
 type Engine struct {
-	e *engine.Engine
+	e   *engine.Engine
+	dbg *DebugServer // nil unless WithDebugAddr was set
 }
 
 // NewEngine builds a serving engine around the network. Options: WithWorkers
@@ -54,8 +96,10 @@ type Engine struct {
 // life, retry transient faults, and fail over to a standby network after
 // consecutive hard failures (see DESIGN.md §8); WithShedding rejects
 // requests whose deadline cannot be met at the current queue depth with
-// ErrOverloaded instead of letting them expire in the queue (§9). Networks implementing
-// IntoRouter — *BNB, including behind New's decorator — are served over the
+// ErrOverloaded instead of letting them expire in the queue (§9). WithTracer
+// records one TraceSpan per request and WithDebugAddr starts the debug HTTP
+// bundle, owned by this engine and stopped by Close (§11). Networks implementing
+// BulkRouter — *BNB, including behind New's decorator — are served over the
 // pooled zero-allocation hot path.
 func NewEngine(n Network, opts ...Option) (*Engine, error) {
 	if n == nil {
@@ -77,6 +121,9 @@ func NewEngine(n Network, opts ...Option) (*Engine, error) {
 	if o.anySet(optSupervised) {
 		return nil, fmt.Errorf("bnbnet: WithPlanes, WithPlaneFaults, WithPlaneCap and WithHealthInterval apply to NewSupervised, not NewEngine")
 	}
+	if o.anySet(optFabric) {
+		return nil, fmt.Errorf("bnbnet: WithVOQ and WithDegraded apply to NewFabric, not NewEngine")
+	}
 	if o.anySet(optFallback) && !o.anySet(optBreaker) {
 		return nil, fmt.Errorf("bnbnet: WithFallback requires WithBreaker; without a breaker the fallback would never serve")
 	}
@@ -93,37 +140,39 @@ func NewEngine(n Network, opts ...Option) (*Engine, error) {
 		FailureThreshold: o.breaker,
 		Fallback:         fb,
 		Shed:             o.shed,
+		Tracer:           o.tracer,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{e: e}, nil
+	var dbg *DebugServer
+	if o.debugAddr != "" {
+		if dbg, err = Serve(o.debugAddr, o.metrics, o.tracer); err != nil {
+			e.Close()
+			return nil, err
+		}
+	}
+	return &Engine{e: e, dbg: dbg}, nil
 }
 
 // engineRouter picks the fastest routing surface the network offers: its
 // own RouteInto if it (or anything under its decorators) implements
-// IntoRouter, else Route plus a copy.
+// BulkRouter, else Route plus a copy.
 func engineRouter(n Network) engine.Router {
-	for base := n; ; {
-		if ir, ok := base.(IntoRouter); ok {
-			return intoRouter{n: n, ir: ir}
-		}
-		u, ok := base.(interface{ Unwrap() Network })
-		if !ok {
-			return copyRouter{n: n}
-		}
-		base = u.Unwrap()
+	if br, ok := AsBulkRouter(n); ok {
+		return bulkRouter{n: n, br: br}
 	}
+	return copyRouter{n: n}
 }
 
-type intoRouter struct {
+type bulkRouter struct {
 	n  Network
-	ir IntoRouter
+	br BulkRouter
 }
 
-func (r intoRouter) Inputs() int { return r.n.Inputs() }
+func (r bulkRouter) Inputs() int { return r.n.Inputs() }
 
-func (r intoRouter) RouteInto(dst, src []core.Word) error { return r.ir.RouteInto(dst, src) }
+func (r bulkRouter) RouteInto(dst, src []core.Word) error { return r.br.RouteInto(dst, src) }
 
 type copyRouter struct{ n Network }
 
@@ -177,11 +226,7 @@ func (e *Engine) RouteBatchCtx(ctx context.Context, batch [][]Word) (outs [][]Wo
 func (e *Engine) RoutePermBatch(ps []Perm) (outs [][]Word, errs []error) {
 	batch := make([][]Word, len(ps))
 	for i, p := range ps {
-		words := make([]Word, len(p))
-		for j, d := range p {
-			words[j] = Word{Addr: d, Data: uint64(j)}
-		}
-		batch[i] = words
+		batch[i] = permWords(p)
 	}
 	return e.e.RouteBatch(batch)
 }
@@ -198,7 +243,26 @@ func (e *Engine) Metrics() *Metrics { return e.e.Metrics() }
 // BreakerOpen reports whether the circuit breaker (WithBreaker) is open.
 func (e *Engine) BreakerOpen() bool { return e.e.BreakerOpen() }
 
+// Tracer returns the span recorder, or nil without WithTracer.
+func (e *Engine) Tracer() *Tracer { return e.e.Tracer() }
+
+// DebugAddr returns the debug HTTP endpoint's listen address, or "" without
+// WithDebugAddr.
+func (e *Engine) DebugAddr() string {
+	if e.dbg == nil {
+		return ""
+	}
+	return e.dbg.Addr()
+}
+
 // Close stops accepting requests, drains queued work, and stops the workers;
-// every ticket submitted before Close still completes. A second Close
-// reports ErrClosed.
-func (e *Engine) Close() error { return e.e.Close() }
+// every ticket submitted before Close still completes. Pending trace spans
+// are flushed into the ring and the WithDebugAddr server, if any, is shut
+// down with no goroutine left behind. A second Close reports ErrClosed.
+func (e *Engine) Close() error {
+	err := e.e.Close()
+	if e.dbg != nil {
+		e.dbg.Close()
+	}
+	return err
+}

@@ -85,7 +85,7 @@ func ExampleHeadlineRatios() {
 
 // ExampleVerifyNetwork runs the conformance battery on a fresh network.
 func ExampleVerifyNetwork() {
-	net, err := bnbnet.NewBatcher(3, 0)
+	net, err := bnbnet.New("batcher", 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -109,13 +109,13 @@ func ExampleCompletePerm() {
 	// [3 1 0 2]
 }
 
-// ExampleNewFabricSwitch simulates permutation traffic over a BNB fabric.
-func ExampleNewFabricSwitch() {
+// ExampleNewFabric simulates permutation traffic over a BNB fabric.
+func ExampleNewFabric() {
 	net, err := bnbnet.NewBNB(4, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sw, err := bnbnet.NewFabricSwitch(net)
+	sw, err := bnbnet.NewFabric(net)
 	if err != nil {
 		log.Fatal(err)
 	}

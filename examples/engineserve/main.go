@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -17,6 +18,8 @@ import (
 )
 
 func main() {
+	debugAddr := flag.String("debug", "", `serve the debug bundle (metrics exposition, trace dump, pprof) on this address, e.g. ":8080"`)
+	flag.Parse()
 	const (
 		m         = 8 // N = 256 ports
 		producers = 6
@@ -29,15 +32,27 @@ func main() {
 		log.Fatal(err)
 	}
 	sink := bnbnet.NewMetrics()
-	eng, err := bnbnet.NewEngine(net,
+	opts := []bnbnet.Option{
 		bnbnet.WithWorkers(4),
 		bnbnet.WithQueue(16),
 		bnbnet.WithMetrics(sink),
-	)
+	}
+	var tracer *bnbnet.Tracer
+	if *debugAddr != "" {
+		// The tracer records every request's span; the debug server exposes
+		// the ring on /debug/bnb/traces next to the Prometheus exposition
+		// and pprof, and dies with the engine's Close.
+		tracer = bnbnet.NewTracer(1024)
+		opts = append(opts, bnbnet.WithTracer(tracer), bnbnet.WithDebugAddr(*debugAddr))
+	}
+	eng, err := bnbnet.NewEngine(net, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("engine: %d ports, %d workers\n", eng.Inputs(), eng.Workers())
+	if addr := eng.DebugAddr(); addr != "" {
+		fmt.Printf("debug: http://%s/debug/bnb/metrics (also /debug/bnb/traces, /debug/pprof/)\n", addr)
+	}
 
 	// A monitor goroutine watches the sink while the producers hammer the
 	// engine — Snapshot is safe concurrently with observation.
@@ -90,6 +105,13 @@ func main() {
 	wg.Wait()
 	close(stop)
 	monitor.Wait()
+	if tracer != nil {
+		if slow := tracer.Slowest(); len(slow) > 0 {
+			fmt.Printf("slowest request: %v total (%v queued), plane %d\n",
+				slow[0].Total, slow[0].QueueWait, slow[0].Plane)
+		}
+		fmt.Printf("traced %d spans (%d published)\n", tracer.Started(), tracer.Published())
+	}
 	if err := eng.Close(); err != nil {
 		log.Fatal(err)
 	}

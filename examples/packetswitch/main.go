@@ -54,7 +54,7 @@ func main() {
 	}
 
 	for _, sc := range scenarios {
-		sw, err := bnbnet.NewFabricSwitch(net)
+		sw, err := bnbnet.NewFabric(net)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -71,7 +71,7 @@ func main() {
 	// Same saturating uniform traffic, but with virtual output queues and an
 	// iSLIP-style matcher instead of FIFO inputs: head-of-line blocking
 	// disappears and the BNB fabric runs near full speed.
-	voq, err := bnbnet.NewVOQFabricSwitch(net)
+	voq, err := bnbnet.NewFabric(net, bnbnet.WithVOQ())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -78,7 +78,7 @@ func main() {
 
 	// Contrast: Batcher's network sorts without the rank phase (it IS a
 	// sorting network), at the cost of full-width comparators.
-	bat, err := bnbnet.NewBatcher(m, 16)
+	bat, err := bnbnet.New("batcher", m, bnbnet.WithDataBits(16))
 	if err != nil {
 		log.Fatal(err)
 	}

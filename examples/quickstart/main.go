@@ -50,11 +50,11 @@ func main() {
 	fmt.Println("\nall words delivered to their destination addresses ✓")
 
 	// The paper's comparison: same job, three networks.
-	bat, err := bnbnet.NewBatcher(m, w)
+	bat, err := bnbnet.New("batcher", m, bnbnet.WithDataBits(w))
 	if err != nil {
 		log.Fatal(err)
 	}
-	kop, err := bnbnet.NewKoppelman(m, w)
+	kop, err := bnbnet.New("koppelman", m, bnbnet.WithDataBits(w))
 	if err != nil {
 		log.Fatal(err)
 	}

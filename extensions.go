@@ -201,36 +201,13 @@ func (w waksmanNetwork) Name() string { return "waksman" }
 func (w waksmanNetwork) Inputs() int { return w.n.Inputs() }
 
 func (w waksmanNetwork) Route(words []Word) ([]Word, error) {
-	p := make(Perm, len(words))
-	for i, wd := range words {
-		p[i] = wd.Addr
-	}
-	if len(p) != w.n.Inputs() {
-		return nil, fmt.Errorf("waksman: got %d words, want %d", len(p), w.n.Inputs())
-	}
-	arrangement, _, err := w.n.Route(p)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Word, len(words))
-	for j, src := range arrangement {
-		out[j] = words[src]
-	}
-	for j, wd := range out {
-		if wd.Addr != j {
-			return nil, fmt.Errorf("waksman: looping misdelivered address %d to output %d", wd.Addr, j)
-		}
-	}
-	return out, nil
+	return routeArranged("waksman", w.n.Inputs(), words, func(p Perm) (Perm, error) {
+		arrangement, _, err := w.n.Route(p)
+		return arrangement, err
+	})
 }
 
-func (w waksmanNetwork) RoutePerm(p Perm) ([]Word, error) {
-	words := make([]Word, len(p))
-	for i, d := range p {
-		words[i] = Word{Addr: d, Data: uint64(i)}
-	}
-	return w.Route(words)
-}
+func (w waksmanNetwork) RoutePerm(p Perm) ([]Word, error) { return w.Route(permWords(p)) }
 
 func (w waksmanNetwork) Cost() Cost { return Cost{Switches: w.n.Switches()} }
 
@@ -266,28 +243,10 @@ func (b bitonicNetwork) Name() string { return "bitonic" }
 func (b bitonicNetwork) Inputs() int { return b.n.Inputs() }
 
 func (b bitonicNetwork) Route(words []Word) ([]Word, error) {
-	in := make([]bitonic.Word, len(words))
-	for i, wd := range words {
-		in[i] = bitonic.Word(wd)
-	}
-	out, err := b.n.Route(in)
-	if err != nil {
-		return nil, err
-	}
-	res := make([]Word, len(out))
-	for i, wd := range out {
-		res[i] = Word(wd)
-	}
-	return res, nil
+	return routeConverted(words, b.n.Route)
 }
 
-func (b bitonicNetwork) RoutePerm(p Perm) ([]Word, error) {
-	words := make([]Word, len(p))
-	for i, d := range p {
-		words[i] = Word{Addr: d, Data: uint64(i)}
-	}
-	return b.Route(words)
-}
+func (b bitonicNetwork) RoutePerm(p Perm) ([]Word, error) { return b.Route(permWords(p)) }
 
 func (b bitonicNetwork) Cost() Cost {
 	m := b.n.M()

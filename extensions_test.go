@@ -287,7 +287,7 @@ func TestVOQFabricFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	voq, err := NewVOQFabricSwitch(net)
+	voq, err := NewFabric(net, WithVOQ())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +295,7 @@ func TestVOQFabricFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fifo, err := NewFabricSwitch(net)
+	fifo, err := NewFabric(net)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,8 +306,8 @@ func TestVOQFabricFacade(t *testing.T) {
 	if vs.Throughput(32) <= fs.Throughput(32)+0.15 {
 		t.Errorf("VOQ %v does not clearly beat FIFO %v", vs.Throughput(32), fs.Throughput(32))
 	}
-	if _, err := NewVOQFabricSwitch(nil); err == nil {
-		t.Error("NewVOQFabricSwitch(nil) accepted")
+	if _, err := NewFabric(nil, WithVOQ()); err == nil {
+		t.Error("NewFabric(nil, WithVOQ()) accepted")
 	}
 }
 

@@ -51,7 +51,7 @@ func StuckAt(e FaultElement, cross bool) *FaultPlan { return fault.StuckAt(e, cr
 // perturbed according to the plan and verified, so faults surface as errors
 // (transient ones marked ErrTransient) instead of silent misdeliveries.
 // Construct with New(family, m, WithFaults(plan)) or NewFaultyNetwork.
-// A FaultyNetwork implements IntoRouter, so NewEngine serves it on the
+// A FaultyNetwork implements BulkRouter, so NewEngine serves it on the
 // pooled path — the intended composition for retry and breaker experiments.
 type FaultyNetwork struct {
 	base Network
@@ -93,18 +93,11 @@ func newFaulty(n Network, plan *FaultPlan, m *metrics.Metrics) (*FaultyNetwork, 
 // the BNB core (which supports switch-level overrides for stuck-at faults)
 // when present, else the pooled or copying adapter used by the engine.
 func faultRouter(n Network) fault.Router {
-	for base := n; ; {
-		if b, ok := base.(*BNB); ok {
-			return b.n
-		}
-		u, ok := base.(interface{ Unwrap() Network })
-		if !ok {
-			break
-		}
-		base = u.Unwrap()
+	if b, ok := asSurface[*BNB](n); ok {
+		return b.n
 	}
-	if ir, ok := n.(IntoRouter); ok {
-		return intoRouter{n: n, ir: ir}
+	if br, ok := AsBulkRouter(n); ok {
+		return bulkRouter{n: n, br: br}
 	}
 	return copyRouter{n: n}
 }
@@ -137,15 +130,9 @@ func (f *FaultyNetwork) Route(words []Word) ([]Word, error) {
 }
 
 // RoutePerm implements Network.
-func (f *FaultyNetwork) RoutePerm(p Perm) ([]Word, error) {
-	words := make([]Word, len(p))
-	for i, d := range p {
-		words[i] = Word{Addr: d, Data: uint64(i)}
-	}
-	return f.Route(words)
-}
+func (f *FaultyNetwork) RoutePerm(p Perm) ([]Word, error) { return f.Route(permWords(p)) }
 
-// RouteInto implements IntoRouter: the perturbed pooled path. The injector's
+// RouteInto implements BulkRouter: the perturbed pooled path. The injector's
 // cycle clock advances once per call.
 func (f *FaultyNetwork) RouteInto(dst, src []Word) error { return f.inj.RouteInto(dst, src) }
 
@@ -201,8 +188,8 @@ func (fd *FaultDiagnoser) Diagnose(n Network) (FaultDiagnosis, error) {
 	// Unlike faultRouter, do not unwrap: the oracle must be the network as
 	// presented — unwrapping a FaultyNetwork would diagnose the healthy core
 	// under its own injector.
-	if ir, ok := n.(IntoRouter); ok {
-		return fd.d.Diagnose(intoRouter{n: n, ir: ir})
+	if br, ok := n.(BulkRouter); ok {
+		return fd.d.Diagnose(bulkRouter{n: n, br: br})
 	}
 	return fd.d.Diagnose(copyRouter{n: n})
 }

@@ -201,11 +201,10 @@ func TestDegradedFabricWithFaultyNetwork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := NewFabricSwitch(n)
+	s, err := NewFabric(n, WithDegraded())
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.SetDegraded(true)
 	rng := rand.New(rand.NewSource(1))
 	stats, err := s.Run(PermutationTraffic{Load: 0.5}, 1000, rng)
 	if err != nil {

@@ -123,11 +123,11 @@ func FuzzAllNetworksAgree(f *testing.F) {
 	nets := make([]Network, 0, 7)
 	for _, build := range []func() (Network, error){
 		func() (Network, error) { return NewBNB(m, 0) },
-		func() (Network, error) { return NewBatcher(m, 0) },
-		func() (Network, error) { return NewKoppelman(m, 0) },
-		func() (Network, error) { return NewBenes(m) },
-		func() (Network, error) { return NewWaksman(m) },
-		func() (Network, error) { return NewBitonic(m) },
+		func() (Network, error) { return New("batcher", m) },
+		func() (Network, error) { return New("koppelman", m) },
+		func() (Network, error) { return New("benes", m) },
+		func() (Network, error) { return New("waksman", m) },
+		func() (Network, error) { return New("bitonic", m) },
 		func() (Network, error) { return NewCrossbar(1 << m) },
 	} {
 		n, err := build()

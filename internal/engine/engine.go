@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/neterr"
+	"repro/internal/trace"
 )
 
 // Router is the routing surface the engine serves. core.Network implements
@@ -35,6 +36,17 @@ type Router interface {
 	Inputs() int
 	// RouteInto routes src into dst; both must have length N.
 	RouteInto(dst, src []core.Word) error
+}
+
+// TracedRouter is the optional tracing-aware routing surface. A router that
+// implements it (the plane supervisor does) receives each request's span, so
+// plane selection can annotate attempts, failovers, and the serving plane.
+// The engine discovers the capability once, by type assertion at New; a nil
+// span must be accepted and routed exactly like a plain RouteInto.
+type TracedRouter interface {
+	Router
+	// RouteIntoTraced is RouteInto annotating sp along the way; sp may be nil.
+	RouteIntoTraced(dst, src []core.Word, sp *trace.Span) error
 }
 
 // Config tunes an Engine. The zero value selects sensible defaults.
@@ -76,6 +88,10 @@ type Config struct {
 	// times the observed per-request service EWMA over the worker count —
 	// already exceeds it. Requests without a deadline are always admitted.
 	Shed bool
+	// Tracer, when non-nil, records a span per request — queue wait, service
+	// time, retries, failovers, shed/breaker decisions — into its ring. A nil
+	// tracer disables tracing at zero cost on the hot path.
+	Tracer *trace.Tracer
 }
 
 // RetryPolicy bounds the retry loop for transient failures.
@@ -97,6 +113,7 @@ type request struct {
 	deadline time.Time // zero when Config.Timeout is zero
 	ctx      context.Context
 	t        *Ticket
+	sp       *trace.Span // nil when tracing is disabled
 }
 
 // Ticket is the handle to one submitted request. Wait blocks until the
@@ -191,11 +208,13 @@ func (b *breaker) reset() {
 // Engine is a bounded worker pool serving permutation routes. Construct
 // with New; all methods are safe for concurrent use.
 type Engine struct {
-	r    Router
-	fb   Router // nil unless Config.Fallback was set
-	m    *metrics.Metrics
-	reqs chan *request
-	pool sync.Pool // *request
+	r      Router
+	tr     TracedRouter // r, when it supports span-carrying routes; else nil
+	fb     Router       // nil unless Config.Fallback was set
+	m      *metrics.Metrics
+	tracer *trace.Tracer
+	reqs   chan *request
+	pool   sync.Pool // *request
 
 	timeout time.Duration
 	retry   RetryPolicy
@@ -254,6 +273,7 @@ func New(r Router, cfg Config) (*Engine, error) {
 		r:       r,
 		fb:      cfg.Fallback,
 		m:       cfg.Metrics,
+		tracer:  cfg.Tracer,
 		reqs:    make(chan *request, queue),
 		timeout: cfg.Timeout,
 		retry:   cfg.Retry,
@@ -262,6 +282,7 @@ func New(r Router, cfg Config) (*Engine, error) {
 		closing: make(chan struct{}),
 		workers: workers,
 	}
+	e.tr, _ = r.(TracedRouter)
 	e.pool.New = func() any { return new(request) }
 	e.wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -282,14 +303,21 @@ func (e *Engine) Metrics() *metrics.Metrics { return e.m }
 // BreakerOpen reports whether the circuit breaker is currently open.
 func (e *Engine) BreakerOpen() bool { return e.brk.isOpen() }
 
+// Tracer returns the span sink, or nil when tracing is disabled.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for req := range e.reqs {
 		served := time.Now()
+		req.sp.Dequeued(served)
 		err := e.serve(req)
 		e.observeServe(time.Since(served))
 		e.inflight.Add(-1)
 		e.m.ObserveRoute(len(req.src), time.Since(req.start), err)
+		// Publish the span before the ticket unblocks Wait, so a caller that
+		// snapshots the ring right after Wait sees its own request.
+		e.tracer.Finish(req.sp, err)
 		t := req.t
 		*req = request{}
 		e.pool.Put(req)
@@ -413,9 +441,11 @@ func (e *Engine) serve(req *request) error {
 			e.brk.reset()
 			e.m.AddBreakerReset()
 		} else if e.fb != nil {
+			req.sp.MarkBreaker()
 			e.m.AddFallback()
 			return e.fb.RouteInto(req.dst, req.src)
 		} else {
+			req.sp.MarkBreaker()
 			return fmt.Errorf("engine: %w", neterr.ErrBreakerOpen)
 		}
 	}
@@ -426,7 +456,7 @@ func (e *Engine) serve(req *request) error {
 	wait := e.retry.Backoff
 	var err error
 	for attempt := 1; ; attempt++ {
-		err = e.r.RouteInto(req.dst, req.src)
+		err = e.route(req)
 		if err == nil {
 			e.brk.ok()
 			return nil
@@ -434,6 +464,7 @@ func (e *Engine) serve(req *request) error {
 		if attempt >= attempts || !errors.Is(err, neterr.ErrTransient) {
 			break
 		}
+		req.sp.AddRetry()
 		e.m.AddRetry()
 		if werr := e.backoff(req, wait); werr != nil {
 			return werr
@@ -444,6 +475,15 @@ func (e *Engine) serve(req *request) error {
 		e.m.AddBreakerTrip()
 	}
 	return err
+}
+
+// route runs one attempt on the primary router, handing the span down when
+// the router can carry it (the supervisor annotates plane selection on it).
+func (e *Engine) route(req *request) error {
+	if e.tr != nil {
+		return e.tr.RouteIntoTraced(req.dst, req.src, req.sp)
+	}
+	return e.r.RouteInto(req.dst, req.src)
 }
 
 // Submit enqueues one routing request and returns immediately with a
@@ -474,8 +514,11 @@ func (e *Engine) SubmitCtx(ctx context.Context, dst, src []core.Word) (*Ticket, 
 	if e.timeout > 0 {
 		deadline = start.Add(e.timeout)
 	}
+	sp := e.tracer.Start(trace.KindRequest, start, n)
 	if e.shed {
 		if err := e.admit(ctx, start, deadline); err != nil {
+			sp.MarkShed()
+			e.tracer.Finish(sp, err)
 			return nil, err
 		}
 	}
@@ -487,13 +530,16 @@ func (e *Engine) SubmitCtx(ctx context.Context, dst, src []core.Word) (*Ticket, 
 		deadline: deadline,
 		ctx:      ctx,
 		t:        &Ticket{done: make(chan error, 1), dst: dst},
+		sp:       sp,
 	}
 	t := req.t
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
 		e.pool.Put(req)
-		return nil, fmt.Errorf("engine: %w", neterr.ErrClosed)
+		err := fmt.Errorf("engine: %w", neterr.ErrClosed)
+		e.tracer.Finish(sp, err)
+		return nil, err
 	}
 	e.inflight.Add(1)
 	e.reqs <- req
@@ -591,5 +637,8 @@ func (e *Engine) Close() error {
 	close(e.reqs)
 	e.mu.Unlock()
 	e.wg.Wait()
+	// Workers have drained: any span still open belongs to work that never
+	// ran to completion — publish it aborted rather than dropping it.
+	e.tracer.Flush()
 	return nil
 }

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// promSeconds renders a duration in seconds the way Prometheus clients do:
+// shortest float64 round-trip form (1e-06, 0.000131072, ...).
+func promSeconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// WritePrometheus renders the metrics in the Prometheus text exposition
+// format (version 0.0.4) under the given namespace prefix; an empty
+// namespace selects "bnb". Counters map to _total counters, the plane census
+// to gauges, and the latency histogram to a cumulative _bucket series with
+// the power-of-two-microsecond bucket ceilings as le labels. Output order is
+// fixed, so the exposition is golden-file testable.
+func (m *Metrics) WritePrometheus(w io.Writer, ns string) error {
+	if ns == "" {
+		ns = "bnb"
+	}
+	if m == nil {
+		m = &Metrics{}
+	}
+	counters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"routes_total", "Successfully routed requests.", m.routes.Load()},
+		{"errors_total", "Failed routing requests.", m.errors.Load()},
+		{"words_switched_total", "Words moved by successful routes.", m.words.Load()},
+		{"faults_injected_total", "Faults the injector applied to route passes.", m.faults.Load()},
+		{"retries_total", "Route attempts repeated after a transient failure.", m.retries.Load()},
+		{"requeues_total", "Cells requeued by the degraded fabric.", m.requeues.Load()},
+		{"timeouts_total", "Requests abandoned by deadline.", m.timeouts.Load()},
+		{"breaker_trips_total", "Circuit-breaker trips (closed to open).", m.breakerTrips.Load()},
+		{"breaker_resets_total", "Circuit-breaker resets (open to closed).", m.breakerResets.Load()},
+		{"fallback_routes_total", "Requests served by the fallback router.", m.fallbacks.Load()},
+		{"failovers_total", "Planes drained and failed away from.", m.failovers.Load()},
+		{"repairs_total", "Plane rebuilds.", m.repairs.Load()},
+		{"readmits_total", "Quarantined planes readmitted after clean probes.", m.readmits.Load()},
+		{"sheds_total", "Requests rejected at admission (overload).", m.sheds.Load()},
+	}
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s %d\n",
+			ns, c.name, c.help, ns, c.name, ns, c.name, c.v); err != nil {
+			return err
+		}
+	}
+	gauges := []struct {
+		name, help string
+		v          int64
+	}{
+		{"planes_healthy", "Supervised planes currently serving live traffic.", m.planesHealthy.Load()},
+		{"planes_suspect", "Supervised planes draining after a failure.", m.planesSuspect.Load()},
+		{"planes_quarantined", "Supervised planes under diagnosis and repair.", m.planesQuarantined.Load()},
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s gauge\n%s_%s %d\n",
+			ns, g.name, g.help, ns, g.name, ns, g.name, g.v); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s_route_latency_max_seconds Slowest successful route observed.\n# TYPE %s_route_latency_max_seconds gauge\n%s_route_latency_max_seconds %s\n",
+		ns, ns, ns, promSeconds(m.latMax.Load())); err != nil {
+		return err
+	}
+	// Latency histogram: cumulative bucket counts under the power-of-two
+	// microsecond ceilings. Only successful routes are observed, so _count
+	// tracks routes_total.
+	if _, err := fmt.Fprintf(w, "# HELP %s_route_latency_seconds Latency of successful routes.\n# TYPE %s_route_latency_seconds histogram\n", ns, ns); err != nil {
+		return err
+	}
+	cum := int64(0)
+	for b := 0; b < histBuckets; b++ {
+		cum += m.buckets[b].Load()
+		if _, err := fmt.Fprintf(w, "%s_route_latency_seconds_bucket{le=\"%s\"} %d\n",
+			ns, promSeconds(int64(bucketCeil(b))), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_route_latency_seconds_bucket{le=\"+Inf\"} %d\n", ns, cum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_route_latency_seconds_sum %s\n%s_route_latency_seconds_count %d\n",
+		ns, promSeconds(m.latSum.Load()), ns, cum)
+	return err
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/neterr"
+	"repro/internal/trace"
 )
 
 // drainWait bounds how long the health checker waits for a suspect plane's
@@ -53,7 +54,7 @@ func (s *Supervisor) sweep(dst, src []core.Word) {
 			// Opportunistic idle probe: skip planes carrying live traffic —
 			// their routes are verified inline anyway.
 			if p.inflight.Load() == 0 {
-				if err := s.probePass(p, dst, src); err != nil {
+				if err := s.tracedProbePass(p, dst, src); err != nil {
 					s.fail(p, err)
 				}
 			}
@@ -92,7 +93,7 @@ func (s *Supervisor) diagnose(p *planeState) {
 // plane is rebuilt from its constructor — the repair for faults that do not
 // heal on their own — and probed again on the next sweep.
 func (s *Supervisor) tryReadmit(p *planeState, dst, src []core.Word) {
-	if err := s.probePass(p, dst, src); err != nil {
+	if err := s.tracedProbePass(p, dst, src); err != nil {
 		e := err
 		p.lastErr.Store(&e)
 		p.failedProbes++
@@ -113,6 +114,16 @@ func (s *Supervisor) tryReadmit(p *planeState, dst, src []core.Word) {
 	s.m.AddReadmit()
 	p.state.Store(int32(Healthy))
 	s.publishGauges()
+}
+
+// tracedProbePass wraps one probe pass in a KindProbe span, so probe traffic
+// shows up in the trace ring alongside the live requests it protects.
+func (s *Supervisor) tracedProbePass(p *planeState, dst, src []core.Word) error {
+	sp := s.tracer.Start(trace.KindProbe, time.Now(), s.n)
+	sp.SetPlane(p.id)
+	err := s.probePass(p, dst, src)
+	s.tracer.Finish(sp, err)
+	return err
 }
 
 // probePass routes the full probe set through the plane and verifies every

@@ -33,6 +33,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/neterr"
 	"repro/internal/perm"
+	"repro/internal/trace"
 )
 
 // Router is the routing surface a plane serves — the engine's router shape.
@@ -103,6 +104,10 @@ type Config struct {
 	// Metrics, when non-nil, receives failover/repair/readmit counters and
 	// the plane-state gauges. Routing observations stay with the engine.
 	Metrics *metrics.Metrics
+	// Tracer, when non-nil, receives one span per health-checker probe pass
+	// (request spans arrive from the engine via RouteIntoTraced). Nil
+	// disables probe tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 // planeState is the per-plane control block. All fields the hot path reads
@@ -140,6 +145,7 @@ type Supervisor struct {
 	cap    int64
 	rotor  atomic.Uint64
 	m      *metrics.Metrics
+	tracer *trace.Tracer
 
 	probes       []perm.Perm
 	diag         *fault.Diagnoser
@@ -208,6 +214,7 @@ func New(cfg Config) (*Supervisor, error) {
 		n:            n,
 		cap:          int64(cfg.InFlightCap),
 		m:            cfg.Metrics,
+		tracer:       cfg.Tracer,
 		probes:       probes,
 		diag:         cfg.Diagnoser,
 		rebuild:      cfg.Rebuild,
@@ -312,6 +319,17 @@ func (s *Supervisor) PlaneStats() []Stats {
 // ErrOverloaded; when no plane is healthy, suspect and quarantined planes
 // serve as a verified last resort.
 func (s *Supervisor) RouteInto(dst, src []core.Word) error {
+	return s.routeInto(dst, src, nil)
+}
+
+// RouteIntoTraced is RouteInto annotating the request's span with each plane
+// attempt, failover, shed decision, and the plane that finally served. A nil
+// span routes identically to RouteInto — the disabled-tracing hot path.
+func (s *Supervisor) RouteIntoTraced(dst, src []core.Word, sp *trace.Span) error {
+	return s.routeInto(dst, src, sp)
+}
+
+func (s *Supervisor) routeInto(dst, src []core.Word, sp *trace.Span) error {
 	if s.closed.Load() {
 		return fmt.Errorf("plane: %w", neterr.ErrClosed)
 	}
@@ -335,15 +353,19 @@ func (s *Supervisor) RouteInto(dst, src []core.Word) error {
 			capped++
 			continue
 		}
+		sp.AddAttempt()
 		if err == nil {
+			sp.SetPlane(p.id)
 			return nil
 		}
 		if isRequestError(err) {
 			return err
 		}
+		sp.AddFailover()
 		lastErr = err
 	}
 	if healthySeen > 0 && healthySeen == capped {
+		sp.MarkShed()
 		s.m.AddShed()
 		return fmt.Errorf("plane: every healthy plane at its in-flight cap of %d: %w", s.cap, neterr.ErrOverloaded)
 	}
@@ -360,16 +382,20 @@ func (s *Supervisor) RouteInto(dst, src []core.Word) error {
 			if !routed {
 				continue
 			}
+			sp.AddAttempt()
 			if err == nil {
+				sp.SetPlane(p.id)
 				return nil
 			}
 			if isRequestError(err) {
 				return err
 			}
+			sp.AddFailover()
 			lastErr = err
 		}
 	}
 	if lastErr == nil {
+		sp.MarkShed()
 		s.m.AddShed()
 		return fmt.Errorf("plane: every plane at its in-flight cap of %d: %w", s.cap, neterr.ErrOverloaded)
 	}
@@ -465,12 +491,14 @@ func (s *Supervisor) publishGauges() {
 
 // Close stops the health checker. It does not close the planes — the
 // supervisor does not own them — and is idempotent. In-flight routes finish;
-// later RouteInto calls fail with ErrClosed.
+// later RouteInto calls fail with ErrClosed. Any probe span still open when
+// the checker stops is flushed into the trace ring rather than dropped.
 func (s *Supervisor) Close() error {
 	s.closeOnce.Do(func() {
 		s.closed.Store(true)
 		close(s.stop)
 	})
 	s.wg.Wait()
+	s.tracer.Flush()
 	return nil
 }

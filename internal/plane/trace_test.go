@@ -1,0 +1,177 @@
+package plane
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/perm"
+	"repro/internal/trace"
+)
+
+// TestRouteIntoTracedFailover checks a request hitting a faulty plane gets
+// its span annotated: two attempts, one failover, served by the next plane.
+func TestRouteIntoTracedFailover(t *testing.T) {
+	const n = 8
+	tr := trace.New(trace.Config{Capacity: 32, SlowThreshold: time.Hour})
+	s, err := New(Config{
+		Planes:         []Router{&funcRouter{n: n, fn: misdeliver}, good(n)},
+		HealthInterval: time.Hour, // keep the checker out of the way
+		Tracer:         tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	src := permWords(perm.Identity(n))
+	dst := make([]core.Word, n)
+	// Route until the rotor starts on the faulty plane, so the span records
+	// the failover rather than a clean first pick.
+	for i := 0; i < 2; i++ {
+		sp := tr.Start(trace.KindRequest, time.Now(), n)
+		if err := s.RouteIntoTraced(dst, src, sp); err != nil {
+			t.Fatal(err)
+		}
+		tr.Finish(sp, nil)
+		if sp := tr.Snapshot(1)[0]; sp.Failovers == 1 {
+			if sp.Attempts != 2 {
+				t.Fatalf("failover span attempts = %d, want 2", sp.Attempts)
+			}
+			if sp.Plane != 1 {
+				t.Fatalf("failover span plane = %d, want 1", sp.Plane)
+			}
+			return
+		}
+	}
+	t.Fatal("no span recorded a failover across both rotor positions")
+}
+
+// TestRouteIntoTracedNilSpan pins the disabled-tracing contract: a nil span
+// routes exactly like RouteInto.
+func TestRouteIntoTracedNilSpan(t *testing.T) {
+	const n = 8
+	s, err := New(Config{
+		Planes:         []Router{good(n), good(n)},
+		HealthInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	src := permWords(perm.Identity(n))
+	dst := make([]core.Word, n)
+	if err := s.RouteIntoTraced(dst, src, nil); err != nil {
+		t.Fatal(err)
+	}
+	for j := range dst {
+		if dst[j].Addr != j {
+			t.Fatalf("output %d carries address %d", j, dst[j].Addr)
+		}
+	}
+}
+
+// TestTracePublicationOrderDeterministic pins the publication contract —
+// ring positions order spans by completion, IDs by admission — on an exact
+// interleaving instead of a lucky one. Request A is admitted first but
+// routes through a failover and is parked at trace.PublishYield just before
+// landing in the ring; request B, admitted second, routes cleanly and
+// publishes while A is parked. The schedule then releases A and asserts the
+// ring holds B before A while A's ID stays the smaller, with A's span
+// carrying the failover annotations.
+func TestTracePublicationOrderDeterministic(t *testing.T) {
+	const n = 8
+	trace.PublishYield = check.Yield
+	defer func() { trace.PublishYield = nil }()
+
+	// The tracer is deliberately NOT handed to the supervisor: Config.Tracer
+	// only feeds probe spans, and the failover below kicks the health checker,
+	// whose goroutine must not reach PublishYield while a scheduled thread
+	// holds the execution grant.
+	tr := trace.New(trace.Config{Capacity: 32, SlowThreshold: time.Hour})
+	s, err := New(Config{
+		Planes:         []Router{&funcRouter{n: n, fn: misdeliver}, good(n)},
+		HealthInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	src := permWords(perm.Identity(n))
+
+	route := func() {
+		dst := make([]core.Word, n)
+		sp := tr.Start(trace.KindRequest, time.Now(), n)
+		err := s.RouteIntoTraced(dst, src, sp)
+		tr.Finish(sp, err) // parks at PublishYield under the scheduler
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	a := check.GoNamed("request-a", func(func()) { route() })
+	b := check.GoNamed("request-b", func(func()) { route() })
+
+	a.Step() // A: rotor 0 → faulty plane, failover to plane 1, parked pre-publication
+	b.Step() // B: rotor 1 → clean route on plane 1, parked pre-publication
+	b.Finish()
+	if got := tr.Published(); got != 1 {
+		t.Fatalf("after B finished, Published() = %d, want 1 (A still parked)", got)
+	}
+	a.Finish()
+
+	snap := tr.Snapshot(0) // newest first: A published last
+	if len(snap) != 2 {
+		t.Fatalf("ring holds %d spans, want 2", len(snap))
+	}
+	last, first := snap[0], snap[1]
+	if first.ID != 2 || last.ID != 1 {
+		t.Fatalf("publication order IDs = [%d, %d], want B (2) before A (1)", first.ID, last.ID)
+	}
+	if last.Attempts != 2 || last.Failovers != 1 || last.Plane != 1 {
+		t.Fatalf("A's span = attempts %d, failovers %d, plane %d; want 2, 1, 1",
+			last.Attempts, last.Failovers, last.Plane)
+	}
+	if first.Attempts != 1 || first.Failovers != 0 || first.Plane != 1 {
+		t.Fatalf("B's span = attempts %d, failovers %d, plane %d; want 1, 0, 1",
+			first.Attempts, first.Failovers, first.Plane)
+	}
+}
+
+// TestHealthProbeSpans checks the health checker's probe passes land in the
+// ring as KindProbe spans naming the probed plane.
+func TestHealthProbeSpans(t *testing.T) {
+	const n = 8
+	tr := trace.New(trace.Config{Capacity: 64, SlowThreshold: time.Hour})
+	s, err := New(Config{
+		Planes:         []Router{good(n), good(n)},
+		HealthInterval: time.Millisecond,
+		Tracer:         tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for tr.Published() < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := tr.Snapshot(0)
+	if len(snap) == 0 {
+		t.Fatal("health checker published no probe spans")
+	}
+	planes := map[int32]bool{}
+	for _, sp := range snap {
+		if sp.Kind != trace.KindProbe {
+			t.Fatalf("span kind = %q, want probe", sp.Kind)
+		}
+		if sp.Err != "" {
+			t.Fatalf("healthy-plane probe recorded error %q", sp.Err)
+		}
+		planes[sp.Plane] = true
+	}
+	if !planes[0] || !planes[1] {
+		t.Fatalf("probe spans cover planes %v, want both 0 and 1", planes)
+	}
+}

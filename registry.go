@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Builder constructs a network of one family with N = 2^m inputs and
@@ -94,15 +95,22 @@ const (
 	optPlaneFaults
 	optPlaneCap
 	optHealthInterval
+	optTracer
+	optDebugAddr
+	optVOQ
+	optDegraded
 )
 
-// optEngine masks the resilience options that only NewEngine (and
+// optEngine masks the serving options that only NewEngine (and
 // NewSupervised, which embeds an engine) understands.
-const optEngine = optTimeout | optRetry | optBreaker | optFallback | optShedding
+const optEngine = optTimeout | optRetry | optBreaker | optFallback | optShedding | optTracer | optDebugAddr
 
 // optSupervised masks the redundancy options that only NewSupervised
 // understands.
 const optSupervised = optPlanes | optPlaneFaults | optPlaneCap | optHealthInterval
+
+// optFabric masks the cell-switch options that only NewFabric understands.
+const optFabric = optVOQ | optDegraded
 
 // options collects the functional options shared by New and NewEngine.
 type options struct {
@@ -125,6 +133,12 @@ type options struct {
 	planeFaults    map[int]*fault.Plan
 	planeCap       int
 	healthInterval time.Duration
+
+	tracer    *trace.Tracer
+	debugAddr string
+
+	voq      bool
+	degraded bool
 
 	errs []error
 }
@@ -294,6 +308,56 @@ func WithShedding() Option {
 	return func(o *options) { o.set |= optShedding; o.shed = true }
 }
 
+// WithTracer attaches a request-span recorder: every served request gets
+// one TraceSpan — queue wait, service time, retries, plane failovers,
+// shed/breaker decisions — published into the tracer's ring on completion
+// (flushed as aborted on Close), and the supervisor's health probes are
+// recorded alongside. A nil tracer is rejected; to disable tracing, omit
+// the option — the disabled path costs zero allocations. NewEngine and
+// NewSupervised.
+func WithTracer(tr *Tracer) Option {
+	return func(o *options) {
+		if tr == nil {
+			o.reject("WithTracer(nil): nil tracer; omit the option to disable tracing")
+			return
+		}
+		o.set |= optTracer
+		o.tracer = tr
+	}
+}
+
+// WithDebugAddr starts the debug HTTP endpoint bundle (DebugHandler:
+// Prometheus exposition, span dumps, expvar, pprof) on the given address,
+// owned by the constructed engine and shut down by its Close. ":0" picks a
+// free port — read it back with DebugAddr. The exposition serves the
+// WithMetrics sink and the span dump the WithTracer ring; either may be
+// absent. NewEngine and NewSupervised.
+func WithDebugAddr(addr string) Option {
+	return func(o *options) {
+		if addr == "" {
+			o.reject(`WithDebugAddr(""): empty listen address (use ":0" for a free port)`)
+			return
+		}
+		o.set |= optDebugAddr
+		o.debugAddr = addr
+	}
+}
+
+// WithVOQ selects the virtual-output-queued switch with the iSLIP-style
+// matcher — no head-of-line blocking — instead of the default FIFO
+// input-queued switch. NewFabric only.
+func WithVOQ() Option {
+	return func(o *options) { o.set |= optVOQ; o.voq = true }
+}
+
+// WithDegraded selects the FIFO switch's graceful failure policy: cells a
+// faulty routing core drops or misdelivers are requeued for a later cycle
+// instead of aborting the run. It does not compose with WithVOQ. NewFabric
+// only.
+func WithDegraded() Option {
+	return func(o *options) { o.set |= optDegraded; o.degraded = true }
+}
+
 // WithPlanes sets the number of redundant router planes K >= 2 the
 // supervisor runs. NewSupervised only.
 func WithPlanes(k int) Option {
@@ -387,10 +451,13 @@ func New(family string, m int, opts ...Option) (Network, error) {
 		return nil, fmt.Errorf("bnbnet: WithQueue applies to NewEngine, not New")
 	}
 	if o.anySet(optEngine) {
-		return nil, fmt.Errorf("bnbnet: WithTimeout, WithRetry, WithBreaker, WithFallback and WithShedding apply to NewEngine, not New")
+		return nil, fmt.Errorf("bnbnet: WithTimeout, WithRetry, WithBreaker, WithFallback, WithShedding, WithTracer and WithDebugAddr apply to NewEngine, not New")
 	}
 	if o.anySet(optSupervised) {
 		return nil, fmt.Errorf("bnbnet: WithPlanes, WithPlaneFaults, WithPlaneCap and WithHealthInterval apply to NewSupervised, not New")
+	}
+	if o.anySet(optFabric) {
+		return nil, fmt.Errorf("bnbnet: WithVOQ and WithDegraded apply to NewFabric, not New")
 	}
 	n, err := b(m, o.dataBits)
 	if err != nil {
@@ -408,7 +475,7 @@ func New(family string, m int, opts ...Option) (Network, error) {
 		}
 	}
 	if o.trace != nil {
-		if _, ok := n.(tracedNetwork); !ok {
+		if _, ok := n.(TracedRouter); !ok {
 			return nil, fmt.Errorf("bnbnet: family %q does not support WithTrace", family)
 		}
 	}
@@ -421,11 +488,6 @@ func New(family string, m int, opts ...Option) (Network, error) {
 // parallelNetwork is the capability WithWorkers requires of a network.
 type parallelNetwork interface {
 	RouteParallel(words []Word, workers int) ([]Word, error)
-}
-
-// tracedNetwork is the capability WithTrace requires of a network.
-type tracedNetwork interface {
-	RouteTraced(words []Word) ([]Word, [][]Word, error)
 }
 
 // instrumented decorates a Network with the behaviors New's options request:
@@ -464,7 +526,7 @@ func (x *instrumented) Route(words []Word) ([]Word, error) {
 
 func (x *instrumented) route(words []Word) ([]Word, error) {
 	if x.trace != nil {
-		out, snaps, err := x.base.(tracedNetwork).RouteTraced(words)
+		out, snaps, err := x.base.(TracedRouter).RouteTraced(words)
 		if err != nil {
 			return nil, err
 		}
@@ -481,9 +543,5 @@ func (x *instrumented) route(words []Word) ([]Word, error) {
 
 // RoutePerm implements Network.
 func (x *instrumented) RoutePerm(p Perm) ([]Word, error) {
-	words := make([]Word, len(p))
-	for i, d := range p {
-		words[i] = Word{Addr: d, Data: uint64(i)}
-	}
-	return x.Route(words)
+	return x.Route(permWords(p))
 }

@@ -362,11 +362,10 @@ func availabilityStudy(m, cycles int, rate float64, seed int64) (AvailabilityStu
 	if err != nil {
 		return AvailabilityStudy{}, err
 	}
-	s, err := NewFabricSwitch(n)
+	s, err := NewFabric(n, WithDegraded())
 	if err != nil {
 		return AvailabilityStudy{}, err
 	}
-	s.SetDegraded(true)
 	rng := rand.New(rand.NewSource(seed))
 	stats, err := s.Run(PermutationTraffic{Load: 0.5}, cycles, rng)
 	if err != nil {

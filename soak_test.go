@@ -102,7 +102,7 @@ func TestSoakFabricLongRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw, err := NewVOQFabricSwitch(net)
+	sw, err := NewFabric(net, WithVOQ())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,12 +45,13 @@ const diagMaxOrder = 5
 type Supervised struct {
 	e   *engine.Engine
 	sup *plane.Supervisor
+	dbg *DebugServer // nil unless WithDebugAddr was set
 }
 
 // NewSupervised builds K identical planes of the family (default 2, set
 // WithPlanes) and starts the supervised serving front. Engine options
 // (WithWorkers, WithQueue, WithMetrics, WithTimeout, WithRetry,
-// WithShedding) tune the front; WithPlaneCap bounds per-plane concurrency,
+// WithShedding, WithTracer, WithDebugAddr) tune the front; WithPlaneCap bounds per-plane concurrency,
 // WithHealthInterval the probe cadence, and WithPlaneFaults injects a
 // chaos plan into one plane for resilience experiments. WithBreaker and
 // WithFallback are rejected — the supervisor's health checker subsumes
@@ -76,6 +77,9 @@ func NewSupervised(family string, m int, opts ...Option) (*Supervised, error) {
 	}
 	if o.anySet(optBreaker | optFallback) {
 		return nil, fmt.Errorf("bnbnet: WithBreaker and WithFallback do not apply to NewSupervised; the supervisor's health checker subsumes them")
+	}
+	if o.anySet(optFabric) {
+		return nil, fmt.Errorf("bnbnet: WithVOQ and WithDegraded apply to NewFabric, not NewSupervised")
 	}
 	k := o.planes
 	if k == 0 {
@@ -128,6 +132,7 @@ func NewSupervised(family string, m int, opts ...Option) (*Supervised, error) {
 		HealthInterval: o.healthInterval,
 		InFlightCap:    o.planeCap,
 		Metrics:        o.metrics,
+		Tracer:         o.tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -139,12 +144,21 @@ func NewSupervised(family string, m int, opts ...Option) (*Supervised, error) {
 		Timeout: o.timeout,
 		Retry:   engine.RetryPolicy{MaxAttempts: o.retryAttempts, Backoff: o.retryBackoff},
 		Shed:    o.shed,
+		Tracer:  o.tracer,
 	})
 	if err != nil {
 		sup.Close()
 		return nil, err
 	}
-	return &Supervised{e: e, sup: sup}, nil
+	var dbg *DebugServer
+	if o.debugAddr != "" {
+		if dbg, err = Serve(o.debugAddr, o.metrics, o.tracer); err != nil {
+			e.Close()
+			sup.Close()
+			return nil, err
+		}
+	}
+	return &Supervised{e: e, sup: sup, dbg: dbg}, nil
 }
 
 // Submit enqueues one routing request; see Engine.Submit.
@@ -173,11 +187,7 @@ func (s *Supervised) RouteBatchCtx(ctx context.Context, batch [][]Word) (outs []
 func (s *Supervised) RoutePermBatch(ps []Perm) (outs [][]Word, errs []error) {
 	batch := make([][]Word, len(ps))
 	for i, p := range ps {
-		words := make([]Word, len(p))
-		for j, d := range p {
-			words[j] = Word{Addr: d, Data: uint64(j)}
-		}
-		batch[i] = words
+		batch[i] = permWords(p)
 	}
 	return s.e.RouteBatch(batch)
 }
@@ -221,10 +231,26 @@ func (s *Supervised) Publish(name string) error {
 	return nil
 }
 
-// Close drains the serving engine, then stops the health checker. A second
-// Close reports ErrClosed.
+// Tracer returns the span recorder, or nil without WithTracer.
+func (s *Supervised) Tracer() *Tracer { return s.e.Tracer() }
+
+// DebugAddr returns the debug HTTP endpoint's listen address, or "" without
+// WithDebugAddr.
+func (s *Supervised) DebugAddr() string {
+	if s.dbg == nil {
+		return ""
+	}
+	return s.dbg.Addr()
+}
+
+// Close drains the serving engine, then stops the health checker, flushing
+// any still-open trace spans, and shuts down the WithDebugAddr server with
+// no goroutine left behind. A second Close reports ErrClosed.
 func (s *Supervised) Close() error {
 	err := s.e.Close()
 	s.sup.Close()
+	if s.dbg != nil {
+		s.dbg.Close()
+	}
 	return err
 }
