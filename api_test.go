@@ -328,6 +328,40 @@ func TestRouteAllocs(t *testing.T) {
 	if allocs != 0 {
 		t.Errorf("supervised RouteIntoTraced with tracing disabled allocates %.1f objects per call, want 0", allocs)
 	}
+
+	// Replay inherits the guarantee: wire-following over a compiled plan
+	// performs zero heap allocations, both into a distinct buffer and in
+	// place (the aliasing path borrows the warmed scratch pool).
+	p := make(Perm, n)
+	for i, wd := range src {
+		p[i] = wd.Addr
+	}
+	pl, err := b.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		if err := b.Replay(pl, dst, src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Replay allocates %.1f objects per call, want 0", allocs)
+	}
+	inPlace := make([]Word, n)
+	copy(inPlace, src)
+	if err := b.Replay(pl, inPlace, inPlace); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		copy(inPlace, src)
+		if err := b.Replay(pl, inPlace, inPlace); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("in-place Replay allocates %.1f objects per call, want 0", allocs)
+	}
 }
 
 // TestConcurrentEngineStress hammers one shared *BNB and one Engine from

@@ -180,20 +180,26 @@ func (b *BNB) RouteParallel(words []Word, workers int) ([]Word, error) {
 func (b *BNB) RouteInto(dst, src []Word) error { return b.n.RouteInto(dst, src) }
 
 // Circuit is a recorded switch configuration realizing one permutation —
-// the network's circuit-switched mode. Obtain with BNB.Connect.
+// the network's circuit-switched mode. It is now a thin veneer over the
+// compiled-plan surface (Plan, BNB.Compile, BNB.Replay), which adds address
+// verification, in-place replay, and cacheability.
+//
+// Deprecated: Use BNB.Compile and BNB.Replay (or the PlanRouter surface).
 type Circuit struct {
-	n *core.Network
-	s *core.Settings
+	n  *core.Network
+	pl *Plan
 }
 
 // Connect runs the self-routing control plane once for the permutation and
 // returns the recorded circuit.
+//
+// Deprecated: Use BNB.Compile.
 func (b *BNB) Connect(p Perm) (*Circuit, error) {
-	s, err := b.n.ComputeSettings(p)
+	pl, err := b.Compile(p)
 	if err != nil {
 		return nil, err
 	}
-	return &Circuit{n: b.n, s: s}, nil
+	return &Circuit{n: b.n, pl: pl}, nil
 }
 
 // Send replays the circuit over a fresh batch of payloads: word i lands on
@@ -201,12 +207,16 @@ func (b *BNB) Connect(p Perm) (*Circuit, error) {
 // the words are ignored (the data path consults only the stored switch
 // states, exactly like the hardware's slaved slices).
 func (c *Circuit) Send(words []Word) ([]Word, error) {
-	return c.n.ApplySettings(c.s, words)
+	return c.n.ApplyPlan(c.pl.p, words)
 }
 
 // Switches returns the number of stored switch states,
 // (N/2)·(1/2)logN(logN+1).
-func (c *Circuit) Switches() int { return c.s.SwitchCount() }
+func (c *Circuit) Switches() int { return c.pl.Switches() }
+
+// Plan returns the compiled plan backing the circuit, for use with the
+// Replay fast path.
+func (c *Circuit) Plan() *Plan { return c.pl }
 
 // ---------------------------------------------------------------------------
 // Batcher

@@ -15,8 +15,8 @@ import (
 )
 
 // Report is the machine-readable result of one bnbbench run at one order —
-// the BENCH_<m>.json payload. Schema "bnbbench/v1"; Validate checks an
-// emitted file against it.
+// the BENCH_<m>.json payload. Schema "bnbbench/v2" (v2 added the compiled
+// route-plan section); Validate checks an emitted file against it.
 type Report struct {
 	Schema string `json:"schema"`
 	M      int    `json:"m"`
@@ -30,6 +30,7 @@ type Report struct {
 	Networks []NetworkResult `json:"networks"`
 	Engine   []EngineResult  `json:"engine"`
 	Planes   []PlaneResult   `json:"planes"`
+	Plan     PlanResultV2    `json:"plan"`
 }
 
 // NetworkResult is the single-threaded route latency profile of one family.
@@ -53,6 +54,33 @@ type EngineResult struct {
 	RoutesPerSec float64 `json:"routes_per_sec"`
 	P50Ns        int64   `json:"p50_ns"`
 	P99Ns        int64   `json:"p99_ns"`
+}
+
+// PlanResultV2 profiles the compiled route-plan path added by bnbbench/v2:
+// the one-off compile cost (a full live arbiter pass plus recording), the
+// steady-state replay latency and allocations, the break-even repeat count
+// where compiling amortizes over live routing, and a cache sweep showing how
+// the engine's lock-free plan cache converts workload repetition into hits.
+type PlanResultV2 struct {
+	CompileNsPerOp    float64 `json:"compile_ns_per_op"`
+	ReplayNsPerOp     float64 `json:"replay_ns_per_op"`
+	ReplayAllocsPerOp float64 `json:"replay_allocs_per_op"`
+	// BreakEvenRoutes is compile / (live - replay): the number of repeats of
+	// one permutation after which compile-then-replay beats routing each
+	// batch live (0 when replay does not undercut the live path).
+	BreakEvenRoutes float64 `json:"break_even_routes"`
+	// HitSweep drives the cached engine with workloads of increasing
+	// repetition (50%, 95%, 100% repeated permutations).
+	HitSweep []HitPoint `json:"hit_sweep"`
+}
+
+// HitPoint is one cache sweep point: a workload where repeat_ratio of the
+// requests reuse a permutation from a small working set, and the measured
+// cache hit ratio plus throughput the cached engine achieved on it.
+type HitPoint struct {
+	RepeatRatio  float64 `json:"repeat_ratio"`
+	HitRatio     float64 `json:"hit_ratio"`
+	RoutesPerSec float64 `json:"routes_per_sec"`
 }
 
 // PlaneResult is one point of the supervised multi-plane sweep.
@@ -99,7 +127,7 @@ func defaultConfig(m int, families []string, workers []int, quick bool) benchCon
 // runBench measures every configured family and sweep at order cfg.m.
 func runBench(cfg benchConfig) (Report, error) {
 	rep := Report{
-		Schema: "bnbbench/v1",
+		Schema: "bnbbench/v2",
 		M:      cfg.m,
 		N:      1 << uint(cfg.m),
 		Go:     runtime.Version(),
@@ -127,7 +155,142 @@ func runBench(cfg benchConfig) (Report, error) {
 		return Report{}, err
 	}
 	rep.Planes = append(rep.Planes, pr)
+	plan, err := benchPlan(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Plan = plan
 	return rep, nil
+}
+
+// benchPlan measures the compiled-plan path: compile cost across the sample
+// permutations, steady-state replay latency and allocations on one plan, and
+// the cached engine's hit ratio and throughput as workload repetition grows.
+func benchPlan(cfg benchConfig) (PlanResultV2, error) {
+	net, err := bnbnet.New("bnb", cfg.m)
+	if err != nil {
+		return PlanResultV2{}, err
+	}
+	pr, ok := bnbnet.AsPlanRouter(net)
+	if !ok {
+		return PlanResultV2{}, fmt.Errorf("bnb offers no PlanRouter surface")
+	}
+	n := net.Inputs()
+	rng := rand.New(rand.NewSource(cfg.seed))
+	perms := make([]bnbnet.Perm, cfg.routeSamples)
+	for i := range perms {
+		perms[i] = bnbnet.RandomPerm(n, rng)
+	}
+	// Compile cost: one live arbiter pass plus switch recording per perm.
+	if _, err := pr.Compile(perms[0]); err != nil { // warm-up
+		return PlanResultV2{}, err
+	}
+	compile := make([]int64, len(perms))
+	for i, p := range perms {
+		start := time.Now()
+		if _, err := pr.Compile(p); err != nil {
+			return PlanResultV2{}, fmt.Errorf("compile: %w", err)
+		}
+		compile[i] = time.Since(start).Nanoseconds()
+	}
+	compileNs, _, _ := summarize(compile)
+
+	// Replay: pure wire-following over one compiled plan.
+	pl, err := pr.Compile(perms[0])
+	if err != nil {
+		return PlanResultV2{}, err
+	}
+	src := make([]bnbnet.Word, n)
+	for i, d := range perms[0] {
+		src[i] = bnbnet.Word{Addr: d, Data: uint64(i)}
+	}
+	dst := make([]bnbnet.Word, n)
+	if err := pr.Replay(pl, dst, src); err != nil { // warm-up
+		return PlanResultV2{}, err
+	}
+	replay := make([]int64, cfg.routeSamples)
+	for i := range replay {
+		start := time.Now()
+		if err := pr.Replay(pl, dst, src); err != nil {
+			return PlanResultV2{}, fmt.Errorf("replay: %w", err)
+		}
+		replay[i] = time.Since(start).Nanoseconds()
+	}
+	replayNs, _, _ := summarize(replay)
+	res := PlanResultV2{
+		CompileNsPerOp:    compileNs,
+		ReplayNsPerOp:     replayNs,
+		ReplayAllocsPerOp: allocsPerOp(64, func() { pr.Replay(pl, dst, src) }), //nolint:errcheck // measured above
+	}
+
+	// Break-even against the live pooled path: after this many repeats of
+	// one permutation, compiling first is the cheaper strategy.
+	if br, ok := bnbnet.AsBulkRouter(net); ok {
+		live := make([]int64, cfg.routeSamples)
+		for i := range live {
+			start := time.Now()
+			if err := br.RouteInto(dst, src); err != nil {
+				return PlanResultV2{}, fmt.Errorf("live: %w", err)
+			}
+			live[i] = time.Since(start).Nanoseconds()
+		}
+		liveNs, _, _ := summarize(live)
+		if liveNs > replayNs {
+			res.BreakEvenRoutes = compileNs / (liveNs - replayNs)
+		}
+	}
+
+	// Cache sweep: the cached engine on workloads of rising repetition.
+	for _, repeat := range []float64{0.50, 0.95, 1.00} {
+		hp, err := benchPlanCache(cfg, repeat)
+		if err != nil {
+			return PlanResultV2{}, err
+		}
+		res.HitSweep = append(res.HitSweep, hp)
+	}
+	return res, nil
+}
+
+// benchPlanCache drives a plan-cached engine with a workload in which
+// `repeat` of the requests reuse one of 8 hot permutations and the rest are
+// fresh, then reads the hit ratio off the cache counters.
+func benchPlanCache(cfg benchConfig, repeat float64) (HitPoint, error) {
+	net, err := bnbnet.New("bnb", cfg.m)
+	if err != nil {
+		return HitPoint{}, err
+	}
+	workers := cfg.workers[len(cfg.workers)-1]
+	eng, err := bnbnet.NewEngine(net, bnbnet.WithWorkers(workers), bnbnet.WithPlanCache(256))
+	if err != nil {
+		return HitPoint{}, err
+	}
+	n := net.Inputs()
+	rng := rand.New(rand.NewSource(cfg.seed))
+	hot := make([]bnbnet.Perm, 8)
+	for i := range hot {
+		hot[i] = bnbnet.RandomPerm(n, rng)
+	}
+	elapsed, err := driveBatches(func(ps []bnbnet.Perm) ([][]bnbnet.Word, []error) {
+		for i := range ps {
+			if rng.Float64() < repeat {
+				ps[i] = hot[rng.Intn(len(hot))]
+			}
+		}
+		return eng.RoutePermBatch(ps)
+	}, n, cfg.engineRequests, cfg.seed+1)
+	stats := eng.PlanCacheStats()
+	cerr := eng.Close()
+	if err != nil {
+		return HitPoint{}, err
+	}
+	if cerr != nil {
+		return HitPoint{}, cerr
+	}
+	return HitPoint{
+		RepeatRatio:  repeat,
+		HitRatio:     stats.HitRatio(),
+		RoutesPerSec: float64(cfg.engineRequests) / elapsed.Seconds(),
+	}, nil
 }
 
 // workload pre-generates the sample permutations as word batches so

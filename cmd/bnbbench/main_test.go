@@ -47,6 +47,21 @@ func TestRunBenchProducesValidReport(t *testing.T) {
 			}
 		}
 	}
+	// The v2 plan section: replay is the whole point — it must undercut the
+	// compile pass and allocate nothing, and repetition must become hits.
+	if rep.Plan.ReplayNsPerOp >= rep.Plan.CompileNsPerOp {
+		t.Errorf("plan replay %v ns/op not below compile %v", rep.Plan.ReplayNsPerOp, rep.Plan.CompileNsPerOp)
+	}
+	if rep.Plan.ReplayAllocsPerOp != 0 {
+		t.Errorf("plan replay allocates %v per op, want 0", rep.Plan.ReplayAllocsPerOp)
+	}
+	if len(rep.Plan.HitSweep) != 3 {
+		t.Fatalf("got %d hit sweep points, want 3", len(rep.Plan.HitSweep))
+	}
+	full := rep.Plan.HitSweep[2]
+	if full.RepeatRatio != 1.0 || full.HitRatio < 0.9 {
+		t.Errorf("fully repeated workload hit ratio = %v, want >= 0.9", full.HitRatio)
+	}
 }
 
 func TestValidateRoundTrip(t *testing.T) {
@@ -84,8 +99,8 @@ func TestValidateRejections(t *testing.T) {
 		payload []byte
 		want    string
 	}{
-		{"unknown field", []byte(`{"schema":"bnbbench/v1","bogus":1}`), "decode"},
-		{"wrong schema", marshal(func() Report { r := rep; r.Schema = "bnbbench/v0"; return r }()), "schema"},
+		{"unknown field", []byte(`{"schema":"bnbbench/v2","bogus":1}`), "decode"},
+		{"wrong schema", marshal(func() Report { r := rep; r.Schema = "bnbbench/v1"; return r }()), "schema"},
 		{"n mismatch", marshal(func() Report { r := rep; r.N = 7; return r }()), "2^m"},
 		{"missing family", marshal(func() Report {
 			r := rep
@@ -100,6 +115,18 @@ func TestValidateRejections(t *testing.T) {
 			return r
 		}()), "out of order"},
 		{"empty stamp", marshal(func() Report { r := rep; r.Go = ""; return r }()), "machine stamp"},
+		{"replay above compile", marshal(func() Report {
+			r := rep
+			r.Plan.ReplayNsPerOp = r.Plan.CompileNsPerOp + 1
+			return r
+		}()), "arbiter"},
+		{"hit ratio out of range", marshal(func() Report {
+			r := rep
+			sweep := append([]HitPoint(nil), r.Plan.HitSweep...)
+			sweep[0].HitRatio = 1.5
+			r.Plan.HitSweep = sweep
+			return r
+		}()), "out of [0,1]"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

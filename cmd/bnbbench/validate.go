@@ -30,8 +30,8 @@ func Validate(r io.Reader) (Report, error) {
 }
 
 func checkReport(rep Report) error {
-	if rep.Schema != "bnbbench/v1" {
-		return fmt.Errorf("schema %q, want bnbbench/v1", rep.Schema)
+	if rep.Schema != "bnbbench/v2" {
+		return fmt.Errorf("schema %q, want bnbbench/v2", rep.Schema)
 	}
 	if rep.M < 1 || rep.N != 1<<uint(rep.M) {
 		return fmt.Errorf("m = %d with n = %d; want n = 2^m", rep.M, rep.N)
@@ -84,6 +84,29 @@ func checkReport(rep Report) error {
 		}
 		if pr.Failovers < 0 {
 			return fmt.Errorf("plane sweep: negative failovers")
+		}
+	}
+	pl := rep.Plan
+	if pl.CompileNsPerOp <= 0 || pl.ReplayNsPerOp <= 0 {
+		return fmt.Errorf("plan: non-positive compile %v or replay %v ns/op",
+			pl.CompileNsPerOp, pl.ReplayNsPerOp)
+	}
+	if pl.ReplayNsPerOp >= pl.CompileNsPerOp {
+		return fmt.Errorf("plan: replay %v ns/op not below compile %v ns/op — replaying should skip the arbiter pass",
+			pl.ReplayNsPerOp, pl.CompileNsPerOp)
+	}
+	if pl.ReplayAllocsPerOp < 0 || pl.BreakEvenRoutes < 0 {
+		return fmt.Errorf("plan: negative replay allocs or break-even")
+	}
+	if len(pl.HitSweep) < 1 {
+		return fmt.Errorf("plan: empty hit sweep")
+	}
+	for _, hp := range pl.HitSweep {
+		if hp.RepeatRatio < 0 || hp.RepeatRatio > 1 || hp.HitRatio < 0 || hp.HitRatio > 1 {
+			return fmt.Errorf("plan sweep: ratios out of [0,1]: repeat %v, hit %v", hp.RepeatRatio, hp.HitRatio)
+		}
+		if hp.RoutesPerSec <= 0 {
+			return fmt.Errorf("plan sweep repeat=%v: non-positive routes_per_sec %v", hp.RepeatRatio, hp.RoutesPerSec)
 		}
 	}
 	return nil

@@ -5,6 +5,7 @@
 //	permroute -net bnb -m 3 -perm 5,2,7,0,6,1,4,3 -trace
 //	permroute -net batcher -m 4 -family bit-reversal
 //	permroute -net benes -m 5 -family random -seed 7
+//	permroute -net bnb -m 5 -plan 1000       # compile once, replay 1000x
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	bnbnet "repro"
 	"repro/internal/perm"
@@ -28,15 +30,16 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed for random permutations")
 		w       = flag.Int("w", 0, "data width in bits")
 		trace   = flag.Bool("trace", false, "print the per-main-stage trace (bnb only)")
+		plan    = flag.Int("plan", 0, "compile a route plan and replay it this many times, printing the amortized latency (plan-capable families only)")
 	)
 	flag.Parse()
-	if err := run(*netName, *m, *permArg, *family, *seed, *w, *trace); err != nil {
+	if err := run(*netName, *m, *permArg, *family, *seed, *w, *trace, *plan); err != nil {
 		fmt.Fprintln(os.Stderr, "permroute:", err)
 		os.Exit(1)
 	}
 }
 
-func run(netName string, m int, permArg, family string, seed int64, w int, trace bool) error {
+func run(netName string, m int, permArg, family string, seed int64, w int, trace bool, plan int) error {
 	n := 1 << uint(m)
 	p, err := buildPerm(permArg, family, m, seed)
 	if err != nil {
@@ -67,11 +70,53 @@ func run(netName string, m int, permArg, family string, seed int64, w int, trace
 	}
 	fmt.Printf("network: %s, N=%d, w=%d\n", net.Name(), net.Inputs(), w)
 	fmt.Printf("permutation: %v\n", []int(p))
+	if plan > 0 {
+		return runPlan(net, p, plan)
+	}
 	out, err := net.RoutePerm(p)
 	if err != nil {
 		return err
 	}
 	printDelivery(out)
+	return nil
+}
+
+// runPlan compiles the permutation once, replays it `reps` times, and prints
+// the amortized cost per route — the compile-once/replay-many trade the
+// PlanRouter surface exists for.
+func runPlan(net bnbnet.Network, p perm.Perm, reps int) error {
+	pr, ok := bnbnet.AsPlanRouter(net)
+	if !ok {
+		return fmt.Errorf("family %q offers no compiled-plan surface (-plan needs bnb)", net.Name())
+	}
+	start := time.Now()
+	pl, err := pr.Compile(p)
+	if err != nil {
+		return err
+	}
+	compile := time.Since(start)
+	n := len(p)
+	src := make([]bnbnet.Word, n)
+	for i, d := range p {
+		src[i] = bnbnet.Word{Addr: d, Data: uint64(i)}
+	}
+	dst := make([]bnbnet.Word, n)
+	if err := pr.Replay(pl, dst, src); err != nil { // warm the scratch pool
+		return err
+	}
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		if err := pr.Replay(pl, dst, src); err != nil {
+			return err
+		}
+	}
+	replayTotal := time.Since(start)
+	perReplay := replayTotal / time.Duration(reps)
+	amortized := (compile + replayTotal) / time.Duration(reps)
+	fmt.Printf("plan: %d switch states compiled in %v\n", pl.Switches(), compile)
+	fmt.Printf("replay: %d runs, %v per route\n", reps, perReplay)
+	fmt.Printf("amortized (compile + %d replays): %v per route\n", reps, amortized)
+	printDelivery(dst)
 	return nil
 }
 

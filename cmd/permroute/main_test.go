@@ -52,16 +52,25 @@ func TestBuildNet(t *testing.T) {
 }
 
 func TestRunEndToEnd(t *testing.T) {
-	if err := run("bnb", 3, "5,2,7,0,6,1,4,3", "", 1, 0, false); err != nil {
+	if err := run("bnb", 3, "5,2,7,0,6,1,4,3", "", 1, 0, false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("bnb", 3, "", "random", 1, 0, true); err != nil {
+	if err := run("bnb", 3, "", "random", 1, 0, true, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("batcher", 3, "", "random", 1, 0, true); err == nil {
+	if err := run("batcher", 3, "", "random", 1, 0, true, 0); err == nil {
 		t.Error("trace on non-bnb accepted")
 	}
-	if err := run("bnb", 3, "0,1", "", 1, 0, false); err == nil {
+	if err := run("bnb", 3, "0,1", "", 1, 0, false, 0); err == nil {
 		t.Error("wrong-size permutation accepted")
+	}
+}
+
+func TestRunPlanMode(t *testing.T) {
+	if err := run("bnb", 3, "5,2,7,0,6,1,4,3", "", 1, 0, false, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("batcher", 3, "", "random", 1, 0, false, 100); err == nil {
+		t.Error("-plan on a family without the compiled-plan surface accepted")
 	}
 }

@@ -86,7 +86,8 @@ type Ticket = engine.Ticket
 // Construct with NewEngine; all methods are safe for concurrent use.
 type Engine struct {
 	e   *engine.Engine
-	dbg *DebugServer // nil unless WithDebugAddr was set
+	dbg *DebugServer      // nil unless WithDebugAddr was set
+	pc  *cachedPlanRouter // nil unless WithPlanCache was set
 }
 
 // NewEngine builds a serving engine around the network. Options: WithWorkers
@@ -131,7 +132,17 @@ func NewEngine(n Network, opts ...Option) (*Engine, error) {
 	if o.fallback != nil {
 		fb = engineRouter(o.fallback)
 	}
-	e, err := engine.New(engineRouter(n), engine.Config{
+	primary := engineRouter(n)
+	var pc *cachedPlanRouter
+	if o.planCache > 0 {
+		cached, ok := newCachedPlanRouter(n, o.planCache, o.metrics)
+		if !ok {
+			return nil, fmt.Errorf("bnbnet: WithPlanCache requires a network with the compiled-plan surface (family %q offers none; see AsPlanRouter)", n.Name())
+		}
+		primary = cached
+		pc = cached
+	}
+	e, err := engine.New(primary, engine.Config{
 		Workers:          o.workers,
 		Queue:            o.queue,
 		Metrics:          o.metrics,
@@ -152,7 +163,7 @@ func NewEngine(n Network, opts ...Option) (*Engine, error) {
 			return nil, err
 		}
 	}
-	return &Engine{e: e, dbg: dbg}, nil
+	return &Engine{e: e, dbg: dbg, pc: pc}, nil
 }
 
 // engineRouter picks the fastest routing surface the network offers: its
@@ -242,6 +253,26 @@ func (e *Engine) Metrics() *Metrics { return e.e.Metrics() }
 
 // BreakerOpen reports whether the circuit breaker (WithBreaker) is open.
 func (e *Engine) BreakerOpen() bool { return e.e.BreakerOpen() }
+
+// PlanCacheStats returns the plan cache's counters; the zero stats without
+// WithPlanCache.
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	if e.pc == nil {
+		return PlanCacheStats{}
+	}
+	return e.pc.cache.Stats()
+}
+
+// PublishPlanCache registers the plan cache's live stats (entries,
+// capacity, hits, misses, evictions) under the given expvar name on
+// /debug/vars. It returns an error if the name is taken (expvar itself
+// would panic) or if the engine has no plan cache.
+func (e *Engine) PublishPlanCache(name string) error {
+	if e.pc == nil {
+		return fmt.Errorf("bnbnet: engine has no plan cache (WithPlanCache)")
+	}
+	return publishExpvar(name, func() any { return e.pc.cache.Stats() })
+}
 
 // Tracer returns the span recorder, or nil without WithTracer.
 func (e *Engine) Tracer() *Tracer { return e.e.Tracer() }

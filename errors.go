@@ -38,4 +38,9 @@ var (
 	// disagreed word-for-word on the same request, or a metamorphic relation
 	// between two routes was violated (NewDifferential, Verify).
 	ErrMismatch = neterr.ErrMismatch
+	// ErrPlanMismatch reports a compiled Plan replayed against a batch whose
+	// source addresses differ from the plan's permutation (or a plan from a
+	// different network order). Replaying would silently misdeliver, so the
+	// batch is refused; compile a plan for the offered permutation instead.
+	ErrPlanMismatch = neterr.ErrPlanMismatch
 )

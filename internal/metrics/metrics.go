@@ -53,6 +53,16 @@ type Metrics struct {
 	planesHealthy     atomic.Int64
 	planesSuspect     atomic.Int64
 	planesQuarantined atomic.Int64
+
+	// Plan-cache counters, fed by the compiled-plan fast path: cache hits
+	// replayed without re-running the arbiter tree, misses that compiled a
+	// fresh plan, plans evicted to make room, and the compiles themselves
+	// with their accumulated cost.
+	planHits      atomic.Int64
+	planMisses    atomic.Int64
+	planEvictions atomic.Int64
+	planCompiles  atomic.Int64
+	planCompileNs atomic.Int64
 }
 
 // bucketOf maps a latency to its histogram bucket.
@@ -187,6 +197,41 @@ func (m *Metrics) AddShed() {
 	}
 }
 
+// AddPlanHit counts one request served by replaying a cached plan.
+func (m *Metrics) AddPlanHit() {
+	if m != nil {
+		m.planHits.Add(1)
+	}
+}
+
+// AddPlanMiss counts one request whose permutation had no cached plan.
+func (m *Metrics) AddPlanMiss() {
+	if m != nil {
+		m.planMisses.Add(1)
+	}
+}
+
+// AddPlanEviction counts one plan evicted from the cache to make room.
+func (m *Metrics) AddPlanEviction() {
+	if m != nil {
+		m.planEvictions.Add(1)
+	}
+}
+
+// AddPlanCompile counts one plan compilation and its cost — the price the
+// amortization model in DESIGN.md §12 weighs against the saved route time.
+func (m *Metrics) AddPlanCompile(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.planCompiles.Add(1)
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	m.planCompileNs.Add(ns)
+}
+
 // SetPlaneStates publishes the supervisor's current plane-state census as
 // gauges; the supervisor calls it after every state transition.
 func (m *Metrics) SetPlaneStates(healthy, suspect, quarantined int64) {
@@ -241,6 +286,23 @@ type Snapshot struct {
 	// PlanesHealthy, PlanesSuspect and PlanesQuarantined are the current
 	// plane-state gauges of the supervisor, zero without one.
 	PlanesHealthy, PlanesSuspect, PlanesQuarantined int64
+
+	// PlanHits counts requests replayed from a cached plan; PlanMisses
+	// counts requests that found no plan; PlanEvictions counts plans evicted
+	// for room; PlanCompiles counts compilations and MeanPlanCompile their
+	// average cost.
+	PlanHits, PlanMisses, PlanEvictions, PlanCompiles int64
+	MeanPlanCompile                                   time.Duration
+}
+
+// PlanHitRatio returns PlanHits/(PlanHits+PlanMisses), 0 before any
+// plan-cache lookup.
+func (s Snapshot) PlanHitRatio() float64 {
+	total := s.PlanHits + s.PlanMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PlanHits) / float64(total)
 }
 
 // Snapshot returns a consistent-enough copy of the counters: each value is
@@ -266,6 +328,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		PlanesHealthy:     m.planesHealthy.Load(),
 		PlanesSuspect:     m.planesSuspect.Load(),
 		PlanesQuarantined: m.planesQuarantined.Load(),
+
+		PlanHits:      m.planHits.Load(),
+		PlanMisses:    m.planMisses.Load(),
+		PlanEvictions: m.planEvictions.Load(),
+		PlanCompiles:  m.planCompiles.Load(),
+	}
+	if s.PlanCompiles > 0 {
+		s.MeanPlanCompile = time.Duration(m.planCompileNs.Load() / s.PlanCompiles)
 	}
 	if s.Routes > 0 {
 		s.MeanLatency = time.Duration(m.latSum.Load() / s.Routes)
@@ -316,6 +386,10 @@ func (s Snapshot) String() string {
 		line += fmt.Sprintf(" failovers=%d repairs=%d readmits=%d sheds=%d planes=%d/%d/%d",
 			s.Failovers, s.Repairs, s.Readmits, s.Sheds,
 			s.PlanesHealthy, s.PlanesSuspect, s.PlanesQuarantined)
+	}
+	if s.PlanHits != 0 || s.PlanMisses != 0 || s.PlanEvictions != 0 || s.PlanCompiles != 0 {
+		line += fmt.Sprintf(" plan_hits=%d plan_misses=%d plan_evictions=%d plan_compiles=%d plan_hit_ratio=%.2f",
+			s.PlanHits, s.PlanMisses, s.PlanEvictions, s.PlanCompiles, s.PlanHitRatio())
 	}
 	return line
 }

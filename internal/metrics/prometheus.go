@@ -43,6 +43,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, ns string) error {
 		{"repairs_total", "Plane rebuilds.", m.repairs.Load()},
 		{"readmits_total", "Quarantined planes readmitted after clean probes.", m.readmits.Load()},
 		{"sheds_total", "Requests rejected at admission (overload).", m.sheds.Load()},
+		{"plan_hits_total", "Requests replayed from a cached route plan.", m.planHits.Load()},
+		{"plan_misses_total", "Plan-cache lookups that found no plan.", m.planMisses.Load()},
+		{"plan_evictions_total", "Route plans evicted from the cache.", m.planEvictions.Load()},
+		{"plan_compiles_total", "Route plans compiled.", m.planCompiles.Load()},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s %d\n",

@@ -35,6 +35,11 @@ func TestWritePrometheusGolden(t *testing.T) {
 	m.AddReadmit()
 	m.AddShed()
 	m.SetPlaneStates(2, 1, 0)
+	m.AddPlanHit()
+	m.AddPlanHit()
+	m.AddPlanMiss()
+	m.AddPlanEviction()
+	m.AddPlanCompile(10 * time.Microsecond)
 
 	var buf bytes.Buffer
 	if err := m.WritePrometheus(&buf, "bnb"); err != nil {

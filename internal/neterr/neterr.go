@@ -56,4 +56,10 @@ var (
 	// or a metamorphic relation between two routes of one network was
 	// violated. At least one of the implementations is wrong.
 	ErrMismatch = errors.New("differential mismatch")
+
+	// ErrPlanMismatch reports a compiled plan replayed against a request it
+	// was not compiled for: the offered source addresses differ from the
+	// plan's permutation (or the plan belongs to a different network order).
+	// Replaying such a batch would silently misdeliver, so it is refused.
+	ErrPlanMismatch = errors.New("plan does not match the offered permutation")
 )

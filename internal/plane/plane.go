@@ -348,7 +348,7 @@ func (s *Supervisor) routeInto(dst, src []core.Word, sp *trace.Span) error {
 			continue
 		}
 		healthySeen++
-		err, routed := s.routeOn(p, dst, src)
+		err, routed := s.routeOn(p, dst, src, sp)
 		if !routed {
 			capped++
 			continue
@@ -378,7 +378,7 @@ func (s *Supervisor) routeInto(dst, src []core.Word, sp *trace.Span) error {
 			if State(p.state.Load()) != want {
 				continue
 			}
-			err, routed := s.routeOn(p, dst, src)
+			err, routed := s.routeOn(p, dst, src, sp)
 			if !routed {
 				continue
 			}
@@ -402,10 +402,17 @@ func (s *Supervisor) routeInto(dst, src []core.Word, sp *trace.Span) error {
 	return fmt.Errorf("plane: all %d planes failed: %w", k, lastErr)
 }
 
+// spanRouter is the optional span-carrying surface of a plane router (the
+// engine's TracedRouter shape); planes wrapping a compiled-plan fast path
+// implement it so compile and replay time land on the request's span.
+type spanRouter interface {
+	RouteIntoTraced(dst, src []core.Word, sp *trace.Span) error
+}
+
 // routeOn routes one request on the plane under its in-flight cap. The
 // second return reports whether the plane admitted the request at all;
 // when it did, the first return is the verified routing outcome.
-func (s *Supervisor) routeOn(p *planeState, dst, src []core.Word) (error, bool) {
+func (s *Supervisor) routeOn(p *planeState, dst, src []core.Word, sp *trace.Span) (error, bool) {
 	if s.cap > 0 {
 		// Reserve a slot; undo on overshoot. Pure atomics — no lock is held
 		// across the routing call below.
@@ -417,7 +424,13 @@ func (s *Supervisor) routeOn(p *planeState, dst, src []core.Word) (error, bool) 
 		p.inflight.Add(1)
 	}
 	defer p.inflight.Add(-1)
-	err := p.get().RouteInto(dst, src)
+	r := p.get()
+	var err error
+	if tr, ok := r.(spanRouter); ok {
+		err = tr.RouteIntoTraced(dst, src, sp)
+	} else {
+		err = r.RouteInto(dst, src)
+	}
 	if err == nil {
 		// Opportunistic live-traffic verification: output j must carry the
 		// word addressed to j. Planes that verify internally (the fault

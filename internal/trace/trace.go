@@ -61,6 +61,13 @@ type Span struct {
 	// Plane is the plane that finally served the request, -1 when unknown
 	// (no supervisor, or the request never routed).
 	Plane int32 `json:"plane"`
+	// PlanHit reports the request was served by replaying a cached route
+	// plan instead of re-running the self-routing control plane.
+	PlanHit bool `json:"plan_hit,omitempty"`
+	// PlanCompile is the time spent compiling a route plan for this request
+	// (a plan-cache miss on the compiled fast path); zero on hits and on
+	// requests routed live.
+	PlanCompile time.Duration `json:"plan_compile,omitempty"`
 	// Shed reports the request was rejected by admission control or by the
 	// planes' in-flight caps (ErrOverloaded).
 	Shed bool `json:"shed,omitempty"`
@@ -107,6 +114,22 @@ func (sp *Span) AddFailover() {
 func (sp *Span) SetPlane(i int) {
 	if sp != nil {
 		sp.Plane = int32(i)
+	}
+}
+
+// MarkPlanHit records that the request replayed a cached route plan.
+// Nil-safe.
+func (sp *Span) MarkPlanHit() {
+	if sp != nil {
+		sp.PlanHit = true
+	}
+}
+
+// SetPlanCompile records the cost of compiling this request's route plan
+// (attributing compile time separately from replay time). Nil-safe.
+func (sp *Span) SetPlanCompile(d time.Duration) {
+	if sp != nil {
+		sp.PlanCompile = d
 	}
 }
 

@@ -99,6 +99,7 @@ const (
 	optDebugAddr
 	optVOQ
 	optDegraded
+	optPlanCache
 )
 
 // optEngine masks the serving options that only NewEngine (and
@@ -139,6 +140,8 @@ type options struct {
 
 	voq      bool
 	degraded bool
+
+	planCache int
 
 	errs []error
 }
@@ -358,6 +361,27 @@ func WithDegraded() Option {
 	return func(o *options) { o.set |= optDegraded; o.degraded = true }
 }
 
+// WithPlanCache fronts the served network with a lock-free cache of
+// compiled route plans bounded at the given number of entries: a request
+// whose permutation is cached replays the recorded switch settings by pure
+// wire-following instead of re-running the arbiter tree, which is the
+// dominant win for repeated-permutation traffic (DESIGN.md §12). Zero
+// disables the cache; negative entries are rejected. The network must offer
+// the compiled-plan surface (family "bnb", bare or behind New's
+// decorators). NewEngine and NewSupervised; NewSupervised defaults to a
+// 256-entry cache per plane when the option is absent and the planes
+// support it — pass WithPlanCache(0) to opt out.
+func WithPlanCache(entries int) Option {
+	return func(o *options) {
+		if entries < 0 {
+			o.reject("WithPlanCache(%d): entry bound cannot be negative", entries)
+			return
+		}
+		o.set |= optPlanCache
+		o.planCache = entries
+	}
+}
+
 // WithPlanes sets the number of redundant router planes K >= 2 the
 // supervisor runs. NewSupervised only.
 func WithPlanes(k int) Option {
@@ -458,6 +482,9 @@ func New(family string, m int, opts ...Option) (Network, error) {
 	}
 	if o.anySet(optFabric) {
 		return nil, fmt.Errorf("bnbnet: WithVOQ and WithDegraded apply to NewFabric, not New")
+	}
+	if o.anySet(optPlanCache) {
+		return nil, fmt.Errorf("bnbnet: WithPlanCache applies to NewEngine and NewSupervised, not New; use Compile/Replay directly on the bare network")
 	}
 	n, err := b(m, o.dataBits)
 	if err != nil {

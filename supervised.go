@@ -10,10 +10,12 @@ import (
 	"context"
 	"expvar"
 	"fmt"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/plane"
+	"repro/internal/plancache"
 )
 
 // PlaneState is the health score of one supervised plane.
@@ -35,6 +37,43 @@ type PlaneStats = plane.Stats
 // larger fabrics health-check with the canonical probe battery instead.
 const diagMaxOrder = 5
 
+// defaultPlanCacheEntries is the per-plane plan-cache capacity NewSupervised
+// selects when WithPlanCache is absent and the planes offer the
+// compiled-plan surface. Pass WithPlanCache(0) to opt out.
+const defaultPlanCacheEntries = 256
+
+// planeCacheRegistry tracks the live plan cache of every supervised plane.
+// Caches are strictly per-plane — sharing one across planes would let a
+// plan compiled on a faulty plane serve traffic on healthy ones — and a
+// plane rebuild installs a fresh cache in its slot, so a quarantined
+// plane's rebuilt router can never serve plans compiled before the repair
+// (DESIGN.md §12). The mutex only guards slot swaps during construction and
+// rebuild; the hot path never touches the registry.
+type planeCacheRegistry struct {
+	mu     sync.Mutex
+	caches []*plancache.Cache
+}
+
+func (r *planeCacheRegistry) set(i int, c *plancache.Cache) {
+	r.mu.Lock()
+	r.caches[i] = c
+	r.mu.Unlock()
+}
+
+// stats snapshots every plane's cache; uncached planes report zero stats.
+func (r *planeCacheRegistry) stats() []PlanCacheStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]PlanCacheStats, len(r.caches))
+	for i, c := range r.caches {
+		out[i] = c.Stats()
+	}
+	return out
+}
+
 // Supervised is a self-healing serving front over K redundant router
 // planes: requests are admitted by the engine (worker pool, deadlines,
 // optional shedding), routed on a healthy plane with every delivery
@@ -45,7 +84,8 @@ const diagMaxOrder = 5
 type Supervised struct {
 	e   *engine.Engine
 	sup *plane.Supervisor
-	dbg *DebugServer // nil unless WithDebugAddr was set
+	dbg *DebugServer        // nil unless WithDebugAddr was set
+	pcs *planeCacheRegistry // nil when plan caching is disabled
 }
 
 // NewSupervised builds K identical planes of the family (default 2, set
@@ -90,18 +130,42 @@ func NewSupervised(family string, m int, opts ...Option) (*Supervised, error) {
 			return nil, fmt.Errorf("bnbnet: WithPlaneFaults(%d, ...): only %d planes (WithPlanes)", idx, k)
 		}
 	}
+	// Plan caching defaults on (per plane) when the family offers the
+	// compiled-plan surface; WithPlanCache(0) opts out and an explicit
+	// capacity is mandatory — it errors on plan-incapable families.
+	cacheEntries := o.planCache
+	if !o.anySet(optPlanCache) {
+		cacheEntries = defaultPlanCacheEntries
+	}
+	var pcs *planeCacheRegistry
+	if cacheEntries > 0 {
+		pcs = &planeCacheRegistry{caches: make([]*plancache.Cache, k)}
+	}
 	// buildPlane constructs one clean plane; it doubles as the supervisor's
-	// repair action, so a rebuilt plane is always fault-free.
-	buildPlane := func() (plane.Router, error) {
+	// repair action, so a rebuilt plane is always fault-free — and gets a
+	// fresh plan cache, never the quarantined predecessor's.
+	buildPlane := func(idx int) (plane.Router, error) {
 		n, err := b(m, o.dataBits)
 		if err != nil {
 			return nil, err
+		}
+		if cacheEntries > 0 {
+			if cached, ok := newCachedPlanRouter(n, cacheEntries, o.metrics); ok {
+				pcs.set(idx, cached.cache)
+				return cached, nil
+			}
+			if o.anySet(optPlanCache) {
+				return nil, fmt.Errorf("bnbnet: WithPlanCache requires a network with the compiled-plan surface (family %q offers none; see AsPlanRouter)", family)
+			}
 		}
 		return engineRouter(n), nil
 	}
 	planes := make([]plane.Router, k)
 	for i := 0; i < k; i++ {
 		if p, ok := o.planeFaults[i]; ok {
+			// Faulted planes route live and uncached: a plan compiled on a
+			// faulty plane must never be replayed, and the injector's
+			// per-route perturbation would defeat caching anyway.
 			n, err := b(m, o.dataBits)
 			if err != nil {
 				return nil, err
@@ -113,7 +177,7 @@ func NewSupervised(family string, m int, opts ...Option) (*Supervised, error) {
 			planes[i] = engineRouter(fn)
 			continue
 		}
-		r, err := buildPlane()
+		r, err := buildPlane(i)
 		if err != nil {
 			return nil, err
 		}
@@ -127,7 +191,7 @@ func NewSupervised(family string, m int, opts ...Option) (*Supervised, error) {
 	}
 	sup, err := plane.New(plane.Config{
 		Planes:         planes,
-		Rebuild:        func(int) (plane.Router, error) { return buildPlane() },
+		Rebuild:        buildPlane,
 		Diagnoser:      diag,
 		HealthInterval: o.healthInterval,
 		InFlightCap:    o.planeCap,
@@ -158,7 +222,7 @@ func NewSupervised(family string, m int, opts ...Option) (*Supervised, error) {
 			return nil, err
 		}
 	}
-	return &Supervised{e: e, sup: sup, dbg: dbg}, nil
+	return &Supervised{e: e, sup: sup, dbg: dbg, pcs: pcs}, nil
 }
 
 // Submit enqueues one routing request; see Engine.Submit.
@@ -209,6 +273,21 @@ func (s *Supervised) PlaneStates() []PlaneState { return s.sup.States() }
 
 // PlaneStats returns the per-plane serving and repair counters.
 func (s *Supervised) PlaneStats() []PlaneStats { return s.sup.PlaneStats() }
+
+// PlanCacheStats returns every plane's plan-cache counters (index i is
+// plane i; uncached planes — faulted ones, or all of them under
+// WithPlanCache(0) — report zero stats). Nil when plan caching is disabled.
+func (s *Supervised) PlanCacheStats() []PlanCacheStats { return s.pcs.stats() }
+
+// PublishPlanCache registers the per-plane plan-cache stats under the given
+// expvar name on /debug/vars. It returns an error if the name is taken
+// (expvar itself would panic) or if plan caching is disabled.
+func (s *Supervised) PublishPlanCache(name string) error {
+	if s.pcs == nil {
+		return fmt.Errorf("bnbnet: supervised planes have no plan cache (WithPlanCache)")
+	}
+	return publishExpvar(name, func() any { return s.pcs.stats() })
+}
 
 // Failovers returns the number of planes drained and failed away from.
 func (s *Supervised) Failovers() int64 { return s.sup.Failovers() }
