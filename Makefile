@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench microbench check verify repro figures fuzz chaos clean
+.PHONY: all build vet test test-short bench microbench check verify repro figures fuzz chaos soak-reconfig clean
 
 all: build vet test
 
@@ -80,6 +80,17 @@ chaos:
 	$(GO) test -race -run 'Chaos|Degraded|Fault|Breaker|Retry|Fallback|Diagnos|Supervised|Plane|Shed' ./...
 	$(GO) run -race ./cmd/fabricsim -net bnb -m 5 -traffic permutation -cycles 1000 -chaos 0.01
 	$(GO) run -race ./cmd/fabricsim -net bnb -m 5 -planes 3 -chaos 0.01 -requests 10000
+
+# Hitless-reconfiguration soak under the race detector: the lifecycle and
+# rollout suites (drain contracts, plane add/remove, cache pre-warm, the
+# 10k-request chaos rollout, the 100-iteration membership-churn leak check),
+# the compiled-plan round-trip fuzz smoke, then a fabricsim run performing
+# three live Reconfigure rollouts under 1% chaos that must deliver every
+# request — the run exits nonzero on any loss or misroute.
+soak-reconfig:
+	$(GO) test -race -run 'Drain|Reconfig|Lifecycle|AddRemove|Shutdown' ./...
+	$(GO) test -run='^$$' -fuzz FuzzPlanRoundTrip -fuzztime 10s .
+	$(GO) run -race ./cmd/fabricsim -net bnb -m 5 -planes 3 -chaos 0.01 -reconfig 3 -requests 10000
 
 clean:
 	$(GO) clean ./...

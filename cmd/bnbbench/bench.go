@@ -5,6 +5,7 @@ package main
 // in-process and the CLI just wires flags to it.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -15,8 +16,9 @@ import (
 )
 
 // Report is the machine-readable result of one bnbbench run at one order —
-// the BENCH_<m>.json payload. Schema "bnbbench/v2" (v2 added the compiled
-// route-plan section); Validate checks an emitted file against it.
+// the BENCH_<m>.json payload. Schema "bnbbench/v3" (v2 added the compiled
+// route-plan section; v3 the hitless-reconfiguration profile); Validate
+// checks an emitted file against it.
 type Report struct {
 	Schema string `json:"schema"`
 	M      int    `json:"m"`
@@ -31,6 +33,23 @@ type Report struct {
 	Engine   []EngineResult  `json:"engine"`
 	Planes   []PlaneResult   `json:"planes"`
 	Plan     PlanResultV2    `json:"plan"`
+	Reconfig ReconfigResult  `json:"reconfig"`
+}
+
+// ReconfigResult profiles the hitless live-rollout path added by
+// bnbbench/v3: the wall time of one full Reconfigure of a two-plane
+// supervised stack under continuous traffic, the swap blackout (the longest
+// gap between successive successful routes while the rollout runs — the
+// availability cost of the rolling swap), the warm-hit ratio (the fraction
+// of the first post-rollout requests served from the pre-warmed plan
+// caches), and the latency of the final drain on the idle engine.
+type ReconfigResult struct {
+	Planes         int     `json:"planes"`
+	RolloutNs      int64   `json:"rollout_ns"`
+	SwapBlackoutNs int64   `json:"swap_blackout_ns"`
+	DrainNs        int64   `json:"drain_ns"`
+	PlanWarms      int64   `json:"plan_warms"`
+	WarmHitRatio   float64 `json:"warm_hit_ratio"`
 }
 
 // NetworkResult is the single-threaded route latency profile of one family.
@@ -127,7 +146,7 @@ func defaultConfig(m int, families []string, workers []int, quick bool) benchCon
 // runBench measures every configured family and sweep at order cfg.m.
 func runBench(cfg benchConfig) (Report, error) {
 	rep := Report{
-		Schema: "bnbbench/v2",
+		Schema: "bnbbench/v3",
 		M:      cfg.m,
 		N:      1 << uint(cfg.m),
 		Go:     runtime.Version(),
@@ -160,7 +179,129 @@ func runBench(cfg benchConfig) (Report, error) {
 		return Report{}, err
 	}
 	rep.Plan = plan
+	rc, err := benchReconfig(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Reconfig = rc
 	return rep, nil
+}
+
+// benchReconfig measures the hitless-rollout path: a two-plane supervised
+// stack serves a hot working set (filling both plan caches), then the whole
+// fleet is rolled onto fresh planes with ReconfigWarmPlans while a probe
+// loop keeps routing — the longest gap between successive completions is
+// the swap blackout. The first post-rollout requests measure how much of
+// the working set the pre-warm carried over, and a final Drain on the idle
+// engine gives the drain latency. The background health prober is parked
+// (the rolling swap verifies replacements synchronously) so the cache
+// counters reflect only this workload.
+func benchReconfig(cfg benchConfig) (ReconfigResult, error) {
+	const planes = 2
+	sink := bnbnet.NewMetrics()
+	sup, err := bnbnet.NewSupervised("bnb", cfg.m,
+		bnbnet.WithPlanes(planes), bnbnet.WithWorkers(2),
+		bnbnet.WithPlanCache(256),
+		bnbnet.WithHealthInterval(time.Hour),
+		bnbnet.WithMetrics(sink))
+	if err != nil {
+		return ReconfigResult{}, err
+	}
+	n := sup.Inputs()
+	rng := rand.New(rand.NewSource(cfg.seed))
+	hot := make([]bnbnet.Perm, 8)
+	for i := range hot {
+		hot[i] = bnbnet.RandomPerm(n, rng)
+	}
+	routeOne := func(p bnbnet.Perm) error {
+		_, errs := sup.RoutePermBatch([]bnbnet.Perm{p})
+		return errs[0]
+	}
+	// Fill both plan caches with the working set: enough sequential passes
+	// that the rotor lands every hot permutation on every plane.
+	fill := 8
+	if cfg.quick {
+		fill = 4
+	}
+	for r := 0; r < fill; r++ {
+		for _, p := range hot {
+			if err := routeOne(p); err != nil {
+				return ReconfigResult{}, fmt.Errorf("cache fill: %w", err)
+			}
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	// One full rollout under continuous probing: every gap between
+	// consecutive successful routes is a candidate blackout window.
+	rolloutDone := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		rolloutDone <- sup.Reconfigure(ctx, bnbnet.ReconfigWarmPlans(len(hot)))
+	}()
+	var blackout time.Duration
+	last := time.Now()
+	for i := 0; ; i++ {
+		// Yield between probes: on a single-P runtime the Submit/Wait channel
+		// ping-pong would otherwise keep the rollout goroutine parked in the
+		// run queue indefinitely, and the probes would measure a stall they
+		// themselves caused.
+		runtime.Gosched()
+		if err := routeOne(hot[i%len(hot)]); err != nil {
+			return ReconfigResult{}, fmt.Errorf("probe during rollout: %w", err)
+		}
+		now := time.Now()
+		if gap := now.Sub(last); gap > blackout {
+			blackout = gap
+		}
+		last = now
+		select {
+		case err := <-rolloutDone:
+			if err != nil {
+				return ReconfigResult{}, fmt.Errorf("reconfigure: %w", err)
+			}
+		default:
+			continue
+		}
+		break
+	}
+	rollout := time.Since(start)
+
+	// Warm-hit ratio: the share of the first post-rollout working-set
+	// requests the pre-warmed caches serve without a compile.
+	var hitsBefore int64
+	for _, cs := range sup.PlanCacheStats() {
+		hitsBefore += cs.Hits
+	}
+	post := 8 * len(hot)
+	for i := 0; i < post; i++ {
+		if err := routeOne(hot[i%len(hot)]); err != nil {
+			return ReconfigResult{}, fmt.Errorf("post-rollout: %w", err)
+		}
+	}
+	var hitsAfter int64
+	for _, cs := range sup.PlanCacheStats() {
+		hitsAfter += cs.Hits
+	}
+
+	drainStart := time.Now()
+	if err := sup.Drain(ctx); err != nil {
+		return ReconfigResult{}, fmt.Errorf("drain: %w", err)
+	}
+	drain := time.Since(drainStart)
+	warms := sink.Snapshot().PlanWarms
+	if err := sup.Close(); err != nil {
+		return ReconfigResult{}, err
+	}
+	return ReconfigResult{
+		Planes:         planes,
+		RolloutNs:      rollout.Nanoseconds(),
+		SwapBlackoutNs: blackout.Nanoseconds(),
+		DrainNs:        drain.Nanoseconds(),
+		PlanWarms:      warms,
+		WarmHitRatio:   float64(hitsAfter-hitsBefore) / float64(post),
+	}, nil
 }
 
 // benchPlan measures the compiled-plan path: compile cost across the sample

@@ -50,8 +50,8 @@ func run(ms, nets, workers string, quick bool, out, validate string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", validate, err)
 		}
-		fmt.Printf("%s: valid bnbbench/v2 report (m=%d, %d families, %d engine points, %d plan sweep points)\n",
-			validate, rep.M, len(rep.Networks), len(rep.Engine), len(rep.Plan.HitSweep))
+		fmt.Printf("%s: valid bnbbench/v3 report (m=%d, %d families, %d engine points, %d plan sweep points, reconfig blackout %dns)\n",
+			validate, rep.M, len(rep.Networks), len(rep.Engine), len(rep.Plan.HitSweep), rep.Reconfig.SwapBlackoutNs)
 		return nil
 	}
 	orders, err := parseInts(ms)

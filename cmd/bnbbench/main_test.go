@@ -62,6 +62,24 @@ func TestRunBenchProducesValidReport(t *testing.T) {
 	if full.RepeatRatio != 1.0 || full.HitRatio < 0.9 {
 		t.Errorf("fully repeated workload hit ratio = %v, want >= 0.9", full.HitRatio)
 	}
+	// The v3 reconfig section: the rollout must pre-warm the working set
+	// into the fresh caches, so the first post-rollout requests mostly hit.
+	rc := rep.Reconfig
+	if rc.Planes != 2 || rc.RolloutNs <= 0 || rc.DrainNs <= 0 {
+		t.Errorf("reconfig profile incomplete: %+v", rc)
+	}
+	if rc.SwapBlackoutNs <= 0 || rc.SwapBlackoutNs > rc.RolloutNs {
+		t.Errorf("swap blackout %dns outside (0, rollout %dns]", rc.SwapBlackoutNs, rc.RolloutNs)
+	}
+	if rc.PlanWarms < 8 {
+		t.Errorf("plan warms = %d, want >= 8 (8 hot plans carried onto at least one plane)", rc.PlanWarms)
+	}
+	// Each of the two planes donates the half of the working set the rotor
+	// parked on it, so a hot plan can cost at most one post-rollout miss
+	// before its compile refills the cache: 56/64 = 0.875 is the floor.
+	if rc.WarmHitRatio < 0.8 {
+		t.Errorf("warm hit ratio = %v, want >= 0.8 (working set pre-warmed before admission)", rc.WarmHitRatio)
+	}
 }
 
 func TestValidateRoundTrip(t *testing.T) {
@@ -99,8 +117,8 @@ func TestValidateRejections(t *testing.T) {
 		payload []byte
 		want    string
 	}{
-		{"unknown field", []byte(`{"schema":"bnbbench/v2","bogus":1}`), "decode"},
-		{"wrong schema", marshal(func() Report { r := rep; r.Schema = "bnbbench/v1"; return r }()), "schema"},
+		{"unknown field", []byte(`{"schema":"bnbbench/v3","bogus":1}`), "decode"},
+		{"wrong schema", marshal(func() Report { r := rep; r.Schema = "bnbbench/v2"; return r }()), "schema"},
 		{"n mismatch", marshal(func() Report { r := rep; r.N = 7; return r }()), "2^m"},
 		{"missing family", marshal(func() Report {
 			r := rep
@@ -127,6 +145,16 @@ func TestValidateRejections(t *testing.T) {
 			r.Plan.HitSweep = sweep
 			return r
 		}()), "out of [0,1]"},
+		{"blackout above rollout", marshal(func() Report {
+			r := rep
+			r.Reconfig.SwapBlackoutNs = r.Reconfig.RolloutNs + 1
+			return r
+		}()), "swap blackout"},
+		{"no plan warms", marshal(func() Report {
+			r := rep
+			r.Reconfig.PlanWarms = 0
+			return r
+		}()), "plan warms"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -30,8 +30,8 @@ func Validate(r io.Reader) (Report, error) {
 }
 
 func checkReport(rep Report) error {
-	if rep.Schema != "bnbbench/v2" {
-		return fmt.Errorf("schema %q, want bnbbench/v2", rep.Schema)
+	if rep.Schema != "bnbbench/v3" {
+		return fmt.Errorf("schema %q, want bnbbench/v3", rep.Schema)
 	}
 	if rep.M < 1 || rep.N != 1<<uint(rep.M) {
 		return fmt.Errorf("m = %d with n = %d; want n = 2^m", rep.M, rep.N)
@@ -108,6 +108,22 @@ func checkReport(rep Report) error {
 		if hp.RoutesPerSec <= 0 {
 			return fmt.Errorf("plan sweep repeat=%v: non-positive routes_per_sec %v", hp.RepeatRatio, hp.RoutesPerSec)
 		}
+	}
+	rc := rep.Reconfig
+	if rc.Planes < 2 {
+		return fmt.Errorf("reconfig: %d planes", rc.Planes)
+	}
+	if rc.RolloutNs <= 0 || rc.DrainNs <= 0 {
+		return fmt.Errorf("reconfig: non-positive rollout %d ns or drain %d ns", rc.RolloutNs, rc.DrainNs)
+	}
+	if rc.SwapBlackoutNs <= 0 || rc.SwapBlackoutNs > rc.RolloutNs {
+		return fmt.Errorf("reconfig: swap blackout %d ns outside (0, rollout %d ns]", rc.SwapBlackoutNs, rc.RolloutNs)
+	}
+	if rc.PlanWarms < 1 {
+		return fmt.Errorf("reconfig: %d plan warms — the rollout must carry the hot set over", rc.PlanWarms)
+	}
+	if rc.WarmHitRatio <= 0 || rc.WarmHitRatio > 1 {
+		return fmt.Errorf("reconfig: warm hit ratio %v outside (0, 1]", rc.WarmHitRatio)
 	}
 	return nil
 }

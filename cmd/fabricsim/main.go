@@ -17,14 +17,24 @@
 // repair / readmit counters. The run exits nonzero if the supervised stack
 // drops or misroutes anything.
 //
+// With -reconfig R (alongside -planes) the tool runs the hitless-rollout
+// experiment of DESIGN.md §13 instead: while the request stream is in
+// flight — and -chaos keeps striking plane 0 — the whole fleet is rolled
+// onto freshly built planes R times via Reconfigure, pre-warming each new
+// plan cache from the outgoing one. The run reports per-rollout wall time,
+// the final drain latency, and the supervisor's reconfiguration counters,
+// and exits nonzero if a single request is lost, failed or misrouted.
+//
 //	fabricsim -net bnb -m 5 -traffic uniform -cycles 5000
 //	fabricsim -net bnb -m 5 -traffic permutation -metrics
 //	fabricsim -net batcher -m 5 -traffic hotspot -hotfrac 0.3
 //	fabricsim -net bnb -m 5 -traffic permutation -cycles 1000 -chaos 0.01
 //	fabricsim -net bnb -m 5 -planes 3 -chaos 0.01 -requests 10000
+//	fabricsim -net bnb -m 5 -planes 3 -chaos 0.01 -reconfig 3 -requests 10000
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -52,6 +62,8 @@ func main() {
 		chaosSeed = flag.Int64("chaos-seed", 2026, "seed of the deterministic chaos schedule")
 		planes    = flag.Int("planes", 0, "run K >= 2 supervised redundant planes (with -chaos striking plane 0) instead of the fabric loop")
 		requests  = flag.Int("requests", 10000, "requests for the -planes availability run")
+		reconfig  = flag.Int("reconfig", 0, "with -planes: perform R live Reconfigure rollouts while the request stream is in flight")
+		warm      = flag.Int("warm", 16, "with -reconfig: hottest plans pre-warmed per rebuilt plane")
 		debugAddr = flag.String("debug", "", `serve the debug bundle (metrics exposition, trace dump, pprof) on this address for the duration of the run, e.g. ":8080"`)
 	)
 	flag.Parse()
@@ -67,7 +79,9 @@ func main() {
 		defer dbg.srv.Close()
 	}
 	var err error
-	if *planes > 0 {
+	if *planes > 0 && *reconfig > 0 {
+		err = runReconfig(*netName, *m, *planes, *requests, *reconfig, *warm, *seed, *chaos, *chaosHeal, *chaosSeed, dbg)
+	} else if *planes > 0 {
 		err = runPlanes(*netName, *m, *planes, *requests, *seed, *chaos, *chaosHeal, *chaosSeed, dbg)
 	} else {
 		err = run(*netName, *m, *traffic, *cycles, *seed, *hotfrac, *voq, *metrics, *chaos, *chaosHeal, *chaosSeed, dbg)
@@ -220,6 +234,156 @@ func runPlanes(netName string, m, k, requests int, seed int64, chaos float64, ch
 	} else {
 		fmt.Println("the supervised stack delivered every request.")
 	}
+	return nil
+}
+
+// runReconfig is the hitless-rollout experiment of DESIGN.md §13: a K-plane
+// supervised stack serves the request stream (with -chaos striking plane 0)
+// while the whole fleet is rolled onto freshly built planes R times, each
+// rebuilt plan cache pre-warmed from its predecessor's hottest plans. The
+// run must be perfect — every request delivered to its addressed output —
+// or the tool exits nonzero.
+func runReconfig(netName string, m, k, requests, rollouts, warmTopK int, seed int64, chaos float64, chaosHeal int, chaosSeed int64, dbg *debugState) error {
+	if k < 2 {
+		return fmt.Errorf("-planes %d: need at least 2 planes", k)
+	}
+	fmt.Printf("reconfig: %s, order %d (%d ports), %d supervised planes, %d requests, %d live rollouts, warm top-%d\n",
+		netName, m, 1<<uint(m), k, requests, rollouts, warmTopK)
+	supOpts := []bnbnet.Option{
+		bnbnet.WithPlanes(k), bnbnet.WithWorkers(4),
+		bnbnet.WithHealthInterval(time.Millisecond),
+		bnbnet.WithPlanCache(256),
+	}
+	if chaos > 0 {
+		supOpts = append(supOpts, bnbnet.WithPlaneFaults(0, &bnbnet.FaultPlan{
+			ChaosRate: chaos, ChaosHeal: chaosHeal, Seed: chaosSeed,
+		}))
+		fmt.Printf("chaos: transient fault rate %v per cycle on plane 0, heal %d, seed %d\n",
+			chaos, chaosHeal, chaosSeed)
+	}
+	sink := bnbnet.NewMetrics()
+	if dbg != nil {
+		sink = dbg.sink
+		supOpts = append(supOpts, bnbnet.WithTracer(dbg.tracer))
+	}
+	supOpts = append(supOpts, bnbnet.WithMetrics(sink))
+	sup, err := bnbnet.NewSupervised(netName, m, supOpts...)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	// The rollout goroutine waits for the first batch to land (so caches hold
+	// real traffic to warm from), then runs the R rollouts back to back while
+	// the main loop keeps the request stream flowing.
+	started := make(chan struct{})
+	type rolloutResult struct {
+		durations []time.Duration
+		err       error
+	}
+	rolloutCh := make(chan rolloutResult, 1)
+	go func() {
+		<-started
+		res := rolloutResult{durations: make([]time.Duration, 0, rollouts)}
+		for i := 0; i < rollouts; i++ {
+			begin := time.Now()
+			if err := sup.Reconfigure(ctx, bnbnet.ReconfigWarmPlans(warmTopK)); err != nil {
+				res.err = fmt.Errorf("rollout %d: %w", i+1, err)
+				break
+			}
+			res.durations = append(res.durations, time.Since(begin))
+		}
+		rolloutCh <- res
+	}()
+
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << uint(m)
+	var delivered, failed, misrouted int
+	var res *rolloutResult
+	start := time.Now()
+	const batch = 250
+	for done := 0; done < requests || res == nil; done += batch {
+		size := batch
+		if requests-done < size && requests-done > 0 {
+			size = requests - done
+		}
+		ps := make([]bnbnet.Perm, size)
+		for i := range ps {
+			ps[i] = bnbnet.RandomPerm(n, rng)
+		}
+		outs, errs := sup.RoutePermBatch(ps)
+		for i := range errs {
+			if errs[i] != nil {
+				failed++
+				if errors.Is(errs[i], bnbnet.ErrMisrouted) {
+					misrouted++
+				}
+				continue
+			}
+			ok := true
+			for j, w := range outs[i] {
+				if w.Addr != j {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				delivered++
+			} else {
+				misrouted++
+			}
+		}
+		if done == 0 {
+			close(started)
+		}
+		if res == nil {
+			select {
+			case r := <-rolloutCh:
+				res = &r
+			default:
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	if res.err != nil {
+		sup.Close()
+		return res.err
+	}
+
+	// Drain latency: how long the lifecycle takes to stop admission and land
+	// every in-flight ticket once the stream ends.
+	drainStart := time.Now()
+	if err := sup.Drain(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	drainLatency := time.Since(drainStart)
+	snap := sink.Snapshot()
+	reconfigs, warms := snap.Reconfigs, snap.PlanWarms
+	failovers, readmits := sup.Failovers(), sup.Readmits()
+	states := sup.PlaneStates()
+	if err := sup.Close(); err != nil {
+		return err
+	}
+
+	total := delivered + failed + misrouted
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "requests\tdelivered\tfailed\tmisrouted\tavailability\telapsed")
+	fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.4f\t%v\n",
+		total, delivered, failed, misrouted,
+		float64(delivered)/float64(total), elapsed.Round(time.Millisecond))
+	tw.Flush()
+	for i, d := range res.durations {
+		fmt.Printf("rollout %d: %v\n", i+1, d.Round(time.Microsecond))
+	}
+	fmt.Printf("drain latency: %v\n", drainLatency.Round(time.Microsecond))
+	fmt.Printf("supervisor: reconfigs=%d plan warms=%d failovers=%d readmits=%d states=%v\n",
+		reconfigs, warms, failovers, readmits, states)
+	if delivered != total || misrouted != 0 || reconfigs != int64(rollouts) {
+		return fmt.Errorf("rollout was not hitless: %d/%d delivered, %d misrouted, %d/%d reconfigurations",
+			delivered, total, misrouted, reconfigs, rollouts)
+	}
+	fmt.Printf("every request was delivered across %d live rollouts; the reconfiguration was hitless.\n", rollouts)
 	return nil
 }
 

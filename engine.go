@@ -286,10 +286,26 @@ func (e *Engine) DebugAddr() string {
 	return e.dbg.Addr()
 }
 
+// InFlight returns the number of admitted requests not yet completed.
+func (e *Engine) InFlight() int64 { return e.e.InFlight() }
+
+// Drain gracefully stops admission and waits for every in-flight ticket to
+// complete: new Submits fail fast with ErrDraining, queued requests are
+// served normally, and Drain returns once the workers are idle. If ctx
+// expires first, pending retry backoffs are cut short so parked requests
+// settle immediately with their errors, and Drain reports the context's
+// error. The WithDebugAddr server keeps serving through the drain — an
+// operator watching /debug/bnb/metrics sees the drain happen — and is shut
+// down only by Close, which after a completed Drain is an idempotent no-op.
+func (e *Engine) Drain(ctx context.Context) error { return e.e.Drain(ctx) }
+
 // Close stops accepting requests, drains queued work, and stops the workers;
 // every ticket submitted before Close still completes. Pending trace spans
 // are flushed into the ring and the WithDebugAddr server, if any, is shut
-// down with no goroutine left behind. A second Close reports ErrClosed.
+// down with no goroutine left behind — strictly after the drain completes,
+// so the debug surface stays live while tickets settle. After a completed
+// Drain, Close is an idempotent no-op returning nil; without one, a second
+// Close reports ErrClosed.
 func (e *Engine) Close() error {
 	err := e.e.Close()
 	if e.dbg != nil {

@@ -43,4 +43,9 @@ var (
 	// different network order). Replaying would silently misdeliver, so the
 	// batch is refused; compile a plan for the offered permutation instead.
 	ErrPlanMismatch = neterr.ErrPlanMismatch
+	// ErrDraining reports a request refused at admission while the engine
+	// drains: Drain stopped intake, in-flight requests are completing, and
+	// Close has not yet happened. Distinct from ErrClosed so operators can
+	// tell "steer traffic away, shutdown imminent" from "already gone".
+	ErrDraining = neterr.ErrDraining
 )

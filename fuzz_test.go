@@ -1,6 +1,7 @@
 package bnbnet
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -109,6 +110,87 @@ func permFromBytes(n int, data []byte) Perm {
 		p[i], p[j] = p[j], p[i]
 	}
 	return p
+}
+
+// FuzzPlanRoundTrip drives the compiled-plan surface with fuzz-derived
+// permutations at fuzz-chosen orders: Compile must accept every valid
+// permutation, Replay must deliver word-for-word what the live self-routing
+// pass delivers, and a batch whose addresses no longer match the plan must
+// be rejected with ErrPlanMismatch instead of misdelivering — the contract
+// the reconfiguration pre-warm path leans on when it replays old plans on a
+// fresh plane.
+func FuzzPlanRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{4, 2})
+	f.Add([]byte{0xff, 0x3c, 0x00, 0x81})
+	f.Add([]byte("hitless reconfiguration"))
+	nets := make(map[int]*BNB)
+	for m := 1; m <= 5; m++ {
+		b, err := NewBNB(m, 0)
+		if err != nil {
+			f.Fatal(err)
+		}
+		nets[m] = b
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := 1
+		if len(data) > 0 {
+			m = 1 + int(data[0])%5
+			data = data[1:]
+		}
+		b := nets[m]
+		n := 1 << m
+		p := permFromBytes(n, data)
+		pl, err := b.Compile(p)
+		if err != nil {
+			t.Fatalf("Compile rejected valid permutation %v: %v", p, err)
+		}
+		src := make([]Word, n)
+		for i, d := range p {
+			src[i] = Word{Addr: d, Data: uint64(i) | uint64(d)<<32}
+		}
+		live := make([]Word, n)
+		if err := b.RouteInto(live, src); err != nil {
+			t.Fatalf("live route rejected %v: %v", p, err)
+		}
+		replayed := make([]Word, n)
+		if err := b.Replay(pl, replayed, src); err != nil {
+			t.Fatalf("Replay rejected the batch it was compiled from (%v): %v", p, err)
+		}
+		for j := range live {
+			if replayed[j] != live[j] {
+				t.Fatalf("replay diverges from live routing at output %d: %+v vs %+v (perm %v)",
+					j, replayed[j], live[j], p)
+			}
+		}
+		// Mutate one source address so the batch no longer matches the plan:
+		// Replay must refuse with ErrPlanMismatch, never misdeliver.
+		pick := 0
+		for _, c := range data {
+			pick = pick*17 + int(c)
+		}
+		if pick < 0 {
+			pick = -pick
+		}
+		i := pick % n
+		mutated := make([]Word, n)
+		copy(mutated, src)
+		mutated[i].Addr = (mutated[i].Addr + 1) % n
+		if err := b.Replay(pl, replayed, mutated); !errors.Is(err, ErrPlanMismatch) {
+			t.Fatalf("Replay of a mutated batch (input %d readdressed): err = %v, want ErrPlanMismatch", i, err)
+		}
+		// A plan from a different order must be rejected the same way.
+		if m > 1 {
+			other := nets[m-1]
+			foreign := make([]Word, other.Inputs())
+			for j := range foreign {
+				foreign[j] = Word{Addr: j, Data: uint64(j)}
+			}
+			if err := other.Replay(pl, make([]Word, other.Inputs()), foreign); !errors.Is(err, ErrPlanMismatch) {
+				t.Fatalf("Replay of an order-%d plan on an order-%d network: err = %v, want ErrPlanMismatch", m, m-1, err)
+			}
+		}
+	})
 }
 
 // FuzzAllNetworksAgree routes the fuzz-derived permutation through every

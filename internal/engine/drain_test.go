@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/neterr"
+	"repro/internal/perm"
+)
+
+// TestDrainStopsAdmissionAndCompletesInflight pins the graceful-drain
+// contract: Submit during a drain fails fast with ErrDraining (not
+// ErrClosed), every ticket admitted before the drain completes normally,
+// and Drain returns only once the workers are idle.
+func TestDrainStopsAdmissionAndCompletesInflight(t *testing.T) {
+	const n = 8
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	r := &funcRouter{n: n, fn: func(dst, src []core.Word) error {
+		entered <- struct{}{}
+		<-gate
+		return deliver(dst, src)
+	}}
+	e, err := New(r, Config{Workers: 2, Queue: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickets := make([]*Ticket, 0, 4)
+	for i := 0; i < 4; i++ {
+		tk, err := e.Submit(nil, permWords(perm.Identity(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	<-entered // at least one request is mid-route when the drain starts
+	drained := make(chan error, 1)
+	go func() { drained <- e.Drain(context.Background()) }()
+	// The drain must flip admission before it completes; poll for the state
+	// change rather than racing the goroutine.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := e.Submit(nil, permWords(perm.Identity(n)))
+		if errors.Is(err, neterr.ErrDraining) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("Submit during drain: err = %v, want ErrDraining", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned %v with requests still gated", err)
+	default:
+	}
+	close(gate)
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	for i, tk := range tickets {
+		out, err := tk.Wait()
+		if err != nil {
+			t.Fatalf("ticket %d admitted before drain failed: %v", i, err)
+		}
+		for j, w := range out {
+			if w.Addr != j {
+				t.Errorf("ticket %d output %d carries address %d", i, j, w.Addr)
+			}
+		}
+	}
+	if e.InFlight() != 0 {
+		t.Errorf("InFlight after drain = %d, want 0", e.InFlight())
+	}
+	// After a completed Drain, Submit still says draining (shutdown is
+	// announced, not done) and Close is an idempotent no-op.
+	if _, err := e.Submit(nil, permWords(perm.Identity(n))); !errors.Is(err, neterr.ErrDraining) {
+		t.Errorf("Submit after drained: err = %v, want ErrDraining", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Errorf("Close after Drain: err = %v, want nil", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Errorf("second Close after Drain: err = %v, want nil (idempotent no-op)", err)
+	}
+	if _, err := e.Submit(nil, permWords(perm.Identity(n))); !errors.Is(err, neterr.ErrClosed) {
+		t.Errorf("Submit after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestDrainDeadlineCutsBackoffsShort pins the bounded-drain contract: a
+// drain whose context expires stops honoring retry backoffs, so requests
+// parked in an hour-long backoff settle promptly with their pending errors
+// and Drain reports the context's error.
+func TestDrainDeadlineCutsBackoffsShort(t *testing.T) {
+	const n = 8
+	flaky := &funcRouter{n: n, fn: func(dst, src []core.Word) error {
+		return fmt.Errorf("down: %w", neterr.ErrTransient)
+	}}
+	e, err := New(flaky, Config{Workers: 2, Retry: RetryPolicy{MaxAttempts: 1000, Backoff: time.Hour}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickets := make([]*Ticket, 0, 2)
+	for i := 0; i < 2; i++ {
+		tk, err := e.Submit(nil, permWords(perm.Identity(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	time.Sleep(10 * time.Millisecond) // let workers park in the backoff
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = e.Drain(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain past its deadline: err = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("Drain took %v; the expired deadline did not cut the backoffs", d)
+	}
+	// Every ticket still settles — with its error, not a hang.
+	for i, tk := range tickets {
+		if _, err := tk.Wait(); err == nil {
+			t.Errorf("ticket %d on a permanently failing router completed clean", i)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Errorf("Close after deadline-cut Drain: err = %v, want nil", err)
+	}
+}
+
+// TestDrainAfterCloseAndConcurrentDrains pins the remaining lifecycle
+// edges: Drain after Close reports ErrClosed, and concurrent Drains all
+// wait for the same drain and return nil.
+func TestDrainAfterCloseAndConcurrentDrains(t *testing.T) {
+	const n = 8
+	ok := &funcRouter{n: n, fn: deliver}
+	e, err := New(ok, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drain(context.Background()); !errors.Is(err, neterr.ErrClosed) {
+		t.Errorf("Drain after Close: err = %v, want ErrClosed", err)
+	}
+
+	e2, err := New(ok, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = e2.Drain(context.Background())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("concurrent Drain %d: %v", i, err)
+		}
+	}
+	// A second sequential Drain on a drained engine is also a clean wait.
+	if err := e2.Drain(context.Background()); err != nil {
+		t.Errorf("repeat Drain: %v", err)
+	}
+	if err := e2.Close(); err != nil {
+		t.Errorf("Close after concurrent Drains: %v", err)
+	}
+}

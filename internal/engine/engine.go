@@ -227,20 +227,42 @@ type Engine struct {
 	inflight  atomic.Int64
 	ewmaServe atomic.Int64
 
-	// closing is closed by Close before the queue channel, so workers parked
-	// in a retry backoff cut the wait short and drain promptly.
-	closing chan struct{}
+	// closing is closed when the engine stops waiting for retry backoffs —
+	// immediately on Close, or when a Drain deadline expires — so workers
+	// parked in a backoff cut the wait short and the drain stays prompt.
+	closing      chan struct{}
+	closeClosing sync.Once
+	closeReqs    sync.Once
 
 	wg sync.WaitGroup
 
-	// mu guards closed and makes Submit-vs-Close safe: submitters hold the
-	// read side while enqueueing, Close takes the write side to flip closed
-	// before closing the channel.
-	mu     sync.RWMutex
-	closed bool
+	// mu guards the lifecycle state and makes Submit-vs-Drain/Close safe:
+	// submitters hold the read side while enqueueing, Drain and Close take
+	// the write side to advance the state before closing the queue channel.
+	mu    sync.RWMutex
+	state lifecycle
+	// drained latches once a Drain has run to completion; it makes every
+	// later Close an idempotent no-op (the drain already did the work).
+	drained bool
 
 	workers int
 }
+
+// lifecycle is the engine's admission state machine. It only moves forward:
+//
+//	running → draining → drained → closed   (Drain, then Close)
+//	running → closed                        (Close without a prior Drain)
+//
+// Submit classifies rejections by state: ErrDraining while draining or
+// drained (shutdown announced, steer traffic away), ErrClosed once closed.
+type lifecycle int32
+
+const (
+	stateRunning lifecycle = iota
+	stateDraining
+	stateDrained
+	stateClosed
+)
 
 // New builds an engine around the router and starts its workers.
 func New(r Router, cfg Config) (*Engine, error) {
@@ -534,10 +556,16 @@ func (e *Engine) SubmitCtx(ctx context.Context, dst, src []core.Word) (*Ticket, 
 	}
 	t := req.t
 	e.mu.RLock()
-	if e.closed {
+	if e.state != stateRunning {
+		st := e.state
 		e.mu.RUnlock()
 		e.pool.Put(req)
-		err := fmt.Errorf("engine: %w", neterr.ErrClosed)
+		var err error
+		if st == stateClosed {
+			err = fmt.Errorf("engine: %w", neterr.ErrClosed)
+		} else {
+			err = fmt.Errorf("engine: %w", neterr.ErrDraining)
+		}
 		e.tracer.Finish(sp, err)
 		return nil, err
 	}
@@ -621,20 +649,104 @@ func (e *Engine) RouteBatchCtx(ctx context.Context, batch [][]core.Word) (outs [
 	return outs, errs
 }
 
-// Close stops accepting requests, waits for queued work to drain, and stops
-// the workers. Submitted tickets all complete — workers parked in a retry
-// backoff are woken so the drain is prompt — later Submits fail fast with
-// ErrClosed, and no worker or timer goroutine outlives the call. A second
-// Close reports ErrClosed.
-func (e *Engine) Close() error {
+// InFlight returns the number of admitted requests not yet completed.
+func (e *Engine) InFlight() int64 { return e.inflight.Load() }
+
+// AdmissionErr reports the lifecycle error a new submission would receive:
+// nil while the engine is running, ErrDraining once a drain has begun, and
+// ErrClosed after Close. Operations that reshape serving capacity — plane
+// membership, rollouts — consult it so they refuse to act on an engine
+// that no longer admits traffic.
+func (e *Engine) AdmissionErr() error {
+	e.mu.RLock()
+	st := e.state
+	e.mu.RUnlock()
+	switch st {
+	case stateRunning:
+		return nil
+	case stateClosed:
+		return fmt.Errorf("engine: %w", neterr.ErrClosed)
+	default:
+		return fmt.Errorf("engine: %w", neterr.ErrDraining)
+	}
+}
+
+// Drain gracefully stops admission and waits for every in-flight ticket to
+// complete: new Submits fail fast with ErrDraining, queued requests are
+// served normally (retry backoffs run to their natural end), and Drain
+// returns once the workers are idle. If ctx expires first, the remaining
+// backoffs are cut short so parked requests finish immediately with their
+// pending errors; Drain still waits for that prompt completion, then
+// reports the context's error. After a completed Drain, Close is an
+// idempotent no-op — the tracer has already been flushed and every ticket
+// settled. Drain after Close reports ErrClosed; concurrent and repeated
+// Drains all wait for the same drain and return nil.
+func (e *Engine) Drain(ctx context.Context) error {
 	e.mu.Lock()
-	if e.closed {
+	if e.state == stateClosed {
 		e.mu.Unlock()
 		return fmt.Errorf("engine: %w", neterr.ErrClosed)
 	}
-	e.closed = true
-	close(e.closing)
-	close(e.reqs)
+	transitioned := e.state == stateRunning
+	if transitioned {
+		e.state = stateDraining
+		e.closeReqs.Do(func() { close(e.reqs) })
+	}
+	e.mu.Unlock()
+	if transitioned {
+		e.m.AddDrain()
+	}
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	var ctxErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Deadline overrun: stop honoring retry backoffs so parked workers
+		// finish their requests now, then wait for that prompt completion.
+		// Every ticket still settles; only the grace period is cut short.
+		e.closeClosing.Do(func() { close(e.closing) })
+		<-done
+		ctxErr = fmt.Errorf("engine: drain: %w", ctx.Err())
+	}
+	e.mu.Lock()
+	if e.state == stateDraining {
+		e.state = stateDrained
+	}
+	e.drained = true
+	e.mu.Unlock()
+	// Workers are idle: any span still open belongs to work that never ran
+	// to completion — publish it aborted rather than dropping it.
+	e.tracer.Flush()
+	return ctxErr
+}
+
+// Close stops accepting requests, drains queued work, and stops the
+// workers. Close is drain-by-default with an immediate deadline: submitted
+// tickets all complete — workers parked in a retry backoff are woken so the
+// drain is prompt — later Submits fail fast with ErrClosed, and no worker
+// or timer goroutine outlives the call. After a completed Drain, Close is
+// an idempotent no-op returning nil (the drain already settled every
+// ticket and flushed the tracer). Without a prior Drain, a second Close
+// reports ErrClosed.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.drained {
+		// Drain finished the lifecycle work; Close only seals admission.
+		e.state = stateClosed
+		e.mu.Unlock()
+		return nil
+	}
+	if e.state == stateClosed {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: %w", neterr.ErrClosed)
+	}
+	e.state = stateClosed
+	e.closeClosing.Do(func() { close(e.closing) })
+	e.closeReqs.Do(func() { close(e.reqs) })
 	e.mu.Unlock()
 	e.wg.Wait()
 	// Workers have drained: any span still open belongs to work that never

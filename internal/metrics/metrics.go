@@ -53,6 +53,18 @@ type Metrics struct {
 	planesHealthy     atomic.Int64
 	planesSuspect     atomic.Int64
 	planesQuarantined atomic.Int64
+	planesAdmitting   atomic.Int64
+	planesDraining    atomic.Int64
+
+	// Live-reconfiguration counters, fed by the drain lifecycle and the
+	// supervisor's membership operations: engine drains, completed
+	// reconfigurations, planes added to and removed from the serving set,
+	// and plans pre-warmed into a fresh cache during a rollout.
+	drains        atomic.Int64
+	reconfigs     atomic.Int64
+	planesAdded   atomic.Int64
+	planesRemoved atomic.Int64
+	planWarms     atomic.Int64
 
 	// Plan-cache counters, fed by the compiled-plan fast path: cache hits
 	// replayed without re-running the arbiter tree, misses that compiled a
@@ -232,15 +244,56 @@ func (m *Metrics) AddPlanCompile(d time.Duration) {
 	m.planCompileNs.Add(ns)
 }
 
+// AddDrain counts one graceful engine drain (Drain, not an abrupt Close).
+func (m *Metrics) AddDrain() {
+	if m != nil {
+		m.drains.Add(1)
+	}
+}
+
+// AddReconfig counts one completed live reconfiguration (Reconfigure).
+func (m *Metrics) AddReconfig() {
+	if m != nil {
+		m.reconfigs.Add(1)
+	}
+}
+
+// AddPlaneAdded counts one plane admitted to the serving set at runtime.
+func (m *Metrics) AddPlaneAdded() {
+	if m != nil {
+		m.planesAdded.Add(1)
+	}
+}
+
+// AddPlaneRemoved counts one plane drained and detached from the serving
+// set at runtime.
+func (m *Metrics) AddPlaneRemoved() {
+	if m != nil {
+		m.planesRemoved.Add(1)
+	}
+}
+
+// AddPlanWarm counts one hot plan verified through ReplayWired and carried
+// into a fresh plan cache during a rollout.
+func (m *Metrics) AddPlanWarm() {
+	if m != nil {
+		m.planWarms.Add(1)
+	}
+}
+
 // SetPlaneStates publishes the supervisor's current plane-state census as
-// gauges; the supervisor calls it after every state transition.
-func (m *Metrics) SetPlaneStates(healthy, suspect, quarantined int64) {
+// gauges; the supervisor calls it after every state transition. Admitting
+// planes are probing their way into service, draining planes are on their
+// way out; detached planes have left the set and are not counted.
+func (m *Metrics) SetPlaneStates(healthy, suspect, quarantined, admitting, draining int64) {
 	if m == nil {
 		return
 	}
 	m.planesHealthy.Store(healthy)
 	m.planesSuspect.Store(suspect)
 	m.planesQuarantined.Store(quarantined)
+	m.planesAdmitting.Store(admitting)
+	m.planesDraining.Store(draining)
 }
 
 // Snapshot is a point-in-time copy of the counters with derived percentile
@@ -286,6 +339,15 @@ type Snapshot struct {
 	// PlanesHealthy, PlanesSuspect and PlanesQuarantined are the current
 	// plane-state gauges of the supervisor, zero without one.
 	PlanesHealthy, PlanesSuspect, PlanesQuarantined int64
+	// PlanesAdmitting and PlanesDraining are the census of planes entering
+	// and leaving the serving set during live membership changes.
+	PlanesAdmitting, PlanesDraining int64
+
+	// Drains counts graceful engine drains; Reconfigs completed live
+	// reconfigurations; PlanesAdded and PlanesRemoved runtime membership
+	// changes; PlanWarms plans verified and carried into a fresh cache
+	// during a rollout.
+	Drains, Reconfigs, PlanesAdded, PlanesRemoved, PlanWarms int64
 
 	// PlanHits counts requests replayed from a cached plan; PlanMisses
 	// counts requests that found no plan; PlanEvictions counts plans evicted
@@ -328,6 +390,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		PlanesHealthy:     m.planesHealthy.Load(),
 		PlanesSuspect:     m.planesSuspect.Load(),
 		PlanesQuarantined: m.planesQuarantined.Load(),
+		PlanesAdmitting:   m.planesAdmitting.Load(),
+		PlanesDraining:    m.planesDraining.Load(),
+
+		Drains:        m.drains.Load(),
+		Reconfigs:     m.reconfigs.Load(),
+		PlanesAdded:   m.planesAdded.Load(),
+		PlanesRemoved: m.planesRemoved.Load(),
+		PlanWarms:     m.planWarms.Load(),
 
 		PlanHits:      m.planHits.Load(),
 		PlanMisses:    m.planMisses.Load(),
@@ -390,6 +460,12 @@ func (s Snapshot) String() string {
 	if s.PlanHits != 0 || s.PlanMisses != 0 || s.PlanEvictions != 0 || s.PlanCompiles != 0 {
 		line += fmt.Sprintf(" plan_hits=%d plan_misses=%d plan_evictions=%d plan_compiles=%d plan_hit_ratio=%.2f",
 			s.PlanHits, s.PlanMisses, s.PlanEvictions, s.PlanCompiles, s.PlanHitRatio())
+	}
+	if s.Drains != 0 || s.Reconfigs != 0 || s.PlanesAdded != 0 || s.PlanesRemoved != 0 ||
+		s.PlanWarms != 0 || s.PlanesAdmitting != 0 || s.PlanesDraining != 0 {
+		line += fmt.Sprintf(" drains=%d reconfigs=%d planes_added=%d planes_removed=%d plan_warms=%d admitting=%d draining=%d",
+			s.Drains, s.Reconfigs, s.PlanesAdded, s.PlanesRemoved, s.PlanWarms,
+			s.PlanesAdmitting, s.PlanesDraining)
 	}
 	return line
 }

@@ -47,6 +47,11 @@ func (m *Metrics) WritePrometheus(w io.Writer, ns string) error {
 		{"plan_misses_total", "Plan-cache lookups that found no plan.", m.planMisses.Load()},
 		{"plan_evictions_total", "Route plans evicted from the cache.", m.planEvictions.Load()},
 		{"plan_compiles_total", "Route plans compiled.", m.planCompiles.Load()},
+		{"drains_total", "Graceful engine drains.", m.drains.Load()},
+		{"reconfigs_total", "Completed live reconfigurations.", m.reconfigs.Load()},
+		{"planes_added_total", "Planes admitted to the serving set at runtime.", m.planesAdded.Load()},
+		{"planes_removed_total", "Planes drained and detached at runtime.", m.planesRemoved.Load()},
+		{"plan_warms_total", "Plans verified and pre-warmed into a fresh cache.", m.planWarms.Load()},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s %d\n",
@@ -61,6 +66,8 @@ func (m *Metrics) WritePrometheus(w io.Writer, ns string) error {
 		{"planes_healthy", "Supervised planes currently serving live traffic.", m.planesHealthy.Load()},
 		{"planes_suspect", "Supervised planes draining after a failure.", m.planesSuspect.Load()},
 		{"planes_quarantined", "Supervised planes under diagnosis and repair.", m.planesQuarantined.Load()},
+		{"planes_admitting", "Planes probing their way into the serving set.", m.planesAdmitting.Load()},
+		{"planes_draining", "Planes draining their way out of the serving set.", m.planesDraining.Load()},
 	}
 	for _, g := range gauges {
 		if _, err := fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s gauge\n%s_%s %d\n",

@@ -62,4 +62,11 @@ var (
 	// plan's permutation (or the plan belongs to a different network order).
 	// Replaying such a batch would silently misdeliver, so it is refused.
 	ErrPlanMismatch = errors.New("plan does not match the offered permutation")
+
+	// ErrDraining reports a request refused at admission because the engine
+	// is draining: Drain (or a drain-by-default Close) has stopped intake
+	// while previously admitted requests run to completion. Unlike
+	// ErrClosed, draining is a transient lifecycle phase announced ahead of
+	// shutdown — load balancers should steer new traffic elsewhere.
+	ErrDraining = errors.New("engine draining")
 )

@@ -226,6 +226,39 @@ func equalKey(a, b []int) bool {
 	return true
 }
 
+// Hot returns up to k cached plans, preferring entries whose CLOCK
+// reference bit is set (recently hit) over cold ones. This is the rollout
+// pre-warm export: a live reconfiguration reads the hottest plans of the
+// outgoing cache, re-verifies each on the replacement plane, and seeds the
+// fresh cache so the first post-rollout requests hit instead of paying a
+// compile. Reading leaves the reference bits untouched. Nil-safe.
+func (c *Cache) Hot(k int) []*core.Plan {
+	if c == nil || k <= 0 {
+		return nil
+	}
+	var hot, cold []*core.Plan
+	for i := range c.shards {
+		snap := c.shards[i].entries.Load()
+		if snap == nil {
+			continue
+		}
+		for _, e := range *snap {
+			if e.touched.Load() {
+				hot = append(hot, e.plan)
+			} else {
+				cold = append(cold, e.plan)
+			}
+		}
+	}
+	if len(hot) < k {
+		hot = append(hot, cold...)
+	}
+	if len(hot) > k {
+		hot = hot[:k]
+	}
+	return hot
+}
+
 // Len returns the number of cached plans; 0 on the disabled cache.
 func (c *Cache) Len() int {
 	if c == nil {

@@ -37,19 +37,27 @@ func (s *Supervisor) healthLoop() {
 // sweep advances every plane's state machine one step: suspect planes are
 // drained, diagnosed, and quarantined; quarantined planes are probed for
 // readmission (rebuilt after rebuildAfter consecutive failed passes);
-// healthy idle planes are probed so a fault on a cold plane is found before
-// live traffic hits it.
+// admitting planes are probed for first admission; healthy idle planes are
+// probed so a fault on a cold plane is found before live traffic hits it.
+// Every repair-side transition is a CompareAndSwap from the state the
+// checker observed: a membership operation that concurrently marks the
+// plane Draining wins, and the checker backs off — a plane on its way out
+// can never be resurrected by a stale probe result.
 func (s *Supervisor) sweep(dst, src []core.Word) {
-	for _, p := range s.planes {
+	for _, p := range s.snapshot() {
 		switch State(p.state.Load()) {
 		case Suspect:
 			s.drain(p)
 			s.diagnose(p)
-			p.state.Store(int32(Quarantined))
+			if !p.state.CompareAndSwap(int32(Suspect), int32(Quarantined)) {
+				continue // now Draining: membership owns this plane
+			}
 			s.publishGauges()
-			s.tryReadmit(p, dst, src)
+			s.tryReadmit(p, dst, src, Quarantined)
 		case Quarantined:
-			s.tryReadmit(p, dst, src)
+			s.tryReadmit(p, dst, src, Quarantined)
+		case Admitting:
+			s.tryReadmit(p, dst, src, Admitting)
 		case Healthy:
 			// Opportunistic idle probe: skip planes carrying live traffic —
 			// their routes are verified inline anyway.
@@ -88,11 +96,14 @@ func (s *Supervisor) diagnose(p *planeState) {
 	p.lastDiag.Store(&d)
 }
 
-// tryReadmit runs a full probe pass over the quarantined plane and readmits
-// it on a clean pass. After rebuildAfter consecutive failed passes the
-// plane is rebuilt from its constructor — the repair for faults that do not
-// heal on their own — and probed again on the next sweep.
-func (s *Supervisor) tryReadmit(p *planeState, dst, src []core.Word) {
+// tryReadmit runs a full probe pass over the quarantined (or admitting)
+// plane and promotes it to Healthy on a clean pass — by CompareAndSwap
+// from the state the caller observed, so a concurrent Draining mark wins.
+// After rebuildAfter consecutive failed passes the plane is rebuilt from
+// its constructor — the repair for faults that do not heal on their own —
+// and probed again on the next sweep. First admissions (from Admitting)
+// do not count as readmits: the plane was never in service.
+func (s *Supervisor) tryReadmit(p *planeState, dst, src []core.Word, from State) {
 	if err := s.tracedProbePass(p, dst, src); err != nil {
 		e := err
 		p.lastErr.Store(&e)
@@ -108,11 +119,15 @@ func (s *Supervisor) tryReadmit(p *planeState, dst, src []core.Word) {
 		}
 		return
 	}
+	if !p.state.CompareAndSwap(int32(from), int32(Healthy)) {
+		return // now Draining or Detached: membership owns this plane
+	}
 	p.failedProbes = 0
-	p.readmits.Add(1)
-	s.readmits.Add(1)
-	s.m.AddReadmit()
-	p.state.Store(int32(Healthy))
+	if from == Quarantined {
+		p.readmits.Add(1)
+		s.readmits.Add(1)
+		s.m.AddReadmit()
+	}
 	s.publishGauges()
 }
 
@@ -129,18 +144,23 @@ func (s *Supervisor) tracedProbePass(p *planeState, dst, src []core.Word) error 
 // probePass routes the full probe set through the plane and verifies every
 // delivery; the first failing probe aborts the pass.
 func (s *Supervisor) probePass(p *planeState, dst, src []core.Word) error {
-	r := p.get()
+	return s.probeRouter(p.get(), p.id, dst, src)
+}
+
+// probeRouter is probePass against an arbitrary router — SwapPlane uses it
+// to verify a replacement offline, before the router serves anything.
+func (s *Supervisor) probeRouter(r Router, id int, dst, src []core.Word) error {
 	for pi, probe := range s.probes {
 		for i, dest := range probe {
 			src[i] = core.Word{Addr: dest, Data: uint64(i)}
 		}
 		if err := r.RouteInto(dst, src); err != nil {
-			return fmt.Errorf("plane %d: probe %d: %w", p.id, pi, err)
+			return fmt.Errorf("plane %d: probe %d: %w", id, pi, err)
 		}
 		for j := range dst {
 			if dst[j].Addr != j {
 				return fmt.Errorf("plane %d: probe %d: output %d carries address %d: %w",
-					p.id, pi, j, dst[j].Addr, neterr.ErrMisrouted)
+					id, pi, j, dst[j].Addr, neterr.ErrMisrouted)
 			}
 		}
 	}

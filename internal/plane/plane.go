@@ -56,6 +56,17 @@ const (
 	// Quarantined planes are under diagnosis and repair; they rejoin only
 	// after a clean full probe pass.
 	Quarantined
+	// Admitting planes were added at runtime and are probing their way into
+	// service; they carry no live traffic until a clean full probe pass
+	// promotes them to Healthy.
+	Admitting
+	// Draining planes are leaving the serving set (RemovePlane) or having
+	// their router swapped (SwapPlane): admission stopped, in-flight
+	// requests running to completion.
+	Draining
+	// Detached planes have left the serving set entirely; the state is
+	// terminal and the plane no longer appears in the supervisor's census.
+	Detached
 )
 
 // MarshalText renders the state by name, so JSON views (expvar) show
@@ -71,6 +82,12 @@ func (s State) String() string {
 		return "suspect"
 	case Quarantined:
 		return "quarantined"
+	case Admitting:
+		return "admitting"
+	case Draining:
+		return "draining"
+	case Detached:
+		return "detached"
 	default:
 		return fmt.Sprintf("State(%d)", int32(s))
 	}
@@ -80,11 +97,11 @@ func (s State) String() string {
 type Config struct {
 	// Planes are the redundant routers; at least 2, all with equal Inputs.
 	Planes []Router
-	// Rebuild, when non-nil, constructs a replacement for plane i — the
-	// repair action for faults that do not heal on their own. The
-	// supervisor invokes it after RebuildAfter consecutive failed readmit
-	// probes of a quarantined plane.
-	Rebuild func(i int) (Router, error)
+	// Rebuild, when non-nil, constructs a replacement for the plane with the
+	// given stable id — the repair action for faults that do not heal on
+	// their own. The supervisor invokes it after RebuildAfter consecutive
+	// failed readmit probes of a quarantined plane.
+	Rebuild func(id int) (Router, error)
 	// RebuildAfter is the number of consecutive failed readmission probe
 	// passes before Rebuild is invoked; <= 0 selects 3.
 	RebuildAfter int
@@ -138,9 +155,21 @@ type routerBox struct{ r Router }
 func (p *planeState) get() Router { return p.router.Load().r }
 
 // Supervisor serves permutation routes over K redundant planes. Construct
-// with New; RouteInto is safe for concurrent use and lock-free.
+// with New; RouteInto is safe for concurrent use and lock-free. The plane
+// set itself is dynamic: AddPlane, RemovePlane and SwapPlane mutate the
+// membership at runtime behind an atomic snapshot pointer, so the hot path
+// reads one consistent plane slice per request without ever locking.
 type Supervisor struct {
-	planes []*planeState
+	// planes is the membership snapshot the hot path reads; membership
+	// writers copy the slice, mutate the copy, and publish it atomically.
+	planes atomic.Pointer[[]*planeState]
+	// memberMu serializes membership mutations (add, remove, swap). It is
+	// never taken on the routing path.
+	memberMu sync.Mutex
+	// nextID hands out monotonically increasing plane ids; ids are never
+	// reused, so a detached plane's id stays meaningful in traces and logs.
+	nextID int // guarded by memberMu
+
 	n      int // port count
 	cap    int64
 	rotor  atomic.Uint64
@@ -156,6 +185,8 @@ type Supervisor struct {
 	failovers atomic.Int64
 	repairs   atomic.Int64
 	readmits  atomic.Int64
+	added     atomic.Int64
+	removed   atomic.Int64
 
 	kick chan struct{}
 	stop chan struct{}
@@ -163,6 +194,24 @@ type Supervisor struct {
 
 	closeOnce sync.Once
 	closed    atomic.Bool
+}
+
+// snapshot returns the current membership; the slice is immutable once
+// published, so callers may index it freely.
+func (s *Supervisor) snapshot() []*planeState { return *s.planes.Load() }
+
+// plane returns the i-th member of the current snapshot (test helper and
+// internal accessor; position, not id).
+func (s *Supervisor) plane(i int) *planeState { return s.snapshot()[i] }
+
+// byID returns the member with the given plane id, or nil.
+func (s *Supervisor) byID(id int) *planeState {
+	for _, p := range s.snapshot() {
+		if p.id == id {
+			return p
+		}
+	}
+	return nil
 }
 
 // New builds a supervisor over the configured planes and starts its health
@@ -210,7 +259,6 @@ func New(cfg Config) (*Supervisor, error) {
 		rebuildAfter = 3
 	}
 	s := &Supervisor{
-		planes:       make([]*planeState, len(cfg.Planes)),
 		n:            n,
 		cap:          int64(cfg.InFlightCap),
 		m:            cfg.Metrics,
@@ -223,11 +271,14 @@ func New(cfg Config) (*Supervisor, error) {
 		kick:         make(chan struct{}, 1),
 		stop:         make(chan struct{}),
 	}
+	members := make([]*planeState, len(cfg.Planes))
 	for i, r := range cfg.Planes {
 		p := &planeState{id: i}
 		p.router.Store(&routerBox{r: r})
-		s.planes[i] = p
+		members[i] = p
 	}
+	s.planes.Store(&members)
+	s.nextID = len(members)
 	s.publishGauges()
 	s.wg.Add(1)
 	go s.healthLoop()
@@ -238,7 +289,23 @@ func New(cfg Config) (*Supervisor, error) {
 func (s *Supervisor) Inputs() int { return s.n }
 
 // Planes returns the number of supervised planes.
-func (s *Supervisor) Planes() int { return len(s.planes) }
+func (s *Supervisor) Planes() int { return len(s.snapshot()) }
+
+// PlaneIDs returns the ids of the current members, in membership order.
+func (s *Supervisor) PlaneIDs() []int {
+	ps := s.snapshot()
+	out := make([]int, len(ps))
+	for i, p := range ps {
+		out[i] = p.id
+	}
+	return out
+}
+
+// PlanesAdded returns the number of planes admitted at runtime.
+func (s *Supervisor) PlanesAdded() int64 { return s.added.Load() }
+
+// PlanesRemoved returns the number of planes drained and detached at runtime.
+func (s *Supervisor) PlanesRemoved() int64 { return s.removed.Load() }
 
 // Failovers returns the number of planes drained and failed away from.
 func (s *Supervisor) Failovers() int64 { return s.failovers.Load() }
@@ -249,10 +316,11 @@ func (s *Supervisor) Repairs() int64 { return s.repairs.Load() }
 // Readmits returns the number of quarantined planes readmitted to service.
 func (s *Supervisor) Readmits() int64 { return s.readmits.Load() }
 
-// States returns the current state of every plane.
+// States returns the current state of every plane, in membership order.
 func (s *Supervisor) States() []State {
-	out := make([]State, len(s.planes))
-	for i, p := range s.planes {
+	ps := s.snapshot()
+	out := make([]State, len(ps))
+	for i, p := range ps {
 		out[i] = State(p.state.Load())
 	}
 	return out
@@ -260,6 +328,9 @@ func (s *Supervisor) States() []State {
 
 // Stats is a point-in-time view of one plane.
 type Stats struct {
+	// ID is the plane's stable id; membership positions shift as planes are
+	// added and removed, ids never do.
+	ID int
 	// State is the plane's current health score.
 	State State
 	// Served counts requests the plane routed and delivered correctly.
@@ -280,11 +351,13 @@ type Stats struct {
 	Diagnosis string
 }
 
-// PlaneStats returns the per-plane view, indexed like the configured planes.
+// PlaneStats returns the per-plane view, in membership order.
 func (s *Supervisor) PlaneStats() []Stats {
-	out := make([]Stats, len(s.planes))
-	for i, p := range s.planes {
+	ps := s.snapshot()
+	out := make([]Stats, len(ps))
+	for i, p := range ps {
 		st := Stats{
+			ID:       p.id,
 			State:    State(p.state.Load()),
 			Served:   p.served.Load(),
 			InFlight: p.inflight.Load(),
@@ -329,11 +402,23 @@ func (s *Supervisor) RouteIntoTraced(dst, src []core.Word, sp *trace.Span) error
 	return s.routeInto(dst, src, sp)
 }
 
+// routeYield, when non-nil, is invoked after a request is admitted (the
+// closed check passed) and before a plane is selected — the preemption
+// point the deterministic mid-swap schedule tests use to park a request
+// while a concurrent SwapPlane completes. Production leaves it nil.
+var routeYield func()
+
 func (s *Supervisor) routeInto(dst, src []core.Word, sp *trace.Span) error {
 	if s.closed.Load() {
 		return fmt.Errorf("plane: %w", neterr.ErrClosed)
 	}
-	k := len(s.planes)
+	if routeYield != nil {
+		routeYield()
+	}
+	// One consistent membership snapshot per request: a concurrent
+	// add/remove publishes a fresh slice, never mutates this one.
+	planes := s.snapshot()
+	k := len(planes)
 	// Reduce the rotor modulo the plane count in uint64 space before the
 	// int conversion: converting the raw counter truncates once it passes
 	// MaxInt on 32-bit platforms (and MaxInt64 anywhere), yielding a
@@ -343,7 +428,7 @@ func (s *Supervisor) routeInto(dst, src []core.Word, sp *trace.Span) error {
 	// Pass 1: healthy planes under the in-flight cap.
 	healthySeen, capped := 0, 0
 	for off := 0; off < k; off++ {
-		p := s.planes[(start+off)%k]
+		p := planes[(start+off)%k]
 		if State(p.state.Load()) != Healthy {
 			continue
 		}
@@ -371,10 +456,11 @@ func (s *Supervisor) routeInto(dst, src []core.Word, sp *trace.Span) error {
 	}
 	// Pass 2: no healthy plane delivered — serve degraded rather than going
 	// dark, trying suspect planes first, then quarantined ones. Every route
-	// is still verified, so a wrong answer cannot leak.
+	// is still verified, so a wrong answer cannot leak. Admitting planes
+	// stay out (unproven) and draining planes stay out (leaving).
 	for _, want := range []State{Suspect, Quarantined} {
 		for off := 0; off < k; off++ {
-			p := s.planes[(start+off)%k]
+			p := planes[(start+off)%k]
 			if State(p.state.Load()) != want {
 				continue
 			}
@@ -488,8 +574,8 @@ func (s *Supervisor) publishGauges() {
 	if s.m == nil {
 		return
 	}
-	var h, su, q int64
-	for _, p := range s.planes {
+	var h, su, q, adm, dr int64
+	for _, p := range s.snapshot() {
 		switch State(p.state.Load()) {
 		case Healthy:
 			h++
@@ -497,9 +583,13 @@ func (s *Supervisor) publishGauges() {
 			su++
 		case Quarantined:
 			q++
+		case Admitting:
+			adm++
+		case Draining:
+			dr++
 		}
 	}
-	s.m.SetPlaneStates(h, su, q)
+	s.m.SetPlaneStates(h, su, q, adm, dr)
 }
 
 // Close stops the health checker. It does not close the planes — the

@@ -147,16 +147,16 @@ func TestFailoverDrainsFaultyPlane(t *testing.T) {
 	// Wait for the kicked sweep to finish the Suspect -> Quarantined step,
 	// then hammer: the drained plane must serve nothing.
 	deadline := time.Now().Add(2 * time.Second)
-	for State(s.planes[0].state.Load()) != Quarantined && time.Now().Before(deadline) {
+	for State(s.plane(0).state.Load()) != Quarantined && time.Now().Before(deadline) {
 		time.Sleep(100 * time.Microsecond)
 	}
-	servedAtFailover := s.planes[0].served.Load()
+	servedAtFailover := s.plane(0).served.Load()
 	for i := 0; i < 64; i++ {
 		if err := route(t, s, rng); err != nil {
 			t.Fatalf("request after failover surfaced error: %v", err)
 		}
 	}
-	if got := s.planes[0].served.Load(); got != servedAtFailover {
+	if got := s.plane(0).served.Load(); got != servedAtFailover {
 		t.Errorf("drained plane served %d requests after failover", got-servedAtFailover)
 	}
 	if s.Failovers() != 1 {
@@ -207,13 +207,13 @@ func TestRepairAndReadmit(t *testing.T) {
 		t.Errorf("rebuilds = %d, Repairs = %d, want both > 0", rebuilds.Load(), s.Repairs())
 	}
 	// The repaired plane serves again.
-	served := s.planes[0].served.Load()
+	served := s.plane(0).served.Load()
 	for i := 0; i < 20; i++ {
 		if err := route(t, s, rng); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := s.planes[0].served.Load(); got <= served {
+	if got := s.plane(0).served.Load(); got <= served {
 		t.Error("readmitted plane serves no traffic")
 	}
 	snap := m.Snapshot()
@@ -316,7 +316,7 @@ func TestPlaneCapSheds(t *testing.T) {
 	// Wait until both planes hold their one in-flight request.
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		if s.planes[0].inflight.Load() == 1 && s.planes[1].inflight.Load() == 1 {
+		if s.plane(0).inflight.Load() == 1 && s.plane(1).inflight.Load() == 1 {
 			break
 		}
 		time.Sleep(50 * time.Microsecond)

@@ -43,7 +43,7 @@ func TestRotorWraparound(t *testing.T) {
 			}
 		}
 	}
-	if got := s.planes[0].served.Load() + s.planes[1].served.Load() + s.planes[2].served.Load(); got != 24 {
+	if got := s.plane(0).served.Load() + s.plane(1).served.Load() + s.plane(2).served.Load(); got != 24 {
 		t.Errorf("served %d requests across the planes, want 24", got)
 	}
 }
@@ -105,7 +105,7 @@ func TestDeterministicFailoverSchedule(t *testing.T) {
 	// Schedule: A detects the misroute, fails plane 0 over, retries on
 	// plane 1 and completes; then B runs against the already-suspect plane.
 	a.Finish()
-	if got := State(s.planes[0].state.Load()); got != Suspect {
+	if got := State(s.plane(0).state.Load()); got != Suspect {
 		t.Fatalf("after A: plane 0 state = %v, want suspect", got)
 	}
 	if got := s.Failovers(); got != 1 {
@@ -126,7 +126,7 @@ func TestDeterministicFailoverSchedule(t *testing.T) {
 	src := make([]core.Word, n)
 	dst := make([]core.Word, n)
 	s.sweep(dst, src)
-	if got := State(s.planes[0].state.Load()); got != Quarantined {
+	if got := State(s.plane(0).state.Load()); got != Quarantined {
 		t.Fatalf("after sweep 1: plane 0 state = %v, want quarantined", got)
 	}
 	if got := s.Readmits(); got != 0 {
@@ -136,7 +136,7 @@ func TestDeterministicFailoverSchedule(t *testing.T) {
 	// Heal the plane; the next sweep's probe pass must readmit it.
 	broken.Store(false)
 	s.sweep(dst, src)
-	if got := State(s.planes[0].state.Load()); got != Healthy {
+	if got := State(s.plane(0).state.Load()); got != Healthy {
 		t.Fatalf("after sweep 2: plane 0 state = %v, want healthy", got)
 	}
 	if got := s.Readmits(); got != 1 {

@@ -28,6 +28,10 @@ const (
 	KindRequest Kind = "request"
 	// KindProbe spans are health-checker probe passes over a plane.
 	KindProbe Kind = "probe"
+	// KindReconfig spans are live reconfigurations: one span per
+	// Reconfigure call, covering plane adds, drains, swaps and cache
+	// pre-warming end to end.
+	KindReconfig Kind = "reconfig"
 )
 
 // Span is one request's life through the serving stack. Fields are written

@@ -1,8 +1,11 @@
 package bnbnet
 
 import (
+	"context"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 )
 
 // Soak tests exercise the large-N paths (allocation strategy, index
@@ -91,6 +94,63 @@ func TestSoakCircuitLarge(t *testing.T) {
 		if out[d] != words[i] {
 			t.Fatalf("circuit replay failed at input %d", i)
 		}
+	}
+}
+
+// TestSoakReconfigLifecycleLeakFree hammers the runtime-membership surface —
+// 100 add/remove iterations with a full Reconfigure rollout every tenth —
+// with live traffic mixed in, then drains and closes, and requires the
+// goroutine count to return to baseline: no leaked drain waiter, no leaked
+// probe loop, no straggler from any of the hundred churned planes.
+func TestSoakReconfigLifecycleLeakFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+	s, err := NewSupervised("bnb", 3, WithPlanes(2), WithWorkers(2), WithHealthInterval(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rng := rand.New(rand.NewSource(100))
+	n := s.Inputs()
+	for i := 0; i < 100; i++ {
+		id, err := s.AddPlane(ctx)
+		if err != nil {
+			t.Fatalf("iteration %d: AddPlane: %v", i, err)
+		}
+		if _, errs := s.RoutePermBatch([]Perm{RandomPerm(n, rng)}); errs[0] != nil {
+			t.Fatalf("iteration %d: request on the grown set: %v", i, errs[0])
+		}
+		if err := s.RemovePlane(ctx, id); err != nil {
+			t.Fatalf("iteration %d: RemovePlane(%d): %v", i, id, err)
+		}
+		if i%10 == 9 {
+			if err := s.Reconfigure(ctx, ReconfigWarmPlans(4)); err != nil {
+				t.Fatalf("iteration %d: Reconfigure: %v", i, err)
+			}
+		}
+	}
+	if got := s.Planes(); got != 2 {
+		t.Errorf("Planes after the churn = %d, want 2", got)
+	}
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after Drain: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > baseline+2 {
+		buf := make([]byte, 1<<20)
+		t.Errorf("goroutines leaked across 100 membership iterations: baseline %d, now %d\n%s",
+			baseline, got, buf[:runtime.Stack(buf, true)])
 	}
 }
 

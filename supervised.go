@@ -22,11 +22,17 @@ import (
 type PlaneState = plane.State
 
 // The plane-state taxonomy: healthy planes serve, suspect planes are
-// draining after a failure, quarantined planes are under repair.
+// draining after a failure, quarantined planes are under repair. The
+// membership states cover runtime reconfiguration: admitting planes are
+// probing their way into service, draining planes are leaving under a
+// RemovePlane or a Reconfigure swap, detached planes have left entirely.
 const (
 	PlaneHealthy     = plane.Healthy
 	PlaneSuspect     = plane.Suspect
 	PlaneQuarantined = plane.Quarantined
+	PlaneAdmitting   = plane.Admitting
+	PlaneDraining    = plane.Draining
+	PlaneDetached    = plane.Detached
 )
 
 // PlaneStats is a point-in-time view of one supervised plane.
@@ -42,34 +48,58 @@ const diagMaxOrder = 5
 // compiled-plan surface. Pass WithPlanCache(0) to opt out.
 const defaultPlanCacheEntries = 256
 
-// planeCacheRegistry tracks the live plan cache of every supervised plane.
-// Caches are strictly per-plane — sharing one across planes would let a
-// plan compiled on a faulty plane serve traffic on healthy ones — and a
-// plane rebuild installs a fresh cache in its slot, so a quarantined
-// plane's rebuilt router can never serve plans compiled before the repair
-// (DESIGN.md §12). The mutex only guards slot swaps during construction and
-// rebuild; the hot path never touches the registry.
+// planeCacheRegistry tracks the live plan cache of every supervised plane,
+// keyed by the plane's stable id — membership positions shift as planes are
+// added and removed at runtime, ids never do. Caches are strictly per-plane
+// — sharing one across planes would let a plan compiled on a faulty plane
+// serve traffic on healthy ones — and a plane rebuild or a Reconfigure swap
+// installs a fresh cache under the id, so a replaced router can never serve
+// plans compiled before the repair (DESIGN.md §12). The mutex only guards
+// registry mutations during construction, rebuild and reconfiguration; the
+// hot path never touches the registry.
 type planeCacheRegistry struct {
 	mu     sync.Mutex
-	caches []*plancache.Cache
+	caches map[int]*plancache.Cache
 }
 
-func (r *planeCacheRegistry) set(i int, c *plancache.Cache) {
+func (r *planeCacheRegistry) set(id int, c *plancache.Cache) {
+	if r == nil {
+		return
+	}
 	r.mu.Lock()
-	r.caches[i] = c
+	r.caches[id] = c
 	r.mu.Unlock()
 }
 
-// stats snapshots every plane's cache; uncached planes report zero stats.
-func (r *planeCacheRegistry) stats() []PlanCacheStats {
+func (r *planeCacheRegistry) drop(id int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.caches, id)
+	r.mu.Unlock()
+}
+
+func (r *planeCacheRegistry) get(id int) *plancache.Cache {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]PlanCacheStats, len(r.caches))
-	for i, c := range r.caches {
-		out[i] = c.Stats()
+	return r.caches[id]
+}
+
+// statsFor snapshots the caches of the given plane ids, in order; planes
+// without a cache (faulted ones) report zero stats.
+func (r *planeCacheRegistry) statsFor(ids []int) []PlanCacheStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]PlanCacheStats, len(ids))
+	for i, id := range ids {
+		out[i] = r.caches[id].Stats()
 	}
 	return out
 }
@@ -86,6 +116,22 @@ type Supervised struct {
 	sup *plane.Supervisor
 	dbg *DebugServer        // nil unless WithDebugAddr was set
 	pcs *planeCacheRegistry // nil when plan caching is disabled
+
+	// build constructs one fresh, fault-free plane of the configured family,
+	// returning its compiled-plan fast path (nil when the plane routes
+	// uncached). AddPlane, Reconfigure and the supervisor's repair action all
+	// rebuild through it, so every plane that enters service at runtime is
+	// built exactly like the originals.
+	build func() (plane.Router, *cachedPlanRouter, error)
+
+	m      *Metrics // nil unless WithMetrics was set
+	tracer *Tracer  // nil unless WithTracer was set
+
+	// reconfigMu serializes membership operations — AddPlane, RemovePlane,
+	// Reconfigure — at the supervised level, keeping the cache registry and
+	// the supervisor's membership in lockstep. It is never taken on the
+	// routing path.
+	reconfigMu sync.Mutex
 }
 
 // NewSupervised builds K identical planes of the family (default 2, set
@@ -139,26 +185,40 @@ func NewSupervised(family string, m int, opts ...Option) (*Supervised, error) {
 	}
 	var pcs *planeCacheRegistry
 	if cacheEntries > 0 {
-		pcs = &planeCacheRegistry{caches: make([]*plancache.Cache, k)}
+		pcs = &planeCacheRegistry{caches: make(map[int]*plancache.Cache, k)}
 	}
-	// buildPlane constructs one clean plane; it doubles as the supervisor's
-	// repair action, so a rebuilt plane is always fault-free — and gets a
-	// fresh plan cache, never the quarantined predecessor's.
-	buildPlane := func(idx int) (plane.Router, error) {
+	// build constructs one clean plane and hands back its compiled-plan fast
+	// path (nil when the family routes uncached), so callers can register the
+	// fresh cache once the plane's id is known. It backs the supervisor's
+	// repair action and every runtime membership operation, so a rebuilt or
+	// reconfigured plane is always fault-free — and gets a fresh plan cache,
+	// never its predecessor's.
+	build := func() (plane.Router, *cachedPlanRouter, error) {
 		n, err := b(m, o.dataBits)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if cacheEntries > 0 {
 			if cached, ok := newCachedPlanRouter(n, cacheEntries, o.metrics); ok {
-				pcs.set(idx, cached.cache)
-				return cached, nil
+				return cached, cached, nil
 			}
 			if o.anySet(optPlanCache) {
-				return nil, fmt.Errorf("bnbnet: WithPlanCache requires a network with the compiled-plan surface (family %q offers none; see AsPlanRouter)", family)
+				return nil, nil, fmt.Errorf("bnbnet: WithPlanCache requires a network with the compiled-plan surface (family %q offers none; see AsPlanRouter)", family)
 			}
 		}
-		return engineRouter(n), nil
+		return engineRouter(n), nil, nil
+	}
+	// rebuildPlane is the supervisor's repair action, keyed by the plane's
+	// stable id.
+	rebuildPlane := func(id int) (plane.Router, error) {
+		r, cached, err := build()
+		if err != nil {
+			return nil, err
+		}
+		if cached != nil {
+			pcs.set(id, cached.cache)
+		}
+		return r, nil
 	}
 	planes := make([]plane.Router, k)
 	for i := 0; i < k; i++ {
@@ -177,9 +237,12 @@ func NewSupervised(family string, m int, opts ...Option) (*Supervised, error) {
 			planes[i] = engineRouter(fn)
 			continue
 		}
-		r, err := buildPlane(i)
+		r, cached, err := build()
 		if err != nil {
 			return nil, err
+		}
+		if cached != nil {
+			pcs.set(i, cached.cache) // initial plane ids are 0..k-1
 		}
 		planes[i] = r
 	}
@@ -191,7 +254,7 @@ func NewSupervised(family string, m int, opts ...Option) (*Supervised, error) {
 	}
 	sup, err := plane.New(plane.Config{
 		Planes:         planes,
-		Rebuild:        buildPlane,
+		Rebuild:        rebuildPlane,
 		Diagnoser:      diag,
 		HealthInterval: o.healthInterval,
 		InFlightCap:    o.planeCap,
@@ -222,7 +285,15 @@ func NewSupervised(family string, m int, opts ...Option) (*Supervised, error) {
 			return nil, err
 		}
 	}
-	return &Supervised{e: e, sup: sup, dbg: dbg, pcs: pcs}, nil
+	return &Supervised{
+		e:      e,
+		sup:    sup,
+		dbg:    dbg,
+		pcs:    pcs,
+		build:  build,
+		m:      o.metrics,
+		tracer: o.tracer,
+	}, nil
 }
 
 // Submit enqueues one routing request; see Engine.Submit.
@@ -265,6 +336,20 @@ func (s *Supervised) Workers() int { return s.e.Workers() }
 // Planes returns the number of supervised planes.
 func (s *Supervised) Planes() int { return s.sup.Planes() }
 
+// PlaneIDs returns the stable ids of the current planes, in membership
+// order. Ids are assigned at construction (0..K-1) and by AddPlane, and are
+// never reused, so a detached plane's id stays meaningful in traces.
+func (s *Supervised) PlaneIDs() []int { return s.sup.PlaneIDs() }
+
+// PlanesAdded returns the number of planes admitted at runtime.
+func (s *Supervised) PlanesAdded() int64 { return s.sup.PlanesAdded() }
+
+// PlanesRemoved returns the number of planes drained and detached at runtime.
+func (s *Supervised) PlanesRemoved() int64 { return s.sup.PlanesRemoved() }
+
+// InFlight returns the number of admitted requests not yet completed.
+func (s *Supervised) InFlight() int64 { return s.e.InFlight() }
+
 // Metrics returns the attached sink, or nil if none was configured.
 func (s *Supervised) Metrics() *Metrics { return s.e.Metrics() }
 
@@ -274,10 +359,16 @@ func (s *Supervised) PlaneStates() []PlaneState { return s.sup.States() }
 // PlaneStats returns the per-plane serving and repair counters.
 func (s *Supervised) PlaneStats() []PlaneStats { return s.sup.PlaneStats() }
 
-// PlanCacheStats returns every plane's plan-cache counters (index i is
-// plane i; uncached planes — faulted ones, or all of them under
-// WithPlanCache(0) — report zero stats). Nil when plan caching is disabled.
-func (s *Supervised) PlanCacheStats() []PlanCacheStats { return s.pcs.stats() }
+// PlanCacheStats returns every live plane's plan-cache counters, in
+// membership order (entry i belongs to PlaneIDs()[i]; uncached planes —
+// faulted ones, or all of them under WithPlanCache(0) — report zero stats).
+// Nil when plan caching is disabled.
+func (s *Supervised) PlanCacheStats() []PlanCacheStats {
+	if s.pcs == nil {
+		return nil
+	}
+	return s.pcs.statsFor(s.sup.PlaneIDs())
+}
 
 // PublishPlanCache registers the per-plane plan-cache stats under the given
 // expvar name on /debug/vars. It returns an error if the name is taken
@@ -286,7 +377,7 @@ func (s *Supervised) PublishPlanCache(name string) error {
 	if s.pcs == nil {
 		return fmt.Errorf("bnbnet: supervised planes have no plan cache (WithPlanCache)")
 	}
-	return publishExpvar(name, func() any { return s.pcs.stats() })
+	return publishExpvar(name, func() any { return s.pcs.statsFor(s.sup.PlaneIDs()) })
 }
 
 // Failovers returns the number of planes drained and failed away from.
@@ -322,9 +413,23 @@ func (s *Supervised) DebugAddr() string {
 	return s.dbg.Addr()
 }
 
-// Close drains the serving engine, then stops the health checker, flushing
-// any still-open trace spans, and shuts down the WithDebugAddr server with
-// no goroutine left behind. A second Close reports ErrClosed.
+// Drain gracefully stops admission and waits for every in-flight ticket to
+// complete: new Submits fail fast with ErrDraining, queued requests are
+// served normally on the planes, and Drain returns once the workers are
+// idle. If ctx expires first, pending retry backoffs are cut short so
+// parked requests settle immediately with their errors, and Drain reports
+// the context's error. The health checker and the WithDebugAddr server keep
+// running through the drain — an operator watching /debug/bnb/metrics sees
+// the drain happen — and stop only in Close, which after a completed Drain
+// is an idempotent no-op.
+func (s *Supervised) Drain(ctx context.Context) error { return s.e.Drain(ctx) }
+
+// Close drains the serving engine (every submitted ticket still completes),
+// then — strictly after the drain — stops the health checker, flushes any
+// still-open trace spans, and shuts down the WithDebugAddr server with no
+// goroutine left behind, so the debug surface stays live while tickets
+// settle. After a completed Drain, Close is an idempotent no-op returning
+// nil; without one, a second Close reports ErrClosed.
 func (s *Supervised) Close() error {
 	err := s.e.Close()
 	s.sup.Close()
