@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench microbench check verify repro figures fuzz chaos soak-reconfig clean
+.PHONY: all build vet test test-short bench microbench check verify repro figures fuzz chaos soak-reconfig soak-tail clean
 
 all: build vet test
 
@@ -42,7 +42,7 @@ race:
 	$(GO) test -race ./...
 
 # Perf-trajectory smoke: run the bnbbench harness with quick sample counts
-# into a scratch dir and validate the output against the bnbbench/v1
+# into a scratch dir and validate the output against the bnbbench/v4
 # schema. The committed BENCH_<m>.json files are full runs; refresh them
 # after perf work with `$(GO) run ./cmd/bnbbench -m 3,5,7 -out .`.
 bench:
@@ -91,6 +91,17 @@ soak-reconfig:
 	$(GO) test -race -run 'Drain|Reconfig|Lifecycle|AddRemove|Shutdown' ./...
 	$(GO) test -run='^$$' -fuzz FuzzPlanRoundTrip -fuzztime 10s .
 	$(GO) run -race ./cmd/fabricsim -net bnb -m 5 -planes 3 -chaos 0.01 -reconfig 3 -requests 10000
+
+# Tail-tolerance soak under the race detector: the hedge-race, slow-plane,
+# poison-ledger and QoS suites, the 10k-request acceptance soak (one of
+# three planes under 20ms-stall chaos; hedged p99 must stay within 3x a
+# fault-free fleet's and the stalling plane must cycle through quarantine
+# and readmission), then a fabricsim run with the same stall chaos under
+# auto hedging that must deliver every request.
+soak-tail:
+	$(GO) test -race -run 'Hedge|Slow|Poison|Class|Background|Admit|Latency|Tail' ./...
+	$(GO) test -race -run TestTailToleranceSoak -count=1 -timeout 300s .
+	$(GO) run -race ./cmd/fabricsim -net bnb -m 5 -planes 3 -slow 20ms -hedge auto -requests 10000
 
 clean:
 	$(GO) clean ./...

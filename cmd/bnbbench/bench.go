@@ -10,15 +10,16 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	bnbnet "repro"
 )
 
 // Report is the machine-readable result of one bnbbench run at one order —
-// the BENCH_<m>.json payload. Schema "bnbbench/v3" (v2 added the compiled
-// route-plan section; v3 the hitless-reconfiguration profile); Validate
-// checks an emitted file against it.
+// the BENCH_<m>.json payload. Schema "bnbbench/v4" (v2 added the compiled
+// route-plan section; v3 the hitless-reconfiguration profile; v4 the
+// tail-tolerance profile); Validate checks an emitted file against it.
 type Report struct {
 	Schema string `json:"schema"`
 	M      int    `json:"m"`
@@ -34,6 +35,38 @@ type Report struct {
 	Planes   []PlaneResult   `json:"planes"`
 	Plan     PlanResultV2    `json:"plan"`
 	Reconfig ReconfigResult  `json:"reconfig"`
+	Tail     TailResult      `json:"tail"`
+}
+
+// TailResult profiles the tail-tolerant serving path added by bnbbench/v4:
+// the request p99 of a supervised stack with one plane under slow chaos
+// (latency faults that stall route passes), measured healthy, unhedged, and
+// with auto hedging racing the tail — plus the hedge fire rate — and the
+// per-class shed rates of a deliberately saturated one-worker engine, which
+// pin the QoS contract: background sheds before critical.
+type TailResult struct {
+	Planes      int     `json:"planes"`
+	SlowDelayNs int64   `json:"slow_delay_ns"`
+	SlowRate    float64 `json:"slow_rate"`
+	// The p99 of the same request stream under the three serving modes.
+	HealthyP99Ns  int64 `json:"healthy_p99_ns"`
+	UnhedgedP99Ns int64 `json:"unhedged_p99_ns"`
+	HedgedP99Ns   int64 `json:"hedged_p99_ns"`
+	// Hedge counters of the hedged run.
+	Hedges        int64   `json:"hedges"`
+	HedgeWins     int64   `json:"hedge_wins"`
+	HedgeFireRate float64 `json:"hedge_fire_rate"`
+	// Classes is the saturation profile, one entry per admission class in
+	// priority order (background, standard, critical).
+	Classes []ClassPoint `json:"classes"`
+}
+
+// ClassPoint is one admission class's outcome under saturation.
+type ClassPoint struct {
+	Class     string  `json:"class"`
+	Submitted int64   `json:"submitted"`
+	Sheds     int64   `json:"sheds"`
+	ShedRate  float64 `json:"shed_rate"`
 }
 
 // ReconfigResult profiles the hitless live-rollout path added by
@@ -146,7 +179,7 @@ func defaultConfig(m int, families []string, workers []int, quick bool) benchCon
 // runBench measures every configured family and sweep at order cfg.m.
 func runBench(cfg benchConfig) (Report, error) {
 	rep := Report{
-		Schema: "bnbbench/v3",
+		Schema: "bnbbench/v4",
 		M:      cfg.m,
 		N:      1 << uint(cfg.m),
 		Go:     runtime.Version(),
@@ -184,7 +217,154 @@ func runBench(cfg benchConfig) (Report, error) {
 		return Report{}, err
 	}
 	rep.Reconfig = rc
+	tl, err := benchTail(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Tail = tl
 	return rep, nil
+}
+
+// benchTail measures the tail-tolerance profile: the same seeded request
+// stream over a three-plane supervised stack, first fully healthy, then with
+// plane 0 under slow chaos (stalled route passes) and no hedging — the raw
+// tail — then under the same chaos with auto hedging racing it. A final
+// saturation run drives a one-worker shedding engine with all three
+// admission classes interleaved and reads the per-class shed rates.
+func benchTail(cfg benchConfig) (TailResult, error) {
+	// The stall must dwarf the platform's timer granularity: both the
+	// injected sleep and the hedge timer round up to the scheduler's tick
+	// (over a millisecond on some kernels), so a sub-tick stall would be
+	// indistinguishable from a hedged recovery. At 20ms the unhedged tail
+	// sits an order of magnitude above the worst hedge-timer overshoot.
+	const (
+		planes    = 3
+		slowDelay = 20 * time.Millisecond
+		slowRate  = 0.1
+	)
+	slowPlan := &bnbnet.FaultPlan{SlowRate: slowRate, SlowDelay: slowDelay, SlowHeal: 1, Seed: cfg.seed}
+	// The tail is a per-request property, so the driver is closed-loop with
+	// one request in flight: the engine's latency clock starts at submit, and
+	// any queueing ahead of a request would fold scheduling delay into the
+	// percentiles and bury the stall signal. The floor keeps enough requests
+	// that the ~slowRate/planes strike fraction reliably lands above P99.
+	tailRequests := cfg.engineRequests
+	if tailRequests < 400 {
+		tailRequests = 400
+	}
+	p99 := func(opts ...bnbnet.Option) (int64, int64, int64, error) {
+		sink := bnbnet.NewMetrics()
+		all := append([]bnbnet.Option{
+			bnbnet.WithPlanes(planes), bnbnet.WithWorkers(4), bnbnet.WithMetrics(sink),
+		}, opts...)
+		sup, err := bnbnet.NewSupervised("bnb", cfg.m, all...)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		rng := rand.New(rand.NewSource(cfg.seed))
+		n := sup.Inputs()
+		for i := 0; i < tailRequests; i++ {
+			_, errs := sup.RoutePermBatch([]bnbnet.Perm{bnbnet.RandomPerm(n, rng)})
+			if errs[0] != nil {
+				sup.Close() //nolint:errcheck // the route error is the one to report
+				return 0, 0, 0, errs[0]
+			}
+		}
+		hedges, wins := sup.Hedges(), sup.HedgeWins()
+		if err := sup.Close(); err != nil {
+			return 0, 0, 0, err
+		}
+		return sink.Snapshot().P99.Nanoseconds(), hedges, wins, nil
+	}
+	healthy, _, _, err := p99()
+	if err != nil {
+		return TailResult{}, fmt.Errorf("tail healthy: %w", err)
+	}
+	unhedged, _, _, err := p99(bnbnet.WithPlaneFaults(0, slowPlan))
+	if err != nil {
+		return TailResult{}, fmt.Errorf("tail unhedged: %w", err)
+	}
+	hedged, hedges, wins, err := p99(bnbnet.WithPlaneFaults(0, slowPlan), bnbnet.WithHedgeAuto())
+	if err != nil {
+		return TailResult{}, fmt.Errorf("tail hedged: %w", err)
+	}
+	res := TailResult{
+		Planes:        planes,
+		SlowDelayNs:   slowDelay.Nanoseconds(),
+		SlowRate:      slowRate,
+		HealthyP99Ns:  healthy,
+		UnhedgedP99Ns: unhedged,
+		HedgedP99Ns:   hedged,
+		Hedges:        hedges,
+		HedgeWins:     wins,
+		HedgeFireRate: float64(hedges) / float64(tailRequests),
+	}
+	classes, err := benchClasses(cfg)
+	if err != nil {
+		return TailResult{}, fmt.Errorf("tail classes: %w", err)
+	}
+	res.Classes = classes
+	return res, nil
+}
+
+// benchClasses saturates a one-worker shedding engine with an equal mix of
+// the three admission classes — a deadline far below the queue's drain time,
+// so the shedder must choose — and reports each class's shed rate. The QoS
+// contract under test: background sheds at least as hard as critical.
+func benchClasses(cfg benchConfig) ([]ClassPoint, error) {
+	net, err := bnbnet.New("bnb", cfg.m)
+	if err != nil {
+		return nil, err
+	}
+	sink := bnbnet.NewMetrics()
+	eng, err := bnbnet.NewEngine(net,
+		bnbnet.WithWorkers(1), bnbnet.WithQueue(64),
+		bnbnet.WithShedding(), bnbnet.WithTimeout(100*time.Microsecond),
+		bnbnet.WithMetrics(sink))
+	if err != nil {
+		return nil, err
+	}
+	n := net.Inputs()
+	batches := workload(n, 64, cfg.seed)
+	// Warm the service-time EWMA so the deadline shedder has an estimate.
+	for _, b := range batches[:8] {
+		if t, err := eng.Submit(nil, b); err == nil {
+			t.Wait() //nolint:errcheck // warm-up; expiries are expected under the tight deadline
+		}
+	}
+	order := []bnbnet.Class{bnbnet.ClassBackground, bnbnet.ClassStandard, bnbnet.ClassCritical}
+	var wg sync.WaitGroup
+	workers := 8
+	perWorker := cfg.engineRequests / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				class := order[(w+i)%len(order)]
+				t, err := eng.SubmitClass(context.Background(), class, nil, batches[(w*perWorker+i)%len(batches)])
+				if err != nil {
+					continue // shed: counted by the sink
+				}
+				t.Wait() //nolint:errcheck // expiries are the saturation signal, not a failure
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := eng.Close(); err != nil {
+		return nil, err
+	}
+	snap := sink.Snapshot()
+	out := make([]ClassPoint, len(order))
+	for i, class := range order {
+		sub, sheds := snap.ClassSubmitted[int(class)], snap.ClassSheds[int(class)]
+		rate := 0.0
+		if sub > 0 {
+			rate = float64(sheds) / float64(sub)
+		}
+		out[i] = ClassPoint{Class: class.String(), Submitted: sub, Sheds: sheds, ShedRate: rate}
+	}
+	return out, nil
 }
 
 // benchReconfig measures the hitless-rollout path: a two-plane supervised

@@ -50,7 +50,7 @@ func run(ms, nets, workers string, quick bool, out, validate string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", validate, err)
 		}
-		fmt.Printf("%s: valid bnbbench/v3 report (m=%d, %d families, %d engine points, %d plan sweep points, reconfig blackout %dns)\n",
+		fmt.Printf("%s: valid bnbbench/v4 report (m=%d, %d families, %d engine points, %d plan sweep points, reconfig blackout %dns)\n",
 			validate, rep.M, len(rep.Networks), len(rep.Engine), len(rep.Plan.HitSweep), rep.Reconfig.SwapBlackoutNs)
 		return nil
 	}

@@ -117,7 +117,7 @@ func TestValidateRejections(t *testing.T) {
 		payload []byte
 		want    string
 	}{
-		{"unknown field", []byte(`{"schema":"bnbbench/v3","bogus":1}`), "decode"},
+		{"unknown field", []byte(`{"schema":"bnbbench/v4","bogus":1}`), "decode"},
 		{"wrong schema", marshal(func() Report { r := rep; r.Schema = "bnbbench/v2"; return r }()), "schema"},
 		{"n mismatch", marshal(func() Report { r := rep; r.N = 7; return r }()), "2^m"},
 		{"missing family", marshal(func() Report {
@@ -155,6 +155,25 @@ func TestValidateRejections(t *testing.T) {
 			r.Reconfig.PlanWarms = 0
 			return r
 		}()), "plan warms"},
+		{"hedging inflates the tail", marshal(func() Report {
+			r := rep
+			r.Tail.HedgedP99Ns = r.Tail.UnhedgedP99Ns + 1
+			return r
+		}()), "cut the slow-plane tail"},
+		{"more wins than hedges", marshal(func() Report {
+			r := rep
+			r.Tail.Hedges = 1
+			r.Tail.HedgeWins = 2
+			return r
+		}()), "hedge wins"},
+		{"inverted QoS order", marshal(func() Report {
+			r := rep
+			classes := append([]ClassPoint(nil), r.Tail.Classes...)
+			classes[0].ShedRate = 0.0
+			classes[2].ShedRate = 0.5
+			r.Tail.Classes = classes
+			return r
+		}()), "QoS order"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -30,8 +30,8 @@ func Validate(r io.Reader) (Report, error) {
 }
 
 func checkReport(rep Report) error {
-	if rep.Schema != "bnbbench/v3" {
-		return fmt.Errorf("schema %q, want bnbbench/v3", rep.Schema)
+	if rep.Schema != "bnbbench/v4" {
+		return fmt.Errorf("schema %q, want bnbbench/v4", rep.Schema)
 	}
 	if rep.M < 1 || rep.N != 1<<uint(rep.M) {
 		return fmt.Errorf("m = %d with n = %d; want n = 2^m", rep.M, rep.N)
@@ -124,6 +124,50 @@ func checkReport(rep Report) error {
 	}
 	if rc.WarmHitRatio <= 0 || rc.WarmHitRatio > 1 {
 		return fmt.Errorf("reconfig: warm hit ratio %v outside (0, 1]", rc.WarmHitRatio)
+	}
+	tl := rep.Tail
+	if tl.Planes < 2 {
+		return fmt.Errorf("tail: %d planes", tl.Planes)
+	}
+	if tl.SlowDelayNs <= 0 || tl.SlowRate <= 0 || tl.SlowRate > 1 {
+		return fmt.Errorf("tail: slow delay %d ns, rate %v", tl.SlowDelayNs, tl.SlowRate)
+	}
+	if tl.HealthyP99Ns <= 0 || tl.UnhedgedP99Ns <= 0 || tl.HedgedP99Ns <= 0 {
+		return fmt.Errorf("tail: non-positive p99 (healthy %d, unhedged %d, hedged %d)",
+			tl.HealthyP99Ns, tl.UnhedgedP99Ns, tl.HedgedP99Ns)
+	}
+	if tl.HedgedP99Ns > tl.UnhedgedP99Ns {
+		return fmt.Errorf("tail: hedged p99 %d ns above unhedged %d ns — hedging must cut the slow-plane tail",
+			tl.HedgedP99Ns, tl.UnhedgedP99Ns)
+	}
+	if tl.Hedges < tl.HedgeWins || tl.HedgeWins < 0 {
+		return fmt.Errorf("tail: hedge wins %d exceed hedges %d", tl.HedgeWins, tl.Hedges)
+	}
+	if tl.HedgeFireRate < 0 || tl.HedgeFireRate > 1 {
+		return fmt.Errorf("tail: hedge fire rate %v outside [0, 1]", tl.HedgeFireRate)
+	}
+	if len(tl.Classes) != 3 {
+		return fmt.Errorf("tail: %d class points, want 3", len(tl.Classes))
+	}
+	classesSeen := map[string]bool{}
+	for _, cp := range tl.Classes {
+		if cp.Class == "" || classesSeen[cp.Class] {
+			return fmt.Errorf("tail: empty or duplicate class %q", cp.Class)
+		}
+		classesSeen[cp.Class] = true
+		if cp.Submitted < 1 {
+			return fmt.Errorf("tail class %s: %d submitted", cp.Class, cp.Submitted)
+		}
+		if cp.Sheds < 0 || cp.Sheds > cp.Submitted {
+			return fmt.Errorf("tail class %s: %d sheds of %d submitted", cp.Class, cp.Sheds, cp.Submitted)
+		}
+		if cp.ShedRate < 0 || cp.ShedRate > 1 {
+			return fmt.Errorf("tail class %s: shed rate %v outside [0, 1]", cp.Class, cp.ShedRate)
+		}
+	}
+	if tl.Classes[0].ShedRate < tl.Classes[2].ShedRate {
+		return fmt.Errorf("tail: background shed rate %v below critical %v — the QoS order is inverted",
+			tl.Classes[0].ShedRate, tl.Classes[2].ShedRate)
 	}
 	return nil
 }

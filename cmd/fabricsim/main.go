@@ -15,7 +15,9 @@
 // injected into plane 0, versus an unsupervised single plane under the same
 // fault schedule, reporting delivery rates and the supervisor's failover /
 // repair / readmit counters. The run exits nonzero if the supervised stack
-// drops or misroutes anything.
+// drops or misroutes anything. -slow adds latency-fault chaos (stalled route
+// passes) to plane 0 and -hedge arms tail-tolerant hedged routing — a fixed
+// delay or "auto" to track observed latency.
 //
 // With -reconfig R (alongside -planes) the tool runs the hitless-rollout
 // experiment of DESIGN.md §13 instead: while the request stream is in
@@ -30,6 +32,7 @@
 //	fabricsim -net batcher -m 5 -traffic hotspot -hotfrac 0.3
 //	fabricsim -net bnb -m 5 -traffic permutation -cycles 1000 -chaos 0.01
 //	fabricsim -net bnb -m 5 -planes 3 -chaos 0.01 -requests 10000
+//	fabricsim -net bnb -m 5 -planes 3 -slow 300us -hedge auto -requests 10000
 //	fabricsim -net bnb -m 5 -planes 3 -chaos 0.01 -reconfig 3 -requests 10000
 package main
 
@@ -62,6 +65,9 @@ func main() {
 		chaosSeed = flag.Int64("chaos-seed", 2026, "seed of the deterministic chaos schedule")
 		planes    = flag.Int("planes", 0, "run K >= 2 supervised redundant planes (with -chaos striking plane 0) instead of the fabric loop")
 		requests  = flag.Int("requests", 10000, "requests for the -planes availability run")
+		hedge     = flag.String("hedge", "", `with -planes: hedged routing — a duration (e.g. "200us") for a fixed hedge delay, or "auto" to derive it from observed latency`)
+		slow      = flag.Duration("slow", 0, "with -planes: latency-fault chaos on plane 0 — each struck cycle stalls a route pass by this much")
+		slowRate  = flag.Float64("slow-rate", 0.1, "with -slow: per-cycle rate of the latency faults")
 		reconfig  = flag.Int("reconfig", 0, "with -planes: perform R live Reconfigure rollouts while the request stream is in flight")
 		warm      = flag.Int("warm", 16, "with -reconfig: hottest plans pre-warmed per rebuilt plane")
 		debugAddr = flag.String("debug", "", `serve the debug bundle (metrics exposition, trace dump, pprof) on this address for the duration of the run, e.g. ":8080"`)
@@ -82,7 +88,7 @@ func main() {
 	if *planes > 0 && *reconfig > 0 {
 		err = runReconfig(*netName, *m, *planes, *requests, *reconfig, *warm, *seed, *chaos, *chaosHeal, *chaosSeed, dbg)
 	} else if *planes > 0 {
-		err = runPlanes(*netName, *m, *planes, *requests, *seed, *chaos, *chaosHeal, *chaosSeed, dbg)
+		err = runPlanes(*netName, *m, *planes, *requests, *seed, *chaos, *chaosHeal, *chaosSeed, *hedge, *slow, *slowRate, dbg)
 	} else {
 		err = run(*netName, *m, *traffic, *cycles, *seed, *hotfrac, *voq, *metrics, *chaos, *chaosHeal, *chaosSeed, dbg)
 	}
@@ -115,19 +121,43 @@ func startDebug(addr string) (*debugState, error) {
 // offered to an unsupervised single plane carrying the chaos plan and to a
 // K-plane supervised stack with the identical plan striking plane 0, and
 // the two delivery rates are compared. The supervised run must be perfect.
-func runPlanes(netName string, m, k, requests int, seed int64, chaos float64, chaosHeal int, chaosSeed int64, dbg *debugState) error {
+func runPlanes(netName string, m, k, requests int, seed int64, chaos float64, chaosHeal int, chaosSeed int64, hedge string, slow time.Duration, slowRate float64, dbg *debugState) error {
 	if k < 2 {
 		return fmt.Errorf("-planes %d: need at least 2 planes", k)
 	}
+	var hedgeOpt bnbnet.Option
+	switch {
+	case hedge == "":
+	case hedge == "auto":
+		hedgeOpt = bnbnet.WithHedgeAuto()
+	default:
+		d, err := time.ParseDuration(hedge)
+		if err != nil || d <= 0 {
+			return fmt.Errorf(`-hedge %q: want a positive duration or "auto"`, hedge)
+		}
+		hedgeOpt = bnbnet.WithHedge(d)
+	}
 	var plan *bnbnet.FaultPlan
-	if chaos > 0 {
+	if chaos > 0 || slow > 0 {
 		plan = &bnbnet.FaultPlan{ChaosRate: chaos, ChaosHeal: chaosHeal, Seed: chaosSeed}
+		if slow > 0 {
+			plan.SlowRate = slowRate
+			plan.SlowDelay = slow
+			plan.SlowHeal = chaosHeal
+		}
 	}
 	fmt.Printf("planes: %s, order %d (%d ports), %d supervised planes, %d requests\n",
 		netName, m, 1<<uint(m), k, requests)
-	if plan != nil {
+	if chaos > 0 {
 		fmt.Printf("chaos: transient fault rate %v per cycle on plane 0, heal %d, seed %d\n",
 			chaos, chaosHeal, chaosSeed)
+	}
+	if slow > 0 {
+		fmt.Printf("slow chaos: +%v per struck pass on plane 0, rate %v per cycle, heal %d, seed %d\n",
+			slow, slowRate, chaosHeal, chaosSeed)
+	}
+	if hedgeOpt != nil {
+		fmt.Printf("hedging: %s\n", hedge)
 	}
 
 	type outcome struct {
@@ -200,6 +230,9 @@ func runPlanes(netName string, m, k, requests int, seed int64, chaos float64, ch
 	if plan != nil {
 		supOpts = append(supOpts, bnbnet.WithPlaneFaults(0, plan))
 	}
+	if hedgeOpt != nil {
+		supOpts = append(supOpts, hedgeOpt)
+	}
 	if dbg != nil {
 		supOpts = append(supOpts, bnbnet.WithMetrics(dbg.sink), bnbnet.WithTracer(dbg.tracer))
 	}
@@ -209,6 +242,7 @@ func runPlanes(netName string, m, k, requests int, seed int64, chaos float64, ch
 	}
 	supOut := drive(sup.RoutePermBatch)
 	failovers, repairs, readmits := sup.Failovers(), sup.Repairs(), sup.Readmits()
+	hedges, hedgeWins, slowQuars := sup.Hedges(), sup.HedgeWins(), sup.SlowQuarantines()
 	states := sup.PlaneStates()
 	if err := sup.Close(); err != nil {
 		return err
@@ -225,9 +259,12 @@ func runPlanes(netName string, m, k, requests int, seed int64, chaos float64, ch
 	tw.Flush()
 	fmt.Printf("supervisor: failovers=%d repairs=%d readmits=%d states=%v\n",
 		failovers, repairs, readmits, states)
+	if hedgeOpt != nil || slow > 0 {
+		fmt.Printf("tail: hedges=%d hedge_wins=%d slow_quarantines=%d\n", hedges, hedgeWins, slowQuars)
+	}
 	if supOut.delivered != requests || supOut.misrouted != 0 {
-		return fmt.Errorf("supervised stack delivered %d/%d requests (%d misrouted); redundancy must absorb a single faulty plane",
-			supOut.delivered, requests, supOut.misrouted)
+		return fmt.Errorf("supervised stack delivered %d/%d requests (%d misrouted); redundancy must absorb a single faulty plane (reproduce with -seed %d -chaos-seed %d)",
+			supOut.delivered, requests, supOut.misrouted, seed, chaosSeed)
 	}
 	if plan != nil {
 		fmt.Println("the supervised stack delivered every request despite the faulty plane.")
@@ -380,8 +417,8 @@ func runReconfig(netName string, m, k, requests, rollouts, warmTopK int, seed in
 	fmt.Printf("supervisor: reconfigs=%d plan warms=%d failovers=%d readmits=%d states=%v\n",
 		reconfigs, warms, failovers, readmits, states)
 	if delivered != total || misrouted != 0 || reconfigs != int64(rollouts) {
-		return fmt.Errorf("rollout was not hitless: %d/%d delivered, %d misrouted, %d/%d reconfigurations",
-			delivered, total, misrouted, reconfigs, rollouts)
+		return fmt.Errorf("rollout was not hitless: %d/%d delivered, %d misrouted, %d/%d reconfigurations (reproduce with -seed %d -chaos-seed %d)",
+			delivered, total, misrouted, reconfigs, rollouts, seed, chaosSeed)
 	}
 	fmt.Printf("every request was delivered across %d live rollouts; the reconfiguration was hitless.\n", rollouts)
 	return nil
@@ -505,7 +542,7 @@ func run(netName string, m int, traffic string, cycles int, seed int64, hotfrac 
 		if allDelivered {
 			fmt.Println("every offered cell was eventually delivered to its addressed output.")
 		} else {
-			return fmt.Errorf("some cells were never delivered; see the table above")
+			return fmt.Errorf("some cells were never delivered; see the table above (reproduce with -seed %d -chaos-seed %d)", seed, chaosSeed)
 		}
 	}
 	if showMetrics {

@@ -80,6 +80,24 @@ func AsTracedRouter(n Network) (TracedRouter, bool) { return asSurface[TracedRou
 // for completion and returns the output buffer and the request's error.
 type Ticket = engine.Ticket
 
+// Class is a request's QoS admission class for SubmitClass: under pressure
+// the engine sheds Background first, Standard next and Critical last, while
+// workers serve the classes in the opposite order.
+type Class = engine.Class
+
+// The admission classes, lowest priority first. Submit and SubmitCtx use
+// ClassStandard.
+const (
+	// ClassBackground is best-effort: it never blocks the submitter — a full
+	// queue sheds it immediately with ErrOverloaded.
+	ClassBackground = engine.Background
+	// ClassStandard is the default class.
+	ClassStandard = engine.Standard
+	// ClassCritical is served ahead of everything else and only shed when
+	// its own class cannot meet a deadline.
+	ClassCritical = engine.Critical
+)
+
 // Engine is a bounded worker pool serving permutation routes over a Network:
 // Submit enqueues one request (blocking only when the queue is full),
 // RouteBatch fans a batch across the workers and reports per-request errors.
@@ -120,7 +138,7 @@ func NewEngine(n Network, opts ...Option) (*Engine, error) {
 		return nil, fmt.Errorf("bnbnet: WithFaults applies to New; pass the faulty network to NewEngine instead")
 	}
 	if o.anySet(optSupervised) {
-		return nil, fmt.Errorf("bnbnet: WithPlanes, WithPlaneFaults, WithPlaneCap and WithHealthInterval apply to NewSupervised, not NewEngine")
+		return nil, fmt.Errorf("bnbnet: WithPlanes, WithPlaneFaults, WithPlaneCap, WithHealthInterval and WithHedge apply to NewSupervised, not NewEngine")
 	}
 	if o.anySet(optFabric) {
 		return nil, fmt.Errorf("bnbnet: WithVOQ and WithDegraded apply to NewFabric, not NewEngine")
@@ -211,6 +229,12 @@ func (e *Engine) Submit(dst, src []Word) (*Ticket, error) { return e.e.Submit(ds
 // applies on top of ctx.
 func (e *Engine) SubmitCtx(ctx context.Context, dst, src []Word) (*Ticket, error) {
 	return e.e.SubmitCtx(ctx, dst, src)
+}
+
+// SubmitClass is SubmitCtx with an explicit QoS admission class; see the
+// Class constants for the shedding and serving order.
+func (e *Engine) SubmitClass(ctx context.Context, class Class, dst, src []Word) (*Ticket, error) {
+	return e.e.SubmitClass(ctx, class, dst, src)
 }
 
 // RouteBatch routes the batch across the worker pool and reports per-request

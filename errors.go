@@ -48,4 +48,9 @@ var (
 	// Close has not yet happened. Distinct from ErrClosed so operators can
 	// tell "steer traffic away, shutdown imminent" from "already gone".
 	ErrDraining = neterr.ErrDraining
+	// ErrPoisoned reports a request rejected by the supervisor's poison
+	// quarantine: the same request fingerprint caused hard routing failures
+	// on multiple distinct planes, so the request — not the planes — is to
+	// blame. The quarantine entry expires after a TTL.
+	ErrPoisoned = neterr.ErrPoisoned
 )

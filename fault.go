@@ -19,12 +19,19 @@ type FaultKind = fault.Kind
 
 // The fault taxonomy. Stuck-at faults pin a 2x2 switching element's control;
 // DeadLink drops every word crossing an output port; TagFlip corrupts one
-// routing-tag bit at an input port.
+// routing-tag bit at an input port. The delay kinds — Slow, Stall, Jitter —
+// cost time instead of correctness: they stall a route pass by the fault's
+// Delay (exactly, as a head-of-line block, or as a seeded uniform draw) so
+// tail-latency degradation is injectable and reproducible like every other
+// fault.
 const (
 	FaultStuckStraight = fault.StuckStraight
 	FaultStuckCross    = fault.StuckCross
 	FaultDeadLink      = fault.DeadLink
 	FaultTagFlip       = fault.TagFlip
+	FaultSlow          = fault.Slow
+	FaultStall         = fault.Stall
+	FaultJitter        = fault.Jitter
 )
 
 // FaultElement addresses one 2x2 switching element: main stage, nested

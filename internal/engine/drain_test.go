@@ -180,3 +180,52 @@ func TestDrainAfterCloseAndConcurrentDrains(t *testing.T) {
 		t.Errorf("Close after concurrent Drains: %v", err)
 	}
 }
+
+// TestDrainExpiredContextSettlesEveryTicket pins the expired-deadline
+// contract: Drain called with an already-dead context still stops admission
+// and waits for every in-flight ticket to settle — the context error reports
+// the missed deadline, it does not abandon the drain.
+func TestDrainExpiredContextSettlesEveryTicket(t *testing.T) {
+	const n = 8
+	slow := &funcRouter{n: n, fn: func(dst, src []core.Word) error {
+		time.Sleep(2 * time.Millisecond)
+		return deliver(dst, src)
+	}}
+	e, err := New(slow, Config{Workers: 2, Queue: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := permWords(perm.Identity(n))
+	var tickets []*Ticket
+	for i := 0; i < 8; i++ {
+		tk, err := e.Submit(nil, src)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		tickets = append(tickets, tk)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = e.Drain(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Drain(expired ctx): err = %v, want wrapped context.Canceled", err)
+	}
+	// The drain still ran to completion: every ticket settled (successfully —
+	// admission stopped, service did not), and nothing is left in flight.
+	for i, tk := range tickets {
+		if _, werr := tk.Wait(); werr != nil {
+			t.Errorf("ticket %d settled with %v, want success", i, werr)
+		}
+	}
+	if got := e.InFlight(); got != 0 {
+		t.Errorf("InFlight after drain = %d, want 0", got)
+	}
+	// And the engine reports drained to later submitters.
+	if _, err := e.Submit(nil, src); !errors.Is(err, neterr.ErrDraining) {
+		t.Errorf("Submit after drain: err = %v, want ErrDraining", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Errorf("Close after drain: %v", err)
+	}
+}

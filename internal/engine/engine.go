@@ -49,6 +49,35 @@ type TracedRouter interface {
 	RouteIntoTraced(dst, src []core.Word, sp *trace.Span) error
 }
 
+// Class is a request's QoS admission class. Under pressure the engine sheds
+// strictly by class — Background first, Standard next, Critical last — and
+// workers drain the per-class queues in the opposite order, so critical work
+// is both the last to be rejected and the first to be served.
+type Class int
+
+const (
+	// Background is best-effort work: it is never allowed to block the
+	// submitter on a full queue — a saturated engine sheds it immediately
+	// with ErrOverloaded.
+	Background Class = iota
+	// Standard is the default class; Submit and SubmitCtx use it.
+	Standard
+	// Critical is served ahead of everything else and is only shed when its
+	// own class cannot meet a deadline.
+	Critical
+
+	numClasses = int(Critical) + 1
+)
+
+// The engine's class count and the metrics package's per-class counters must
+// agree; this fails to compile when they drift.
+var _ [metrics.NumClasses]struct{} = [numClasses]struct{}{}
+
+// String returns the class's canonical lowercase name.
+func (c Class) String() string { return metrics.ClassName(int(c)) }
+
+func (c Class) valid() bool { return c >= Background && c <= Critical }
+
 // Config tunes an Engine. The zero value selects sensible defaults.
 type Config struct {
 	// Workers is the number of routing goroutines; <= 0 selects 4.
@@ -114,6 +143,7 @@ type request struct {
 	ctx      context.Context
 	t        *Ticket
 	sp       *trace.Span // nil when tracing is disabled
+	class    Class
 }
 
 // Ticket is the handle to one submitted request. Wait blocks until the
@@ -213,7 +243,10 @@ type Engine struct {
 	fb     Router       // nil unless Config.Fallback was set
 	m      *metrics.Metrics
 	tracer *trace.Tracer
-	reqs   chan *request
+	// queues holds one bounded request channel per admission class. Workers
+	// drain them strictly by priority — Critical before Standard before
+	// Background — and all three close together on Drain/Close.
+	queues [numClasses]chan *request
 	pool   sync.Pool // *request
 
 	timeout time.Duration
@@ -226,6 +259,10 @@ type Engine struct {
 	shed      bool
 	inflight  atomic.Int64
 	ewmaServe atomic.Int64
+	// classInflight splits inflight by admission class, so the shedder can
+	// count only the work that will be served ahead of (or alongside) a
+	// request of a given class.
+	classInflight [numClasses]atomic.Int64
 
 	// closing is closed when the engine stops waiting for retry backoffs —
 	// immediately on Close, or when a Drain deadline expires — so workers
@@ -296,7 +333,6 @@ func New(r Router, cfg Config) (*Engine, error) {
 		fb:      cfg.Fallback,
 		m:       cfg.Metrics,
 		tracer:  cfg.Tracer,
-		reqs:    make(chan *request, queue),
 		timeout: cfg.Timeout,
 		retry:   cfg.Retry,
 		brk:     &breaker{threshold: cfg.FailureThreshold, probeEvery: probeEvery},
@@ -305,6 +341,9 @@ func New(r Router, cfg Config) (*Engine, error) {
 		workers: workers,
 	}
 	e.tr, _ = r.(TracedRouter)
+	for c := range e.queues {
+		e.queues[c] = make(chan *request, queue)
+	}
 	e.pool.New = func() any { return new(request) }
 	e.wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -330,11 +369,16 @@ func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 
 func (e *Engine) worker() {
 	defer e.wg.Done()
-	for req := range e.reqs {
+	for {
+		req, ok := e.dequeue()
+		if !ok {
+			return
+		}
 		served := time.Now()
 		req.sp.Dequeued(served)
 		err := e.serve(req)
 		e.observeServe(time.Since(served))
+		e.classInflight[req.class].Add(-1)
 		e.inflight.Add(-1)
 		e.m.ObserveRoute(len(req.src), time.Since(req.start), err)
 		// Publish the span before the ticket unblocks Wait, so a caller that
@@ -345,6 +389,58 @@ func (e *Engine) worker() {
 		e.pool.Put(req)
 		t.done <- err
 	}
+}
+
+// dequeue pulls the next request in strict class priority: a non-blocking
+// scan Critical→Standard→Background first, then — when every queue is empty
+// — a blocking wait on all three. Observing a closed channel means shutdown
+// has begun (the queues close together), so the remaining buffered requests
+// are drained in priority order and the worker exits once they are gone.
+func (e *Engine) dequeue() (*request, bool) {
+	for {
+		for c := numClasses - 1; c >= 0; c-- {
+			select {
+			case req, ok := <-e.queues[c]:
+				if ok {
+					return req, true
+				}
+				return e.drainQueues()
+			default:
+			}
+		}
+		select {
+		case req, ok := <-e.queues[Critical]:
+			if ok {
+				return req, true
+			}
+			return e.drainQueues()
+		case req, ok := <-e.queues[Standard]:
+			if ok {
+				return req, true
+			}
+			return e.drainQueues()
+		case req, ok := <-e.queues[Background]:
+			if ok {
+				return req, true
+			}
+			return e.drainQueues()
+		}
+	}
+}
+
+// drainQueues serves out the requests still buffered in the (now closed)
+// queues, highest class first, and reports exhaustion once all are empty.
+func (e *Engine) drainQueues() (*request, bool) {
+	for c := numClasses - 1; c >= 0; c-- {
+		select {
+		case req, ok := <-e.queues[c]:
+			if ok {
+				return req, true
+			}
+		default:
+		}
+	}
+	return nil, false
 }
 
 // ewmaYield, when non-nil, is invoked between reading the EWMA and
@@ -493,10 +589,23 @@ func (e *Engine) serve(req *request) error {
 		}
 		wait *= 2
 	}
+	if errors.Is(err, neterr.ErrPoisoned) {
+		// A poisoned rejection indicts the request, not the router: it must
+		// not push the breaker toward opening on healthy planes.
+		return err
+	}
 	if e.brk.fail() {
 		e.m.AddBreakerTrip()
 	}
 	return err
+}
+
+// closeQueues closes every class queue; guarded by closeReqs so the queues
+// close exactly once across Drain and Close.
+func (e *Engine) closeQueues() {
+	for c := range e.queues {
+		close(e.queues[c])
+	}
 }
 
 // route runs one attempt on the primary router, handing the span down when
@@ -522,6 +631,22 @@ func (e *Engine) Submit(dst, src []core.Word) (*Ticket, error) {
 // attempts) completes with the context's error instead of being routed.
 // Config.Timeout, when set, applies on top of ctx.
 func (e *Engine) SubmitCtx(ctx context.Context, dst, src []core.Word) (*Ticket, error) {
+	return e.SubmitClass(ctx, Standard, dst, src)
+}
+
+// SubmitClass is SubmitCtx with an explicit QoS admission class. Workers
+// serve Critical ahead of Standard ahead of Background; under pressure the
+// classes shed in the opposite order. A Background request never blocks the
+// submitter: when its queue is full it is rejected immediately with
+// ErrOverloaded. Standard and Critical block for a free slot as Submit
+// always has. The deadline-aware shedder (Config.Shed) counts only
+// same-or-higher-class in-flight work against a request's deadline, so a
+// backlog of background traffic cannot shed a critical request.
+func (e *Engine) SubmitClass(ctx context.Context, class Class, dst, src []core.Word) (*Ticket, error) {
+	if !class.valid() {
+		return nil, fmt.Errorf("engine: admission class %d out of range [%d, %d]: %w",
+			int(class), int(Background), int(Critical), neterr.ErrBadSize)
+	}
 	n := e.r.Inputs()
 	if len(src) != n {
 		return nil, fmt.Errorf("engine: got %d words, want %d: %w", len(src), n, neterr.ErrBadSize)
@@ -537,8 +662,10 @@ func (e *Engine) SubmitCtx(ctx context.Context, dst, src []core.Word) (*Ticket, 
 		deadline = start.Add(e.timeout)
 	}
 	sp := e.tracer.Start(trace.KindRequest, start, n)
+	sp.SetClass(metrics.ClassName(int(class)))
+	e.m.AddClassSubmitted(int(class))
 	if e.shed {
-		if err := e.admit(ctx, start, deadline); err != nil {
+		if err := e.admit(ctx, start, deadline, class); err != nil {
 			sp.MarkShed()
 			e.tracer.Finish(sp, err)
 			return nil, err
@@ -553,6 +680,7 @@ func (e *Engine) SubmitCtx(ctx context.Context, dst, src []core.Word) (*Ticket, 
 		ctx:      ctx,
 		t:        &Ticket{done: make(chan error, 1), dst: dst},
 		sp:       sp,
+		class:    class,
 	}
 	t := req.t
 	e.mu.RLock()
@@ -570,7 +698,29 @@ func (e *Engine) SubmitCtx(ctx context.Context, dst, src []core.Word) (*Ticket, 
 		return nil, err
 	}
 	e.inflight.Add(1)
-	e.reqs <- req
+	e.classInflight[class].Add(1)
+	if class == Background {
+		// Best-effort: a full background queue sheds instead of exerting
+		// backpressure, so background producers can never stall the
+		// submitter behind foreground traffic.
+		select {
+		case e.queues[Background] <- req:
+		default:
+			e.classInflight[class].Add(-1)
+			e.inflight.Add(-1)
+			e.mu.RUnlock()
+			e.pool.Put(req)
+			e.m.AddShed()
+			e.m.AddClassShed(int(class))
+			err := fmt.Errorf("engine: background queue full (%d requests): %w",
+				cap(e.queues[Background]), neterr.ErrOverloaded)
+			sp.MarkShed()
+			e.tracer.Finish(sp, err)
+			return nil, err
+		}
+	} else {
+		e.queues[class] <- req
+	}
 	e.mu.RUnlock()
 	return t, nil
 }
@@ -579,9 +729,11 @@ func (e *Engine) SubmitCtx(ctx context.Context, dst, src []core.Word) (*Ticket, 
 // request accepted now would complete — the in-flight depth times the
 // service-time EWMA, divided over the workers, plus the request's own
 // service — and rejects the request with ErrOverloaded when that exceeds
-// its deadline. A request with no deadline, or an engine that has not yet
-// observed a service time, is always admitted.
-func (e *Engine) admit(ctx context.Context, now, deadline time.Time) error {
+// its deadline. The depth counts only same-or-higher-class in-flight work:
+// workers serve strictly by priority, so lower-class backlog does not stand
+// between this request and a worker. A request with no deadline, or an
+// engine that has not yet observed a service time, is always admitted.
+func (e *Engine) admit(ctx context.Context, now, deadline time.Time, class Class) error {
 	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
 		deadline = d
 	}
@@ -592,19 +744,24 @@ func (e *Engine) admit(ctx context.Context, now, deadline time.Time) error {
 	if ewma == 0 {
 		return nil
 	}
-	depth := e.inflight.Load()
+	var depth int64
+	for c := int(class); c < numClasses; c++ {
+		depth += e.classInflight[c].Load()
+	}
 	slots := depth/int64(e.workers) + 1
 	// Saturate instead of multiplying: a huge queue depth times the EWMA
 	// overflows int64 into a negative estimate that admits everything —
 	// the opposite of what an overloaded engine needs.
 	if slots > math.MaxInt64/ewma {
 		e.m.AddShed()
+		e.m.AddClassShed(int(class))
 		return fmt.Errorf("engine: %d requests in flight at ~%v each exceed any deadline: %w",
 			depth, time.Duration(ewma), neterr.ErrOverloaded)
 	}
 	est := time.Duration(slots * ewma)
 	if now.Add(est).After(deadline) {
 		e.m.AddShed()
+		e.m.AddClassShed(int(class))
 		return fmt.Errorf("engine: %d requests in flight need ~%v, deadline in %v: %w",
 			depth, est, deadline.Sub(now), neterr.ErrOverloaded)
 	}
@@ -690,7 +847,7 @@ func (e *Engine) Drain(ctx context.Context) error {
 	transitioned := e.state == stateRunning
 	if transitioned {
 		e.state = stateDraining
-		e.closeReqs.Do(func() { close(e.reqs) })
+		e.closeReqs.Do(e.closeQueues)
 	}
 	e.mu.Unlock()
 	if transitioned {
@@ -702,15 +859,25 @@ func (e *Engine) Drain(ctx context.Context) error {
 		close(done)
 	}()
 	var ctxErr error
-	select {
-	case <-done:
-	case <-ctx.Done():
-		// Deadline overrun: stop honoring retry backoffs so parked workers
-		// finish their requests now, then wait for that prompt completion.
-		// Every ticket still settles; only the grace period is cut short.
+	if err := ctx.Err(); err != nil {
+		// The context was already expired on entry. The select below races
+		// it against done and may report a clean drain; an expired deadline
+		// must deterministically report the context's error, so short-cut
+		// the grace period up front. Every queued ticket still settles.
 		e.closeClosing.Do(func() { close(e.closing) })
 		<-done
-		ctxErr = fmt.Errorf("engine: drain: %w", ctx.Err())
+		ctxErr = fmt.Errorf("engine: drain: %w", err)
+	} else {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			// Deadline overrun: stop honoring retry backoffs so parked workers
+			// finish their requests now, then wait for that prompt completion.
+			// Every ticket still settles; only the grace period is cut short.
+			e.closeClosing.Do(func() { close(e.closing) })
+			<-done
+			ctxErr = fmt.Errorf("engine: drain: %w", ctx.Err())
+		}
 	}
 	e.mu.Lock()
 	if e.state == stateDraining {
@@ -746,7 +913,7 @@ func (e *Engine) Close() error {
 	}
 	e.state = stateClosed
 	e.closeClosing.Do(func() { close(e.closing) })
-	e.closeReqs.Do(func() { close(e.reqs) })
+	e.closeReqs.Do(e.closeQueues)
 	e.mu.Unlock()
 	e.wg.Wait()
 	// Workers have drained: any span still open belongs to work that never

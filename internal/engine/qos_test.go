@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/neterr"
+	"repro/internal/perm"
+)
+
+// TestSubmitClassValidation pins the class range check.
+func TestSubmitClassValidation(t *testing.T) {
+	const n = 8
+	e, err := New(&funcRouter{n: n, fn: deliver}, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	src := permWords(perm.Identity(n))
+	for _, c := range []Class{Class(-1), Class(7)} {
+		if _, err := e.SubmitClass(context.Background(), c, nil, src); !errors.Is(err, neterr.ErrBadSize) {
+			t.Errorf("SubmitClass(%d): err = %v, want ErrBadSize", int(c), err)
+		}
+	}
+}
+
+// TestClassServingOrder pins the worker-side priority: with one worker and a
+// queued backlog, criticals are served before standards before backgrounds,
+// regardless of submission order.
+func TestClassServingOrder(t *testing.T) {
+	const n = 8
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	var order []uint64
+	r := &funcRouter{n: n, fn: func(dst, src []core.Word) error {
+		if src[0].Data == 999 {
+			<-gate // the blocker parks the only worker
+			return deliver(dst, src)
+		}
+		mu.Lock()
+		order = append(order, src[0].Data)
+		mu.Unlock()
+		return deliver(dst, src)
+	}}
+	e, err := New(r, Config{Workers: 1, Queue: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	submit := func(class Class, tag uint64) *Ticket {
+		t.Helper()
+		src := permWords(perm.Identity(n))
+		src[0].Data = tag
+		tk, err := e.SubmitClass(context.Background(), class, nil, src)
+		if err != nil {
+			t.Fatalf("SubmitClass(%v, %d): %v", class, tag, err)
+		}
+		return tk
+	}
+
+	blocker := submit(Standard, 999)
+	// Give the worker time to pick the blocker up, so everything below queues
+	// behind it rather than racing it to the worker.
+	time.Sleep(10 * time.Millisecond)
+	tickets := []*Ticket{
+		submit(Background, 1), submit(Standard, 11), submit(Critical, 21),
+		submit(Background, 2), submit(Standard, 12), submit(Critical, 22),
+	}
+	close(gate)
+	if _, err := blocker.Wait(); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	for i, tk := range tickets {
+		if _, err := tk.Wait(); err != nil {
+			t.Fatalf("ticket %d: %v", i, err)
+		}
+	}
+	want := []uint64{21, 22, 11, 12, 1, 2}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != len(want) {
+		t.Fatalf("served %d requests, want %d: %v", len(order), len(want), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("serving order %v, want %v (critical > standard > background)", order, want)
+		}
+	}
+}
+
+// TestBackgroundNeverBlocksSubmitter pins the Background admission contract:
+// a full background queue sheds immediately with ErrOverloaded instead of
+// exerting backpressure.
+func TestBackgroundNeverBlocksSubmitter(t *testing.T) {
+	const n = 8
+	var m metrics.Metrics
+	gate := make(chan struct{})
+	r := &funcRouter{n: n, fn: func(dst, src []core.Word) error {
+		<-gate
+		return deliver(dst, src)
+	}}
+	e, err := New(r, Config{Workers: 1, Queue: 1, Metrics: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	src := permWords(perm.Identity(n))
+	blocker, err := e.SubmitClass(context.Background(), Standard, nil, src)
+	if err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	queued, err := e.SubmitClass(context.Background(), Background, nil, src)
+	if err != nil {
+		t.Fatalf("first background request: %v", err)
+	}
+	start := time.Now()
+	_, err = e.SubmitClass(context.Background(), Background, nil, src)
+	if !errors.Is(err, neterr.ErrOverloaded) {
+		t.Fatalf("second background request: err = %v, want ErrOverloaded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("background shed took %v — it blocked the submitter", d)
+	}
+	close(gate)
+	if _, err := blocker.Wait(); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	if _, err := queued.Wait(); err != nil {
+		t.Fatalf("queued background request: %v", err)
+	}
+	snap := m.Snapshot()
+	if got := snap.ClassSheds[int(Background)]; got != 1 {
+		t.Errorf("background sheds = %d, want 1", got)
+	}
+	if got := snap.ClassSubmitted[int(Background)]; got != 2 {
+		t.Errorf("background submitted = %d, want 2 (sheds count as submissions)", got)
+	}
+}
+
+// TestClassSubmittedCounts pins the per-class metrics plumbing, and that the
+// classless Submit surfaces count as Standard.
+func TestClassSubmittedCounts(t *testing.T) {
+	const n = 8
+	var m metrics.Metrics
+	e, err := New(&funcRouter{n: n, fn: deliver}, Config{Workers: 2, Metrics: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	src := permWords(perm.Identity(n))
+	for _, c := range []Class{Background, Standard, Critical} {
+		tk, err := e.SubmitClass(context.Background(), c, nil, src)
+		if err != nil {
+			t.Fatalf("SubmitClass(%v): %v", c, err)
+		}
+		if _, err := tk.Wait(); err != nil {
+			t.Fatalf("wait(%v): %v", c, err)
+		}
+	}
+	tk, err := e.Submit(nil, src)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	want := [metrics.NumClasses]int64{1, 2, 1}
+	if snap.ClassSubmitted != want {
+		t.Errorf("ClassSubmitted = %v, want %v", snap.ClassSubmitted, want)
+	}
+	for c, sheds := range snap.ClassSheds {
+		if sheds != 0 {
+			t.Errorf("class %s sheds = %d, want 0", metrics.ClassName(c), sheds)
+		}
+	}
+}
+
+// TestAdmitIgnoresLowerClassBacklog pins the shedder's class awareness: a
+// mountain of background in-flight work cannot shed a critical request,
+// because workers serve strictly by priority — but it does shed further
+// background work.
+func TestAdmitIgnoresLowerClassBacklog(t *testing.T) {
+	const n = 8
+	var m metrics.Metrics
+	e, err := New(&funcRouter{n: n, fn: deliver}, Config{
+		Workers: 1,
+		Shed:    true,
+		Timeout: 50 * time.Millisecond,
+		Metrics: &m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	src := permWords(perm.Identity(n))
+
+	// A warmed service EWMA and a synthetic pile of background in-flight
+	// work: the admission estimate for Background exceeds any deadline,
+	// while Critical sees an empty queue above it.
+	e.ewmaServe.Store(int64(time.Millisecond))
+	e.classInflight[Background].Store(1 << 30)
+	defer e.classInflight[Background].Store(0)
+
+	if _, err := e.SubmitClass(context.Background(), Background, nil, src); !errors.Is(err, neterr.ErrOverloaded) {
+		t.Errorf("background behind a background backlog: err = %v, want ErrOverloaded", err)
+	}
+	tk, err := e.SubmitClass(context.Background(), Critical, nil, src)
+	if err != nil {
+		t.Fatalf("critical behind a background backlog: %v", err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Fatalf("critical wait: %v", err)
+	}
+	if got := m.Snapshot().ClassSheds[int(Background)]; got != 1 {
+		t.Errorf("background sheds = %d, want 1", got)
+	}
+	if got := m.Snapshot().ClassSheds[int(Critical)]; got != 0 {
+		t.Errorf("critical sheds = %d, want 0", got)
+	}
+}

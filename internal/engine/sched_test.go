@@ -97,15 +97,15 @@ func TestAdmitOverflowSaturates(t *testing.T) {
 	// 2^44 queue slots x 2^20ns EWMA = 2^64: the pre-fix multiplication
 	// wrapped to an estimate of exactly 0ns and admitted the request.
 	e.ewmaServe.Store(1 << 20)
-	e.inflight.Store((1 << 44) - 1)
-	defer e.inflight.Store(0)
-	err := e.admit(context.Background(), time.Now(), time.Now().Add(time.Second))
+	e.classInflight[Standard].Store((1 << 44) - 1)
+	defer e.classInflight[Standard].Store(0)
+	err := e.admit(context.Background(), time.Now(), time.Now().Add(time.Second), Standard)
 	if !errors.Is(err, neterr.ErrOverloaded) {
 		t.Fatalf("overflowing estimate admitted the request: err = %v, want ErrOverloaded", err)
 	}
 	// A sane depth with the same EWMA still admits under a loose deadline.
-	e.inflight.Store(2)
-	if err := e.admit(context.Background(), time.Now(), time.Now().Add(time.Minute)); err != nil {
+	e.classInflight[Standard].Store(2)
+	if err := e.admit(context.Background(), time.Now(), time.Now().Add(time.Minute), Standard); err != nil {
 		t.Fatalf("sane depth rejected: %v", err)
 	}
 }

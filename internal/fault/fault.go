@@ -23,11 +23,16 @@ package fault
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/neterr"
 )
+
+// sleepFn is how delay faults stall a route pass; tests stub it to observe
+// injected delays without wall-clock cost.
+var sleepFn = time.Sleep
 
 // Kind names a fault model.
 type Kind int
@@ -44,7 +49,23 @@ const (
 	// TagFlip flips one bit of the routing tag (destination address) of one
 	// input word on entry — a transient control-bit error in flight.
 	TagFlip
+	// Slow adds exactly Delay of latency to every route pass in its window —
+	// the degraded-but-correct plane that defeats functional health probes.
+	// Delay faults never corrupt data; they only cost time.
+	Slow
+	// Stall blocks a route pass for Delay before any words move — the
+	// adversarial hang a hedged request must race around. Mechanically it
+	// sleeps like Slow; semantically it models a head-of-line stall rather
+	// than uniform slowdown, and the distinction is kept for reports.
+	Stall
+	// Jitter adds a seeded uniform draw in [0, Delay] per pass: the same
+	// (Seed, cycle) replays the same delay, so jittery tails are exactly
+	// reproducible.
+	Jitter
 )
+
+// delayKind reports whether the kind costs time instead of correctness.
+func (k Kind) delayKind() bool { return k == Slow || k == Stall || k == Jitter }
 
 // String names the kind for logs and reports.
 func (k Kind) String() string {
@@ -57,6 +78,12 @@ func (k Kind) String() string {
 		return "dead-link"
 	case TagFlip:
 		return "tag-flip"
+	case Slow:
+		return "slow"
+	case Stall:
+		return "stall"
+	case Jitter:
+		return "jitter"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -87,6 +114,9 @@ type Fault struct {
 	Port int
 	// Bit is the address bit a TagFlip inverts.
 	Bit int
+	// Delay is the latency a Slow/Stall pass costs, or the upper bound of a
+	// Jitter pass's seeded uniform draw. Ignored by the functional kinds.
+	Delay time.Duration
 	// From is the first cycle the fault is active (inclusive).
 	From int64
 	// Until is the first cycle the fault is healed; Until <= 0 means the
@@ -118,6 +148,10 @@ func (f Fault) String() string {
 		return fmt.Sprintf("%v at output %d, %s", f.Kind, f.Port, window)
 	case TagFlip:
 		return fmt.Sprintf("%v at input %d bit %d, %s", f.Kind, f.Port, f.Bit, window)
+	case Slow, Stall:
+		return fmt.Sprintf("%v +%v per pass, %s", f.Kind, f.Delay, window)
+	case Jitter:
+		return fmt.Sprintf("%v up to +%v per pass, %s", f.Kind, f.Delay, window)
 	default:
 		return fmt.Sprintf("%v, %s", f.Kind, window)
 	}
@@ -137,6 +171,17 @@ type Plan struct {
 	ChaosHeal int
 	// Seed drives the chaos process; the same seed replays the same faults.
 	Seed int64
+	// SlowRate is the per-cycle probability (0..1) that the slow-chaos
+	// process starts a fresh transient Slow fault at that cycle. The process
+	// draws from its own sub-stream of Seed, so enabling it never perturbs
+	// the functional chaos schedule above.
+	SlowRate float64
+	// SlowDelay is the latency each slow-chaos fault adds per pass; it must
+	// be positive when SlowRate > 0.
+	SlowDelay time.Duration
+	// SlowHeal is the lifetime in cycles of each slow-chaos fault; <= 0
+	// selects 1.
+	SlowHeal int
 }
 
 // Validate checks the plan against a network of order m (N = 2^m ports).
@@ -166,12 +211,22 @@ func (p *Plan) Validate(m int) error {
 			if f.Bit < 0 || f.Bit >= m {
 				return fmt.Errorf("fault: %v: bit out of range [0,%d)", f, m)
 			}
+		case Slow, Stall, Jitter:
+			if f.Delay <= 0 {
+				return fmt.Errorf("fault: %v: delay must be positive", f)
+			}
 		default:
 			return fmt.Errorf("fault: unknown kind %v", f.Kind)
 		}
 	}
 	if p.ChaosRate < 0 || p.ChaosRate > 1 {
 		return fmt.Errorf("fault: chaos rate %g out of range [0,1]", p.ChaosRate)
+	}
+	if p.SlowRate < 0 || p.SlowRate > 1 {
+		return fmt.Errorf("fault: slow rate %g out of range [0,1]", p.SlowRate)
+	}
+	if p.SlowRate > 0 && p.SlowDelay <= 0 {
+		return fmt.Errorf("fault: slow rate %g needs a positive slow delay", p.SlowRate)
 	}
 	return nil
 }
@@ -226,6 +281,10 @@ type Injector struct {
 	sink   *metrics.Metrics
 	// injected counts route passes that had at least one active fault.
 	injected atomic.Int64
+	// delayed counts route passes a delay fault stalled; delayNs is the
+	// total injected delay across them.
+	delayed atomic.Int64
+	delayNs atomic.Int64
 }
 
 // Options tunes an Injector.
@@ -292,6 +351,31 @@ func (inj *Injector) Cycle() int64 { return inj.cycle.Load() }
 // one active fault.
 func (inj *Injector) InjectedPasses() int64 { return inj.injected.Load() }
 
+// DelayedPasses returns the number of route passes a delay fault stalled.
+func (inj *Injector) DelayedPasses() int64 { return inj.delayed.Load() }
+
+// InjectedDelay returns the total latency delay faults have injected.
+func (inj *Injector) InjectedDelay() time.Duration {
+	return time.Duration(inj.delayNs.Load())
+}
+
+// delayFor sums the latency the live delay faults charge this pass. Jitter
+// draws are a pure function of (Seed, fault identity, cycle), so a replayed
+// run charges identical delays.
+func (inj *Injector) delayFor(live []Fault, cycle int64) time.Duration {
+	var total time.Duration
+	for i, f := range live {
+		switch f.Kind {
+		case Slow, Stall:
+			total += f.Delay
+		case Jitter:
+			h := splitmix64(uint64(inj.plan.Seed) ^ splitmix64(uint64(cycle)+uint64(i)<<17) ^ slowSalt)
+			total += time.Duration(h % uint64(f.Delay+1))
+		}
+	}
+	return total
+}
+
 // splitmix64 is the stateless per-cycle PRNG of the chaos process: a pure
 // function of the plan seed and the cycle, so concurrent route passes draw
 // deterministically without shared state.
@@ -346,8 +430,32 @@ func (inj *Injector) chaosAt(cycle int64) (Fault, bool) {
 	return f, true
 }
 
+// slowSalt decorrelates the slow-chaos sub-stream from the functional chaos
+// draws: both processes are pure functions of (Seed, cycle), but a slow
+// draw firing never changes which functional fault (if any) fires there.
+const slowSalt = 0x736c6f776368616f // "slowchao"
+
+// slowAt returns the slow-chaos fault born at the given cycle, if the
+// seeded draw fired there. Every slow-chaos fault is a transient Slow with
+// the plan's delay and lifetime SlowHeal.
+func (inj *Injector) slowAt(cycle int64) (Fault, bool) {
+	p := inj.plan
+	if p.SlowRate <= 0 {
+		return Fault{}, false
+	}
+	h := splitmix64(uint64(p.Seed) ^ slowSalt ^ splitmix64(uint64(cycle)))
+	if float64(h>>11)/float64(1<<53) >= p.SlowRate {
+		return Fault{}, false
+	}
+	heal := p.SlowHeal
+	if heal <= 0 {
+		heal = 1
+	}
+	return Fault{Kind: Slow, Delay: p.SlowDelay, From: cycle, Until: cycle + int64(heal)}, true
+}
+
 // active collects the faults live at the given cycle: explicit plan entries
-// plus chaos faults born within their heal window.
+// plus chaos and slow-chaos faults born within their heal windows.
 func (inj *Injector) active(cycle int64) []Fault {
 	var live []Fault
 	for _, f := range inj.plan.Faults {
@@ -365,6 +473,19 @@ func (inj *Injector) active(cycle int64) []Fault {
 			break
 		}
 		if f, ok := inj.chaosAt(birth); ok && f.activeAt(cycle) {
+			live = append(live, f)
+		}
+	}
+	slowHeal := inj.plan.SlowHeal
+	if slowHeal <= 0 {
+		slowHeal = 1
+	}
+	for back := int64(0); back < int64(slowHeal); back++ {
+		birth := cycle - back
+		if birth < 0 {
+			break
+		}
+		if f, ok := inj.slowAt(birth); ok && f.activeAt(cycle) {
 			live = append(live, f)
 		}
 	}
@@ -392,12 +513,20 @@ func (inj *Injector) RouteInto(dst, src []core.Word) error {
 		inj.sink.AddFaults(int64(len(live)))
 	}
 
+	// Delay faults cost time up front; they never corrupt the pass, so they
+	// do not participate in error classification below.
+	if d := inj.delayFor(live, cycle); d > 0 {
+		inj.delayed.Add(1)
+		inj.delayNs.Add(int64(d))
+		sleepFn(d)
+	}
+
 	// Tag flips corrupt the offered addresses before entry.
 	routeSrc := src
 	var flipped []core.Word
 	transientOnly := true
 	for _, f := range live {
-		if !f.Transient() {
+		if !f.Transient() && !f.Kind.delayKind() {
 			transientOnly = false
 		}
 		if f.Kind != TagFlip {

@@ -75,6 +75,39 @@ type Metrics struct {
 	planEvictions atomic.Int64
 	planCompiles  atomic.Int64
 	planCompileNs atomic.Int64
+
+	// Tail-tolerance counters, fed by the supervisor's hedged routing,
+	// slow-plane detection and poison quarantine, and by the engine's
+	// per-class admission: hedge timers fired, hedged attempts that won the
+	// race, planes quarantined for chronic slowness, request fingerprints
+	// condemned, poisoned requests rejected at admission, and per-QoS-class
+	// submission and shed counts (index 0 = background, 1 = standard,
+	// 2 = critical).
+	hedges          atomic.Int64
+	hedgeWins       atomic.Int64
+	slowQuarantines atomic.Int64
+	poisonMarks     atomic.Int64
+	poisonedRejects atomic.Int64
+	classSubmitted  [NumClasses]atomic.Int64
+	classSheds      [NumClasses]atomic.Int64
+}
+
+// NumClasses is the number of QoS admission classes the engine serves.
+const NumClasses = 3
+
+// ClassName names a QoS class index for exposition, in shed order: the
+// engine sheds background before standard before critical.
+func ClassName(class int) string {
+	switch class {
+	case 0:
+		return "background"
+	case 1:
+		return "standard"
+	case 2:
+		return "critical"
+	default:
+		return fmt.Sprintf("class%d", class)
+	}
 }
 
 // bucketOf maps a latency to its histogram bucket.
@@ -244,6 +277,60 @@ func (m *Metrics) AddPlanCompile(d time.Duration) {
 	m.planCompileNs.Add(ns)
 }
 
+// AddHedge counts one hedge timer firing — a request re-issued on a second
+// plane because the first response was late.
+func (m *Metrics) AddHedge() {
+	if m != nil {
+		m.hedges.Add(1)
+	}
+}
+
+// AddHedgeWin counts one request whose hedged attempt beat the primary.
+func (m *Metrics) AddHedgeWin() {
+	if m != nil {
+		m.hedgeWins.Add(1)
+	}
+}
+
+// AddSlowQuarantine counts one plane drained for chronic slowness (as
+// opposed to misrouting).
+func (m *Metrics) AddSlowQuarantine() {
+	if m != nil {
+		m.slowQuarantines.Add(1)
+	}
+}
+
+// AddPoisonMark counts one request fingerprint condemned by the poison
+// quarantine after hard failures on distinct planes.
+func (m *Metrics) AddPoisonMark() {
+	if m != nil {
+		m.poisonMarks.Add(1)
+	}
+}
+
+// AddPoisonedReject counts one request rejected with ErrPoisoned at
+// admission.
+func (m *Metrics) AddPoisonedReject() {
+	if m != nil {
+		m.poisonedRejects.Add(1)
+	}
+}
+
+// AddClassSubmitted counts one request admitted under the given QoS class
+// (0 = background, 1 = standard, 2 = critical).
+func (m *Metrics) AddClassSubmitted(class int) {
+	if m != nil && class >= 0 && class < NumClasses {
+		m.classSubmitted[class].Add(1)
+	}
+}
+
+// AddClassShed counts one request of the given QoS class shed at admission.
+func (m *Metrics) AddClassShed(class int) {
+	if m != nil && class >= 0 && class < NumClasses {
+		m.classSheds[class].Add(1)
+	}
+}
+
 // AddDrain counts one graceful engine drain (Drain, not an abrupt Close).
 func (m *Metrics) AddDrain() {
 	if m != nil {
@@ -355,6 +442,15 @@ type Snapshot struct {
 	// average cost.
 	PlanHits, PlanMisses, PlanEvictions, PlanCompiles int64
 	MeanPlanCompile                                   time.Duration
+
+	// Hedges counts hedge timers fired; HedgeWins hedged attempts that won
+	// the race; SlowQuarantines planes drained for chronic slowness;
+	// PoisonMarks request fingerprints condemned by the poison quarantine;
+	// PoisonedRejects requests refused with ErrPoisoned at admission.
+	Hedges, HedgeWins, SlowQuarantines, PoisonMarks, PoisonedRejects int64
+	// ClassSubmitted and ClassSheds are the per-QoS-class admission and
+	// shed counts, indexed background (0), standard (1), critical (2).
+	ClassSubmitted, ClassSheds [NumClasses]int64
 }
 
 // PlanHitRatio returns PlanHits/(PlanHits+PlanMisses), 0 before any
@@ -403,6 +499,16 @@ func (m *Metrics) Snapshot() Snapshot {
 		PlanMisses:    m.planMisses.Load(),
 		PlanEvictions: m.planEvictions.Load(),
 		PlanCompiles:  m.planCompiles.Load(),
+
+		Hedges:          m.hedges.Load(),
+		HedgeWins:       m.hedgeWins.Load(),
+		SlowQuarantines: m.slowQuarantines.Load(),
+		PoisonMarks:     m.poisonMarks.Load(),
+		PoisonedRejects: m.poisonedRejects.Load(),
+	}
+	for c := 0; c < NumClasses; c++ {
+		s.ClassSubmitted[c] = m.classSubmitted[c].Load()
+		s.ClassSheds[c] = m.classSheds[c].Load()
 	}
 	if s.PlanCompiles > 0 {
 		s.MeanPlanCompile = time.Duration(m.planCompileNs.Load() / s.PlanCompiles)
@@ -466,6 +572,22 @@ func (s Snapshot) String() string {
 		line += fmt.Sprintf(" drains=%d reconfigs=%d planes_added=%d planes_removed=%d plan_warms=%d admitting=%d draining=%d",
 			s.Drains, s.Reconfigs, s.PlanesAdded, s.PlanesRemoved, s.PlanWarms,
 			s.PlanesAdmitting, s.PlanesDraining)
+	}
+	if s.Hedges != 0 || s.HedgeWins != 0 || s.SlowQuarantines != 0 ||
+		s.PoisonMarks != 0 || s.PoisonedRejects != 0 {
+		line += fmt.Sprintf(" hedges=%d hedge_wins=%d slow_quarantines=%d poison_marks=%d poisoned_rejects=%d",
+			s.Hedges, s.HedgeWins, s.SlowQuarantines, s.PoisonMarks, s.PoisonedRejects)
+	}
+	var classActive bool
+	for c := 0; c < NumClasses; c++ {
+		if s.ClassSubmitted[c] != 0 || s.ClassSheds[c] != 0 {
+			classActive = true
+		}
+	}
+	if classActive {
+		line += fmt.Sprintf(" class_submitted=%d/%d/%d class_sheds=%d/%d/%d",
+			s.ClassSubmitted[0], s.ClassSubmitted[1], s.ClassSubmitted[2],
+			s.ClassSheds[0], s.ClassSheds[1], s.ClassSheds[2])
 	}
 	return line
 }

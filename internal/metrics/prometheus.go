@@ -52,10 +52,32 @@ func (m *Metrics) WritePrometheus(w io.Writer, ns string) error {
 		{"planes_added_total", "Planes admitted to the serving set at runtime.", m.planesAdded.Load()},
 		{"planes_removed_total", "Planes drained and detached at runtime.", m.planesRemoved.Load()},
 		{"plan_warms_total", "Plans verified and pre-warmed into a fresh cache.", m.planWarms.Load()},
+		{"hedges_total", "Hedge attempts fired after the hedge delay.", m.hedges.Load()},
+		{"hedge_wins_total", "Requests won by a hedge attempt rather than the primary.", m.hedgeWins.Load()},
+		{"slow_quarantines_total", "Planes quarantined for chronic slowness.", m.slowQuarantines.Load()},
+		{"poison_marks_total", "Request fingerprints quarantined after failing on distinct planes.", m.poisonMarks.Load()},
+		{"poisoned_rejects_total", "Requests rejected at admission as poisoned.", m.poisonedRejects.Load()},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s %d\n",
 			ns, c.name, c.help, ns, c.name, ns, c.name, c.v); err != nil {
+			return err
+		}
+	}
+	// Per-class admission counters, labeled by QoS class in priority order.
+	if _, err := fmt.Fprintf(w, "# HELP %s_class_submitted_total Requests submitted per QoS admission class.\n# TYPE %s_class_submitted_total counter\n", ns, ns); err != nil {
+		return err
+	}
+	for c := 0; c < NumClasses; c++ {
+		if _, err := fmt.Fprintf(w, "%s_class_submitted_total{class=%q} %d\n", ns, ClassName(c), m.classSubmitted[c].Load()); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s_class_sheds_total Requests shed per QoS admission class.\n# TYPE %s_class_sheds_total counter\n", ns, ns); err != nil {
+		return err
+	}
+	for c := 0; c < NumClasses; c++ {
+		if _, err := fmt.Fprintf(w, "%s_class_sheds_total{class=%q} %d\n", ns, ClassName(c), m.classSheds[c].Load()); err != nil {
 			return err
 		}
 	}

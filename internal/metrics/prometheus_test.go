@@ -40,6 +40,17 @@ func TestWritePrometheusGolden(t *testing.T) {
 	m.AddPlanMiss()
 	m.AddPlanEviction()
 	m.AddPlanCompile(10 * time.Microsecond)
+	m.AddHedge()
+	m.AddHedge()
+	m.AddHedgeWin()
+	m.AddSlowQuarantine()
+	m.AddPoisonMark()
+	m.AddPoisonedReject()
+	m.AddClassSubmitted(0)
+	m.AddClassSubmitted(1)
+	m.AddClassSubmitted(1)
+	m.AddClassSubmitted(2)
+	m.AddClassShed(0)
 
 	var buf bytes.Buffer
 	if err := m.WritePrometheus(&buf, "bnb"); err != nil {

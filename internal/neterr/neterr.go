@@ -69,4 +69,12 @@ var (
 	// ErrClosed, draining is a transient lifecycle phase announced ahead of
 	// shutdown — load balancers should steer new traffic elsewhere.
 	ErrDraining = errors.New("engine draining")
+
+	// ErrPoisoned reports a request rejected by the poison quarantine: its
+	// fingerprint has triggered hard routing failures on multiple distinct
+	// planes, which blames the request rather than any plane. Rejecting it
+	// at admission stops one bad request from cascading quarantines across
+	// the fleet. The quarantine entry expires after a TTL, so a later retry
+	// of the same arrangement may be admitted again.
+	ErrPoisoned = errors.New("poisoned request")
 )

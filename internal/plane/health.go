@@ -104,6 +104,7 @@ func (s *Supervisor) diagnose(p *planeState) {
 // and probed again on the next sweep. First admissions (from Admitting)
 // do not count as readmits: the plane was never in service.
 func (s *Supervisor) tryReadmit(p *planeState, dst, src []core.Word, from State) {
+	begin := time.Now()
 	if err := s.tracedProbePass(p, dst, src); err != nil {
 		e := err
 		p.lastErr.Store(&e)
@@ -119,10 +120,36 @@ func (s *Supervisor) tryReadmit(p *planeState, dst, src []core.Word, from State)
 		}
 		return
 	}
+	// A slow-quarantined plane must additionally prove speed: the probe
+	// pass above is timed, and while its per-probe latency still exceeds
+	// the slow threshold against the live fleet reference, the plane stays
+	// quarantined. The probes passed functionally, so this does not count
+	// toward the rebuild trigger — a rebuild cannot fix configured
+	// slowness, and each probe pass advances a transient slow fault toward
+	// its heal window.
+	if p.slow.Load() && s.slowFactor > 0 && len(s.probes) > 0 {
+		perProbe := time.Since(begin).Nanoseconds() / int64(len(s.probes))
+		if ref := s.fastestOtherEwma(p); ref > 0 {
+			threshold := int64(s.slowFactor * float64(ref))
+			if threshold < s.slowFloorNs {
+				threshold = s.slowFloorNs
+			}
+			if perProbe > threshold {
+				return // still slow: wait for the fault to heal
+			}
+		}
+	}
 	if !p.state.CompareAndSwap(int32(from), int32(Healthy)) {
 		return // now Draining or Detached: membership owns this plane
 	}
 	p.failedProbes = 0
+	if p.slow.Load() {
+		// Forget the degraded latency history: a readmitted plane restarts
+		// its EWMA cold, so stale slowness cannot re-trip the detector.
+		p.slow.Store(false)
+		p.latEwma.Store(0)
+		p.slowStrikes.Store(0)
+	}
 	if from == Quarantined {
 		p.readmits.Add(1)
 		s.readmits.Add(1)

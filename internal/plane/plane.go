@@ -118,6 +118,36 @@ type Config struct {
 	// InFlightCap bounds the requests concurrently routing on one plane, so
 	// a degraded plane cannot absorb the whole queue; 0 means no cap.
 	InFlightCap int
+	// Hedge, when positive, enables hedged routing with a fixed delay: a
+	// request still in flight after Hedge is re-issued on the next healthy
+	// plane and the first response wins.
+	Hedge time.Duration
+	// HedgeAuto enables hedged routing with an adaptive delay derived from
+	// the per-plane latency EWMAs (a multiple of the fastest healthy
+	// plane's); ignored when Hedge is set. Until the fleet has latency
+	// history, requests serve sequentially.
+	HedgeAuto bool
+	// SlowFactor tunes slow-plane detection: a successful pass slower than
+	// SlowFactor times the fastest other healthy plane's latency EWMA (and
+	// slower than SlowFloor) is a slow strike; SlowAfter consecutive
+	// strikes drain the plane into quarantine like a misroute would.
+	// <= 0 disables detection unless hedging is enabled, which defaults it
+	// to 8.
+	SlowFactor float64
+	// SlowFloor is the absolute latency below which a pass is never a slow
+	// strike, so microsecond-scale jitter cannot quarantine anything;
+	// <= 0 selects 100µs.
+	SlowFloor time.Duration
+	// SlowAfter is the consecutive-strike hysteresis before a slow plane is
+	// drained; <= 0 selects 4.
+	SlowAfter int
+	// PoisonThreshold is the number of distinct planes one request
+	// fingerprint must hard-fail on before it is rejected with ErrPoisoned;
+	// 0 selects 2, negative disables the poison quarantine.
+	PoisonThreshold int
+	// PoisonTTL is how long a poisoned fingerprint stays rejected after its
+	// last strike; <= 0 selects 30s.
+	PoisonTTL time.Duration
 	// Metrics, when non-nil, receives failover/repair/readmit counters and
 	// the plane-state gauges. Routing observations stay with the engine.
 	Metrics *metrics.Metrics
@@ -139,6 +169,18 @@ type planeState struct {
 	failures atomic.Int64
 	repairs  atomic.Int64
 	readmits atomic.Int64
+
+	// latEwma is the plane's per-pass service latency EWMA in nanoseconds
+	// (alpha = 1/8), updated lock-free on every successful route. It feeds
+	// the auto hedge delay and slow-plane detection; readmission resets it
+	// so a healed plane is not judged by its degraded history.
+	latEwma atomic.Int64
+	// slowStrikes counts consecutive slow passes (hysteresis); any fast
+	// pass resets it.
+	slowStrikes atomic.Int64
+	// slow marks a plane quarantined for chronic slowness rather than
+	// misrouting; readmission additionally requires a fast probe pass.
+	slow atomic.Bool
 
 	// failedProbes counts consecutive failed readmission attempts; reset on
 	// readmit and on rebuild. Health-checker-owned.
@@ -182,11 +224,29 @@ type Supervisor struct {
 	rebuildAfter int
 	interval     time.Duration
 
-	failovers atomic.Int64
-	repairs   atomic.Int64
-	readmits  atomic.Int64
-	added     atomic.Int64
-	removed   atomic.Int64
+	// Tail-tolerance knobs, resolved from Config in New. hedge > 0 selects
+	// the fixed delay; hedgeAuto derives it from the latency EWMAs;
+	// slowFactor <= 0 disables slow-plane detection.
+	hedge       time.Duration
+	hedgeAuto   bool
+	slowFactor  float64
+	slowFloorNs int64
+	slowAfter   int64
+	// bufPool holds the hedge scratch buffers ([]core.Word of length n).
+	bufPool sync.Pool
+	// poison is the poison-request quarantine; nil when disabled.
+	poison *poisonTable
+
+	failovers     atomic.Int64
+	repairs       atomic.Int64
+	readmits      atomic.Int64
+	added         atomic.Int64
+	removed       atomic.Int64
+	hedges        atomic.Int64
+	hedgeWins     atomic.Int64
+	slowQuars     atomic.Int64
+	poisonMarks   atomic.Int64
+	poisonRejects atomic.Int64
 
 	kick chan struct{}
 	stop chan struct{}
@@ -258,6 +318,23 @@ func New(cfg Config) (*Supervisor, error) {
 	if rebuildAfter <= 0 {
 		rebuildAfter = 3
 	}
+	hedging := cfg.Hedge > 0 || cfg.HedgeAuto
+	slowFactor := cfg.SlowFactor
+	if slowFactor <= 0 && hedging {
+		slowFactor = 8
+	}
+	slowFloor := cfg.SlowFloor
+	if slowFloor <= 0 {
+		slowFloor = 100 * time.Microsecond
+	}
+	slowAfter := cfg.SlowAfter
+	if slowAfter <= 0 {
+		slowAfter = 4
+	}
+	var poison *poisonTable
+	if cfg.PoisonThreshold >= 0 {
+		poison = newPoisonTable(cfg.PoisonThreshold, cfg.PoisonTTL)
+	}
 	s := &Supervisor{
 		n:            n,
 		cap:          int64(cfg.InFlightCap),
@@ -268,6 +345,12 @@ func New(cfg Config) (*Supervisor, error) {
 		rebuild:      cfg.Rebuild,
 		rebuildAfter: rebuildAfter,
 		interval:     interval,
+		hedge:        cfg.Hedge,
+		hedgeAuto:    cfg.HedgeAuto && cfg.Hedge <= 0,
+		slowFactor:   slowFactor,
+		slowFloorNs:  int64(slowFloor),
+		slowAfter:    int64(slowAfter),
+		poison:       poison,
 		kick:         make(chan struct{}, 1),
 		stop:         make(chan struct{}),
 	}
@@ -316,6 +399,24 @@ func (s *Supervisor) Repairs() int64 { return s.repairs.Load() }
 // Readmits returns the number of quarantined planes readmitted to service.
 func (s *Supervisor) Readmits() int64 { return s.readmits.Load() }
 
+// Hedges returns the number of hedge attempts the timer fired.
+func (s *Supervisor) Hedges() int64 { return s.hedges.Load() }
+
+// HedgeWins returns the number of requests the hedged attempt won.
+func (s *Supervisor) HedgeWins() int64 { return s.hedgeWins.Load() }
+
+// SlowQuarantines returns the number of planes drained for chronic
+// slowness (as opposed to misrouting).
+func (s *Supervisor) SlowQuarantines() int64 { return s.slowQuars.Load() }
+
+// PoisonMarks returns the number of request fingerprints the poison
+// quarantine has condemned.
+func (s *Supervisor) PoisonMarks() int64 { return s.poisonMarks.Load() }
+
+// PoisonedRejects returns the number of requests rejected with ErrPoisoned
+// at admission.
+func (s *Supervisor) PoisonedRejects() int64 { return s.poisonRejects.Load() }
+
 // States returns the current state of every plane, in membership order.
 func (s *Supervisor) States() []State {
 	ps := s.snapshot()
@@ -343,6 +444,11 @@ type Stats struct {
 	Repairs int64
 	// Readmits counts this plane's readmissions after quarantine.
 	Readmits int64
+	// LatencyEWMA is the plane's per-pass service latency EWMA; zero until
+	// the plane serves (and again right after a readmission resets it).
+	LatencyEWMA time.Duration
+	// Slow reports a plane currently quarantined for chronic slowness.
+	Slow bool
 	// LastError is the failure that triggered the most recent quarantine,
 	// empty if the plane never failed.
 	LastError string
@@ -357,13 +463,15 @@ func (s *Supervisor) PlaneStats() []Stats {
 	out := make([]Stats, len(ps))
 	for i, p := range ps {
 		st := Stats{
-			ID:       p.id,
-			State:    State(p.state.Load()),
-			Served:   p.served.Load(),
-			InFlight: p.inflight.Load(),
-			Failures: p.failures.Load(),
-			Repairs:  p.repairs.Load(),
-			Readmits: p.readmits.Load(),
+			ID:          p.id,
+			State:       State(p.state.Load()),
+			Served:      p.served.Load(),
+			InFlight:    p.inflight.Load(),
+			Failures:    p.failures.Load(),
+			Repairs:     p.repairs.Load(),
+			Readmits:    p.readmits.Load(),
+			LatencyEWMA: time.Duration(p.latEwma.Load()),
+			Slow:        p.slow.Load(),
 		}
 		if e := p.lastErr.Load(); e != nil {
 			st.LastError = (*e).Error()
@@ -415,6 +523,21 @@ func (s *Supervisor) routeInto(dst, src []core.Word, sp *trace.Span) error {
 	if routeYield != nil {
 		routeYield()
 	}
+	// Poison admission: when the strike table is non-empty, a quarantined
+	// fingerprint is rejected before it touches any plane. The empty-table
+	// fast path is a single atomic load, keeping the clean hot path at
+	// zero allocations.
+	var fp uint64
+	var hasFP bool
+	if s.poison != nil && s.poison.size.Load() > 0 {
+		fp, hasFP = fingerprint(src), true
+		if s.poison.isPoisoned(fp) {
+			s.poisonRejects.Add(1)
+			s.m.AddPoisonedReject()
+			sp.MarkPoisoned()
+			return fmt.Errorf("plane: request fingerprint %016x quarantined: %w", fp, neterr.ErrPoisoned)
+		}
+	}
 	// One consistent membership snapshot per request: a concurrent
 	// add/remove publishes a fresh slice, never mutates this one.
 	planes := s.snapshot()
@@ -424,6 +547,11 @@ func (s *Supervisor) routeInto(dst, src []core.Word, sp *trace.Span) error {
 	// MaxInt on 32-bit platforms (and MaxInt64 anywhere), yielding a
 	// negative start and a panic on the plane index.
 	start := int((s.rotor.Add(1) - 1) % uint64(k))
+	if s.hedge > 0 || s.hedgeAuto {
+		if err, handled := s.routeHedged(planes, start, dst, src, sp); handled {
+			return err
+		}
+	}
 	var lastErr error
 	// Pass 1: healthy planes under the in-flight cap.
 	healthySeen, capped := 0, 0
@@ -448,16 +576,26 @@ func (s *Supervisor) routeInto(dst, src []core.Word, sp *trace.Span) error {
 		}
 		sp.AddFailover()
 		lastErr = err
+		if perr := s.poisonStrike(src, &fp, &hasFP, p.id, err); perr != nil {
+			sp.MarkPoisoned()
+			return perr
+		}
 	}
 	if healthySeen > 0 && healthySeen == capped {
 		sp.MarkShed()
 		s.m.AddShed()
 		return fmt.Errorf("plane: every healthy plane at its in-flight cap of %d: %w", s.cap, neterr.ErrOverloaded)
 	}
-	// Pass 2: no healthy plane delivered — serve degraded rather than going
-	// dark, trying suspect planes first, then quarantined ones. Every route
-	// is still verified, so a wrong answer cannot leak. Admitting planes
-	// stay out (unproven) and draining planes stay out (leaving).
+	return s.routeDegraded(planes, start, dst, src, sp, lastErr, &fp, &hasFP)
+}
+
+// routeDegraded is the no-healthy-plane-delivered tail shared by the
+// sequential and hedged paths: serve degraded rather than going dark,
+// trying suspect planes first, then quarantined ones. Every route is still
+// verified, so a wrong answer cannot leak. Admitting planes stay out
+// (unproven) and draining planes stay out (leaving).
+func (s *Supervisor) routeDegraded(planes []*planeState, start int, dst, src []core.Word, sp *trace.Span, lastErr error, fp *uint64, hasFP *bool) error {
+	k := len(planes)
 	for _, want := range []State{Suspect, Quarantined} {
 		for off := 0; off < k; off++ {
 			p := planes[(start+off)%k]
@@ -478,6 +616,10 @@ func (s *Supervisor) routeInto(dst, src []core.Word, sp *trace.Span) error {
 			}
 			sp.AddFailover()
 			lastErr = err
+			if perr := s.poisonStrike(src, fp, hasFP, p.id, err); perr != nil {
+				sp.MarkPoisoned()
+				return perr
+			}
 		}
 	}
 	if lastErr == nil {
@@ -486,6 +628,31 @@ func (s *Supervisor) routeInto(dst, src []core.Word, sp *trace.Span) error {
 		return fmt.Errorf("plane: every plane at its in-flight cap of %d: %w", s.cap, neterr.ErrOverloaded)
 	}
 	return fmt.Errorf("plane: all %d planes failed: %w", k, lastErr)
+}
+
+// poisonStrike records a plane-blamed hard failure of the request against
+// its fingerprint; transient failures (the fault will heal) never strike.
+// When the strike set crosses the distinct-plane threshold the returned
+// error quarantines the request with ErrPoisoned — wrapping the triggering
+// failure, so existing classification (errors.Is ErrMisrouted) still holds
+// on the request that crossed the line.
+func (s *Supervisor) poisonStrike(src []core.Word, fp *uint64, hasFP *bool, planeID int, err error) error {
+	if s.poison == nil || errors.Is(err, neterr.ErrTransient) {
+		return nil
+	}
+	if !*hasFP {
+		*fp, *hasFP = fingerprint(src), true
+	}
+	poisoned, became := s.poison.strike(*fp, planeID)
+	if became {
+		s.poisonMarks.Add(1)
+		s.m.AddPoisonMark()
+	}
+	if !poisoned {
+		return nil
+	}
+	return fmt.Errorf("plane: request fingerprint %016x hard-failed on %d distinct planes: %w: %w",
+		*fp, s.poison.threshold, neterr.ErrPoisoned, err)
 }
 
 // spanRouter is the optional span-carrying surface of a plane router (the
@@ -511,6 +678,7 @@ func (s *Supervisor) routeOn(p *planeState, dst, src []core.Word, sp *trace.Span
 	}
 	defer p.inflight.Add(-1)
 	r := p.get()
+	begin := time.Now()
 	var err error
 	if tr, ok := r.(spanRouter); ok {
 		err = tr.RouteIntoTraced(dst, src, sp)
@@ -535,7 +703,86 @@ func (s *Supervisor) routeOn(p *planeState, dst, src []core.Word, sp *trace.Span
 		return err, true
 	}
 	p.served.Add(1)
+	s.observeLatency(p, time.Since(begin).Nanoseconds())
 	return nil, true
+}
+
+// observeLatency folds one successful pass into the plane's latency EWMA
+// (alpha = 1/8, lock-free) and runs slow-plane detection: the strike test
+// compares the raw pass latency — not the EWMA, which decays too slowly to
+// separate a chronic stall from transient jitter — against the fastest
+// *other* healthy plane's EWMA, so "slow" is always relative to a live
+// fleet reference. SlowAfter consecutive strikes drain the plane.
+func (s *Supervisor) observeLatency(p *planeState, ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	for {
+		old := p.latEwma.Load()
+		next := ns
+		if old != 0 {
+			next = old - old/8 + ns/8
+		}
+		if p.latEwma.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	if s.slowFactor <= 0 || State(p.state.Load()) != Healthy {
+		return
+	}
+	ref := s.fastestOtherEwma(p)
+	if ref <= 0 {
+		return // no live reference: a cold fleet judges nobody
+	}
+	threshold := int64(s.slowFactor * float64(ref))
+	if threshold < s.slowFloorNs {
+		threshold = s.slowFloorNs
+	}
+	if ns <= threshold {
+		p.slowStrikes.Store(0)
+		return
+	}
+	if p.slowStrikes.Add(1) >= s.slowAfter {
+		s.failSlow(p, ns, ref)
+	}
+}
+
+// fastestOtherEwma returns the smallest nonzero latency EWMA among the
+// healthy planes other than p, or 0 when no reference exists.
+func (s *Supervisor) fastestOtherEwma(p *planeState) int64 {
+	var best int64
+	for _, q := range s.snapshot() {
+		if q == p || State(q.state.Load()) != Healthy {
+			continue
+		}
+		if v := q.latEwma.Load(); v > 0 && (best == 0 || v < best) {
+			best = v
+		}
+	}
+	return best
+}
+
+// failSlow drains a chronically slow plane exactly like a misroute would —
+// Healthy -> Suspect, health checker kicked — but marks it slow, so
+// readmission additionally requires a fast probe pass and the counters
+// separate latency quarantines from correctness ones.
+func (s *Supervisor) failSlow(p *planeState, ns, ref int64) {
+	err := fmt.Errorf("plane %d: chronically slow: %v per pass against fleet-best EWMA %v",
+		p.id, time.Duration(ns), time.Duration(ref))
+	e := err
+	p.lastErr.Store(&e)
+	p.failures.Add(1)
+	p.slowStrikes.Store(0)
+	if p.state.CompareAndSwap(int32(Healthy), int32(Suspect)) {
+		p.slow.Store(true)
+		s.slowQuars.Add(1)
+		s.m.AddSlowQuarantine()
+		s.publishGauges()
+		select {
+		case s.kick <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // isRequestError reports whether the error blames the request, not the

@@ -72,6 +72,15 @@ type Span struct {
 	// (a plan-cache miss on the compiled fast path); zero on hits and on
 	// requests routed live.
 	PlanCompile time.Duration `json:"plan_compile,omitempty"`
+	// Hedges counts hedge timers fired for this request — late primaries
+	// re-issued on another plane, first response winning.
+	Hedges int32 `json:"hedges,omitempty"`
+	// Class is the request's QoS admission class ("background", "standard",
+	// "critical"); empty for untyped submissions and probes.
+	Class string `json:"class,omitempty"`
+	// Poisoned reports the request was rejected (or condemned) by the
+	// poison quarantine (ErrPoisoned).
+	Poisoned bool `json:"poisoned,omitempty"`
 	// Shed reports the request was rejected by admission control or by the
 	// planes' in-flight caps (ErrOverloaded).
 	Shed bool `json:"shed,omitempty"`
@@ -134,6 +143,28 @@ func (sp *Span) MarkPlanHit() {
 func (sp *Span) SetPlanCompile(d time.Duration) {
 	if sp != nil {
 		sp.PlanCompile = d
+	}
+}
+
+// AddHedge counts one hedge timer firing for this request. Nil-safe.
+func (sp *Span) AddHedge() {
+	if sp != nil {
+		sp.Hedges++
+	}
+}
+
+// SetClass records the request's QoS admission class. Nil-safe.
+func (sp *Span) SetClass(class string) {
+	if sp != nil {
+		sp.Class = class
+	}
+}
+
+// MarkPoisoned records a poison-quarantine rejection (ErrPoisoned).
+// Nil-safe.
+func (sp *Span) MarkPoisoned() {
+	if sp != nil {
+		sp.Poisoned = true
 	}
 }
 

@@ -100,6 +100,7 @@ const (
 	optVOQ
 	optDegraded
 	optPlanCache
+	optHedge
 )
 
 // optEngine masks the serving options that only NewEngine (and
@@ -108,7 +109,7 @@ const optEngine = optTimeout | optRetry | optBreaker | optFallback | optShedding
 
 // optSupervised masks the redundancy options that only NewSupervised
 // understands.
-const optSupervised = optPlanes | optPlaneFaults | optPlaneCap | optHealthInterval
+const optSupervised = optPlanes | optPlaneFaults | optPlaneCap | optHealthInterval | optHedge
 
 // optFabric masks the cell-switch options that only NewFabric understands.
 const optFabric = optVOQ | optDegraded
@@ -142,6 +143,9 @@ type options struct {
 	degraded bool
 
 	planCache int
+
+	hedge     time.Duration
+	hedgeAuto bool
 
 	errs []error
 }
@@ -435,6 +439,34 @@ func WithPlaneCap(n int) Option {
 	}
 }
 
+// WithHedge arms tail-tolerant hedged routing on the supervisor: a request
+// still unanswered after the given delay is re-issued on the next healthy
+// plane and the first response wins, with the losing attempt abandoned
+// safely. Hedging also enables slow-plane detection — planes chronically
+// slower than the fleet's fastest latency EWMA are quarantined through the
+// same machinery as misrouting ones. The delay must be positive; use
+// WithHedgeAuto to derive it from the observed latencies instead.
+// NewSupervised only.
+func WithHedge(d time.Duration) Option {
+	return func(o *options) {
+		if d <= 0 {
+			o.reject("WithHedge(%v): delay must be positive (use WithHedgeAuto to derive it from observed latency)", d)
+			return
+		}
+		o.set |= optHedge
+		o.hedge = d
+	}
+}
+
+// WithHedgeAuto is WithHedge with the delay derived per request from the
+// fleet's per-plane latency EWMAs (a multiple of the fastest healthy
+// plane's), so the hedge fires around the observed tail instead of a fixed
+// guess. Until the first latencies are observed, requests serve sequentially.
+// NewSupervised only.
+func WithHedgeAuto() Option {
+	return func(o *options) { o.set |= optHedge; o.hedgeAuto = true }
+}
+
 // WithHealthInterval sets the period of the supervisor's background health
 // sweep (probe passes over idle and quarantined planes); zero keeps the
 // default of 10ms. NewSupervised only.
@@ -478,7 +510,7 @@ func New(family string, m int, opts ...Option) (Network, error) {
 		return nil, fmt.Errorf("bnbnet: WithTimeout, WithRetry, WithBreaker, WithFallback, WithShedding, WithTracer and WithDebugAddr apply to NewEngine, not New")
 	}
 	if o.anySet(optSupervised) {
-		return nil, fmt.Errorf("bnbnet: WithPlanes, WithPlaneFaults, WithPlaneCap and WithHealthInterval apply to NewSupervised, not New")
+		return nil, fmt.Errorf("bnbnet: WithPlanes, WithPlaneFaults, WithPlaneCap, WithHealthInterval and WithHedge apply to NewSupervised, not New")
 	}
 	if o.anySet(optFabric) {
 		return nil, fmt.Errorf("bnbnet: WithVOQ and WithDegraded apply to NewFabric, not New")

@@ -14,8 +14,8 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/fault"
-	"repro/internal/plane"
 	"repro/internal/plancache"
+	"repro/internal/plane"
 )
 
 // PlaneState is the health score of one supervised plane.
@@ -258,6 +258,8 @@ func NewSupervised(family string, m int, opts ...Option) (*Supervised, error) {
 		Diagnoser:      diag,
 		HealthInterval: o.healthInterval,
 		InFlightCap:    o.planeCap,
+		Hedge:          o.hedge,
+		HedgeAuto:      o.hedgeAuto,
 		Metrics:        o.metrics,
 		Tracer:         o.tracer,
 	})
@@ -302,6 +304,12 @@ func (s *Supervised) Submit(dst, src []Word) (*Ticket, error) { return s.e.Submi
 // SubmitCtx is Submit with a context; see Engine.SubmitCtx.
 func (s *Supervised) SubmitCtx(ctx context.Context, dst, src []Word) (*Ticket, error) {
 	return s.e.SubmitCtx(ctx, dst, src)
+}
+
+// SubmitClass is SubmitCtx with an explicit QoS admission class; see the
+// Class constants for the shedding and serving order.
+func (s *Supervised) SubmitClass(ctx context.Context, class Class, dst, src []Word) (*Ticket, error) {
+	return s.e.SubmitClass(ctx, class, dst, src)
 }
 
 // RouteBatch routes the batch across the worker pool with per-request
@@ -382,6 +390,25 @@ func (s *Supervised) PublishPlanCache(name string) error {
 
 // Failovers returns the number of planes drained and failed away from.
 func (s *Supervised) Failovers() int64 { return s.sup.Failovers() }
+
+// Hedges returns the number of hedge attempts fired (WithHedge/WithHedgeAuto).
+func (s *Supervised) Hedges() int64 { return s.sup.Hedges() }
+
+// HedgeWins returns the number of requests won by a hedge attempt rather
+// than the primary.
+func (s *Supervised) HedgeWins() int64 { return s.sup.HedgeWins() }
+
+// SlowQuarantines returns the number of planes quarantined for chronic
+// slowness against the fleet's latency EWMAs.
+func (s *Supervised) SlowQuarantines() int64 { return s.sup.SlowQuarantines() }
+
+// PoisonMarks returns the number of request fingerprints quarantined after
+// hard-failing on multiple distinct planes.
+func (s *Supervised) PoisonMarks() int64 { return s.sup.PoisonMarks() }
+
+// PoisonedRejects returns the number of requests rejected at admission with
+// ErrPoisoned because their fingerprint is quarantined.
+func (s *Supervised) PoisonedRejects() int64 { return s.sup.PoisonedRejects() }
 
 // Repairs returns the number of plane rebuilds.
 func (s *Supervised) Repairs() int64 { return s.sup.Repairs() }
