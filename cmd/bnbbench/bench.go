@@ -17,9 +17,10 @@ import (
 )
 
 // Report is the machine-readable result of one bnbbench run at one order —
-// the BENCH_<m>.json payload. Schema "bnbbench/v4" (v2 added the compiled
+// the BENCH_<m>.json payload. Schema "bnbbench/v5" (v2 added the compiled
 // route-plan section; v3 the hitless-reconfiguration profile; v4 the
-// tail-tolerance profile); Validate checks an emitted file against it.
+// tail-tolerance profile; v5 the sharded-queue engine counters);
+// Validate checks an emitted file against it.
 type Report struct {
 	Schema string `json:"schema"`
 	M      int    `json:"m"`
@@ -99,13 +100,26 @@ type NetworkResult struct {
 	PooledNsPerOp float64 `json:"pooled_ns_per_op,omitempty"`
 }
 
-// EngineResult is one point of the serving-engine throughput sweep.
+// EngineResult is one point of the serving-engine throughput sweep. The
+// v5 counters expose the sharded-queue internals: how many shard dequeues
+// the run took (and how many requests each moved on average), how much work
+// migrated between shards via stealing, and how often workers parked. They
+// obey two invariants the validator enforces: every served request was
+// either batch-dequeued or stolen (batched + stolen == requests), and a
+// steal moves at least one request (stolen >= steals).
 type EngineResult struct {
 	Workers      int     `json:"workers"`
 	Requests     int     `json:"requests"`
 	RoutesPerSec float64 `json:"routes_per_sec"`
 	P50Ns        int64   `json:"p50_ns"`
 	P99Ns        int64   `json:"p99_ns"`
+
+	BatchDequeues   int64   `json:"batch_dequeues"`
+	BatchedRequests int64   `json:"batched_requests"`
+	MeanBatch       float64 `json:"mean_batch"`
+	Steals          int64   `json:"steals"`
+	StolenRequests  int64   `json:"stolen_requests"`
+	WorkerParks     int64   `json:"worker_parks"`
 }
 
 // PlanResultV2 profiles the compiled route-plan path added by bnbbench/v2:
@@ -179,7 +193,7 @@ func defaultConfig(m int, families []string, workers []int, quick bool) benchCon
 // runBench measures every configured family and sweep at order cfg.m.
 func runBench(cfg benchConfig) (Report, error) {
 	rep := Report{
-		Schema: "bnbbench/v4",
+		Schema: "bnbbench/v5",
 		M:      cfg.m,
 		N:      1 << uint(cfg.m),
 		Go:     runtime.Version(),
@@ -340,12 +354,21 @@ func benchClasses(cfg benchConfig) ([]ClassPoint, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Open loop: fire the whole allotment before waiting on any
+			// ticket, so the class queues genuinely fill. A full background
+			// queue sheds at the door while critical exerts backpressure —
+			// the structural half of the QoS contract — and the deadline
+			// shedder sees a depth estimate well past the deadline.
+			tickets := make([]*bnbnet.Ticket, 0, perWorker)
 			for i := 0; i < perWorker; i++ {
 				class := order[(w+i)%len(order)]
 				t, err := eng.SubmitClass(context.Background(), class, nil, batches[(w*perWorker+i)%len(batches)])
 				if err != nil {
 					continue // shed: counted by the sink
 				}
+				tickets = append(tickets, t)
+			}
+			for _, t := range tickets {
 				t.Wait() //nolint:errcheck // expiries are the saturation signal, not a failure
 			}
 		}(w)
@@ -734,6 +757,13 @@ func benchEngine(workers int, cfg benchConfig) (EngineResult, error) {
 		RoutesPerSec: float64(cfg.engineRequests) / elapsed.Seconds(),
 		P50Ns:        s.P50.Nanoseconds(),
 		P99Ns:        s.P99.Nanoseconds(),
+
+		BatchDequeues:   s.BatchDequeues,
+		BatchedRequests: s.BatchedRequests,
+		MeanBatch:       s.MeanBatch(),
+		Steals:          s.Steals,
+		StolenRequests:  s.StolenRequests,
+		WorkerParks:     s.WorkerParks,
 	}, nil
 }
 

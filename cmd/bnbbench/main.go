@@ -31,15 +31,16 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced sample counts for CI smoke runs")
 		out      = flag.String("out", ".", "directory the BENCH_<m>.json files are written to")
 		validate = flag.String("validate", "", "validate an existing report file and exit")
+		minScale = flag.Float64("minscale", 0, "with -validate: require max-worker throughput >= minscale x 1-worker (multi-core runners only)")
 	)
 	flag.Parse()
-	if err := run(*ms, *nets, *workers, *quick, *out, *validate); err != nil {
+	if err := run(*ms, *nets, *workers, *quick, *out, *validate, *minScale); err != nil {
 		fmt.Fprintln(os.Stderr, "bnbbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ms, nets, workers string, quick bool, out, validate string) error {
+func run(ms, nets, workers string, quick bool, out, validate string, minScale float64) error {
 	if validate != "" {
 		f, err := os.Open(validate)
 		if err != nil {
@@ -50,9 +51,17 @@ func run(ms, nets, workers string, quick bool, out, validate string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", validate, err)
 		}
-		fmt.Printf("%s: valid bnbbench/v4 report (m=%d, %d families, %d engine points, %d plan sweep points, reconfig blackout %dns)\n",
+		if minScale > 0 {
+			if err := checkScaling(rep, minScale); err != nil {
+				return fmt.Errorf("%s: %w", validate, err)
+			}
+		}
+		fmt.Printf("%s: valid bnbbench/v5 report (m=%d, %d families, %d engine points, %d plan sweep points, reconfig blackout %dns)\n",
 			validate, rep.M, len(rep.Networks), len(rep.Engine), len(rep.Plan.HitSweep), rep.Reconfig.SwapBlackoutNs)
 		return nil
+	}
+	if minScale > 0 {
+		return fmt.Errorf("-minscale applies only with -validate")
 	}
 	orders, err := parseInts(ms)
 	if err != nil {

@@ -117,7 +117,7 @@ func TestValidateRejections(t *testing.T) {
 		payload []byte
 		want    string
 	}{
-		{"unknown field", []byte(`{"schema":"bnbbench/v4","bogus":1}`), "decode"},
+		{"unknown field", []byte(`{"schema":"bnbbench/v5","bogus":1}`), "decode"},
 		{"wrong schema", marshal(func() Report { r := rep; r.Schema = "bnbbench/v2"; return r }()), "schema"},
 		{"n mismatch", marshal(func() Report { r := rep; r.N = 7; return r }()), "2^m"},
 		{"missing family", marshal(func() Report {
@@ -166,6 +166,20 @@ func TestValidateRejections(t *testing.T) {
 			r.Tail.HedgeWins = 2
 			return r
 		}()), "hedge wins"},
+		{"dequeue accounting broken", marshal(func() Report {
+			r := rep
+			eng := append([]EngineResult(nil), r.Engine...)
+			eng[0].BatchedRequests++
+			r.Engine = eng
+			return r
+		}()), "dequeues"},
+		{"steal without stolen requests", marshal(func() Report {
+			r := rep
+			eng := append([]EngineResult(nil), r.Engine...)
+			eng[0].Steals = eng[0].StolenRequests + 1
+			r.Engine = eng
+			return r
+		}()), "stolen requests"},
 		{"inverted QoS order", marshal(func() Report {
 			r := rep
 			classes := append([]ClassPoint(nil), r.Tail.Classes...)
@@ -190,7 +204,7 @@ func TestValidateRejections(t *testing.T) {
 
 func TestCLIRunEmitsAndValidatesFile(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("3", "bnb,batcher,benes", "1", true, dir, ""); err != nil {
+	if err := run("3", "bnb,batcher,benes", "1", true, dir, "", 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	path := filepath.Join(dir, "BENCH_3.json")
@@ -207,8 +221,30 @@ func TestCLIRunEmitsAndValidatesFile(t *testing.T) {
 		t.Fatalf("got m=%d quick=%v, want m=3 quick=true", rep.M, rep.Quick)
 	}
 	// The -validate mode must accept its own output.
-	if err := run("", "", "", false, "", path); err != nil {
+	if err := run("", "", "", false, "", path, 0); err != nil {
 		t.Fatalf("run -validate: %v", err)
+	}
+}
+
+func TestCheckScaling(t *testing.T) {
+	mk := func(w int, rps float64, p50, p99 int64) EngineResult {
+		return EngineResult{Workers: w, Requests: 100, RoutesPerSec: rps, P50Ns: p50, P99Ns: p99}
+	}
+	good := Report{Engine: []EngineResult{mk(1, 1000, 100, 200), mk(4, 2000, 120, 300)}}
+	if err := checkScaling(good, 1.5); err != nil {
+		t.Fatalf("scaling report rejected: %v", err)
+	}
+	flat := Report{Engine: []EngineResult{mk(1, 1000, 100, 200), mk(4, 1200, 120, 300)}}
+	if err := checkScaling(flat, 1.5); err == nil {
+		t.Fatal("flat sweep accepted at minscale 1.5")
+	}
+	tailed := Report{Engine: []EngineResult{mk(1, 1000, 100, 200), mk(4, 2000, 100, 500)}}
+	if err := checkScaling(tailed, 1.5); err == nil {
+		t.Fatal("p99 above 4x p50 accepted")
+	}
+	single := Report{Engine: []EngineResult{mk(1, 1000, 100, 200)}}
+	if err := checkScaling(single, 1.5); err == nil {
+		t.Fatal("single-point sweep accepted — nothing to compare")
 	}
 }
 

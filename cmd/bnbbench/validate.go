@@ -30,8 +30,8 @@ func Validate(r io.Reader) (Report, error) {
 }
 
 func checkReport(rep Report) error {
-	if rep.Schema != "bnbbench/v4" {
-		return fmt.Errorf("schema %q, want bnbbench/v4", rep.Schema)
+	if rep.Schema != "bnbbench/v5" {
+		return fmt.Errorf("schema %q, want bnbbench/v5", rep.Schema)
 	}
 	if rep.M < 1 || rep.N != 1<<uint(rep.M) {
 		return fmt.Errorf("m = %d with n = %d; want n = 2^m", rep.M, rep.N)
@@ -72,6 +72,24 @@ func checkReport(rep Report) error {
 		if er.RoutesPerSec <= 0 || er.P50Ns <= 0 || er.P99Ns < er.P50Ns {
 			return fmt.Errorf("engine sweep workers=%d: routes_per_sec %v, p50 %d, p99 %d",
 				er.Workers, er.RoutesPerSec, er.P50Ns, er.P99Ns)
+		}
+		// Sharded-queue accounting: every served request left a shard exactly
+		// once, by batch dequeue or by steal, and a steal moves >= 1 request.
+		if got := er.BatchedRequests + er.StolenRequests; got != int64(er.Requests) {
+			return fmt.Errorf("engine sweep workers=%d: batched %d + stolen %d = %d dequeues, want %d requests",
+				er.Workers, er.BatchedRequests, er.StolenRequests, got, er.Requests)
+		}
+		if er.StolenRequests < er.Steals {
+			return fmt.Errorf("engine sweep workers=%d: %d stolen requests across %d steals",
+				er.Workers, er.StolenRequests, er.Steals)
+		}
+		if er.BatchedRequests < er.BatchDequeues {
+			return fmt.Errorf("engine sweep workers=%d: %d batched requests across %d batch dequeues",
+				er.Workers, er.BatchedRequests, er.BatchDequeues)
+		}
+		if er.MeanBatch < 0 || er.WorkerParks < 0 {
+			return fmt.Errorf("engine sweep workers=%d: negative mean_batch %v or worker_parks %d",
+				er.Workers, er.MeanBatch, er.WorkerParks)
 		}
 	}
 	for _, pr := range rep.Planes {
@@ -168,6 +186,37 @@ func checkReport(rep Report) error {
 	if tl.Classes[0].ShedRate < tl.Classes[2].ShedRate {
 		return fmt.Errorf("tail: background shed rate %v below critical %v — the QoS order is inverted",
 			tl.Classes[0].ShedRate, tl.Classes[2].ShedRate)
+	}
+	return nil
+}
+
+// checkScaling asserts the engine sweep actually scales: the highest worker
+// count's throughput must reach minScale times the single-worker point, and
+// its p99 must stay within 4x its p50 (the tail must not pay for the
+// parallelism). Opt-in via -minscale because the assertion only makes sense
+// on a multi-core machine — a single-CPU container serializes the workers
+// and would fail it vacuously.
+func checkScaling(rep Report, minScale float64) error {
+	var single, best *EngineResult
+	for i := range rep.Engine {
+		er := &rep.Engine[i]
+		if er.Workers == 1 {
+			single = er
+		}
+		if best == nil || er.Workers > best.Workers {
+			best = er
+		}
+	}
+	if single == nil || best == nil || best.Workers <= 1 {
+		return fmt.Errorf("scaling check needs a 1-worker and a multi-worker engine point (have %d points)", len(rep.Engine))
+	}
+	if best.RoutesPerSec < minScale*single.RoutesPerSec {
+		return fmt.Errorf("engine at %d workers reaches %.0f routes/sec, below %.2fx the 1-worker %.0f routes/sec",
+			best.Workers, best.RoutesPerSec, minScale, single.RoutesPerSec)
+	}
+	if best.P99Ns > 4*best.P50Ns {
+		return fmt.Errorf("engine at %d workers: p99 %d ns above 4x p50 %d ns",
+			best.Workers, best.P99Ns, best.P50Ns)
 	}
 	return nil
 }

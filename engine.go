@@ -109,8 +109,9 @@ type Engine struct {
 }
 
 // NewEngine builds a serving engine around the network. Options: WithWorkers
-// sets the pool size (default 4), WithQueue the in-flight bound (default 4x
-// workers), WithMetrics the observability sink. The resilience options —
+// sets the pool size (default 4), WithQueue the per-class queued-request
+// bound (default 4x workers), WithBatch the per-wakeup dequeue cap (default
+// 8), WithMetrics the observability sink. The resilience options —
 // WithTimeout, WithRetry, WithBreaker, WithFallback — bound each request's
 // life, retry transient faults, and fail over to a standby network after
 // consecutive hard failures (see DESIGN.md §8); WithShedding rejects
@@ -163,6 +164,7 @@ func NewEngine(n Network, opts ...Option) (*Engine, error) {
 	e, err := engine.New(primary, engine.Config{
 		Workers:          o.workers,
 		Queue:            o.queue,
+		Batch:            o.batch,
 		Metrics:          o.metrics,
 		Timeout:          o.timeout,
 		Retry:            engine.RetryPolicy{MaxAttempts: o.retryAttempts, Backoff: o.retryBackoff},

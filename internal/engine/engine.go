@@ -2,9 +2,18 @@
 // serving path: a bounded worker pool fans concurrent routing requests across
 // goroutines, each request is routed into a caller- or engine-owned output
 // buffer over the network's pooled zero-allocation hot path, and every
-// request reports its own error. Backpressure is the queue itself — Submit
-// blocks once Queue requests are in flight, so a fast producer cannot
-// outrun the workers without bound.
+// request reports its own error. Backpressure is a per-class admission token
+// pool — Submit blocks once Queue requests of its class are queued, so a
+// fast producer cannot outrun the workers without bound.
+//
+// Internally the queue is sharded: each worker owns a shard of per-class
+// rings, submitters land requests on a rotor-chosen shard, workers dequeue
+// up to Batch requests per wakeup (amortizing one park/wake cycle across the
+// batch) and steal roughly half of a neighbor's backlog when their own shard
+// runs dry. Strict class priority — Critical before Standard before
+// Background — holds within a shard, across steals, and mid-batch: a worker
+// re-checks its shard for higher-class arrivals between every two requests
+// it serves.
 //
 // The engine is the system-level answer to the paper's positioning: Lee & Lu
 // sell the BNB network as the switching fabric of "switching systems and
@@ -82,9 +91,15 @@ func (c Class) valid() bool { return c >= Background && c <= Critical }
 type Config struct {
 	// Workers is the number of routing goroutines; <= 0 selects 4.
 	Workers int
-	// Queue is the number of requests that may be in flight (queued or
-	// being routed) before Submit blocks; <= 0 selects 4 * Workers.
+	// Queue is the number of requests of one class that may be queued
+	// (admitted but not yet picked up by a worker) before Submit blocks;
+	// <= 0 selects 4 * Workers.
 	Queue int
+	// Batch is the maximum number of requests a worker dequeues per wakeup;
+	// <= 0 selects 8. A larger batch amortizes the park/wake cycle across
+	// more requests; priority is still enforced inside the batch, and a
+	// higher-class arrival preempts the batch's remainder.
+	Batch int
 	// Metrics, when non-nil, receives one observation per completed
 	// request (latency measured from Submit to completion).
 	Metrics *metrics.Metrics
@@ -243,11 +258,35 @@ type Engine struct {
 	fb     Router       // nil unless Config.Fallback was set
 	m      *metrics.Metrics
 	tracer *trace.Tracer
-	// queues holds one bounded request channel per admission class. Workers
-	// drain them strictly by priority — Critical before Standard before
-	// Background — and all three close together on Drain/Close.
-	queues [numClasses]chan *request
+	// shards holds one work-stealing queue group per worker (see shard.go);
+	// rotor spreads submissions across them. space is the per-class
+	// admission token pool: a submitter takes a token before landing on a
+	// shard (blocking for Standard/Critical, shedding for Background) and a
+	// worker returns it when it moves the request into its local batch, so
+	// at most queue requests per class are ever queued.
+	shards []*shard
+	rotor  atomic.Uint64
+	space  [numClasses]chan struct{}
+	queue  int
+	batch  int
 	pool   sync.Pool // *request
+
+	// pendingSubmits counts requests past the lifecycle gate but not yet on
+	// a shard. Workers refuse to exit while it is non-zero, so a submission
+	// in flight during Drain/Close is still picked up and its ticket
+	// settles; the submitter decrements only after the shard push.
+	pendingSubmits atomic.Int64
+	// stopping flips once when Drain or Close begins; combined with empty
+	// shards and no pending submits it is the workers' exit condition.
+	stopping atomic.Bool
+
+	// The idler stack parks workers with nothing to do. A worker registers
+	// itself, re-scans the shards (catching a submission that raced the
+	// registration), then blocks on its slot; a submitter that sees a
+	// non-zero idleCount after pushing pops a slot and wakes it.
+	idleMu    sync.Mutex
+	idlers    []*parkSlot
+	idleCount atomic.Int64
 
 	timeout time.Duration
 	retry   RetryPolicy
@@ -324,6 +363,10 @@ func New(r Router, cfg Config) (*Engine, error) {
 	if queue <= 0 {
 		queue = 4 * workers
 	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = 8
+	}
 	probeEvery := cfg.BreakerProbe
 	if probeEvery <= 0 {
 		probeEvery = 100 * time.Millisecond
@@ -339,15 +382,24 @@ func New(r Router, cfg Config) (*Engine, error) {
 		shed:    cfg.Shed,
 		closing: make(chan struct{}),
 		workers: workers,
+		queue:   queue,
+		batch:   batch,
 	}
 	e.tr, _ = r.(TracedRouter)
-	for c := range e.queues {
-		e.queues[c] = make(chan *request, queue)
+	e.shards = make([]*shard, workers)
+	for i := range e.shards {
+		e.shards[i] = &shard{}
+	}
+	for c := range e.space {
+		e.space[c] = make(chan struct{}, queue)
+		for i := 0; i < queue; i++ {
+			e.space[c] <- struct{}{}
+		}
 	}
 	e.pool.New = func() any { return new(request) }
 	e.wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go e.worker()
+		go e.worker(w)
 	}
 	return e, nil
 }
@@ -367,80 +419,218 @@ func (e *Engine) BreakerOpen() bool { return e.brk.isOpen() }
 // Tracer returns the span sink, or nil when tracing is disabled.
 func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 
-func (e *Engine) worker() {
+// parkSlot is one worker's wakeup mailbox. The buffer of one lets a
+// signaller hand off a wakeup without blocking, and lets a worker that found
+// work on its pre-park re-scan absorb a racing signal instead of losing it.
+type parkSlot struct {
+	ch chan struct{}
+}
+
+func (e *Engine) worker(id int) {
 	defer e.wg.Done()
+	slot := &parkSlot{ch: make(chan struct{}, 1)}
+	var l local
 	for {
-		req, ok := e.dequeue()
-		if !ok {
+		if !e.nextBatch(id, slot, &l) {
 			return
 		}
-		served := time.Now()
-		req.sp.Dequeued(served)
-		err := e.serve(req)
-		e.observeServe(time.Since(served))
-		e.classInflight[req.class].Add(-1)
-		e.inflight.Add(-1)
-		e.m.ObserveRoute(len(req.src), time.Since(req.start), err)
-		// Publish the span before the ticket unblocks Wait, so a caller that
-		// snapshots the ring right after Wait sees its own request.
-		e.tracer.Finish(req.sp, err)
-		t := req.t
-		*req = request{}
-		e.pool.Put(req)
-		t.done <- err
+		e.serveLocal(id, &l)
 	}
 }
 
-// dequeue pulls the next request in strict class priority: a non-blocking
-// scan Critical→Standard→Background first, then — when every queue is empty
-// — a blocking wait on all three. Observing a closed channel means shutdown
-// has begun (the queues close together), so the remaining buffered requests
-// are drained in priority order and the worker exits once they are gone.
-func (e *Engine) dequeue() (*request, bool) {
+// serveLocal drains the worker's batch buffer strictly highest class first.
+// Between requests it re-checks its own shard for higher-class arrivals, so
+// a Critical request that lands mid-batch overtakes the batch's Standard and
+// Background remainder instead of waiting a full batch behind it.
+func (e *Engine) serveLocal(id int, l *local) {
+	s := e.shards[id]
 	for {
-		for c := numClasses - 1; c >= 0; c-- {
-			select {
-			case req, ok := <-e.queues[c]:
-				if ok {
-					return req, true
-				}
-				return e.drainQueues()
-			default:
+		c := l.top()
+		if c < 0 {
+			return
+		}
+		if s.pendingAbove(c) {
+			if got, n := s.popAbove(l, c, e.batch); n > 0 {
+				e.release(got)
+				e.m.AddBatchDequeue(int64(n))
+				continue
 			}
 		}
-		select {
-		case req, ok := <-e.queues[Critical]:
-			if ok {
-				return req, true
-			}
-			return e.drainQueues()
-		case req, ok := <-e.queues[Standard]:
-			if ok {
-				return req, true
-			}
-			return e.drainQueues()
-		case req, ok := <-e.queues[Background]:
-			if ok {
-				return req, true
-			}
-			return e.drainQueues()
+		e.serveOne(l.pop(c))
+	}
+}
+
+// serveOne runs one dequeued request through the resilience pipeline and
+// settles its ticket.
+func (e *Engine) serveOne(req *request) {
+	served := time.Now()
+	req.sp.Dequeued(served)
+	err := e.serve(req)
+	e.observeServe(time.Since(served))
+	e.classInflight[req.class].Add(-1)
+	e.inflight.Add(-1)
+	e.m.ObserveRoute(len(req.src), time.Since(req.start), err)
+	// Publish the span before the ticket unblocks Wait, so a caller that
+	// snapshots the ring right after Wait sees its own request.
+	e.tracer.Finish(req.sp, err)
+	t := req.t
+	*req = request{}
+	e.pool.Put(req)
+	t.done <- err
+}
+
+// nextBatch fills the worker's batch buffer, parking until work arrives. It
+// returns false when the worker should exit: shutdown has begun, no
+// submission is in limbo, and every shard is empty.
+//
+// The park protocol never loses a wakeup: the worker registers on the idler
+// stack and then re-scans the shards before blocking. A submitter pushes and
+// then reads idleCount; if its push predates the worker's scan, the scan
+// finds it, and otherwise the registration predates the submitter's read
+// (both orders are fixed by the sequentially consistent atomics), so the
+// submitter observes the idler and signals it.
+func (e *Engine) nextBatch(id int, slot *parkSlot, l *local) bool {
+	for {
+		if e.fill(id, l) {
+			return true
+		}
+		if e.exitNow() {
+			e.wakeAll()
+			return false
+		}
+		e.pushIdler(slot)
+		if parkHook != nil {
+			parkHook()
+		}
+		if e.fill(id, l) {
+			e.unpark(slot)
+			return true
+		}
+		if e.exitNow() {
+			e.unpark(slot)
+			e.wakeAll()
+			return false
+		}
+		e.m.AddPark()
+		<-slot.ch
+	}
+}
+
+// fill tries to load the batch buffer: up to batch requests from the
+// worker's own shard, else roughly half of the first non-empty neighbor
+// (scanning round-robin). It reports whether anything was taken.
+func (e *Engine) fill(id int, l *local) bool {
+	if got, n := e.shards[id].popBatch(l, e.batch); n > 0 {
+		e.release(got)
+		e.m.AddBatchDequeue(int64(n))
+		return true
+	}
+	for off := 1; off < len(e.shards); off++ {
+		v := e.shards[(id+off)%len(e.shards)]
+		if v.total() == 0 {
+			continue
+		}
+		if stealYield != nil {
+			stealYield()
+		}
+		if got, n := v.stealInto(l, e.batch); n > 0 {
+			e.release(got)
+			e.m.AddSteal(int64(n))
+			return true
+		}
+	}
+	return false
+}
+
+// release returns admission tokens for requests moved off the shards, one
+// per class slot, re-opening Submit for that many queued requests.
+func (e *Engine) release(got [numClasses]int) {
+	for c, k := range got {
+		for i := 0; i < k; i++ {
+			e.space[c] <- struct{}{}
 		}
 	}
 }
 
-// drainQueues serves out the requests still buffered in the (now closed)
-// queues, highest class first, and reports exhaustion once all are empty.
-func (e *Engine) drainQueues() (*request, bool) {
-	for c := numClasses - 1; c >= 0; c-- {
-		select {
-		case req, ok := <-e.queues[c]:
-			if ok {
-				return req, true
-			}
-		default:
+// exitNow is the worker exit condition. pendingSubmits must be checked
+// before the shard scan: a submitter past the lifecycle gate decrements it
+// only after its push, so "no pending and all shards empty" proves no
+// admitted ticket can still be unserved.
+func (e *Engine) exitNow() bool {
+	if !e.stopping.Load() {
+		return false
+	}
+	if e.pendingSubmits.Load() != 0 {
+		return false
+	}
+	for _, s := range e.shards {
+		if s.total() != 0 {
+			return false
 		}
 	}
-	return nil, false
+	return true
+}
+
+func (e *Engine) pushIdler(slot *parkSlot) {
+	e.idleMu.Lock()
+	e.idlers = append(e.idlers, slot)
+	e.idleMu.Unlock()
+	e.idleCount.Add(1)
+}
+
+// unpark deregisters a worker that found work on its pre-park re-scan: pop
+// the slot off the idler stack, or — when a signaller already popped it —
+// absorb the in-flight wakeup so the slot is empty for the next park.
+func (e *Engine) unpark(slot *parkSlot) {
+	if !e.cancelIdle(slot) {
+		<-slot.ch
+	}
+}
+
+func (e *Engine) cancelIdle(slot *parkSlot) bool {
+	e.idleMu.Lock()
+	defer e.idleMu.Unlock()
+	for i, s := range e.idlers {
+		if s == slot {
+			e.idlers = append(e.idlers[:i], e.idlers[i+1:]...)
+			e.idleCount.Add(-1)
+			return true
+		}
+	}
+	return false
+}
+
+// signal wakes up to n parked workers; the fast path is one atomic load
+// when nobody is parked. The buffered send never blocks: a registered
+// slot's channel is empty by invariant.
+func (e *Engine) signal(n int) {
+	if n <= 0 || e.idleCount.Load() == 0 {
+		return
+	}
+	e.idleMu.Lock()
+	for n > 0 && len(e.idlers) > 0 {
+		last := len(e.idlers) - 1
+		slot := e.idlers[last]
+		e.idlers[last] = nil
+		e.idlers = e.idlers[:last]
+		e.idleCount.Add(-1)
+		slot.ch <- struct{}{}
+		n--
+	}
+	e.idleMu.Unlock()
+}
+
+// wakeAll unparks every registered worker — shutdown and worker exit use it
+// so peers re-evaluate the exit condition instead of sleeping through it.
+func (e *Engine) wakeAll() {
+	e.idleMu.Lock()
+	for i, slot := range e.idlers {
+		e.idlers[i] = nil
+		e.idleCount.Add(-1)
+		slot.ch <- struct{}{}
+	}
+	e.idlers = e.idlers[:0]
+	e.idleMu.Unlock()
 }
 
 // ewmaYield, when non-nil, is invoked between reading the EWMA and
@@ -600,12 +790,12 @@ func (e *Engine) serve(req *request) error {
 	return err
 }
 
-// closeQueues closes every class queue; guarded by closeReqs so the queues
-// close exactly once across Drain and Close.
-func (e *Engine) closeQueues() {
-	for c := range e.queues {
-		close(e.queues[c])
-	}
+// stopIntake flips the workers' shutdown flag and wakes every parked worker
+// so the shards drain and the pool winds down; guarded by closeReqs so it
+// runs exactly once across Drain and Close.
+func (e *Engine) stopIntake() {
+	e.stopping.Store(true)
+	e.wakeAll()
 }
 
 // route runs one attempt on the primary router, handing the span down when
@@ -643,6 +833,24 @@ func (e *Engine) SubmitCtx(ctx context.Context, dst, src []core.Word) (*Ticket, 
 // same-or-higher-class in-flight work against a request's deadline, so a
 // backlog of background traffic cannot shed a critical request.
 func (e *Engine) SubmitClass(ctx context.Context, class Class, dst, src []core.Word) (*Ticket, error) {
+	req, err := e.prepare(ctx, class, dst, src)
+	if err != nil {
+		return nil, err
+	}
+	t := req.t
+	if err := e.admitLifecycle(req); err != nil {
+		return nil, err
+	}
+	if err := e.enqueue(req); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// prepare validates one submission, starts its span, and runs the
+// deadline-aware admission gate, returning a pooled request ready to
+// enqueue. It does not touch the lifecycle.
+func (e *Engine) prepare(ctx context.Context, class Class, dst, src []core.Word) (*request, error) {
 	if !class.valid() {
 		return nil, fmt.Errorf("engine: admission class %d out of range [%d, %d]: %w",
 			int(class), int(Background), int(Critical), neterr.ErrBadSize)
@@ -682,47 +890,108 @@ func (e *Engine) SubmitClass(ctx context.Context, class Class, dst, src []core.W
 		sp:       sp,
 		class:    class,
 	}
-	t := req.t
+	return req, nil
+}
+
+// admitLifecycle passes one prepared request through the lifecycle gate:
+// under the read lock it checks the state and registers the request in the
+// in-flight and pending-submit counters. The lock is held only for those
+// counter updates — never across anything that can block — so Drain and
+// Close acquire the write side promptly even when every queue is full.
+func (e *Engine) admitLifecycle(req *request) error {
 	e.mu.RLock()
 	if e.state != stateRunning {
 		st := e.state
 		e.mu.RUnlock()
+		sp := req.sp
+		*req = request{}
 		e.pool.Put(req)
-		var err error
-		if st == stateClosed {
-			err = fmt.Errorf("engine: %w", neterr.ErrClosed)
-		} else {
-			err = fmt.Errorf("engine: %w", neterr.ErrDraining)
-		}
+		err := lifecycleErr(st)
 		e.tracer.Finish(sp, err)
-		return nil, err
+		return err
 	}
 	e.inflight.Add(1)
-	e.classInflight[class].Add(1)
+	e.classInflight[req.class].Add(1)
+	e.pendingSubmits.Add(1)
+	e.mu.RUnlock()
+	return nil
+}
+
+func lifecycleErr(st lifecycle) error {
+	if st == stateClosed {
+		return fmt.Errorf("engine: %w", neterr.ErrClosed)
+	}
+	return fmt.Errorf("engine: %w", neterr.ErrDraining)
+}
+
+// enqueue lands one admitted request on a shard: take a class token
+// (blocking for Standard/Critical, shedding for Background), pick a shard by
+// rotor, push, then wake a parked worker. The push precedes the
+// pendingSubmits decrement, so workers never conclude the engine is empty
+// while an admitted request is still in limbo.
+func (e *Engine) enqueue(req *request) error {
+	class := req.class
 	if class == Background {
 		// Best-effort: a full background queue sheds instead of exerting
 		// backpressure, so background producers can never stall the
 		// submitter behind foreground traffic.
 		select {
-		case e.queues[Background] <- req:
+		case <-e.space[class]:
 		default:
-			e.classInflight[class].Add(-1)
-			e.inflight.Add(-1)
-			e.mu.RUnlock()
-			e.pool.Put(req)
+			sp := req.sp
+			e.abandon(req)
 			e.m.AddShed()
 			e.m.AddClassShed(int(class))
 			err := fmt.Errorf("engine: background queue full (%d requests): %w",
-				cap(e.queues[Background]), neterr.ErrOverloaded)
+				e.queue, neterr.ErrOverloaded)
 			sp.MarkShed()
 			e.tracer.Finish(sp, err)
-			return nil, err
+			return err
 		}
 	} else {
-		e.queues[class] <- req
+		// A free slot always admits, even under an already-expired context:
+		// the worker refuses expired requests at dequeue, which keeps the
+		// pre-sharding semantics where a buffered send succeeded whenever
+		// the queue had room. Only a full queue blocks on the caller's
+		// context.
+		select {
+		case <-e.space[class]:
+		default:
+			var done <-chan struct{}
+			if req.ctx != nil {
+				done = req.ctx.Done()
+			}
+			select {
+			case <-e.space[class]:
+			case <-done:
+				sp := req.sp
+				err := e.expired(req)
+				e.abandon(req)
+				e.tracer.Finish(sp, err)
+				return err
+			}
+		}
 	}
-	e.mu.RUnlock()
-	return t, nil
+	i := int(e.rotor.Add(1) % uint64(len(e.shards)))
+	req.sp.SetShard(i)
+	e.shards[i].push(req)
+	e.pendingSubmits.Add(-1)
+	e.signal(1)
+	return nil
+}
+
+// abandon rolls back a request that passed the lifecycle gate but never
+// reached a shard (shed or expired while waiting for a token). If shutdown
+// raced the rollback, the workers' exit condition may have been blocked only
+// by this pending submit, so wake them to re-evaluate it.
+func (e *Engine) abandon(req *request) {
+	e.classInflight[req.class].Add(-1)
+	e.inflight.Add(-1)
+	*req = request{}
+	e.pool.Put(req)
+	if e.pendingSubmits.Add(-1) == 0 && e.stopping.Load() {
+		e.wakeAll()
+	}
 }
 
 // admit is the load-shedding gate (Config.Shed): it estimates when a
@@ -785,18 +1054,12 @@ func (e *Engine) RouteBatch(batch [][]core.Word) (outs [][]core.Word, errs []err
 // point is scheduler-dependent, but no request is ever half-routed: each
 // errs[i] is either nil with a fully verified outs[i], or non-nil with
 // outs[i] == nil.
+// The submission side is bulk: the whole batch passes the lifecycle gate
+// under one read-lock acquisition and lands on shards in chunks, each chunk
+// a single shard operation, instead of one push and one wakeup per request.
 func (e *Engine) RouteBatchCtx(ctx context.Context, batch [][]core.Word) (outs [][]core.Word, errs []error) {
 	outs = make([][]core.Word, len(batch))
-	errs = make([]error, len(batch))
-	tickets := make([]*Ticket, len(batch))
-	for i, src := range batch {
-		t, err := e.SubmitCtx(ctx, nil, src)
-		if err != nil {
-			errs[i] = err
-			continue
-		}
-		tickets[i] = t
-	}
+	tickets, errs := e.submitBatch(ctx, Standard, batch)
 	for i, t := range tickets {
 		if t == nil {
 			continue
@@ -804,6 +1067,144 @@ func (e *Engine) RouteBatchCtx(ctx context.Context, batch [][]core.Word) (outs [
 		outs[i], errs[i] = t.Wait()
 	}
 	return outs, errs
+}
+
+// submitBatch admits and enqueues a batch of same-class requests. Requests
+// that fail validation or shedding get their error in errs and a nil
+// ticket; the rest share one lifecycle check and are pushed to shards in
+// token-sized chunks, one pushMany per chunk.
+func (e *Engine) submitBatch(ctx context.Context, class Class, batch [][]core.Word) ([]*Ticket, []error) {
+	tickets := make([]*Ticket, len(batch))
+	errs := make([]error, len(batch))
+	pending := make([]*request, 0, len(batch))
+	slots := make([]int, 0, len(batch)) // batch index of each pending request
+	e.mu.RLock()
+	if e.state != stateRunning {
+		st := e.state
+		e.mu.RUnlock()
+		err := lifecycleErr(st)
+		for i, src := range batch {
+			req, perr := e.prepare(ctx, class, nil, src)
+			if perr != nil {
+				errs[i] = perr
+				continue
+			}
+			sp := req.sp
+			*req = request{}
+			e.pool.Put(req)
+			e.tracer.Finish(sp, err)
+			errs[i] = err
+		}
+		return tickets, errs
+	}
+	// Prepare and register under one read-lock acquisition. prepare never
+	// blocks, so holding the read side across the loop is safe for
+	// Drain/Close; registering each request before preparing the next keeps
+	// the shedder honest — its in-flight depth estimate sees every earlier
+	// request of this same batch, exactly as sequential submission would.
+	for i, src := range batch {
+		req, err := e.prepare(ctx, class, nil, src)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		e.inflight.Add(1)
+		e.classInflight[class].Add(1)
+		e.pendingSubmits.Add(1)
+		pending = append(pending, req)
+		slots = append(slots, i)
+	}
+	e.mu.RUnlock()
+	if len(pending) == 0 {
+		return tickets, errs
+	}
+	for j, req := range pending {
+		tickets[slots[j]] = req.t
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	for len(pending) > 0 {
+		take, expired := e.acquireTokens(class, done, len(pending))
+		if expired || take == 0 {
+			// Context expired (Standard/Critical) or no free slot at all
+			// (Background): settle every still-unqueued request now.
+			for j, req := range pending {
+				sp := req.sp
+				var err error
+				if expired {
+					err = e.ctxErr(ctx)
+				} else {
+					e.m.AddShed()
+					e.m.AddClassShed(int(class))
+					err = fmt.Errorf("engine: background queue full (%d requests): %w",
+						e.queue, neterr.ErrOverloaded)
+					sp.MarkShed()
+				}
+				e.abandon(req)
+				e.tracer.Finish(sp, err)
+				tickets[slots[j]] = nil
+				errs[slots[j]] = err
+			}
+			return tickets, errs
+		}
+		chunk := pending[:take]
+		i := int(e.rotor.Add(1) % uint64(len(e.shards)))
+		for _, req := range chunk {
+			req.sp.SetShard(i)
+		}
+		e.shards[i].pushMany(chunk)
+		e.pendingSubmits.Add(-int64(take))
+		e.signal(take)
+		pending = pending[take:]
+		slots = slots[take:]
+	}
+	return tickets, errs
+}
+
+// acquireTokens takes up to want class tokens: Standard and Critical block
+// for the first token (or the context), then both sweep whatever more is
+// free without blocking. expired reports a context cut; a Background return
+// of (0, false) means shed.
+func (e *Engine) acquireTokens(class Class, done <-chan struct{}, want int) (got int, expired bool) {
+	if class != Background {
+		// Free capacity admits immediately even under an expired context
+		// (the workers refuse expired requests at dequeue); only a full
+		// queue blocks on the caller's context.
+		select {
+		case <-e.space[class]:
+			got = 1
+		default:
+			select {
+			case <-e.space[class]:
+				got = 1
+			case <-done:
+				return 0, true
+			}
+		}
+	}
+	for got < want {
+		select {
+		case <-e.space[class]:
+			got++
+		default:
+			return got, false
+		}
+	}
+	return got, false
+}
+
+// ctxErr mirrors expired's classification for a context the caller holds
+// directly: ErrTimeout wrapping for a missed deadline, the bare context
+// error for a cancel.
+func (e *Engine) ctxErr(ctx context.Context) error {
+	err := ctx.Err()
+	if errors.Is(err, context.DeadlineExceeded) {
+		e.m.AddTimeout()
+		return fmt.Errorf("engine: %w: %w", neterr.ErrTimeout, err)
+	}
+	return fmt.Errorf("engine: %w", err)
 }
 
 // InFlight returns the number of admitted requests not yet completed.
@@ -847,7 +1248,7 @@ func (e *Engine) Drain(ctx context.Context) error {
 	transitioned := e.state == stateRunning
 	if transitioned {
 		e.state = stateDraining
-		e.closeReqs.Do(e.closeQueues)
+		e.closeReqs.Do(e.stopIntake)
 	}
 	e.mu.Unlock()
 	if transitioned {
@@ -913,7 +1314,7 @@ func (e *Engine) Close() error {
 	}
 	e.state = stateClosed
 	e.closeClosing.Do(func() { close(e.closing) })
-	e.closeReqs.Do(e.closeQueues)
+	e.closeReqs.Do(e.stopIntake)
 	e.mu.Unlock()
 	e.wg.Wait()
 	// Workers have drained: any span still open belongs to work that never

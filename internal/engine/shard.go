@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the engine's queue fabric: one shard per worker, each holding
+// a ring per admission class, plus the worker-local batch buffer the serving
+// loop drains. Submitters land requests on a rotor-chosen shard; a worker
+// batch-dequeues from its own shard first and steals roughly half of a
+// neighbor's backlog when its own shard runs dry. Every dequeue — batch,
+// preemption, or steal — scans the classes strictly Critical → Standard →
+// Background, so the priority contract holds per shard and across steals.
+
+// stealYield, when non-nil, is invoked after a thief has chosen a victim
+// shard (observed a non-zero total) and before it takes the victim's lock —
+// the preemption point the deterministic-schedule tests use to interleave
+// steals with dequeues and drains. Production leaves it nil.
+var stealYield func()
+
+// parkHook, when non-nil, is invoked after a worker has registered on the
+// idler stack and before its pre-park re-scan — the window in which the
+// deterministic wakeup-priority test stages multi-class backlogs. Production
+// leaves it nil.
+var parkHook func()
+
+// ring is a FIFO of requests backed by a power-of-two circular buffer that
+// grows by doubling. It is not safe for concurrent use; the owning shard's
+// mutex serializes access.
+type ring struct {
+	buf  []*request
+	head int
+	size int
+}
+
+func (r *ring) push(req *request) {
+	if r.size == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.size)&(len(r.buf)-1)] = req
+	r.size++
+}
+
+// pop removes and returns the oldest request; the caller checks size first.
+func (r *ring) pop() *request {
+	req := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.size--
+	return req
+}
+
+func (r *ring) grow() {
+	next := len(r.buf) * 2
+	if next == 0 {
+		next = 16
+	}
+	buf := make([]*request, next)
+	for i := 0; i < r.size; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+// shard is one worker's slice of the queue: a ring per class under a single
+// mutex, with per-class depth counters readable without the lock so peers
+// can pick steal victims and the preemption check stays a few atomic loads.
+type shard struct {
+	mu     sync.Mutex
+	rings  [numClasses]ring
+	counts [numClasses]atomic.Int64
+}
+
+func (s *shard) push(req *request) {
+	s.mu.Lock()
+	s.rings[req.class].push(req)
+	s.counts[req.class].Add(1)
+	s.mu.Unlock()
+}
+
+// pushMany lands a whole chunk of requests under one lock acquisition — the
+// bulk-submit path's single shard operation per chunk.
+func (s *shard) pushMany(reqs []*request) {
+	s.mu.Lock()
+	for _, req := range reqs {
+		s.rings[req.class].push(req)
+		s.counts[req.class].Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// total is the shard's queued-request count, readable without the lock. It
+// may be momentarily stale; every consumer re-checks under the lock (steal)
+// or tolerates staleness (exit scan, which is protected by pendingSubmits).
+func (s *shard) total() int64 {
+	var t int64
+	for c := range s.counts {
+		t += s.counts[c].Load()
+	}
+	return t
+}
+
+// pendingAbove reports whether any request of a class strictly above c is
+// queued — the serving loop's between-requests preemption check.
+func (s *shard) pendingAbove(c int) bool {
+	for h := numClasses - 1; h > c; h-- {
+		if s.counts[h].Load() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// popBatch moves up to max requests into l in strict class-priority order
+// and returns the per-class and total counts taken.
+func (s *shard) popBatch(l *local, max int) (got [numClasses]int, n int) {
+	s.mu.Lock()
+	for c := numClasses - 1; c >= 0 && n < max; c-- {
+		for s.rings[c].size > 0 && n < max {
+			l.put(s.rings[c].pop())
+			got[c]++
+			n++
+		}
+		if got[c] > 0 {
+			s.counts[c].Add(-int64(got[c]))
+		}
+	}
+	s.mu.Unlock()
+	return got, n
+}
+
+// popAbove is popBatch restricted to classes strictly above floor — the
+// mid-batch preemption path, so a Critical arrival overtakes the Standard
+// remainder of an already-dequeued batch.
+func (s *shard) popAbove(l *local, floor, max int) (got [numClasses]int, n int) {
+	s.mu.Lock()
+	for c := numClasses - 1; c > floor && n < max; c-- {
+		k := 0
+		for s.rings[c].size > 0 && n < max {
+			l.put(s.rings[c].pop())
+			k++
+			n++
+		}
+		if k > 0 {
+			s.counts[c].Add(-int64(k))
+			got[c] = k
+		}
+	}
+	s.mu.Unlock()
+	return got, n
+}
+
+// stealInto moves roughly half of the shard's backlog (at most max) into l,
+// highest class first and oldest first within a class, marking each moved
+// span stolen. Taking the high half keeps the priority contract across
+// shards: stolen Critical work is served by the thief ahead of anything the
+// victim still holds below it.
+func (s *shard) stealInto(l *local, max int) (got [numClasses]int, n int) {
+	s.mu.Lock()
+	total := 0
+	for c := range s.rings {
+		total += s.rings[c].size
+	}
+	want := (total + 1) / 2
+	if want > max {
+		want = max
+	}
+	for c := numClasses - 1; c >= 0 && n < want; c-- {
+		k := 0
+		for s.rings[c].size > 0 && n < want {
+			req := s.rings[c].pop()
+			req.sp.MarkStolen()
+			l.put(req)
+			k++
+			n++
+		}
+		if k > 0 {
+			s.counts[c].Add(-int64(k))
+			got[c] = k
+		}
+	}
+	s.mu.Unlock()
+	return got, n
+}
+
+// local is a worker's private batch buffer: per-class FIFO slices drained
+// strictly highest class first. Only its owning worker touches it.
+type local struct {
+	q    [numClasses][]*request
+	next [numClasses]int
+}
+
+func (l *local) put(req *request) {
+	l.q[req.class] = append(l.q[req.class], req)
+}
+
+// top returns the highest class with buffered requests, or -1 when empty.
+func (l *local) top() int {
+	for c := numClasses - 1; c >= 0; c-- {
+		if l.next[c] < len(l.q[c]) {
+			return c
+		}
+	}
+	return -1
+}
+
+// pop removes the oldest buffered request of class c; the caller checks top.
+func (l *local) pop(c int) *request {
+	req := l.q[c][l.next[c]]
+	l.q[c][l.next[c]] = nil
+	l.next[c]++
+	if l.next[c] == len(l.q[c]) {
+		l.q[c] = l.q[c][:0]
+		l.next[c] = 0
+	}
+	return req
+}

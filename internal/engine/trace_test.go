@@ -51,6 +51,9 @@ func TestTracedRequests(t *testing.T) {
 		if sp.Err != "" || sp.Aborted {
 			t.Fatalf("clean request recorded failure: %+v", sp)
 		}
+		if sp.Shard < 0 || int(sp.Shard) >= e.Workers() {
+			t.Fatalf("span shard = %d, want a shard in [0, %d)", sp.Shard, e.Workers())
+		}
 	}
 }
 

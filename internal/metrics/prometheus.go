@@ -16,8 +16,8 @@ func promSeconds(ns int64) string {
 // format (version 0.0.4) under the given namespace prefix; an empty
 // namespace selects "bnb". Counters map to _total counters, the plane census
 // to gauges, and the latency histogram to a cumulative _bucket series with
-// the power-of-two-microsecond bucket ceilings as le labels. Output order is
-// fixed, so the exposition is golden-file testable.
+// the quarter-octave microsecond bucket ceilings as le labels. Output order
+// is fixed, so the exposition is golden-file testable.
 func (m *Metrics) WritePrometheus(w io.Writer, ns string) error {
 	if ns == "" {
 		ns = "bnb"
@@ -57,6 +57,11 @@ func (m *Metrics) WritePrometheus(w io.Writer, ns string) error {
 		{"slow_quarantines_total", "Planes quarantined for chronic slowness.", m.slowQuarantines.Load()},
 		{"poison_marks_total", "Request fingerprints quarantined after failing on distinct planes.", m.poisonMarks.Load()},
 		{"poisoned_rejects_total", "Requests rejected at admission as poisoned.", m.poisonedRejects.Load()},
+		{"batch_dequeues_total", "Own-shard batch dequeues by engine workers.", m.batchDequeues.Load()},
+		{"batched_requests_total", "Requests carried by own-shard batch dequeues.", m.batchedRequests.Load()},
+		{"steals_total", "Cross-shard steals by engine workers.", m.steals.Load()},
+		{"stolen_requests_total", "Requests moved between shards by steals.", m.stolenRequests.Load()},
+		{"worker_parks_total", "Engine worker park (blocking wait) cycles.", m.workerParks.Load()},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s %d\n",
@@ -101,7 +106,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, ns string) error {
 		ns, ns, ns, promSeconds(m.latMax.Load())); err != nil {
 		return err
 	}
-	// Latency histogram: cumulative bucket counts under the power-of-two
+	// Latency histogram: cumulative bucket counts under the quarter-octave
 	// microsecond ceilings. Only successful routes are observed, so _count
 	// tracks routes_total.
 	if _, err := fmt.Fprintf(w, "# HELP %s_route_latency_seconds Latency of successful routes.\n# TYPE %s_route_latency_seconds histogram\n", ns, ns); err != nil {

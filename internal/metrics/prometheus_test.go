@@ -51,6 +51,11 @@ func TestWritePrometheusGolden(t *testing.T) {
 	m.AddClassSubmitted(1)
 	m.AddClassSubmitted(2)
 	m.AddClassShed(0)
+	m.AddBatchDequeue(3)
+	m.AddBatchDequeue(1)
+	m.AddSteal(2)
+	m.AddPark()
+	m.AddPark()
 
 	var buf bytes.Buffer
 	if err := m.WritePrometheus(&buf, "bnb"); err != nil {

@@ -83,6 +83,7 @@ const (
 	optDataBits optFlag = 1 << iota
 	optWorkers
 	optQueue
+	optBatch
 	optTrace
 	optMetrics
 	optFaults
@@ -120,6 +121,7 @@ type options struct {
 	dataBits int
 	workers  int
 	queue    int
+	batch    int
 	trace    func(stage int, snapshot []Word)
 	metrics  *metrics.Metrics
 
@@ -207,6 +209,22 @@ func WithQueue(n int) Option {
 		}
 		o.set |= optQueue
 		o.queue = n
+	}
+}
+
+// WithBatch caps the number of queued requests an engine worker dequeues
+// per wakeup; zero keeps the default of 8 and negative caps are rejected.
+// Larger batches amortize the wakeup cost across more requests under load;
+// strict QoS priority still holds inside a batch, and a higher-class arrival
+// preempts a batch's remainder. NewEngine and NewSupervised only.
+func WithBatch(n int) Option {
+	return func(o *options) {
+		if n < 0 {
+			o.reject("WithBatch(%d): batch size cannot be negative", n)
+			return
+		}
+		o.set |= optBatch
+		o.batch = n
 	}
 }
 
@@ -505,6 +523,9 @@ func New(family string, m int, opts ...Option) (Network, error) {
 	}
 	if o.anySet(optQueue) {
 		return nil, fmt.Errorf("bnbnet: WithQueue applies to NewEngine, not New")
+	}
+	if o.anySet(optBatch) {
+		return nil, fmt.Errorf("bnbnet: WithBatch applies to NewEngine, not New")
 	}
 	if o.anySet(optEngine) {
 		return nil, fmt.Errorf("bnbnet: WithTimeout, WithRetry, WithBreaker, WithFallback, WithShedding, WithTracer and WithDebugAddr apply to NewEngine, not New")

@@ -269,6 +269,7 @@ func NewSupervised(family string, m int, opts ...Option) (*Supervised, error) {
 	e, err := engine.New(sup, engine.Config{
 		Workers: o.workers,
 		Queue:   o.queue,
+		Batch:   o.batch,
 		Metrics: o.metrics,
 		Timeout: o.timeout,
 		Retry:   engine.RetryPolicy{MaxAttempts: o.retryAttempts, Backoff: o.retryBackoff},
