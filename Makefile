@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench microbench check verify repro figures fuzz chaos soak-reconfig soak-tail clean
+.PHONY: all build vet test test-short bench microbench check verify verify-cluster repro figures fuzz chaos soak-reconfig soak-tail soak-cluster clean
 
 all: build vet test
 
@@ -26,6 +26,12 @@ check:
 verify:
 	$(GO) run ./cmd/bnbverify -maxm 4
 
+# Cluster differential battery: a 4-shard fabric at each order is compared
+# word-for-word against the monolithic aggregate network over the same
+# sweep batteries (exhaustive N! at the small end).
+verify-cluster:
+	$(GO) run ./cmd/bnbverify -cluster -shards 4 -maxm 3
+
 build:
 	$(GO) build ./...
 
@@ -42,7 +48,7 @@ race:
 	$(GO) test -race ./...
 
 # Perf-trajectory smoke: run the bnbbench harness with quick sample counts
-# into a scratch dir and validate the output against the bnbbench/v4
+# into a scratch dir and validate the output against the bnbbench/v6
 # schema. The committed BENCH_<m>.json files are full runs; refresh them
 # after perf work with `$(GO) run ./cmd/bnbbench -m 3,5,7 -out .`.
 bench:
@@ -102,6 +108,16 @@ soak-tail:
 	$(GO) test -race -run 'Hedge|Slow|Poison|Class|Background|Admit|Latency|Tail' ./...
 	$(GO) test -race -run TestTailToleranceSoak -count=1 -timeout 300s .
 	$(GO) run -race ./cmd/fabricsim -net bnb -m 5 -planes 3 -slow 20ms -hedge auto -requests 10000
+
+# Cluster-fabric soak under the race detector: the cluster and serving
+# suites, then a fabricsim cluster run with a live shard add and drain
+# mid-stream — every request must deliver word-for-word or the run exits
+# nonzero — and the bnbserve membership test hammering the HTTP and TCP
+# fronts during shard churn.
+soak-cluster:
+	$(GO) test -race -run 'Cluster|Membership|Coloring|Decompose' ./...
+	$(GO) test -race -run 'TestLiveMembership|TestHTTPRoute|TestTCPRoute' ./cmd/bnbserve
+	$(GO) run -race ./cmd/fabricsim -net bnb -m 4 -cluster 4 -requests 2000
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,243 @@
+package bnbnet
+
+// The exported-API golden test: every exported symbol of the root package —
+// functions, methods, types, struct fields, interface methods, consts and
+// vars — is rendered into a sorted signature list and compared against
+// testdata/api_golden.txt. An unreviewed surface change (a renamed method,
+// a widened signature, an accidentally exported helper) fails here first;
+// an intended change is reviewed by regenerating the file:
+//
+//	go test -run TestExportedAPIGolden -update-api
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPIGolden = flag.Bool("update-api", false, "rewrite testdata/api_golden.txt from the current exported surface")
+
+const apiGoldenPath = "testdata/api_golden.txt"
+
+func TestExportedAPIGolden(t *testing.T) {
+	got := renderExportedAPI(t)
+	if *updateAPIGolden {
+		if err := os.MkdirAll(filepath.Dir(apiGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiGoldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d lines)", apiGoldenPath, strings.Count(got, "\n"))
+		return
+	}
+	wantBytes, err := os.ReadFile(apiGoldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update-api)", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotLines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	wantLines := strings.Split(strings.TrimRight(want, "\n"), "\n")
+	gotSet := map[string]bool{}
+	for _, l := range gotLines {
+		gotSet[l] = true
+	}
+	wantSet := map[string]bool{}
+	for _, l := range wantLines {
+		wantSet[l] = true
+	}
+	var added, removed []string
+	for _, l := range gotLines {
+		if !wantSet[l] {
+			added = append(added, l)
+		}
+	}
+	for _, l := range wantLines {
+		if !gotSet[l] {
+			removed = append(removed, l)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("exported API surface drifted from testdata/api_golden.txt\n")
+	for _, l := range added {
+		fmt.Fprintf(&b, "  + %s\n", l)
+	}
+	for _, l := range removed {
+		fmt.Fprintf(&b, "  - %s\n", l)
+	}
+	b.WriteString("review the change, then regenerate with: go test -run TestExportedAPIGolden -update-api")
+	t.Fatal(b.String())
+}
+
+// renderExportedAPI parses every non-test file of the package directory and
+// renders its exported surface as one sorted line per symbol. Parameter
+// names are dropped (renaming one is not an API change); everything
+// type-shaped is printed in source form.
+func renderExportedAPI(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parse package: %v", err)
+	}
+	var lines []string
+	add := func(format string, args ...any) { lines = append(lines, fmt.Sprintf(format, args...)) }
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() {
+						continue
+					}
+					if d.Recv == nil {
+						add("func %s%s", d.Name.Name, renderFuncType(fset, d.Type))
+						continue
+					}
+					recv := renderExpr(fset, d.Recv.List[0].Type)
+					if !exportedRecv(recv) {
+						continue
+					}
+					add("method (%s) %s%s", recv, d.Name.Name, renderFuncType(fset, d.Type))
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() {
+								lines = append(lines, renderType(fset, s)...)
+							}
+						case *ast.ValueSpec:
+							kind := "var"
+							if d.Tok == token.CONST {
+								kind = "const"
+							}
+							for _, name := range s.Names {
+								if name.IsExported() {
+									add("%s %s", kind, name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// renderType renders one exported type declaration: its kind line plus one
+// line per exported struct field or interface method.
+func renderType(fset *token.FileSet, s *ast.TypeSpec) []string {
+	name := s.Name.Name
+	var lines []string
+	switch tt := s.Type.(type) {
+	case *ast.StructType:
+		lines = append(lines, fmt.Sprintf("type %s struct", name))
+		for _, f := range tt.Fields.List {
+			if len(f.Names) == 0 { // embedded
+				if embedded := renderExpr(fset, f.Type); exportedRecv(embedded) {
+					lines = append(lines, fmt.Sprintf("type %s embeds %s", name, embedded))
+				}
+				continue
+			}
+			for _, fn := range f.Names {
+				if fn.IsExported() {
+					lines = append(lines, fmt.Sprintf("type %s field %s %s", name, fn.Name, renderExpr(fset, f.Type)))
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		lines = append(lines, fmt.Sprintf("type %s interface", name))
+		for _, f := range tt.Methods.List {
+			if len(f.Names) == 0 {
+				lines = append(lines, fmt.Sprintf("type %s embeds %s", name, renderExpr(fset, f.Type)))
+				continue
+			}
+			for _, fn := range f.Names {
+				if fn.IsExported() {
+					ft, ok := f.Type.(*ast.FuncType)
+					if !ok {
+						continue
+					}
+					lines = append(lines, fmt.Sprintf("type %s method %s%s", name, fn.Name, renderFuncType(fset, ft)))
+				}
+			}
+		}
+	default:
+		kind := "= " + renderExpr(fset, s.Type)
+		if !s.Assign.IsValid() {
+			kind = renderExpr(fset, s.Type)
+		}
+		lines = append(lines, fmt.Sprintf("type %s %s", name, kind))
+	}
+	return lines
+}
+
+// renderFuncType renders a signature as "(T1, T2) (R1, R2)" with parameter
+// names dropped.
+func renderFuncType(fset *token.FileSet, ft *ast.FuncType) string {
+	params := renderFieldTypes(fset, ft.Params)
+	results := renderFieldTypes(fset, ft.Results)
+	switch {
+	case results == "":
+		return "(" + params + ")"
+	case strings.Contains(results, ","):
+		return "(" + params + ") (" + results + ")"
+	default:
+		return "(" + params + ") " + results
+	}
+}
+
+func renderFieldTypes(fset *token.FileSet, fl *ast.FieldList) string {
+	if fl == nil {
+		return ""
+	}
+	var parts []string
+	for _, f := range fl.List {
+		typ := renderExpr(fset, f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			parts = append(parts, typ)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+func renderExpr(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return fmt.Sprintf("<%v>", err)
+	}
+	return buf.String()
+}
+
+// exportedRecv reports whether a receiver or embedded type name like
+// "*Cluster" or "plancache.Stats" denotes an exported local name.
+func exportedRecv(name string) bool {
+	name = strings.TrimPrefix(name, "*")
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	if i := strings.IndexByte(name, '['); i >= 0 { // generic receiver
+		name = name[:i]
+	}
+	return name != "" && ast.IsExported(name)
+}

@@ -7,15 +7,24 @@
 //
 // The package exposes:
 //
-//   - the BNB network itself (NewBNB, with stage tracing, parallel
-//     simulation and a circuit-switched Connect/Send mode) and the paper's
-//     comparison baselines — Batcher's odd-even sorting network
-//     (NewBatcher) and bitonic sorter (NewBitonic), a functional analogue
-//     of the Koppelman-Oruç self-routing network (NewKoppelman), the Beneš
-//     (NewBenes) and Waksman (NewWaksman) networks under global looping
-//     routing, and a crossbar (NewCrossbar) — all behind the common
+//   - the BNB network itself (New("bnb", m) or NewBNB, with stage tracing,
+//     parallel simulation and compiled Compile/Replay route plans) and the
+//     paper's comparison baselines — Batcher's odd-even sorting network
+//     and bitonic sorter, a functional analogue of the Koppelman-Oruç
+//     self-routing network, the Beneš and Waksman networks under global
+//     looping routing, and a crossbar — all built through the one
+//     constructor registry New(family, m, opts...) behind the common
 //     Network interface, with a reusable conformance battery
-//     (VerifyNetwork);
+//     (VerifyNetwork); superseded per-family constructors survive as
+//     deprecated veneers (see deprecated.go for the policy);
+//   - the serving stack behind one Router contract: the worker-pool
+//     Engine (NewEngine), the self-healing multi-plane Supervised
+//     (NewSupervised), and the multi-shard Cluster fabric (NewCluster,
+//     WithShards) with live shard membership — each discovered onto the
+//     optional BulkRouter/TracedRouter/PlanRouter surfaces via
+//     AsBulkRouter/AsTracedRouter/AsPlanRouter, observed via the unified
+//     Stats and Publish accessors, and served over HTTP/TCP by
+//     cmd/bnbserve;
 //   - hardware/delay cost reports in the paper's C_SW/C_FN/D_SW/D_FN units,
 //     and the closed-form rows of the paper's Tables 1 and 2 (Table1,
 //     Table2, HeadlineRatios);
@@ -125,8 +134,8 @@ var _ Network = (*BNB)(nil)
 // NewBNB constructs the paper's BNB self-routing permutation network with
 // N = 2^m inputs and w data bits per word (0 <= w <= 64). It is the concrete
 // constructor behind New("bnb", m, WithDataBits(w)); use it directly when
-// the extended *BNB API (tracing, parallel routing, Connect/Send, RouteInto)
-// is needed.
+// the extended *BNB API (tracing, parallel routing, Compile/Replay,
+// RouteInto) is needed.
 func NewBNB(m, w int) (*BNB, error) {
 	n, err := core.New(m, w)
 	if err != nil {
@@ -179,56 +188,11 @@ func (b *BNB) RouteParallel(words []Word, workers int) ([]Word, error) {
 // otherwise overlap it. Safe for concurrent use.
 func (b *BNB) RouteInto(dst, src []Word) error { return b.n.RouteInto(dst, src) }
 
-// Circuit is a recorded switch configuration realizing one permutation —
-// the network's circuit-switched mode. It is now a thin veneer over the
-// compiled-plan surface (Plan, BNB.Compile, BNB.Replay), which adds address
-// verification, in-place replay, and cacheability.
-//
-// Deprecated: Use BNB.Compile and BNB.Replay (or the PlanRouter surface).
-type Circuit struct {
-	n  *core.Network
-	pl *Plan
-}
-
-// Connect runs the self-routing control plane once for the permutation and
-// returns the recorded circuit.
-//
-// Deprecated: Use BNB.Compile.
-func (b *BNB) Connect(p Perm) (*Circuit, error) {
-	pl, err := b.Compile(p)
-	if err != nil {
-		return nil, err
-	}
-	return &Circuit{n: b.n, pl: pl}, nil
-}
-
-// Send replays the circuit over a fresh batch of payloads: word i lands on
-// the output the circuit's permutation assigned to input i; addresses in
-// the words are ignored (the data path consults only the stored switch
-// states, exactly like the hardware's slaved slices).
-func (c *Circuit) Send(words []Word) ([]Word, error) {
-	return c.n.ApplyPlan(c.pl.p, words)
-}
-
-// Switches returns the number of stored switch states,
-// (N/2)·(1/2)logN(logN+1).
-func (c *Circuit) Switches() int { return c.pl.Switches() }
-
-// Plan returns the compiled plan backing the circuit, for use with the
-// Replay fast path.
-func (c *Circuit) Plan() *Plan { return c.pl }
-
 // ---------------------------------------------------------------------------
 // Batcher
 // ---------------------------------------------------------------------------
 
 type batcherNetwork struct{ n *batcher.Network }
-
-// NewBatcher constructs Batcher's odd-even merge sorting network used as a
-// self-routing permutation network.
-//
-// Deprecated: Use New("batcher", m, WithDataBits(w)).
-func NewBatcher(m, w int) (Network, error) { return New("batcher", m, WithDataBits(w)) }
 
 func newBatcherNetwork(m, w int) (Network, error) {
 	n, err := batcher.New(m, w)
@@ -263,12 +227,6 @@ func (b batcherNetwork) Delay() Delay {
 // ---------------------------------------------------------------------------
 
 type koppelmanNetwork struct{ n *koppelman.Network }
-
-// NewKoppelman constructs the functional analogue of the Koppelman-Oruç
-// self-routing permutation network (see DESIGN.md §3 for the substitution).
-//
-// Deprecated: Use New("koppelman", m, WithDataBits(w)).
-func NewKoppelman(m, w int) (Network, error) { return New("koppelman", m, WithDataBits(w)) }
 
 func newKoppelmanNetwork(m, w int) (Network, error) {
 	n, err := koppelman.New(m, w)
@@ -322,15 +280,6 @@ func (k koppelmanNetwork) Delay() Delay {
 // ---------------------------------------------------------------------------
 
 type benesNetwork struct{ n *benes.Network }
-
-// NewBenes constructs the Beneš rearrangeable network routed by the global
-// looping algorithm. Unlike the self-routing networks, every Route call
-// runs the centralized set-up computation; its cost report therefore counts
-// only the data path (switches), with the set-up overhead discussed in
-// EXPERIMENTS.md.
-//
-// Deprecated: Use New("benes", m).
-func NewBenes(m int) (Network, error) { return New("benes", m) }
 
 func newBenesNetwork(m int) (Network, error) {
 	n, err := benes.New(m)
@@ -480,30 +429,6 @@ func NewFabric(n Network, opts ...Option) (Fabric, error) {
 		f.AttachMetrics(o.metrics)
 	}
 	return f, nil
-}
-
-// NewFabricSwitch wraps a Network as the routing core of a FIFO
-// input-queued cell switch.
-//
-// Deprecated: Use NewFabric(n).
-func NewFabricSwitch(n Network) (*FabricSwitch, error) {
-	r, err := fabricRouter(n)
-	if err != nil {
-		return nil, err
-	}
-	return fabric.NewSwitch(r)
-}
-
-// NewVOQFabricSwitch wraps a Network as the routing core of a virtual-
-// output-queued cell switch.
-//
-// Deprecated: Use NewFabric(n, WithVOQ()).
-func NewVOQFabricSwitch(n Network) (*VOQFabricSwitch, error) {
-	r, err := fabricRouter(n)
-	if err != nil {
-		return nil, err
-	}
-	return fabric.NewVOQSwitch(r)
 }
 
 func fabricRouter(n Network) (fabric.Router, error) {

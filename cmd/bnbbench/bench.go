@@ -17,10 +17,11 @@ import (
 )
 
 // Report is the machine-readable result of one bnbbench run at one order —
-// the BENCH_<m>.json payload. Schema "bnbbench/v5" (v2 added the compiled
+// the BENCH_<m>.json payload. Schema "bnbbench/v6" (v2 added the compiled
 // route-plan section; v3 the hitless-reconfiguration profile; v4 the
-// tail-tolerance profile; v5 the sharded-queue engine counters);
-// Validate checks an emitted file against it.
+// tail-tolerance profile; v5 the sharded-queue engine counters; v6 the
+// multi-shard cluster fabric sweep); Validate checks an emitted file
+// against it.
 type Report struct {
 	Schema string `json:"schema"`
 	M      int    `json:"m"`
@@ -37,6 +38,38 @@ type Report struct {
 	Plan     PlanResultV2    `json:"plan"`
 	Reconfig ReconfigResult  `json:"reconfig"`
 	Tail     TailResult      `json:"tail"`
+	Cluster  ClusterResult   `json:"cluster"`
+}
+
+// ClusterResult profiles the multi-shard cluster fabric added by
+// bnbbench/v6: a shard-count sweep at fixed shard order m, so the
+// aggregate port count S·2^m grows with the fleet. Each point measures the
+// end-to-end route latency and batched aggregate throughput of the whole
+// fabric, plus the two cluster-specific costs: the matching stage
+// (Compile — the Kőnig edge coloring that decomposes one aggregate
+// permutation into inter-shard matchings and per-shard locals) and the
+// replay of a compiled assignment.
+type ClusterResult struct {
+	ShardOrder int            `json:"shard_order"`
+	Sweep      []ClusterPoint `json:"sweep"`
+}
+
+// ClusterPoint is one shard count's profile in the cluster sweep.
+type ClusterPoint struct {
+	Shards   int `json:"shards"`
+	Inputs   int `json:"inputs"`
+	Requests int `json:"requests"`
+	// End-to-end closed-loop route latency through the aggregate fabric.
+	NsPerOp float64 `json:"ns_per_op"`
+	P50Ns   int64   `json:"p50_ns"`
+	P99Ns   int64   `json:"p99_ns"`
+	// Batched aggregate throughput; words/sec = routes/sec x inputs.
+	RoutesPerSec float64 `json:"routes_per_sec"`
+	WordsPerSec  float64 `json:"words_per_sec"`
+	// DecomposeNsPerOp is the matching-stage latency (Cluster.Compile).
+	DecomposeNsPerOp float64 `json:"decompose_ns_per_op"`
+	// ReplayNsPerOp replays the compiled assignment through the shards.
+	ReplayNsPerOp float64 `json:"replay_ns_per_op"`
 }
 
 // TailResult profiles the tail-tolerant serving path added by bnbbench/v4:
@@ -193,7 +226,7 @@ func defaultConfig(m int, families []string, workers []int, quick bool) benchCon
 // runBench measures every configured family and sweep at order cfg.m.
 func runBench(cfg benchConfig) (Report, error) {
 	rep := Report{
-		Schema: "bnbbench/v5",
+		Schema: "bnbbench/v6",
 		M:      cfg.m,
 		N:      1 << uint(cfg.m),
 		Go:     runtime.Version(),
@@ -236,7 +269,96 @@ func runBench(cfg benchConfig) (Report, error) {
 		return Report{}, err
 	}
 	rep.Tail = tl
+	cr, err := benchCluster(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Cluster = cr
 	return rep, nil
+}
+
+// benchCluster runs the v6 shard-count sweep: for each fleet size the
+// aggregate fabric of S·2^m ports serves a closed-loop latency probe, a
+// batched throughput drive, and the compile/replay pair isolating the
+// matching-stage cost from the steady-state path.
+func benchCluster(cfg benchConfig) (ClusterResult, error) {
+	res := ClusterResult{ShardOrder: cfg.m}
+	sweep := []int{2, 4, 8}
+	if cfg.quick {
+		sweep = []int{2, 4}
+	}
+	requests := cfg.engineRequests / 4
+	samples := cfg.routeSamples / 4
+	const compileSamples = 64
+	rng := rand.New(rand.NewSource(cfg.seed))
+	for _, shards := range sweep {
+		point, err := func() (ClusterPoint, error) {
+			cl, err := bnbnet.NewCluster("bnb", cfg.m, bnbnet.WithShards(shards))
+			if err != nil {
+				return ClusterPoint{}, err
+			}
+			defer cl.Close()
+			n := cl.Inputs()
+			point := ClusterPoint{Shards: shards, Inputs: n, Requests: requests}
+
+			lat := make([]int64, samples)
+			for i := range lat {
+				p := bnbnet.RandomPerm(n, rng)
+				start := time.Now()
+				if _, err := cl.RoutePerm(p); err != nil {
+					return ClusterPoint{}, fmt.Errorf("cluster %d shards: %w", shards, err)
+				}
+				lat[i] = time.Since(start).Nanoseconds()
+			}
+			mean, p50, p99 := summarize(lat)
+			point.NsPerOp, point.P50Ns, point.P99Ns = mean, p50, p99
+
+			elapsed, err := driveBatches(cl.RoutePermBatch, n, requests, cfg.seed)
+			if err != nil {
+				return ClusterPoint{}, fmt.Errorf("cluster %d shards: %w", shards, err)
+			}
+			point.RoutesPerSec = float64(requests) / elapsed.Seconds()
+			point.WordsPerSec = point.RoutesPerSec * float64(n)
+
+			// The matching stage in isolation: Compile decomposes an aggregate
+			// permutation without touching a shard.
+			var plan *bnbnet.Plan
+			var planPerm bnbnet.Perm
+			comp := make([]int64, compileSamples)
+			for i := range comp {
+				p := bnbnet.RandomPerm(n, rng)
+				start := time.Now()
+				pl, err := cl.Compile(p)
+				if err != nil {
+					return ClusterPoint{}, fmt.Errorf("cluster %d shards compile: %w", shards, err)
+				}
+				comp[i] = time.Since(start).Nanoseconds()
+				plan, planPerm = pl, p
+			}
+			point.DecomposeNsPerOp, _, _ = summarize(comp)
+
+			src := make([]bnbnet.Word, n)
+			dst := make([]bnbnet.Word, n)
+			for i, d := range planPerm {
+				src[i] = bnbnet.Word{Addr: d, Data: uint64(i)}
+			}
+			rep := make([]int64, compileSamples)
+			for i := range rep {
+				start := time.Now()
+				if err := cl.Replay(plan, dst, src); err != nil {
+					return ClusterPoint{}, fmt.Errorf("cluster %d shards replay: %w", shards, err)
+				}
+				rep[i] = time.Since(start).Nanoseconds()
+			}
+			point.ReplayNsPerOp, _, _ = summarize(rep)
+			return point, nil
+		}()
+		if err != nil {
+			return ClusterResult{}, err
+		}
+		res.Sweep = append(res.Sweep, point)
+	}
+	return res, nil
 }
 
 // benchTail measures the tail-tolerance profile: the same seeded request
@@ -474,7 +596,7 @@ func benchReconfig(cfg benchConfig) (ReconfigResult, error) {
 	// Warm-hit ratio: the share of the first post-rollout working-set
 	// requests the pre-warmed caches serve without a compile.
 	var hitsBefore int64
-	for _, cs := range sup.PlanCacheStats() {
+	for _, cs := range sup.Stats().PlanCaches {
 		hitsBefore += cs.Hits
 	}
 	post := 8 * len(hot)
@@ -484,7 +606,7 @@ func benchReconfig(cfg benchConfig) (ReconfigResult, error) {
 		}
 	}
 	var hitsAfter int64
-	for _, cs := range sup.PlanCacheStats() {
+	for _, cs := range sup.Stats().PlanCaches {
 		hitsAfter += cs.Hits
 	}
 
@@ -622,7 +744,7 @@ func benchPlanCache(cfg benchConfig, repeat float64) (HitPoint, error) {
 		}
 		return eng.RoutePermBatch(ps)
 	}, n, cfg.engineRequests, cfg.seed+1)
-	stats := eng.PlanCacheStats()
+	stats := eng.Stats().PlanCaches[0]
 	cerr := eng.Close()
 	if err != nil {
 		return HitPoint{}, err

@@ -56,8 +56,8 @@ func run(ms, nets, workers string, quick bool, out, validate string, minScale fl
 				return fmt.Errorf("%s: %w", validate, err)
 			}
 		}
-		fmt.Printf("%s: valid bnbbench/v5 report (m=%d, %d families, %d engine points, %d plan sweep points, reconfig blackout %dns)\n",
-			validate, rep.M, len(rep.Networks), len(rep.Engine), len(rep.Plan.HitSweep), rep.Reconfig.SwapBlackoutNs)
+		fmt.Printf("%s: valid bnbbench/v6 report (m=%d, %d families, %d engine points, %d plan sweep points, %d cluster points, reconfig blackout %dns)\n",
+			validate, rep.M, len(rep.Networks), len(rep.Engine), len(rep.Plan.HitSweep), len(rep.Cluster.Sweep), rep.Reconfig.SwapBlackoutNs)
 		return nil
 	}
 	if minScale > 0 {

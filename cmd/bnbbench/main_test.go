@@ -80,6 +80,22 @@ func TestRunBenchProducesValidReport(t *testing.T) {
 	if rc.WarmHitRatio < 0.8 {
 		t.Errorf("warm hit ratio = %v, want >= 0.8 (working set pre-warmed before admission)", rc.WarmHitRatio)
 	}
+	// The v6 cluster section: quick mode sweeps 2 and 4 shards, the port
+	// count scales with the fleet, and decomposing an aggregate permutation
+	// (pure matching bookkeeping) undercuts routing it through the shards.
+	cl := rep.Cluster
+	if cl.ShardOrder != 3 || len(cl.Sweep) != 2 {
+		t.Fatalf("cluster sweep %+v, want 2 points at shard order 3", cl)
+	}
+	for _, cp := range cl.Sweep {
+		if cp.Inputs != cp.Shards<<3 {
+			t.Errorf("cluster %d shards: %d inputs, want %d", cp.Shards, cp.Inputs, cp.Shards<<3)
+		}
+		if cp.DecomposeNsPerOp >= cp.NsPerOp {
+			t.Errorf("cluster %d shards: decompose %v ns/op not below end-to-end %v",
+				cp.Shards, cp.DecomposeNsPerOp, cp.NsPerOp)
+		}
+	}
 }
 
 func TestValidateRoundTrip(t *testing.T) {
@@ -117,7 +133,7 @@ func TestValidateRejections(t *testing.T) {
 		payload []byte
 		want    string
 	}{
-		{"unknown field", []byte(`{"schema":"bnbbench/v5","bogus":1}`), "decode"},
+		{"unknown field", []byte(`{"schema":"bnbbench/v6","bogus":1}`), "decode"},
 		{"wrong schema", marshal(func() Report { r := rep; r.Schema = "bnbbench/v2"; return r }()), "schema"},
 		{"n mismatch", marshal(func() Report { r := rep; r.N = 7; return r }()), "2^m"},
 		{"missing family", marshal(func() Report {
@@ -188,6 +204,25 @@ func TestValidateRejections(t *testing.T) {
 			r.Tail.Classes = classes
 			return r
 		}()), "QoS order"},
+		{"cluster sweep too short", marshal(func() Report {
+			r := rep
+			r.Cluster.Sweep = r.Cluster.Sweep[:1]
+			return r
+		}()), "sweep points"},
+		{"cluster inputs off", marshal(func() Report {
+			r := rep
+			sweep := append([]ClusterPoint(nil), r.Cluster.Sweep...)
+			sweep[0].Inputs++
+			r.Cluster.Sweep = sweep
+			return r
+		}()), "aggregate ports"},
+		{"decompose above end-to-end", marshal(func() Report {
+			r := rep
+			sweep := append([]ClusterPoint(nil), r.Cluster.Sweep...)
+			sweep[0].DecomposeNsPerOp = sweep[0].NsPerOp + 1
+			r.Cluster.Sweep = sweep
+			return r
+		}()), "decompose"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

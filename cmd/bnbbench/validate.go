@@ -30,8 +30,8 @@ func Validate(r io.Reader) (Report, error) {
 }
 
 func checkReport(rep Report) error {
-	if rep.Schema != "bnbbench/v5" {
-		return fmt.Errorf("schema %q, want bnbbench/v5", rep.Schema)
+	if rep.Schema != "bnbbench/v6" {
+		return fmt.Errorf("schema %q, want bnbbench/v6", rep.Schema)
 	}
 	if rep.M < 1 || rep.N != 1<<uint(rep.M) {
 		return fmt.Errorf("m = %d with n = %d; want n = 2^m", rep.M, rep.N)
@@ -186,6 +186,42 @@ func checkReport(rep Report) error {
 	if tl.Classes[0].ShedRate < tl.Classes[2].ShedRate {
 		return fmt.Errorf("tail: background shed rate %v below critical %v — the QoS order is inverted",
 			tl.Classes[0].ShedRate, tl.Classes[2].ShedRate)
+	}
+	cl := rep.Cluster
+	if cl.ShardOrder < 1 {
+		return fmt.Errorf("cluster: shard order %d", cl.ShardOrder)
+	}
+	if len(cl.Sweep) < 2 {
+		return fmt.Errorf("cluster: %d sweep points, want >= 2 shard counts", len(cl.Sweep))
+	}
+	prevShards := 0
+	for _, cp := range cl.Sweep {
+		if cp.Shards <= prevShards {
+			return fmt.Errorf("cluster sweep: shard counts not strictly increasing at %d", cp.Shards)
+		}
+		prevShards = cp.Shards
+		if cp.Inputs != cp.Shards<<uint(cl.ShardOrder) {
+			return fmt.Errorf("cluster sweep shards=%d: %d inputs, want %d aggregate ports",
+				cp.Shards, cp.Inputs, cp.Shards<<uint(cl.ShardOrder))
+		}
+		if cp.Requests < 1 || cp.NsPerOp <= 0 || cp.RoutesPerSec <= 0 || cp.WordsPerSec <= 0 {
+			return fmt.Errorf("cluster sweep shards=%d: non-positive figures (requests %d, ns/op %v, routes/s %v, words/s %v)",
+				cp.Shards, cp.Requests, cp.NsPerOp, cp.RoutesPerSec, cp.WordsPerSec)
+		}
+		if cp.P50Ns <= 0 || cp.P99Ns < cp.P50Ns {
+			return fmt.Errorf("cluster sweep shards=%d: p50 %d / p99 %d out of order", cp.Shards, cp.P50Ns, cp.P99Ns)
+		}
+		if cp.DecomposeNsPerOp <= 0 || cp.ReplayNsPerOp <= 0 {
+			return fmt.Errorf("cluster sweep shards=%d: non-positive decompose %v or replay %v ns/op",
+				cp.Shards, cp.DecomposeNsPerOp, cp.ReplayNsPerOp)
+		}
+		// The matching stage is pure bookkeeping — linear-ish edge coloring
+		// with no shard round-trips — so decomposing must undercut the full
+		// end-to-end route it is one stage of.
+		if cp.DecomposeNsPerOp >= cp.NsPerOp {
+			return fmt.Errorf("cluster sweep shards=%d: decompose %v ns/op not below the end-to-end route %v ns/op",
+				cp.Shards, cp.DecomposeNsPerOp, cp.NsPerOp)
+		}
 	}
 	return nil
 }

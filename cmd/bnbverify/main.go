@@ -11,6 +11,12 @@
 //
 //	bnbverify [-m 3 | -maxm 4] [-families bnb,batcher] [-trials 100]
 //	          [-bpc 50] [-adversarial 2] [-seed 1] [-v]
+//	bnbverify -cluster [-shards 4] [-m 2 | -maxm 3] [-families bnb] ...
+//
+// In -cluster mode each order is verified as a multi-shard fabric: a
+// cluster of -shards supervised shards, each a network of order m, is
+// cross-checked word-for-word against one monolithic network of the
+// aggregate order (shards·2^m ports) over the same batteries.
 package main
 
 import (
@@ -32,6 +38,8 @@ func main() {
 		adversarial = flag.Int("adversarial", 2, "adversarial hill climbs per order (negative disables)")
 		seed        = flag.Int64("seed", 1, "seed for the random and adversarial batteries")
 		verbose     = flag.Bool("v", false, "print every failure, not just the summary")
+		cluster     = flag.Bool("cluster", false, "verify multi-shard cluster fabrics against the monolithic aggregate")
+		shards      = flag.Int("shards", 4, "shard count for -cluster (power of two)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -66,9 +74,28 @@ func main() {
 		AdversarialClimbs: *adversarial,
 		Seed:              *seed,
 	}
+	clusterFamilies := families
+	if len(clusterFamilies) == 0 {
+		clusterFamilies = []string{"bnb"}
+	}
 	failed := false
 	for _, order := range orders {
-		report, err := bnbnet.Verify(families, order, opts)
+		var report bnbnet.CheckReport
+		var err error
+		label := fmt.Sprintf("m=%d N=%d", order, 1<<uint(order))
+		if *cluster {
+			for _, f := range clusterFamilies {
+				var r bnbnet.CheckReport
+				r, err = bnbnet.VerifyCluster(f, *shards, order, opts)
+				if err != nil {
+					break
+				}
+				report.Merge(r)
+			}
+			label = fmt.Sprintf("cluster %d×(m=%d) N=%d", *shards, order, *shards<<uint(order))
+		} else {
+			report, err = bnbnet.Verify(families, order, opts)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bnbverify: m=%d: %v\n", order, err)
 			os.Exit(1)
@@ -85,7 +112,7 @@ func main() {
 		case report.BPCExhaustive:
 			scope = "full BPC class"
 		}
-		fmt.Printf("m=%d N=%d: %d checks (%s): %s\n", order, 1<<uint(order), report.Checked, scope, status)
+		fmt.Printf("%s: %d checks (%s): %s\n", label, report.Checked, scope, status)
 		if !report.OK() {
 			failures := report.Failures
 			if !*verbose && len(failures) > 3 {

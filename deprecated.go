@@ -1,0 +1,179 @@
+package bnbnet
+
+// This file collects every deprecated name in the package under one
+// policy:
+//
+//   - A constructor, type or method superseded by the unified surface —
+//     New(family, m, opts...) for construction, AsPlanRouter /
+//     Compile/Replay for circuit switching, Stats() and Publish(name) for
+//     observability — is kept as a thin veneer delegating to its
+//     replacement, never re-implemented.
+//   - Each veneer carries a standard "Deprecated:" comment naming the
+//     replacement, so godoc, gopls and staticcheck steer callers off it.
+//   - Veneers keep working indefinitely but receive no new behavior; new
+//     capabilities land only on the unified surface. Nothing in this
+//     repository (examples, CLIs, benchmarks) calls a veneer except the
+//     tests pinning their delegation.
+//
+// Everything below is a veneer; the unified surface lives in bnbnet.go,
+// registry.go, plan.go and router.go.
+
+import "fmt"
+
+// NewBatcher constructs Batcher's odd-even merge sorting network used as a
+// self-routing permutation network.
+//
+// Deprecated: Use New("batcher", m, WithDataBits(w)).
+func NewBatcher(m, w int) (Network, error) { return New("batcher", m, WithDataBits(w)) }
+
+// NewKoppelman constructs the functional analogue of the Koppelman-Oruç
+// self-routing permutation network (see DESIGN.md §3 for the substitution).
+//
+// Deprecated: Use New("koppelman", m, WithDataBits(w)).
+func NewKoppelman(m, w int) (Network, error) { return New("koppelman", m, WithDataBits(w)) }
+
+// NewBenes constructs the Beneš rearrangeable network routed by the global
+// looping algorithm. Unlike the self-routing networks, every Route call
+// runs the centralized set-up computation; its cost report therefore counts
+// only the data path (switches), with the set-up overhead discussed in
+// EXPERIMENTS.md.
+//
+// Deprecated: Use New("benes", m).
+func NewBenes(m int) (Network, error) { return New("benes", m) }
+
+// NewWaksman constructs Waksman's permutation network (the paper's
+// reference [5]): the minimum-switch rearrangeable design, N·logN − N + 1
+// switches, routed per call by the global looping algorithm.
+//
+// Deprecated: Use New("waksman", m).
+func NewWaksman(m int) (Network, error) { return New("waksman", m) }
+
+// NewBitonic constructs Batcher's bitonic sorting network — the other
+// sorter of reference [9], with the same N/4·log^2 N comparator leading
+// term as the odd-even merge network but N·logN/2 − N + 1 more comparators.
+//
+// Deprecated: Use New("bitonic", m).
+func NewBitonic(m int) (Network, error) { return New("bitonic", m) }
+
+// NewFabricSwitch wraps a Network as the routing core of a FIFO
+// input-queued cell switch.
+//
+// Deprecated: Use NewFabric(n).
+func NewFabricSwitch(n Network) (*FabricSwitch, error) {
+	f, err := NewFabric(n)
+	if err != nil {
+		return nil, err
+	}
+	return f.(*FabricSwitch), nil
+}
+
+// NewVOQFabricSwitch wraps a Network as the routing core of a virtual-
+// output-queued cell switch.
+//
+// Deprecated: Use NewFabric(n, WithVOQ()).
+func NewVOQFabricSwitch(n Network) (*VOQFabricSwitch, error) {
+	f, err := NewFabric(n, WithVOQ())
+	if err != nil {
+		return nil, err
+	}
+	return f.(*VOQFabricSwitch), nil
+}
+
+// IntoRouter is the original name of BulkRouter.
+//
+// Deprecated: Use BulkRouter.
+type IntoRouter = BulkRouter
+
+// Circuit is a recorded switch configuration realizing one permutation —
+// the network's circuit-switched mode. It is a thin veneer over the
+// compiled-plan surface (Plan, BNB.Compile, BNB.Replay), which adds address
+// verification, in-place replay, and cacheability.
+//
+// Deprecated: Use BNB.Compile and BNB.Replay (or the PlanRouter surface).
+type Circuit struct {
+	b  *BNB
+	pl *Plan
+}
+
+// Connect runs the self-routing control plane once for the permutation and
+// returns the recorded circuit.
+//
+// Deprecated: Use BNB.Compile.
+func (b *BNB) Connect(p Perm) (*Circuit, error) {
+	pl, err := b.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Circuit{b: b, pl: pl}, nil
+}
+
+// Send replays the circuit over a fresh batch of payloads: word i lands on
+// the output the circuit's permutation assigned to input i; addresses in
+// the words are ignored (the data path consults only the stored switch
+// states, exactly like the hardware's slaved slices).
+//
+// Deprecated: Use BNB.Replay, which additionally verifies the batch
+// against the plan's permutation.
+func (c *Circuit) Send(words []Word) ([]Word, error) {
+	return c.b.n.ApplyPlan(c.pl.p, words)
+}
+
+// Switches returns the number of stored switch states,
+// (N/2)·(1/2)logN(logN+1).
+//
+// Deprecated: Use Plan.Switches via Circuit.Plan.
+func (c *Circuit) Switches() int { return c.pl.Switches() }
+
+// Plan returns the compiled plan backing the circuit, for use with the
+// Replay fast path.
+func (c *Circuit) Plan() *Plan { return c.pl }
+
+// PlanCacheStats returns the plan cache's counters; the zero stats without
+// WithPlanCache.
+//
+// Deprecated: Use Stats, whose PlanCaches field carries the same counters.
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	if e.pc == nil {
+		return PlanCacheStats{}
+	}
+	return e.pc.cache.Stats()
+}
+
+// PublishPlanCache registers the plan cache's live stats under the given
+// expvar name on /debug/vars. It returns an error if the name is taken
+// (expvar itself would panic) or if the engine has no plan cache.
+//
+// Deprecated: Use Publish, which exposes the plan-cache counters inside
+// the unified Stats.
+func (e *Engine) PublishPlanCache(name string) error {
+	if e.pc == nil {
+		return fmt.Errorf("bnbnet: engine has no plan cache (WithPlanCache)")
+	}
+	return publishExpvar(name, func() any { return e.pc.cache.Stats() })
+}
+
+// PlanCacheStats returns every live plane's plan-cache counters, in
+// membership order (entry i belongs to PlaneIDs()[i]; uncached planes —
+// faulted ones, or all of them under WithPlanCache(0) — report zero stats).
+// Nil when plan caching is disabled.
+//
+// Deprecated: Use Stats, whose PlanCaches field carries the same counters.
+func (s *Supervised) PlanCacheStats() []PlanCacheStats {
+	if s.pcs == nil {
+		return nil
+	}
+	return s.pcs.statsFor(s.sup.PlaneIDs())
+}
+
+// PublishPlanCache registers the per-plane plan-cache stats under the given
+// expvar name on /debug/vars. It returns an error if the name is taken
+// (expvar itself would panic) or if plan caching is disabled.
+//
+// Deprecated: Use Publish, which exposes the plan-cache counters inside
+// the unified Stats.
+func (s *Supervised) PublishPlanCache(name string) error {
+	if s.pcs == nil {
+		return fmt.Errorf("bnbnet: supervised planes have no plan cache (WithPlanCache)")
+	}
+	return publishExpvar(name, func() any { return s.pcs.statsFor(s.sup.PlaneIDs()) })
+}

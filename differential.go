@@ -115,3 +115,55 @@ func Verify(families []string, m int, opts CheckOptions) (CheckReport, error) {
 	}
 	return report, nil
 }
+
+// VerifyCluster cross-checks a cluster fabric against the monolithic
+// network it decomposes: it builds a cluster of `shards` shards at order
+// `shardOrder` and a single instance of the same family at the aggregate
+// order, then routes every permutation of the sweep battery through both
+// and compares the outputs word-for-word — the product decomposition, the
+// edge-colored inter-shard stages and the scatter-gather must be
+// indistinguishable from one big network. The metamorphic battery then
+// runs on the cluster alone. The shard count must be a power of two so the
+// aggregate is an order the monolithic reference can realize; the command
+// line entry point is bnbverify -cluster.
+func VerifyCluster(family string, shards, shardOrder int, opts CheckOptions) (CheckReport, error) {
+	if shards < 1 || shards&(shards-1) != 0 {
+		return CheckReport{}, fmt.Errorf("bnbnet: VerifyCluster: shard count %d is not a power of two (the monolithic reference needs an aggregate 2^m)", shards)
+	}
+	aggOrder := shardOrder
+	for s := shards; s > 1; s >>= 1 {
+		aggOrder++
+	}
+	ref, err := New(family, aggOrder)
+	if err != nil {
+		return CheckReport{}, fmt.Errorf("bnbnet: VerifyCluster: reference: %w", err)
+	}
+	cl, err := NewCluster(family, shardOrder, WithShards(shards))
+	if err != nil {
+		return CheckReport{}, fmt.Errorf("bnbnet: VerifyCluster: cluster: %w", err)
+	}
+	defer cl.Close()
+	report, err := check.Sweep([]check.Network{ref, cl}, opts)
+	if err != nil {
+		return report, err
+	}
+	// The metamorphic trace relation asserts the monolithic snapshot shape
+	// (m+1 MSB-prefix stages); the cluster traces at product-decomposition
+	// granularity, so its trace surface is hidden from the battery and only
+	// the inverse and conjugation relations run.
+	meta, err := check.Metamorphic(untraced{cl}, opts)
+	if err != nil {
+		return report, err
+	}
+	report.Merge(meta)
+	return report, nil
+}
+
+// untraced strips a network down to the plain routing surface, hiding any
+// optional capabilities from type assertions.
+type untraced struct{ n Network }
+
+func (x untraced) Name() string                       { return x.n.Name() }
+func (x untraced) Inputs() int                        { return x.n.Inputs() }
+func (x untraced) Route(words []Word) ([]Word, error) { return x.n.Route(words) }
+func (x untraced) RoutePerm(p Perm) ([]Word, error)   { return x.n.RoutePerm(p) }

@@ -37,11 +37,6 @@ type BulkRouter interface {
 	RouteInto(dst, src []Word) error
 }
 
-// IntoRouter is the original name of BulkRouter.
-//
-// Deprecated: Use BulkRouter.
-type IntoRouter = BulkRouter
-
 // TracedRouter is the optional stage-tracing surface of a Network:
 // RouteTraced routes the words and additionally returns the word vector at
 // the input of every main stage plus the final output. *BNB implements it
@@ -143,6 +138,9 @@ func NewEngine(n Network, opts ...Option) (*Engine, error) {
 	}
 	if o.anySet(optFabric) {
 		return nil, fmt.Errorf("bnbnet: WithVOQ and WithDegraded apply to NewFabric, not NewEngine")
+	}
+	if o.anySet(optShards) {
+		return nil, fmt.Errorf("bnbnet: WithShards applies to NewCluster, not NewEngine")
 	}
 	if o.anySet(optFallback) && !o.anySet(optBreaker) {
 		return nil, fmt.Errorf("bnbnet: WithFallback requires WithBreaker; without a breaker the fallback would never serve")
@@ -279,26 +277,6 @@ func (e *Engine) Metrics() *Metrics { return e.e.Metrics() }
 
 // BreakerOpen reports whether the circuit breaker (WithBreaker) is open.
 func (e *Engine) BreakerOpen() bool { return e.e.BreakerOpen() }
-
-// PlanCacheStats returns the plan cache's counters; the zero stats without
-// WithPlanCache.
-func (e *Engine) PlanCacheStats() PlanCacheStats {
-	if e.pc == nil {
-		return PlanCacheStats{}
-	}
-	return e.pc.cache.Stats()
-}
-
-// PublishPlanCache registers the plan cache's live stats (entries,
-// capacity, hits, misses, evictions) under the given expvar name on
-// /debug/vars. It returns an error if the name is taken (expvar itself
-// would panic) or if the engine has no plan cache.
-func (e *Engine) PublishPlanCache(name string) error {
-	if e.pc == nil {
-		return fmt.Errorf("bnbnet: engine has no plan cache (WithPlanCache)")
-	}
-	return publishExpvar(name, func() any { return e.pc.cache.Stats() })
-}
 
 // Tracer returns the span recorder, or nil without WithTracer.
 func (e *Engine) Tracer() *Tracer { return e.e.Tracer() }

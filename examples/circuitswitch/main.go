@@ -1,13 +1,16 @@
 // Circuit switch: use the BNB network in circuit-switched mode — the
 // self-routing control plane runs once to establish a connection pattern,
-// and the stored switch states then carry arbitrarily many data batches
-// with zero routing work per batch.
+// and the compiled plan then carries arbitrarily many data batches with
+// zero routing work per batch.
 //
 // This is the telephony-style deployment of a permutation network: calls
 // (circuits) are set up rarely, data flows constantly. The BNB design fits
 // it naturally because its control plane (the bit-sorter slices) and data
 // plane (the slaved slices) are physically separate — the paper's Section 3
-// structure made operational.
+// structure made operational. The modern API spells it Compile (call
+// setup: one arbiter-tree pass, switch states recorded into an immutable
+// Plan) and Replay (data transfer: pure wire-following along the stored
+// states).
 package main
 
 import (
@@ -20,9 +23,13 @@ import (
 
 func main() {
 	const m = 4 // 16 endpoints
-	net, err := bnbnet.NewBNB(m, 64)
+	net, err := bnbnet.New("bnb", m, bnbnet.WithDataBits(64))
 	if err != nil {
 		log.Fatal(err)
+	}
+	pr, ok := bnbnet.AsPlanRouter(net)
+	if !ok {
+		log.Fatal("bnb offers no compiled-plan surface")
 	}
 	n := net.Inputs()
 	rng := rand.New(rand.NewSource(77))
@@ -31,26 +38,28 @@ func main() {
 	pattern := bnbnet.RandomPerm(n, rng)
 	fmt.Printf("connection request: endpoint i -> endpoint pattern[i]\n  %v\n\n", []int(pattern))
 
-	circuit, err := net.Connect(pattern)
+	circuit, err := pr.Compile(pattern)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("circuit established: %d switch states stored (control plane ran once)\n\n",
 		circuit.Switches())
 
-	// Stream several frames over the same circuit. The words carry no
-	// addresses — the stored switch states are the route.
+	// Stream several frames over the same circuit. Replay never re-routes:
+	// the stored switch states are the route, and the addresses only attest
+	// that each frame belongs to this circuit (a mismatched frame fails with
+	// ErrPlanMismatch instead of misdelivering).
+	out := make([]bnbnet.Word, n)
 	for frame := 0; frame < 3; frame++ {
 		words := make([]bnbnet.Word, n)
-		for i := range words {
-			words[i] = bnbnet.Word{Data: uint64(frame)<<32 | uint64(rng.Intn(1<<16))}
+		for i, d := range pattern {
+			words[i] = bnbnet.Word{Addr: d, Data: uint64(frame)<<32 | uint64(rng.Intn(1<<16))}
 		}
-		out, err := circuit.Send(words)
-		if err != nil {
+		if err := pr.Replay(circuit, out, words); err != nil {
 			log.Fatal(err)
 		}
 		for i, d := range pattern {
-			if out[d] != words[i] {
+			if out[d].Data != words[i].Data {
 				log.Fatalf("frame %d: endpoint %d's data missed endpoint %d", frame, i, d)
 			}
 		}
@@ -59,12 +68,12 @@ func main() {
 	}
 
 	// Tearing down and reconnecting with a new pattern is just another
-	// Connect; circuits are independent values and can coexist.
-	second, err := net.Connect(bnbnet.RandomPerm(n, rng))
+	// Compile; plans are immutable independent values and can coexist.
+	second, err := pr.Compile(bnbnet.RandomPerm(n, rng))
 	if err != nil {
 		log.Fatal(err)
 	}
 	_ = second
-	fmt.Println("\nsecond circuit established concurrently — circuits are independent values;")
+	fmt.Println("\nsecond circuit established concurrently — plans are independent values;")
 	fmt.Println("the packet-switched mode (Route) remains available on the same network.")
 }

@@ -179,15 +179,6 @@ func FigBatcher(m int) (string, error) {
 
 type waksmanNetwork struct{ n *waksman.Network }
 
-// NewWaksman constructs Waksman's permutation network (the paper's
-// reference [5]): the minimum-switch rearrangeable design, N·logN − N + 1
-// switches, routed per call by the global looping algorithm. It anchors the
-// lower-bound comparison: rearrangeability is cheap; it is *self-routing*
-// that the BNB network buys with its log^2 N switch premium.
-//
-// Deprecated: Use New("waksman", m).
-func NewWaksman(m int) (Network, error) { return New("waksman", m) }
-
 func newWaksmanNetwork(m int) (Network, error) {
 	n, err := waksman.New(m)
 	if err != nil {
@@ -221,14 +212,6 @@ func (w waksmanNetwork) Delay() Delay {
 // ---------------------------------------------------------------------------
 
 type bitonicNetwork struct{ n *bitonic.Network }
-
-// NewBitonic constructs Batcher's bitonic sorting network — the other
-// sorter of reference [9], with the same N/4·log^2 N comparator leading
-// term as the odd-even merge network but N·logN/2 − N + 1 more comparators;
-// included to show why Table 1 uses the odd-even variant.
-//
-// Deprecated: Use New("bitonic", m).
-func NewBitonic(m int) (Network, error) { return New("bitonic", m) }
 
 func newBitonicNetwork(m int) (Network, error) {
 	n, err := bitonic.New(m)

@@ -73,6 +73,18 @@ const (
 // "healthy" rather than 0.
 func (s State) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
 
+// UnmarshalText parses a state name, so JSON stats surfaces round-trip for
+// API clients.
+func (s *State) UnmarshalText(text []byte) error {
+	for c := Healthy; c <= Detached; c++ {
+		if c.String() == string(text) {
+			*s = c
+			return nil
+		}
+	}
+	return fmt.Errorf("plane: unknown state %q", text)
+}
+
 // String names the state for logs and expvar.
 func (s State) String() string {
 	switch s {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/perm"
@@ -21,25 +22,61 @@ import (
 	"repro/internal/trace"
 )
 
-// Plan is an immutable compiled route plan: the switch settings realizing
-// one permutation, recorded as one bitset per switch column, plus the
-// derived end-to-end wire map. A Plan is bound to the network order it was
-// compiled on and is safe for concurrent use by any number of replays.
-// Obtain with BNB.Compile (or through the PlanRouter surface).
-type Plan struct{ p *core.Plan }
+// Plan is an immutable compiled route plan, bound to the router that
+// compiled it and safe for concurrent use by any number of replays. A plan
+// compiled by BNB.Compile records the switch settings realizing one
+// permutation — one bitset per switch column plus the derived end-to-end
+// wire map; a plan compiled by Cluster.Compile records the product
+// decomposition — the inter-shard matching and the per-shard local
+// permutations. Replaying a plan on the wrong kind of router fails with
+// ErrPlanMismatch instead of misdelivering.
+type Plan struct {
+	p  *core.Plan          // monolithic switch settings (BNB.Compile)
+	ca *cluster.Assignment // product decomposition (Cluster.Compile)
+}
 
-// M returns the network order the plan was compiled on.
-func (pl *Plan) M() int { return pl.p.M() }
+// M returns the network order the plan was compiled on: the monolithic
+// order for a BNB plan, the per-shard order for a cluster plan (whose
+// aggregate port count need not be a power of two — see Inputs).
+func (pl *Plan) M() int {
+	if pl.ca != nil {
+		m := 0
+		for l := pl.ca.L; l > 1; l >>= 1 {
+			m++
+		}
+		return m
+	}
+	return pl.p.M()
+}
 
-// Inputs returns the plan's port count N = 2^m.
-func (pl *Plan) Inputs() int { return pl.p.Inputs() }
+// Inputs returns the plan's port count: N = 2^m for a BNB plan, the
+// aggregate S·2^m for a cluster plan.
+func (pl *Plan) Inputs() int {
+	if pl.ca != nil {
+		return pl.ca.Inputs()
+	}
+	return pl.p.Inputs()
+}
 
 // Perm returns a copy of the compiled permutation.
-func (pl *Plan) Perm() Perm { return pl.p.Perm() }
+func (pl *Plan) Perm() Perm {
+	if pl.ca != nil {
+		return Perm(append([]int(nil), pl.ca.P...))
+	}
+	return pl.p.Perm()
+}
 
-// Switches returns the number of recorded switch states,
-// (N/2)·(1/2)logN(logN+1).
-func (pl *Plan) Switches() int { return pl.p.SwitchCount() }
+// Switches returns the number of recorded switch states:
+// (N/2)·(1/2)logN(logN+1) for a BNB plan, S times the per-shard figure for
+// a cluster plan (the inter-shard matchings are stored as wire maps, not
+// switch states).
+func (pl *Plan) Switches() int {
+	if pl.ca != nil {
+		m := pl.M()
+		return pl.ca.S * (pl.ca.L / 2) * (m * (m + 1) / 2)
+	}
+	return pl.p.SwitchCount()
+}
 
 // PlanRouter is the optional compiled-plan surface of a Network: Compile
 // runs the self-routing control plane once for a permutation and records
@@ -79,6 +116,9 @@ func (b *BNB) Compile(p Perm) (*Plan, error) {
 func (b *BNB) Replay(pl *Plan, dst, src []Word) error {
 	if pl == nil {
 		return fmt.Errorf("bnbnet: nil plan")
+	}
+	if pl.p == nil {
+		return fmt.Errorf("bnbnet: %w: plan was compiled on a cluster, not a BNB network", ErrPlanMismatch)
 	}
 	return b.n.Replay(pl.p, dst, src)
 }

@@ -102,6 +102,7 @@ const (
 	optDegraded
 	optPlanCache
 	optHedge
+	optShards
 )
 
 // optEngine masks the serving options that only NewEngine (and
@@ -145,6 +146,8 @@ type options struct {
 	degraded bool
 
 	planCache int
+
+	shards int
 
 	hedge     time.Duration
 	hedgeAuto bool
@@ -485,6 +488,21 @@ func WithHedgeAuto() Option {
 	return func(o *options) { o.set |= optHedge; o.hedgeAuto = true }
 }
 
+// WithShards sets the number of shards S a cluster fabric aggregates; the
+// cluster serves N = S·2^m ports from S supervised instances of order m.
+// The default is 2; shards can also be added and drained at runtime with
+// Cluster.AddShard and Cluster.RemoveShard. NewCluster only.
+func WithShards(s int) Option {
+	return func(o *options) {
+		if s < 1 {
+			o.reject("WithShards(%d): need at least 1 shard", s)
+			return
+		}
+		o.set |= optShards
+		o.shards = s
+	}
+}
+
 // WithHealthInterval sets the period of the supervisor's background health
 // sweep (probe passes over idle and quarantined planes); zero keeps the
 // default of 10ms. NewSupervised only.
@@ -538,6 +556,9 @@ func New(family string, m int, opts ...Option) (Network, error) {
 	}
 	if o.anySet(optPlanCache) {
 		return nil, fmt.Errorf("bnbnet: WithPlanCache applies to NewEngine and NewSupervised, not New; use Compile/Replay directly on the bare network")
+	}
+	if o.anySet(optShards) {
+		return nil, fmt.Errorf("bnbnet: WithShards applies to NewCluster, not New")
 	}
 	n, err := b(m, o.dataBits)
 	if err != nil {

@@ -8,7 +8,6 @@ package bnbnet
 
 import (
 	"context"
-	"expvar"
 	"fmt"
 	"sync"
 
@@ -145,15 +144,26 @@ type Supervised struct {
 // with the exact probe dictionary; larger orders probe with the canonical
 // battery.
 func NewSupervised(family string, m int, opts ...Option) (*Supervised, error) {
+	o, err := gatherOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if o.anySet(optShards) {
+		return nil, fmt.Errorf("bnbnet: WithShards applies to NewCluster, not NewSupervised")
+	}
+	return newSupervisedFromOptions(family, m, o)
+}
+
+// newSupervisedFromOptions is NewSupervised after option gathering; it is
+// shared with NewCluster, which builds every shard from one filtered
+// options set (shard count and debug address stripped — the cluster owns
+// the debug endpoint, and the remaining serving options apply per shard).
+func newSupervisedFromOptions(family string, m int, o options) (*Supervised, error) {
 	builders.RLock()
 	b := builders.m[family]
 	builders.RUnlock()
 	if b == nil {
 		return nil, fmt.Errorf("bnbnet: unknown network family %q (have %v)", family, Families())
-	}
-	o, err := gatherOptions(opts)
-	if err != nil {
-		return nil, err
 	}
 	if o.anySet(optTrace) {
 		return nil, fmt.Errorf("bnbnet: WithTrace applies to New, not NewSupervised")
@@ -248,9 +258,11 @@ func NewSupervised(family string, m int, opts ...Option) (*Supervised, error) {
 	}
 	var diag *fault.Diagnoser
 	if family == "bnb" && m <= diagMaxOrder {
-		if diag, err = fault.NewDiagnoser(m); err != nil {
+		d, err := fault.NewDiagnoser(m)
+		if err != nil {
 			return nil, err
 		}
+		diag = d
 	}
 	sup, err := plane.New(plane.Config{
 		Planes:         planes,
@@ -368,27 +380,6 @@ func (s *Supervised) PlaneStates() []PlaneState { return s.sup.States() }
 // PlaneStats returns the per-plane serving and repair counters.
 func (s *Supervised) PlaneStats() []PlaneStats { return s.sup.PlaneStats() }
 
-// PlanCacheStats returns every live plane's plan-cache counters, in
-// membership order (entry i belongs to PlaneIDs()[i]; uncached planes —
-// faulted ones, or all of them under WithPlanCache(0) — report zero stats).
-// Nil when plan caching is disabled.
-func (s *Supervised) PlanCacheStats() []PlanCacheStats {
-	if s.pcs == nil {
-		return nil
-	}
-	return s.pcs.statsFor(s.sup.PlaneIDs())
-}
-
-// PublishPlanCache registers the per-plane plan-cache stats under the given
-// expvar name on /debug/vars. It returns an error if the name is taken
-// (expvar itself would panic) or if plan caching is disabled.
-func (s *Supervised) PublishPlanCache(name string) error {
-	if s.pcs == nil {
-		return fmt.Errorf("bnbnet: supervised planes have no plan cache (WithPlanCache)")
-	}
-	return publishExpvar(name, func() any { return s.pcs.statsFor(s.sup.PlaneIDs()) })
-}
-
 // Failovers returns the number of planes drained and failed away from.
 func (s *Supervised) Failovers() int64 { return s.sup.Failovers() }
 
@@ -417,16 +408,12 @@ func (s *Supervised) Repairs() int64 { return s.sup.Repairs() }
 // Readmits returns the number of planes readmitted after quarantine.
 func (s *Supervised) Readmits() int64 { return s.sup.Readmits() }
 
-// Publish registers the supervisor's plane view under the given expvar
-// name: a per-plane list of state and counters, live on /debug/vars. Pair
-// it with Metrics.Publish for the counter side. It returns an error if the
-// name is taken (expvar itself would panic).
+// Publish implements Router, registering the supervised front's live
+// Stats — plane states and counters, per-plane plan caches, in-flight
+// depth — under the given expvar name on /debug/vars. It returns an error
+// if the name is taken (expvar itself would panic).
 func (s *Supervised) Publish(name string) error {
-	if expvar.Get(name) != nil {
-		return fmt.Errorf("bnbnet: expvar name %q already published", name)
-	}
-	expvar.Publish(name, expvar.Func(func() any { return s.sup.PlaneStats() }))
-	return nil
+	return publishExpvar(name, func() any { return s.Stats() })
 }
 
 // Tracer returns the span recorder, or nil without WithTracer.
